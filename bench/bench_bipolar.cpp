@@ -1,0 +1,116 @@
+// Experiments E8 + E9: the bipolar constructions (Fig. 3) on graphs with the
+// two-trees property. Theorem 20: unidirectional, (4, t). Theorem 23:
+// bidirectional, (5, t). Run on classic sparse graphs and random cubic
+// samples (the Theorem 25 regime).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/ftroute.hpp"
+
+namespace {
+
+using namespace ftr;
+
+struct Case {
+  GeneratedGraph gg;
+  std::uint32_t t;
+};
+
+std::vector<Case> two_trees_cases() {
+  std::vector<Case> cases;
+  cases.push_back({cycle_graph(14), 1});
+  cases.push_back({cycle_graph(24), 1});
+  cases.push_back({dodecahedron(), 2});
+  cases.push_back({desargues_graph(), 2});
+  cases.push_back({cube_connected_cycles(5), 2});
+  // A random cubic sample with the property (Theorem 25's sparse regime).
+  Rng rng(2025);
+  for (int i = 0; i < 50; ++i) {
+    auto gg = random_regular(48, 3, rng);
+    if (is_connected(gg.graph) && find_two_trees(gg.graph) &&
+        node_connectivity(gg.graph) == 3) {
+      gg.name += "|two-trees";
+      cases.push_back({std::move(gg), 2});
+      break;
+    }
+  }
+  return cases;
+}
+
+void table_theorems_20_23() {
+  std::cout << "-- Theorem 20 (unidirectional, d<=4) and Theorem 23"
+            << " (bidirectional, d<=5) --\n";
+  auto table = bench::tolerance_table();
+  for (const auto& [gg, t] : two_trees_cases()) {
+    const auto w = find_two_trees(gg.graph);
+    if (!w) {
+      std::cout << "   (skipping " << gg.name << ": no two-trees witness)\n";
+      continue;
+    }
+    const auto uni = build_bipolar_unidirectional(gg.graph, t, *w);
+    const auto bi = build_bipolar_bidirectional(gg.graph, t, *w);
+    for (std::uint32_t f = 0; f <= t; ++f) {
+      bench::add_tolerance_row(table, gg.name, "bipolar-uni", t, f, 4,
+                               uni.table, 811 + f);
+      bench::add_tolerance_row(table, gg.name, "bipolar-bi", t, f, 5,
+                               bi.table, 821 + f);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void table_witness_stats() {
+  std::cout << "-- Two-trees witnesses found per family --\n";
+  Table table({"graph", "n", "witness", "roots"});
+  const GeneratedGraph gs[] = {cycle_graph(14),    petersen_graph(),
+                               dodecahedron(),     hypercube(5),
+                               torus_graph(8, 8),  cube_connected_cycles(5),
+                               desargues_graph()};
+  for (const auto& gg : gs) {
+    const auto w = find_two_trees(gg.graph);
+    table.add_row({gg.name, Table::cell(gg.graph.num_nodes()),
+                   Table::cell(w.has_value()),
+                   w ? std::to_string(w->r1) + "," + std::to_string(w->r2)
+                     : "-"});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void bench_find_two_trees(benchmark::State& state) {
+  const auto gg = cube_connected_cycles(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_two_trees(gg.graph));
+  }
+  state.SetLabel(gg.name);
+}
+BENCHMARK(bench_find_two_trees)->Arg(4)->Arg(5)->Arg(6);
+
+void bench_build_bipolar_uni(benchmark::State& state) {
+  const auto gg = cube_connected_cycles(state.range(0));
+  const auto w = find_two_trees(gg.graph);
+  if (!w) {
+    state.SkipWithError("no witness");
+    return;
+  }
+  for (auto _ : state) {
+    auto br = build_bipolar_unidirectional(gg.graph, 2, *w);
+    benchmark::DoNotOptimize(br.table.num_routes());
+  }
+  state.SetLabel(gg.name);
+}
+BENCHMARK(bench_build_bipolar_uni)->Arg(5)->Arg(6);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ftr::bench::banner("E8/E9", "bipolar routing tolerance (Fig. 3)",
+                     "Theorem 20: (4,t) unidirectional; Theorem 23: (5,t) "
+                     "bidirectional; two-trees property (Section 5)");
+  table_witness_stats();
+  table_theorems_20_23();
+  return ftr::bench::run_registered_benchmarks(argc, argv);
+}

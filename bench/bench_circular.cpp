@@ -1,0 +1,105 @@
+// Experiment E3: the circular routing (Theorem 10, Fig. 1) is
+// (6, t)-tolerant whenever a neighborhood set of size t+1 (t even) / t+2
+// (t odd) exists. Includes a K-ablation (minimum K vs the 2t+1 variant the
+// paper describes first).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/ftroute.hpp"
+
+namespace {
+
+using namespace ftr;
+
+std::vector<Node> nset(const Graph& g, std::size_t want, std::uint64_t seed) {
+  Rng rng(seed);
+  return neighborhood_set_of_size(g, want, rng, 32);
+}
+
+void table_theorem10() {
+  std::cout << "-- Theorem 10: circular routing is (6, t)-tolerant --\n";
+  auto table = bench::tolerance_table();
+  struct Case {
+    GeneratedGraph gg;
+    std::uint32_t t;
+  };
+  std::vector<Case> cases;
+  cases.push_back({cycle_graph(16), 1});
+  cases.push_back({cube_connected_cycles(3), 2});
+  cases.push_back({cube_connected_cycles(4), 2});
+  cases.push_back({torus_graph(5, 5), 3});
+  cases.push_back({torus_graph(7, 7), 3});
+  // WBF(3) has kappa = 4 but only packs 4 members; run it at t = 2
+  // (tolerating fewer faults than the connectivity allows is always legal).
+  cases.push_back({wrapped_butterfly(3), 2});
+  for (const auto& [gg, t] : cases) {
+    const auto m = nset(gg.graph, circular_required_k(t), 11);
+    if (m.size() < circular_required_k(t)) {
+      std::cout << "   (skipping " << gg.name << ": neighborhood set only "
+                << m.size() << ")\n";
+      continue;
+    }
+    const auto cr = build_circular_routing(gg.graph, t, m);
+    for (std::uint32_t f = 0; f <= t; ++f) {
+      bench::add_tolerance_row(table, gg.name, "circular", t, f, 6, cr.table,
+                               311 + f);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void table_k_ablation() {
+  std::cout << "-- Ablation: minimal K vs K = 2t+1 (both satisfy Thm 10) --\n";
+  auto table = bench::tolerance_table();
+  const auto gg = torus_graph(7, 7);
+  const std::uint32_t t = 3;
+  for (const std::uint32_t k : {circular_required_k(t), 2 * t + 1}) {
+    const auto m = nset(gg.graph, k, 13);
+    if (m.size() < k) continue;
+    const auto cr = build_circular_routing(gg.graph, t, m, k);
+    bench::add_tolerance_row(table, gg.name, "circular K=" + std::to_string(k),
+                             t, t, 6, cr.table, 401);
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void bench_build_circular(benchmark::State& state) {
+  const auto gg = torus_graph(state.range(0), state.range(0));
+  const std::uint32_t t = 3;
+  const auto m = nset(gg.graph, circular_required_k(t), 17);
+  for (auto _ : state) {
+    auto cr = build_circular_routing(gg.graph, t, m);
+    benchmark::DoNotOptimize(cr.table.num_routes());
+  }
+  state.SetLabel(gg.name);
+}
+BENCHMARK(bench_build_circular)->Arg(5)->Arg(7)->Arg(9);
+
+void bench_surviving_diameter_circular(benchmark::State& state) {
+  const auto gg = torus_graph(7, 7);
+  const std::uint32_t t = 3;
+  const auto cr =
+      build_circular_routing(gg.graph, t, nset(gg.graph, 5, 19));
+  Rng rng(7);
+  const auto sets = random_fault_sets(gg.graph.num_nodes(), t, 64, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        surviving_diameter(cr.table, sets[i++ % sets.size()]));
+  }
+}
+BENCHMARK(bench_surviving_diameter_circular);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ftr::bench::banner("E3", "circular routing tolerance (Fig. 1)",
+                     "Theorem 10: (6, t)-tolerant with K >= t+1 / t+2");
+  table_theorem10();
+  table_k_ablation();
+  return ftr::bench::run_registered_benchmarks(argc, argv);
+}

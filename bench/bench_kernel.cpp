@@ -1,0 +1,96 @@
+// Experiments E1 + E2: the kernel routing baseline.
+//   Theorem 3 (Dolev et al. 84): (max{2t, 4}, t)-tolerant.
+//   Theorem 4 (this paper):      (4, floor(t/2))-tolerant.
+// The second table sweeps f from 0 to t, exposing where the surviving
+// diameter leaves the 4-ball — the paper's reason for constant-bound
+// constructions.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/ftroute.hpp"
+
+namespace {
+
+using namespace ftr;
+
+std::vector<GeneratedGraph> graphs() {
+  std::vector<GeneratedGraph> out;
+  out.push_back(cycle_graph(16));
+  out.push_back(cube_connected_cycles(3));
+  out.push_back(petersen_graph());
+  out.push_back(torus_graph(4, 4));
+  out.push_back(hypercube(4));
+  out.push_back(wrapped_butterfly(3));
+  out.push_back(torus_graph(6, 6));
+  return out;
+}
+
+void table_theorem3() {
+  std::cout << "-- Theorem 3: kernel is (max{2t,4}, t)-tolerant --\n";
+  auto table = bench::tolerance_table();
+  for (const auto& gg : graphs()) {
+    const std::uint32_t t = *gg.known_connectivity - 1;
+    const auto kr = build_kernel_routing(gg.graph, t);
+    const std::uint32_t claimed = std::max(2 * t, 4u);
+    bench::add_tolerance_row(table, gg.name, "kernel", t, t, claimed,
+                             kr.table, 101);
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void table_theorem4_sweep() {
+  std::cout << "-- Theorem 4: kernel is (4, floor(t/2))-tolerant;"
+            << " f-sweep shows the transition --\n";
+  auto table = bench::tolerance_table();
+  for (const auto& gg : {torus_graph(4, 4), hypercube(4), torus_graph(6, 6)}) {
+    const std::uint32_t t = *gg.known_connectivity - 1;
+    const auto kr = build_kernel_routing(gg.graph, t);
+    for (std::uint32_t f = 0; f <= t; ++f) {
+      // Claimed: 4 while f <= floor(t/2) (Thm 4), else 2t (Thm 3).
+      const std::uint32_t claimed = f <= t / 2 ? 4u : std::max(2 * t, 4u);
+      bench::add_tolerance_row(table, gg.name, "kernel", t, f, claimed,
+                               kr.table, 202 + f);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void bench_build_kernel(benchmark::State& state) {
+  const auto gg = torus_graph(state.range(0), state.range(0));
+  const std::uint32_t t = 3;
+  for (auto _ : state) {
+    auto kr = build_kernel_routing(gg.graph, t);
+    benchmark::DoNotOptimize(kr.table.num_routes());
+  }
+  state.SetLabel(gg.name);
+}
+BENCHMARK(bench_build_kernel)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void bench_surviving_diameter_kernel(benchmark::State& state) {
+  const auto gg = torus_graph(6, 6);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  Rng rng(7);
+  const auto sets =
+      random_fault_sets(gg.graph.num_nodes(), state.range(0), 64, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        surviving_diameter(kr.table, sets[i++ % sets.size()]));
+  }
+  state.SetLabel("torus(6,6) f=" + std::to_string(state.range(0)));
+}
+BENCHMARK(bench_surviving_diameter_kernel)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ftr::bench::banner("E1/E2", "kernel routing tolerance",
+                     "Theorem 3 (2t,t) and Theorem 4 (4, floor(t/2))");
+  table_theorem3();
+  table_theorem4_sweep();
+  return ftr::bench::run_registered_benchmarks(argc, argv);
+}

@@ -1,0 +1,117 @@
+// Experiments E6 + E7: neighborhood-set machinery.
+//   Lemma 15: greedy finds K >= ceil(n / (d^2+1)).
+//   Theorem 16 / Corollary 17: the circular construction applies whenever
+//   max degree < 0.79 n^(1/3), tri-circular whenever < 0.46 n^(1/3).
+// Tables report greedy vs bound across families, and the applicability scan
+// that reproduces the corollary's thresholds.
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/ftroute.hpp"
+
+namespace {
+
+using namespace ftr;
+
+std::vector<GeneratedGraph> families() {
+  Rng rng(31337);
+  std::vector<GeneratedGraph> out;
+  out.push_back(cycle_graph(64));
+  out.push_back(cycle_graph(256));
+  out.push_back(torus_graph(8, 8));
+  out.push_back(torus_graph(16, 16));
+  out.push_back(grid_graph(12, 12));
+  out.push_back(hypercube(6));
+  out.push_back(hypercube(8));
+  out.push_back(cube_connected_cycles(4));
+  out.push_back(cube_connected_cycles(6));
+  out.push_back(wrapped_butterfly(4));
+  out.push_back(butterfly(4));
+  out.push_back(de_bruijn(7));
+  out.push_back(shuffle_exchange(7));
+  out.push_back(random_regular(128, 3, rng));
+  out.push_back(random_regular(128, 4, rng));
+  return out;
+}
+
+void table_lemma15() {
+  std::cout << "-- Lemma 15: greedy neighborhood set vs ceil(n/(d^2+1)) --\n";
+  Table table({"graph", "n", "max deg", "bound", "greedy", "randomized",
+               "bound holds"});
+  Rng rng(41);
+  for (const auto& gg : families()) {
+    const auto bound = lemma15_bound(gg.graph);
+    const auto greedy = greedy_neighborhood_set(gg.graph);
+    const auto rando = randomized_neighborhood_set(gg.graph, rng, 16);
+    table.add_row({gg.name, Table::cell(gg.graph.num_nodes()),
+                   Table::cell(gg.graph.max_degree()), Table::cell(bound),
+                   Table::cell(greedy.size()), Table::cell(rando.size()),
+                   Table::cell(greedy.size() >= bound)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void table_corollary17() {
+  std::cout << "-- Corollary 17: degree thresholds 0.79 n^(1/3) (circular) "
+               "and 0.46 n^(1/3) (tri-circular) --\n";
+  Table table({"graph", "n", "d", "t", "0.79 n^1/3", "0.46 n^1/3",
+               "thm predicts circ", "K found", "circ applies",
+               "tri applies"});
+  Rng rng(43);
+  for (const auto& gg : families()) {
+    const std::size_t n = gg.graph.num_nodes();
+    const std::size_t d = gg.graph.max_degree();
+    const std::uint32_t kappa = gg.known_connectivity
+                                    ? *gg.known_connectivity
+                                    : node_connectivity(gg.graph);
+    if (kappa == 0) continue;
+    const std::uint32_t t = kappa - 1;
+    const double thr_c = circular_degree_threshold(n);
+    const double thr_t = tricircular_degree_threshold(n);
+    const auto m = randomized_neighborhood_set(gg.graph, rng, 8);
+    const bool circ = m.size() >= circular_required_k(t);
+    const bool tri = m.size() >= tricircular_required_k(t);
+    table.add_row(
+        {gg.name, Table::cell(n), Table::cell(d), Table::cell(t),
+         Table::cell(thr_c, 2), Table::cell(thr_t, 2),
+         Table::cell(static_cast<double>(d) < thr_c), Table::cell(m.size()),
+         Table::cell(circ), Table::cell(tri)});
+  }
+  table.print(std::cout);
+  std::cout << "(whenever d < 0.79 n^(1/3), 'circ applies' must be yes — the"
+            << " converse may hold too; the theorem is one-sided)\n\n";
+}
+
+void bench_greedy_neighborhood(benchmark::State& state) {
+  const auto gg = torus_graph(state.range(0), state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_neighborhood_set(gg.graph));
+  }
+  state.SetLabel(gg.name);
+}
+BENCHMARK(bench_greedy_neighborhood)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void bench_randomized_neighborhood(benchmark::State& state) {
+  const auto gg = torus_graph(16, 16);
+  Rng rng(47);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        randomized_neighborhood_set(gg.graph, rng, state.range(0)));
+  }
+  state.SetLabel("torus(16,16) restarts=" + std::to_string(state.range(0)));
+}
+BENCHMARK(bench_randomized_neighborhood)->Arg(1)->Arg(8)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ftr::bench::banner("E6/E7", "neighborhood sets and degree thresholds",
+                     "Lemma 15; Theorem 16 / Corollary 17");
+  table_lemma15();
+  table_corollary17();
+  return ftr::bench::run_registered_benchmarks(argc, argv);
+}

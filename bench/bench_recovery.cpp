@@ -1,0 +1,139 @@
+// Experiment E19: beyond the fault budget (Section 7, open problem 3).
+// What happens to each construction when |F| exceeds t? The paper leaves
+// this open; we measure it:
+//   * componentwise surviving diameter (the open problem's "well behaved in
+//     the connected components" notion) for f = 0 .. 2t+1;
+//   * offline recovery: re-planning a routing on the survivors' network and
+//     the guarantee the degraded network still supports.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/ftroute.hpp"
+
+namespace {
+
+using namespace ftr;
+
+void table_overload() {
+  std::cout << "-- Componentwise surviving diameter past the budget --\n";
+  Table table({"graph", "construction", "t", "f", "trials",
+               "P(split network)", "P(routing cut in comp)",
+               "worst finite cw-diam"});
+  Rng rng(515);
+  struct Entry {
+    std::string graph;
+    std::string name;
+    std::uint32_t t;
+    Graph g;
+    RoutingTable rt;
+  };
+  std::vector<Entry> entries;
+  {
+    const auto gg = torus_graph(5, 5);
+    entries.push_back({gg.name, "kernel", 3, gg.graph,
+                       build_kernel_routing(gg.graph, 3).table});
+    const auto m = neighborhood_set_of_size(gg.graph, 5, rng, 16);
+    entries.push_back({gg.name, "circular", 3, gg.graph,
+                       build_circular_routing(gg.graph, 3, m).table});
+  }
+  {
+    const auto gg = cube_connected_cycles(4);
+    entries.push_back({gg.name, "kernel", 2, gg.graph,
+                       build_kernel_routing(gg.graph, 2).table});
+  }
+  for (const auto& e : entries) {
+    for (std::uint32_t f = e.t; f <= 2 * e.t + 1; ++f) {
+      const std::size_t trials = 60;
+      std::size_t split = 0, cut = 0;
+      std::uint32_t worst_finite = 0;
+      for (std::size_t trial = 0; trial < trials; ++trial) {
+        const auto sample = rng.sample(e.g.num_nodes(), f);
+        const std::vector<Node> faults(sample.begin(), sample.end());
+        const auto cw = componentwise_surviving_diameter(e.g, e.rt, faults);
+        if (cw.num_components > 1) ++split;
+        if (cw.worst == kUnreachable) {
+          ++cut;
+        } else {
+          worst_finite = std::max(worst_finite, cw.worst);
+        }
+      }
+      table.add_row({e.graph, e.name, Table::cell(e.t), Table::cell(f),
+                     Table::cell(trials),
+                     Table::cell(static_cast<double>(split) / trials, 2),
+                     Table::cell(static_cast<double>(cut) / trials, 2),
+                     Table::cell(worst_finite)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "(f <= t rows must show P(cut) = 0 — the theorems; beyond t"
+            << " the kernel's concentrator is the weak point, which is the"
+            << " open problem's subject)\n\n";
+}
+
+void table_recovery() {
+  std::cout << "-- Offline recovery: re-planning on the survivors --\n";
+  Table table({"graph", "faults", "survivors connected", "degraded kappa",
+               "new construction", "new (d, f)"});
+  Rng rng(717);
+  const GeneratedGraph gs[] = {torus_graph(5, 5), cube_connected_cycles(4),
+                               cycle_graph(30)};
+  for (const auto& gg : gs) {
+    const std::uint32_t t = *gg.known_connectivity - 1;
+    for (std::uint32_t f : {t, 2 * t + 1}) {
+      const auto sample = rng.sample(gg.graph.num_nodes(), f);
+      const std::vector<Node> faults(sample.begin(), sample.end());
+      const auto outcome = rebuild_after_faults(gg.graph, faults, rng);
+      std::string cons = "-";
+      std::string guarantee = "-";
+      if (outcome.survivors_connected && outcome.degraded_connectivity > 0) {
+        cons = construction_name(outcome.plan.construction);
+        guarantee = "(" + std::to_string(outcome.plan.guaranteed_diameter) +
+                    ", " + std::to_string(outcome.plan.tolerated_faults) + ")";
+      }
+      table.add_row({gg.name, Table::cell(f),
+                     Table::cell(outcome.survivors_connected),
+                     Table::cell(outcome.degraded_connectivity), cons,
+                     guarantee});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+void bench_componentwise_diameter(benchmark::State& state) {
+  const auto gg = torus_graph(5, 5);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  Rng rng(5);
+  const auto sets = random_fault_sets(25, 5, 64, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(componentwise_surviving_diameter(
+        gg.graph, kr.table, sets[i++ % sets.size()]));
+  }
+}
+BENCHMARK(bench_componentwise_diameter);
+
+void bench_rebuild_after_faults(benchmark::State& state) {
+  const auto gg = torus_graph(5, 5);
+  Rng rng(6);
+  const auto sets = random_fault_sets(25, 3, 16, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    Rng prng(7);
+    benchmark::DoNotOptimize(
+        rebuild_after_faults(gg.graph, sets[i++ % sets.size()], prng));
+  }
+}
+BENCHMARK(bench_rebuild_after_faults);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ftr::bench::banner("E19", "beyond the fault budget & recovery",
+                     "Section 7, open problem 3");
+  table_overload();
+  table_recovery();
+  return ftr::bench::run_registered_benchmarks(argc, argv);
+}

@@ -1,0 +1,57 @@
+// Topology planning: given a set of candidate fabrics for a cluster, report
+// which of the paper's constructions applies to each and what fault-
+// tolerance guarantee you get. This is the decision the paper's Section 4
+// thresholds (Corollary 17) automate: sparse fabrics get constant-diameter
+// routings, dense ones fall back to the kernel bound.
+//
+//   $ ./example_datacenter_planner
+#include <iostream>
+#include <vector>
+
+#include "core/ftroute.hpp"
+
+int main() {
+  ftr::Rng rng(7);
+
+  std::vector<ftr::GeneratedGraph> candidates;
+  candidates.push_back(ftr::torus_graph(8, 8));
+  candidates.push_back(ftr::hypercube(6));
+  candidates.push_back(ftr::cube_connected_cycles(4));
+  candidates.push_back(ftr::wrapped_butterfly(4));
+  candidates.push_back(ftr::de_bruijn(6));
+  candidates.push_back(ftr::random_regular(64, 4, rng));
+  candidates.push_back(ftr::cycle_graph(64));
+
+  ftr::Table table({"fabric", "n", "links", "kappa", "diam", "0.79n^1/3",
+                    "K found", "two-trees", "construction", "(d, f)"});
+
+  for (const auto& gg : candidates) {
+    const auto profile =
+        ftr::profile_graph(gg.graph, gg.known_connectivity, rng,
+                           /*compute_diameter=*/true);
+    std::string construction = "none";
+    std::string guarantee = "-";
+    if (profile.kernel_applicable) {
+      const auto plan = ftr::plan_routing(profile);
+      construction = ftr::construction_name(plan.construction);
+      guarantee = "(" + std::to_string(plan.guaranteed_diameter) + ", " +
+                  std::to_string(plan.tolerated_faults) + ")";
+    }
+    table.add_row(
+        {gg.name, ftr::Table::cell(profile.n), ftr::Table::cell(profile.m),
+         ftr::Table::cell(profile.connectivity),
+         ftr::Table::cell(profile.diameter),
+         ftr::Table::cell(ftr::circular_degree_threshold(profile.n), 2),
+         ftr::Table::cell(profile.neighborhood_set_size),
+         ftr::Table::cell(profile.two_trees.has_value()), construction,
+         guarantee});
+  }
+
+  std::cout << "Fabric comparison (paper constructions, Sections 3-5):\n\n";
+  table.print(std::cout);
+  std::cout
+      << "\nReading the table: (d, f) means every fault set of size <= f\n"
+         "leaves every pair of live racks within d route traversals; the\n"
+         "route tables are computed once, offline (the paper's model).\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Route-table lifecycle: compute once, serialize for distribution, reload,
+// survive a fault event, rebuild for the degraded network — the full
+// operational loop the paper's deployment model implies.
+//
+//   $ ./example_table_lifecycle
+#include <iostream>
+#include <sstream>
+
+#include "core/ftroute.hpp"
+
+int main() {
+  ftr::Rng rng(1986);  // the paper's year
+
+  // Day 0: the operator computes and ships the table.
+  const auto gg = ftr::cube_connected_cycles(4);
+  const auto planned =
+      ftr::build_planned_routing(gg.graph, gg.known_connectivity, rng);
+  std::cout << "computed " << ftr::construction_name(planned.plan.construction)
+            << " routing for " << gg.name << ": guarantee (d <= "
+            << planned.plan.guaranteed_diameter << ", f <= "
+            << planned.plan.tolerated_faults << ")\n";
+
+  const std::string wire = ftr::routing_table_to_string(planned.table);
+  std::cout << "serialized table: " << wire.size() << " bytes, "
+            << planned.table.stats().ordered_pairs << " ordered pairs\n";
+
+  // Every node loads the same table (simulated by a round-trip).
+  const auto loaded = ftr::routing_table_from_string(wire);
+  loaded.validate(gg.graph);
+  std::cout << "reloaded and validated against the topology\n\n";
+
+  // Day 30: two nodes fail.
+  const std::vector<ftr::Node> faults = {5, 23};
+  const auto d = ftr::surviving_diameter(loaded, faults);
+  std::cout << "fault event {5, 23}: surviving diameter " << d
+            << " (guarantee " << planned.plan.guaranteed_diameter << ")\n";
+
+  // Operations keep running on the degraded network; meanwhile the operator
+  // recomputes a fresh optimal table for the survivors.
+  auto rrng = rng.split();
+  const auto outcome = ftr::rebuild_after_faults(gg.graph, faults, rrng);
+  if (!outcome.survivors_connected) {
+    std::cout << "survivors disconnected; no rebuild possible\n";
+    return 1;
+  }
+  std::cout << "rebuilt for " << outcome.survivors.size()
+            << " survivors: " << ftr::construction_name(outcome.plan.construction)
+            << ", new guarantee (d <= " << outcome.plan.guaranteed_diameter
+            << ", f <= " << outcome.plan.tolerated_faults
+            << "), degraded connectivity " << outcome.degraded_connectivity
+            << "\n";
+
+  // The rebuilt table ships the same way.
+  const std::string wire2 = ftr::routing_table_to_string(outcome.table);
+  const auto reloaded = ftr::routing_table_from_string(wire2);
+  std::cout << "rebuilt table serialized: " << wire2.size() << " bytes, "
+            << reloaded.num_routes() << " directed routes\n";
+
+  const auto d2 = ftr::surviving_diameter(reloaded, faults);
+  std::cout << "post-rebuild surviving diameter (old faults excluded): " << d2
+            << "\n";
+  return d2 <= outcome.plan.guaranteed_diameter ? 0 : 1;
+}

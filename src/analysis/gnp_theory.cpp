@@ -1,0 +1,41 @@
+#include "analysis/gnp_theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace ftr {
+
+namespace {
+
+double choose2(double n) { return n * (n - 1) / 2.0; }
+double choose3(double n) { return n * (n - 1) * (n - 2) / 6.0; }
+
+}  // namespace
+
+Lemma24Bound lemma24_bound(std::size_t n_sz, double p) {
+  FTR_EXPECTS(p >= 0.0 && p <= 1.0);
+  const auto n = static_cast<double>(n_sz);
+  Lemma24Bound b{};
+  // Cycles of length 3 through a fixed vertex: choose the 2 other nodes,
+  // 3 edges each present with probability p. Cycles of length 4: choose 3
+  // other nodes (3 orderings up to symmetry), 4 edges.
+  b.event1 = choose2(n - 1) * std::pow(p, 3) + choose3(n - 1) * 3.0 * std::pow(p, 4);
+  b.event2 = b.event1;
+  // Paths of length 1..4 between the two fixed roots.
+  b.event3 = (n - 2) * (n - 3) * (n - 4) * std::pow(p, 4) +
+             (n - 2) * (n - 3) * std::pow(p, 3) + (n - 2) * std::pow(p, 2) + p;
+  b.total = std::clamp(b.event1 + b.event2 + b.event3, 0.0, 1.0);
+  return b;
+}
+
+double gnp_p_from_epsilon(std::size_t n, double c, double epsilon) {
+  FTR_EXPECTS(n >= 2);
+  return std::min(1.0, c * std::pow(static_cast<double>(n), epsilon) /
+                           static_cast<double>(n));
+}
+
+double lemma24_delta(double epsilon) { return 1.0 - 4.0 * epsilon; }
+
+}  // namespace ftr

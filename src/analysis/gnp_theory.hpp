@@ -1,0 +1,32 @@
+// Closed-form probability bounds from Lemma 24: the probability that a
+// G(n,p) sample is "bad" (vertex 1 or 2 on a short cycle, or the two fixed
+// roots too close) is bounded by explicit binomial sums. The E10 experiment
+// compares these bounds against empirical frequencies.
+#pragma once
+
+#include <cstddef>
+
+namespace ftr {
+
+/// Components of the Lemma 24 union bound.
+struct Lemma24Bound {
+  double event1;  // vertex 1 on a cycle of length <= 4
+  double event2;  // vertex 2 on a cycle of length <= 4
+  double event3;  // dist(1, 2) < 4
+  double total;   // clamped to [0, 1]
+};
+
+/// Evaluates the explicit bound from the paper's proof:
+///   P(Event 1) <= C(n-1,2) p^3 + C(n-1,3) * 3 p^4          (cycles via 1)
+///   P(Event 3) <= (n-2)(n-3)(n-4) p^4 + (n-2)(n-3) p^3
+///                 + (n-2) p^2 + p                          (short 1-2 paths)
+Lemma24Bound lemma24_bound(std::size_t n, double p);
+
+/// The paper's parameterization p = c * n^epsilon / n; convenience helper.
+double gnp_p_from_epsilon(std::size_t n, double c, double epsilon);
+
+/// delta = 1 - 4*epsilon from the proof (the polynomial decay rate); the
+/// asymptotic bad-probability is O(n^-delta).
+double lemma24_delta(double epsilon);
+
+}  // namespace ftr

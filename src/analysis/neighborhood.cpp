@@ -1,0 +1,81 @@
+#include "analysis/neighborhood.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace ftr {
+
+std::vector<Node> greedy_neighborhood_set(const Graph& g,
+                                          const std::vector<Node>& order) {
+  FTR_EXPECTS(order.size() == g.num_nodes());
+  std::vector<char> blocked(g.num_nodes(), 0);
+  std::vector<Node> m;
+  for (Node x : order) {
+    FTR_EXPECTS(g.valid_node(x));
+    if (blocked[x]) continue;
+    m.push_back(x);
+    // Remove everything within distance 2 of x from the candidate pool.
+    blocked[x] = 1;
+    for (Node y : g.neighbors(x)) {
+      blocked[y] = 1;
+      for (Node z : g.neighbors(y)) blocked[z] = 1;
+    }
+  }
+  FTR_ENSURES(is_neighborhood_set(g, m));
+  return m;
+}
+
+std::vector<Node> greedy_neighborhood_set(const Graph& g) {
+  std::vector<Node> order(g.num_nodes());
+  for (Node u = 0; u < g.num_nodes(); ++u) order[u] = u;
+  return greedy_neighborhood_set(g, order);
+}
+
+std::vector<Node> randomized_neighborhood_set(const Graph& g, Rng& rng,
+                                              std::size_t restarts) {
+  std::vector<Node> best = greedy_neighborhood_set(g);
+  for (std::size_t r = 0; r + 1 < restarts; ++r) {
+    const auto perm = rng.permutation(g.num_nodes());
+    std::vector<Node> order(perm.size());
+    for (std::size_t i = 0; i < perm.size(); ++i)
+      order[i] = static_cast<Node>(perm[i]);
+    auto cand = greedy_neighborhood_set(g, order);
+    if (cand.size() > best.size()) best = std::move(cand);
+  }
+  return best;
+}
+
+std::vector<Node> neighborhood_set_of_size(const Graph& g, std::size_t want,
+                                           Rng& rng, std::size_t restarts) {
+  auto best = randomized_neighborhood_set(g, rng, restarts);
+  if (best.size() > want) best.resize(want);
+  return best;
+}
+
+bool is_neighborhood_set(const Graph& g, const std::vector<Node>& m) {
+  // Mark each member and its neighbors; any overlap disproves the property.
+  std::vector<char> owned(g.num_nodes(), 0);
+  for (Node x : m) {
+    if (!g.valid_node(x)) return false;
+    if (owned[x]) return false;  // x adjacent to (or equal to) a member seen
+    owned[x] = 1;
+  }
+  std::vector<char> shell(g.num_nodes(), 0);
+  for (Node x : m) {
+    for (Node y : g.neighbors(x)) {
+      if (owned[y]) return false;  // member adjacent to a member
+      if (shell[y]) return false;  // neighbor sets intersect
+      shell[y] = 1;
+    }
+  }
+  return true;
+}
+
+std::size_t lemma15_bound(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  const std::size_t d = g.max_degree();
+  return (n + d * d) / (d * d + 1);  // ceil(n / (d^2 + 1))
+}
+
+}  // namespace ftr

@@ -1,0 +1,47 @@
+// Neighborhood sets (paper Section 4).
+//
+// A neighborhood set M is an independent set whose members additionally have
+// pairwise-disjoint neighbor sets — equivalently a distance->=3 packing. The
+// neighbor sets Gamma(m) of members then act as "non-separating"
+// concentrator shells for the circular and tri-circular routings.
+//
+// Lemma 15: greedy selection yields |M| >= ceil(n / (d^2 + 1)) for maximum
+// degree d. We implement the paper's greedy plus randomized restarts (the
+// greedy order matters in practice; restarts routinely beat the bound).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace ftr {
+
+/// The paper's greedy (Lemma 15): repeatedly pick a candidate node, then
+/// delete everything within distance 2 of it. `order` gives the scan order;
+/// nodes earlier in `order` are preferred.
+std::vector<Node> greedy_neighborhood_set(const Graph& g,
+                                          const std::vector<Node>& order);
+
+/// Greedy with the identity order 0..n-1 (the paper's "arbitrary" choice).
+std::vector<Node> greedy_neighborhood_set(const Graph& g);
+
+/// Best-of-k randomized greedy restarts; returns the largest set found.
+/// Deterministic given the Rng seed.
+std::vector<Node> randomized_neighborhood_set(const Graph& g, Rng& rng,
+                                              std::size_t restarts = 16);
+
+/// Greedy that stops as soon as `want` members are found (cheaper when the
+/// routing only needs K members). Returns what it found (may be < want).
+std::vector<Node> neighborhood_set_of_size(const Graph& g, std::size_t want,
+                                           Rng& rng, std::size_t restarts = 16);
+
+/// Validates the definition: members pairwise non-adjacent and neighbor sets
+/// pairwise disjoint. (Distance >= 3 between all members.)
+bool is_neighborhood_set(const Graph& g, const std::vector<Node>& m);
+
+/// Lemma 15's guaranteed size: ceil(n / (d^2 + 1)) for max degree d.
+std::size_t lemma15_bound(const Graph& g);
+
+}  // namespace ftr

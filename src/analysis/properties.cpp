@@ -1,0 +1,62 @@
+#include "analysis/properties.hpp"
+
+#include <cmath>
+
+#include "analysis/neighborhood.hpp"
+#include "common/contracts.hpp"
+#include "graph/bfs.hpp"
+#include "graph/connectivity.hpp"
+
+namespace ftr {
+
+std::uint32_t circular_required_k(std::uint32_t t) {
+  return (t % 2 == 0) ? t + 1 : t + 2;
+}
+
+std::uint32_t tricircular_required_k(std::uint32_t t) { return 6 * t + 9; }
+
+std::uint32_t tricircular_compact_required_k(std::uint32_t t) {
+  return (t % 2 == 0) ? 3 * t + 3 : 3 * t + 6;
+}
+
+double circular_degree_threshold(std::size_t n) {
+  return 0.79 * std::cbrt(static_cast<double>(n));
+}
+
+double tricircular_degree_threshold(std::size_t n) {
+  return 0.46 * std::cbrt(static_cast<double>(n));
+}
+
+GraphProfile profile_graph(const Graph& g,
+                           std::optional<std::uint32_t> known_connectivity,
+                           Rng& rng, bool compute_diameter) {
+  GraphProfile p;
+  p.n = g.num_nodes();
+  p.m = g.num_edges();
+  p.min_degree = g.min_degree();
+  p.max_degree = g.max_degree();
+  p.connectivity =
+      known_connectivity ? *known_connectivity : node_connectivity(g);
+  p.t = p.connectivity > 0 ? p.connectivity - 1 : 0;
+  p.girth = girth(g);
+  p.diameter = compute_diameter ? diameter(g) : 0;
+
+  const auto m_set = randomized_neighborhood_set(g, rng);
+  p.neighborhood_set_size = m_set.size();
+  p.two_trees = find_two_trees(g);
+
+  const bool complete = p.m == p.n * (p.n - 1) / 2;
+  p.kernel_applicable = p.connectivity >= 1 && !complete && p.n >= 3;
+  p.circular_applicable =
+      p.neighborhood_set_size >= circular_required_k(p.t) && p.connectivity >= 1;
+  p.tricircular_applicable =
+      p.neighborhood_set_size >= tricircular_required_k(p.t) &&
+      p.connectivity >= 1;
+  p.tricircular_compact_applicable =
+      p.neighborhood_set_size >= tricircular_compact_required_k(p.t) &&
+      p.connectivity >= 1;
+  p.bipolar_applicable = p.two_trees.has_value() && p.connectivity >= 1;
+  return p;
+}
+
+}  // namespace ftr

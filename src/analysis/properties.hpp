@@ -1,0 +1,61 @@
+// Graph profiling: everything an experiment (or the RoutingPlanner) needs to
+// decide which of the paper's constructions apply to a graph and what
+// (d, f)-tolerance they guarantee.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "analysis/two_trees.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace ftr {
+
+/// Neighborhood-set size required by the circular routing (Theorem 10):
+/// K >= t+1 for even t, K >= t+2 for odd t (K must be odd so the "forward
+/// half" route orientation is conflict-free).
+std::uint32_t circular_required_k(std::uint32_t t);
+
+/// Size required by the full tri-circular routing (Theorem 13): K >= 6t+9.
+std::uint32_t tricircular_required_k(std::uint32_t t);
+
+/// Size required by the compact tri-circular variant (Remark 14):
+/// K >= 3t+3 for even t, 3t+6 for odd t.
+std::uint32_t tricircular_compact_required_k(std::uint32_t t);
+
+/// Corollary 17 degree thresholds: the circular construction is guaranteed
+/// for max degree d in [2, 0.79 n^(1/3)), tri-circular for [2, 0.46 n^(1/3)).
+double circular_degree_threshold(std::size_t n);
+double tricircular_degree_threshold(std::size_t n);
+
+/// Profile of a graph against the paper's constructions.
+struct GraphProfile {
+  std::size_t n = 0;
+  std::size_t m = 0;
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  std::uint32_t connectivity = 0;  // kappa(G) = t + 1
+  std::uint32_t t = 0;             // max tolerable faults, kappa - 1
+  std::uint32_t girth = 0;         // kUnreachable for forests
+  std::uint32_t diameter = 0;      // kUnreachable if disconnected
+
+  std::size_t neighborhood_set_size = 0;  // best found (randomized greedy)
+  std::optional<TwoTreesWitness> two_trees;
+
+  bool kernel_applicable = false;       // kappa >= 2 and not complete
+  bool circular_applicable = false;     // K >= circular_required_k(t)
+  bool tricircular_applicable = false;  // K >= 6t+9
+  bool tricircular_compact_applicable = false;
+  bool bipolar_applicable = false;  // two-trees witness found
+};
+
+/// Computes the full profile. `known_connectivity` (from a generator) skips
+/// the O(n^2)-flow exact computation. `diameter_too` can be disabled for
+/// very large graphs.
+GraphProfile profile_graph(const Graph& g,
+                           std::optional<std::uint32_t> known_connectivity,
+                           Rng& rng, bool compute_diameter = true);
+
+}  // namespace ftr

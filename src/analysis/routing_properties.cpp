@@ -1,0 +1,175 @@
+#include "analysis/routing_properties.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/contracts.hpp"
+#include "graph/bfs.hpp"
+
+namespace ftr {
+
+namespace {
+
+std::vector<char> membership(std::size_t n, const std::vector<Node>& set) {
+  std::vector<char> in(n, 0);
+  for (Node v : set) {
+    FTR_EXPECTS(v < n);
+    in[v] = 1;
+  }
+  return in;
+}
+
+// Distances from `source` following arcs forward (out = true) or backward
+// (out = false), cut off at `radius`. Backward BFS uses a transpose scan —
+// fine at the property-checking scale.
+std::vector<std::uint32_t> bounded_bfs(const Digraph& r, Node source,
+                                       std::uint32_t radius, bool out) {
+  std::vector<std::uint32_t> dist(r.num_nodes(), kUnreachable);
+  if (!r.present(source)) return dist;
+  dist[source] = 0;
+  std::deque<Node> queue{source};
+  // Precompute predecessors once for backward scans.
+  std::vector<std::vector<Node>> preds;
+  if (!out) {
+    preds.resize(r.num_nodes());
+    for (Node u : r.present_nodes()) {
+      for (Node v : r.successors(u)) preds[v].push_back(u);
+    }
+  }
+  const auto relax = [&dist, &queue](Node v, std::uint32_t du) {
+    if (dist[v] == kUnreachable) {
+      dist[v] = du + 1;
+      queue.push_back(v);
+    }
+  };
+  while (!queue.empty()) {
+    const Node u = queue.front();
+    queue.pop_front();
+    if (dist[u] == radius) continue;
+    if (out) {
+      for (Node v : r.successors(u)) relax(v, dist[u]);
+    } else {
+      for (Node v : preds[u]) relax(v, dist[u]);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+bool has_surviving_arc_into(const Digraph& r, Node x,
+                            const std::vector<Node>& target_set) {
+  if (!r.present(x)) return false;
+  return std::any_of(target_set.begin(), target_set.end(), [&](Node y) {
+    return r.present(y) && r.has_arc(x, y);
+  });
+}
+
+bool has_surviving_arc_from(const Digraph& r, Node x,
+                            const std::vector<Node>& source_set) {
+  if (!r.present(x)) return false;
+  return std::any_of(source_set.begin(), source_set.end(), [&](Node y) {
+    return r.present(y) && r.has_arc(y, x);
+  });
+}
+
+bool member_within_two(const Digraph& r, Node x, Node m) {
+  if (!r.present(x) || !r.present(m)) return false;
+  if (x == m) return true;
+  if (r.has_arc(x, m)) return true;
+  for (Node mid : r.successors(x)) {
+    if (r.has_arc(mid, m)) return true;
+  }
+  return false;
+}
+
+bool property_circ1(const Digraph& r, const std::vector<Node>& m) {
+  const auto in_m = membership(r.num_nodes(), m);
+  for (Node x : r.present_nodes()) {
+    if (in_m[x]) continue;
+    const bool ok = std::any_of(m.begin(), m.end(), [&](Node y) {
+      return r.present(y) && member_within_two(r, x, y);
+    });
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool property_circ2(const Digraph& r, const std::vector<Node>& m) {
+  for (Node x : m) {
+    if (!r.present(x)) continue;
+    for (Node y : m) {
+      if (y == x || !r.present(y)) continue;
+      if (!member_within_two(r, x, y)) return false;
+    }
+  }
+  return true;
+}
+
+bool concentrator_relay_property(const Digraph& r, const std::vector<Node>& m,
+                                 std::uint32_t radius) {
+  const auto present = r.present_nodes();
+  if (present.size() <= 1) return true;
+  // For each present member z: who reaches z within radius (backward ball)
+  // and whom z reaches within radius (forward ball).
+  std::vector<std::vector<std::uint32_t>> to_z;
+  std::vector<std::vector<std::uint32_t>> from_z;
+  std::vector<Node> members;
+  for (Node z : m) {
+    if (!r.present(z)) continue;
+    members.push_back(z);
+    to_z.push_back(bounded_bfs(r, z, radius, /*out=*/false));
+    from_z.push_back(bounded_bfs(r, z, radius, /*out=*/true));
+  }
+  if (members.empty()) return false;
+  for (Node x : present) {
+    for (Node y : present) {
+      bool ok = false;
+      for (std::size_t i = 0; i < members.size() && !ok; ++i) {
+        ok = to_z[i][x] <= radius && from_z[i][y] <= radius;
+      }
+      if (!ok) return false;
+    }
+  }
+  return true;
+}
+
+bool property_bpol_into_side(const Digraph& r, const std::vector<Node>& side) {
+  const auto in_side = membership(r.num_nodes(), side);
+  for (Node x : r.present_nodes()) {
+    if (in_side[x]) continue;
+    if (!has_surviving_arc_into(r, x, side)) return false;
+  }
+  return true;
+}
+
+bool property_bpol3(const Digraph& r, const std::vector<Node>& m1,
+                    const std::vector<Node>& m2) {
+  auto in_m = membership(r.num_nodes(), m1);
+  for (Node v : m2) in_m[v] = 1;
+  std::vector<Node> all = m1;
+  all.insert(all.end(), m2.begin(), m2.end());
+  for (Node x : r.present_nodes()) {
+    if (in_m[x]) continue;
+    if (!has_surviving_arc_from(r, x, all)) return false;
+  }
+  return true;
+}
+
+bool property_bpol4(const Digraph& r, const std::vector<Node>& side) {
+  return property_circ2(r, side);
+}
+
+bool property_2bpol3(const Digraph& r, const std::vector<Node>& m1,
+                     const std::vector<Node>& m2) {
+  for (Node x : m1) {
+    if (!r.present(x)) continue;
+    const bool ok = std::any_of(m2.begin(), m2.end(), [&](Node y) {
+      return r.present(y) && r.has_arc(x, y) && r.has_arc(y, x);
+    });
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace ftr

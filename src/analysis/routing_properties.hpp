@@ -1,0 +1,69 @@
+// Machine-checkable versions of the properties the paper's proofs hinge on.
+// Each predicate takes a *surviving* route graph R(G,rho)/F and the relevant
+// concentrator sets, and decides whether the property holds for that fault
+// set. The tests sweep fault sets and verify each construction delivers its
+// lemma's property — reproducing the paper proof-by-proof, not only
+// theorem-by-theorem:
+//
+//   Lemma 1  -> tree_routing_survives
+//   Lemma 5  -> member_within_two
+//   Lemma 7  -> Property CIRC 1 + CIRC 2      (circular, K = 2t+1)
+//   Lemma 9  -> Property CIRC  (radius 3)     (circular, K = t+1 / t+2)
+//   Lemma 12 -> Property T-CIRC (radius 2)    (tri-circular)
+//   Lemma 19 -> Properties B-POL 1..4         (unidirectional bipolar)
+//   Lemma 22 -> Properties 2B-POL 1..3        (bidirectional bipolar)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+
+namespace ftr {
+
+/// Lemma 1 shape: the (non-faulty) source has a surviving arc into the
+/// target set.
+bool has_surviving_arc_into(const Digraph& r, Node x,
+                            const std::vector<Node>& target_set);
+
+/// Reverse direction: some member has a surviving arc to x.
+bool has_surviving_arc_from(const Digraph& r, Node x,
+                            const std::vector<Node>& source_set);
+
+/// Lemma 5 shape: dist(x, m, R) <= 2 for the given member.
+bool member_within_two(const Digraph& r, Node x, Node m);
+
+/// Property CIRC 1: every present node outside M has some present member
+/// within (directed) distance 2.
+bool property_circ1(const Digraph& r, const std::vector<Node>& m);
+
+/// Property CIRC 2: every two present members are within distance 2.
+bool property_circ2(const Digraph& r, const std::vector<Node>& m);
+
+/// Property CIRC / T-CIRC: for every two present nodes x, y there is a
+/// present member z with dist(x, z) <= radius and dist(z, y) <= radius.
+/// radius = 3 gives Property CIRC (Lemma 9), radius = 2 Property T-CIRC
+/// (Lemma 12).
+bool concentrator_relay_property(const Digraph& r, const std::vector<Node>& m,
+                                 std::uint32_t radius);
+
+/// Property B-POL 1/2: every present node outside `side` has a surviving
+/// arc INTO some present member of `side`.
+bool property_bpol_into_side(const Digraph& r, const std::vector<Node>& side);
+
+/// Property B-POL 3: every present node outside M = m1 u m2 has a surviving
+/// arc FROM some present member of M.
+bool property_bpol3(const Digraph& r, const std::vector<Node>& m1,
+                    const std::vector<Node>& m2);
+
+/// Property B-POL 4 / 2B-POL 2: every two present members of the same side
+/// are within distance 2.
+bool property_bpol4(const Digraph& r, const std::vector<Node>& side);
+
+/// Property 2B-POL 3: every present member of m1 has a present member of m2
+/// at distance exactly 1 (both directions, the table being bidirectional).
+bool property_2bpol3(const Digraph& r, const std::vector<Node>& m1,
+                     const std::vector<Node>& m2);
+
+}  // namespace ftr

@@ -1,0 +1,36 @@
+#include "analysis/stretch.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "graph/bfs.hpp"
+
+namespace ftr {
+
+StretchStats measure_stretch(const Graph& g, const RoutingTable& table) {
+  FTR_EXPECTS(g.num_nodes() == table.num_nodes());
+  // All-pairs BFS once; fine at the scales the constructions run at.
+  std::vector<std::vector<std::uint32_t>> dist(g.num_nodes());
+  for (Node u = 0; u < g.num_nodes(); ++u) dist[u] = bfs_distances(g, u);
+
+  StretchStats s;
+  double stretch_sum = 0.0;
+  table.for_each([&](Node x, Node y, const Path& path) {
+    const auto hops = static_cast<std::uint32_t>(path.size() - 1);
+    const std::uint32_t d = dist[x][y];
+    FTR_ASSERT_MSG(d != kUnreachable && d >= 1, "route between disconnected pair");
+    FTR_ASSERT_MSG(hops >= d, "route shorter than shortest path");
+    ++s.routes;
+    const double stretch = static_cast<double>(hops) / d;
+    stretch_sum += stretch;
+    s.max_stretch = std::max(s.max_stretch, stretch);
+    s.max_route_hops = std::max(s.max_route_hops, hops);
+    s.max_detour = std::max(s.max_detour, hops - d);
+    if (hops == d) ++s.shortest_routes;
+  });
+  if (s.routes > 0) stretch_sum /= static_cast<double>(s.routes);
+  s.avg_stretch = stretch_sum;
+  return s;
+}
+
+}  // namespace ftr

@@ -1,0 +1,28 @@
+// Route stretch: how much longer are the fixed routes than shortest paths?
+// The paper's cost model charges per route traversal (endpoint processing
+// dominates), but a systems adopter also cares about the link-level detour
+// the constructions introduce — tree routings deliberately fan out through
+// concentrator shells rather than taking shortest paths.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "routing/route_table.hpp"
+
+namespace ftr {
+
+struct StretchStats {
+  std::size_t routes = 0;          // ordered pairs with a route
+  double avg_stretch = 0.0;        // mean(route hops / dist(x,y))
+  double max_stretch = 0.0;        // worst multiplicative stretch
+  std::size_t shortest_routes = 0; // routes that are exactly shortest paths
+  std::uint32_t max_route_hops = 0;
+  std::uint32_t max_detour = 0;    // worst additive detour (hops - dist)
+};
+
+/// Compares every route in the table against the BFS distance between its
+/// endpoints. O(n * (n + m) + total route length).
+StretchStats measure_stretch(const Graph& g, const RoutingTable& table);
+
+}  // namespace ftr

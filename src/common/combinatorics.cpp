@@ -1,0 +1,70 @@
+#include "common/combinatorics.hpp"
+
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace ftr {
+
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    const std::uint64_t numer = n - k + i;
+    // result * numer / i is always integral at this point; guard the multiply.
+    if (result > kMax / numer) return kMax;  // saturate
+    result = result * numer / i;
+  }
+  return result;
+}
+
+SubsetEnumerator::SubsetEnumerator(std::size_t n, std::size_t k)
+    : n_(n), k_(k), cur_(k), valid_(k <= n) {
+  for (std::size_t i = 0; i < k; ++i) cur_[i] = i;
+}
+
+void SubsetEnumerator::advance() {
+  FTR_EXPECTS(valid_);
+  if (k_ == 0) {
+    valid_ = false;  // the single empty subset has been consumed
+    return;
+  }
+  // Find the rightmost element that can still be incremented.
+  std::size_t i = k_;
+  while (i > 0) {
+    --i;
+    if (cur_[i] != i + n_ - k_) {
+      ++cur_[i];
+      for (std::size_t j = i + 1; j < k_; ++j) cur_[j] = cur_[j - 1] + 1;
+      return;
+    }
+  }
+  valid_ = false;
+}
+
+bool for_each_subset(std::size_t n, std::size_t k,
+                     const std::function<bool(const std::vector<std::size_t>&)>& fn) {
+  SubsetEnumerator e(n, k);
+  while (e.valid()) {
+    if (!fn(e.current())) return false;
+    e.advance();
+  }
+  return true;
+}
+
+bool for_each_subset_of(const std::vector<std::size_t>& universe, std::size_t k,
+                        const std::function<bool(const std::vector<std::size_t>&)>& fn) {
+  SubsetEnumerator e(universe.size(), k);
+  std::vector<std::size_t> mapped(k);
+  while (e.valid()) {
+    const auto& idx = e.current();
+    for (std::size_t i = 0; i < k; ++i) mapped[i] = universe[idx[i]];
+    if (!fn(mapped)) return false;
+    e.advance();
+  }
+  return true;
+}
+
+}  // namespace ftr

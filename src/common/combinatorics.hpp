@@ -1,0 +1,51 @@
+// Small combinatorics toolkit: k-subset enumeration (used by the exhaustive
+// fault-set verifier) and binomial coefficients with overflow saturation
+// (used to budget exhaustive vs. sampled verification).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ftr {
+
+/// C(n, k) saturating at uint64 max instead of overflowing, so callers can
+/// compare enumeration budgets safely ("if binomial(n,f) <= budget: exhaust").
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k);
+
+/// Iterator-style enumeration of all k-subsets of {0,...,n-1} in
+/// lexicographic order. Usage:
+///
+///   SubsetEnumerator e(n, k);
+///   while (e.valid()) { use(e.current()); e.advance(); }
+///
+/// Enumerating k = 0 yields exactly one (empty) subset.
+class SubsetEnumerator {
+ public:
+  SubsetEnumerator(std::size_t n, std::size_t k);
+
+  bool valid() const { return valid_; }
+  const std::vector<std::size_t>& current() const { return cur_; }
+  void advance();
+
+  /// Total number of subsets this enumerator will produce.
+  std::uint64_t count() const { return binomial(n_, k_); }
+
+ private:
+  std::size_t n_;
+  std::size_t k_;
+  std::vector<std::size_t> cur_;
+  bool valid_;
+};
+
+/// Calls `fn` for every k-subset of {0,...,n-1}; stops early if `fn` returns
+/// false. Returns true iff the enumeration ran to completion.
+bool for_each_subset(std::size_t n, std::size_t k,
+                     const std::function<bool(const std::vector<std::size_t>&)>& fn);
+
+/// Calls `fn` for every k-subset of the given universe (arbitrary values),
+/// stopping early on false. Returns true iff enumeration completed.
+bool for_each_subset_of(const std::vector<std::size_t>& universe, std::size_t k,
+                        const std::function<bool(const std::vector<std::size_t>&)>& fn);
+
+}  // namespace ftr

@@ -1,0 +1,79 @@
+// Contract-checking helpers in the spirit of the C++ Core Guidelines'
+// Expects()/Ensures() (I.5–I.8). Violations throw ContractViolation so that
+// tests can assert on misuse and library users get a diagnosable error
+// instead of undefined behaviour.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ftr {
+
+/// Thrown when a precondition, postcondition, or internal invariant of the
+/// library is violated. The message names the failing expression and its
+/// source location.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& extra) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!extra.empty()) os << " — " << extra;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace ftr
+
+/// Precondition check: argument validation at API boundaries.
+#define FTR_EXPECTS(cond)                                                     \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::ftr::detail::contract_fail("Precondition", #cond, __FILE__, __LINE__, \
+                                   "");                                       \
+  } while (0)
+
+/// Precondition check with an explanatory message (streamed).
+#define FTR_EXPECTS_MSG(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream ftr_os_;                                             \
+      ftr_os_ << msg;                                                         \
+      ::ftr::detail::contract_fail("Precondition", #cond, __FILE__, __LINE__, \
+                                   ftr_os_.str());                            \
+    }                                                                         \
+  } while (0)
+
+/// Postcondition check: verifies what a function promises to deliver.
+#define FTR_ENSURES(cond)                                                      \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::ftr::detail::contract_fail("Postcondition", #cond, __FILE__, __LINE__, \
+                                   "");                                        \
+  } while (0)
+
+/// Internal invariant check (mid-algorithm sanity).
+#define FTR_ASSERT(cond)                                                   \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::ftr::detail::contract_fail("Invariant", #cond, __FILE__, __LINE__, \
+                                   "");                                    \
+  } while (0)
+
+#define FTR_ASSERT_MSG(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream ftr_os_;                                          \
+      ftr_os_ << msg;                                                      \
+      ::ftr::detail::contract_fail("Invariant", #cond, __FILE__, __LINE__, \
+                                   ftr_os_.str());                         \
+    }                                                                      \
+  } while (0)

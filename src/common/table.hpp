@@ -1,0 +1,47 @@
+// Minimal ASCII table writer used by the benchmark harness and the examples
+// to print paper-style result tables ("claimed bound vs measured").
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ftr {
+
+/// Column-aligned ASCII table. Cells are strings; numeric convenience
+/// overloads format on insertion. Example:
+///
+///   Table t({"graph", "t", "claimed", "measured"});
+///   t.add_row({"Q4", "3", "6", "4"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the header row.
+  void add_row(std::vector<std::string> cells);
+
+  /// Row-building helpers so call sites can mix types tersely.
+  static std::string cell(const std::string& s) { return s; }
+  static std::string cell(const char* s) { return s; }
+  static std::string cell(bool b) { return b ? "yes" : "no"; }
+  static std::string cell(double v, int precision = 3);
+  static std::string cell(std::int64_t v);
+  static std::string cell(std::uint64_t v);
+  static std::string cell(int v) { return cell(static_cast<std::int64_t>(v)); }
+  static std::string cell(unsigned v) {
+    return cell(static_cast<std::uint64_t>(v));
+  }
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a header separator and column padding.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ftr

@@ -1,0 +1,58 @@
+// RoutingPlanner: the library's front door. Profiles a graph, picks the
+// strongest construction the paper licenses for it, builds the routing, and
+// reports the guaranteed (d, f) pair. Preference order (by guaranteed
+// surviving diameter at the full fault budget f = t):
+//   tri-circular full (4) > unidirectional bipolar (4) >
+//   tri-circular compact (5) > bidirectional bipolar (5) >
+//   circular (6) > kernel (min(2t, ...); 4 when f <= floor(t/2)).
+// Among equal bounds, bidirectional constructions are preferred (simpler
+// transmission protocol — the reverse route is the same path).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/properties.hpp"
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "routing/route_table.hpp"
+
+namespace ftr {
+
+enum class Construction : std::uint8_t {
+  kTriCircularFull,
+  kBipolarUnidirectional,
+  kTriCircularCompact,
+  kBipolarBidirectional,
+  kCircular,
+  kKernel,
+};
+
+const char* construction_name(Construction c);
+
+struct Plan {
+  Construction construction = Construction::kKernel;
+  std::uint32_t guaranteed_diameter = 0;  // d in (d, f)-tolerant
+  std::uint32_t tolerated_faults = 0;     // f
+  std::string rationale;                  // which property licensed it
+};
+
+/// Chooses a construction from a profile without building anything.
+Plan plan_routing(const GraphProfile& profile);
+
+struct PlannedRouting {
+  Plan plan;
+  RoutingTable table;
+  std::vector<Node> concentrator;  // empty for bipolar (roots in plan text)
+};
+
+/// Profiles g (or uses the supplied profile), plans, and builds.
+PlannedRouting build_planned_routing(const Graph& g,
+                                     const GraphProfile& profile, Rng& rng);
+
+PlannedRouting build_planned_routing(
+    const Graph& g, std::optional<std::uint32_t> known_connectivity, Rng& rng);
+
+}  // namespace ftr

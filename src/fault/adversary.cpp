@@ -1,0 +1,124 @@
+#include "fault/adversary.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/combinatorics.hpp"
+#include "common/contracts.hpp"
+#include "graph/bfs.hpp"
+
+namespace ftr {
+
+AdversaryResult exhaustive_worst_faults(std::size_t n, std::size_t f,
+                                        const FaultEvaluator& eval,
+                                        std::uint32_t stop_above) {
+  FTR_EXPECTS(f <= n);
+  AdversaryResult result;
+  result.exhaustive = true;
+  std::vector<Node> faults(f);
+  for_each_subset(n, f, [&](const std::vector<std::size_t>& subset) {
+    for (std::size_t i = 0; i < f; ++i) faults[i] = static_cast<Node>(subset[i]);
+    const std::uint32_t d = eval(faults);
+    ++result.evaluations;
+    if (result.evaluations == 1 || d > result.worst_diameter) {
+      result.worst_diameter = d;
+      result.worst_faults = faults;
+    }
+    if (stop_above != 0 && d > stop_above) {
+      result.exhaustive = false;  // aborted early
+      return false;
+    }
+    return true;
+  });
+  return result;
+}
+
+AdversaryResult sampled_worst_faults(std::size_t n, std::size_t f,
+                                     std::size_t samples,
+                                     const FaultEvaluator& eval, Rng& rng) {
+  FTR_EXPECTS(f <= n);
+  AdversaryResult result;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto sample = rng.sample(n, f);
+    std::vector<Node> faults(sample.begin(), sample.end());
+    const std::uint32_t d = eval(faults);
+    ++result.evaluations;
+    if (d > result.worst_diameter || result.worst_faults.empty()) {
+      result.worst_diameter = std::max(result.worst_diameter, d);
+      result.worst_faults = std::move(faults);
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// One hill-climbing run from `start`; returns the local optimum.
+std::pair<std::vector<Node>, std::uint32_t> climb(
+    std::size_t n, const FaultEvaluator& eval, std::vector<Node> current,
+    std::size_t max_steps, Rng& rng, std::uint64_t& evaluations) {
+  std::uint32_t best = eval(current);
+  ++evaluations;
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    bool improved = false;
+    // Try swaps in a random order; accept the first strict improvement.
+    const auto slot_order = rng.permutation(current.size());
+    for (std::size_t si : slot_order) {
+      const Node old = current[si];
+      const auto cand_order = rng.permutation(n);
+      for (std::size_t cand : cand_order) {
+        const Node nv = static_cast<Node>(cand);
+        if (std::find(current.begin(), current.end(), nv) != current.end())
+          continue;
+        current[si] = nv;
+        const std::uint32_t d = eval(current);
+        ++evaluations;
+        if (d > best) {
+          best = d;
+          improved = true;
+          break;
+        }
+        current[si] = old;
+        // Cap the inner scan: full n per slot is wasteful on big graphs.
+        if (evaluations % 64 == 0 && cand > n / 2) break;
+      }
+      if (improved) break;
+    }
+    if (!improved) break;
+    if (best == kUnreachable) break;  // cannot get worse than disconnected
+  }
+  return {std::move(current), best};
+}
+
+}  // namespace
+
+AdversaryResult hillclimb_worst_faults(
+    std::size_t n, std::size_t f, const FaultEvaluator& eval, Rng& rng,
+    std::size_t restarts, std::size_t max_steps,
+    const std::vector<std::vector<Node>>& seeds) {
+  FTR_EXPECTS(f <= n);
+  AdversaryResult result;
+  if (f == 0) {
+    result.worst_diameter = eval({});
+    result.evaluations = 1;
+    return result;
+  }
+  std::vector<std::vector<Node>> starts = seeds;
+  while (starts.size() < restarts) {
+    const auto sample = rng.sample(n, f);
+    starts.emplace_back(sample.begin(), sample.end());
+  }
+  for (auto& start : starts) {
+    FTR_EXPECTS(start.size() == f);
+    auto [faults, d] = climb(n, eval, std::move(start), max_steps, rng,
+                             result.evaluations);
+    if (d > result.worst_diameter || result.worst_faults.empty()) {
+      result.worst_diameter = d;
+      result.worst_faults = std::move(faults);
+    }
+    if (result.worst_diameter == kUnreachable) break;
+  }
+  return result;
+}
+
+}  // namespace ftr

@@ -1,0 +1,52 @@
+// Worst-case fault search. The paper's (d, f)-tolerance quantifies over ALL
+// fault sets of size <= f; we reproduce that with
+//  * exhaustive enumeration when C(n, f) fits a budget (ground truth),
+//  * randomized sampling plus hill-climbing local search otherwise
+//    (1-swap neighborhood, restarts seeded uniformly and by route load).
+//
+// The searchers are generic over an evaluation callback so they work for
+// single-route tables, multiroute tables, and any future routing flavor.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace ftr {
+
+/// Maps a fault set to the diameter of the surviving route graph.
+using FaultEvaluator = std::function<std::uint32_t(const std::vector<Node>&)>;
+
+struct AdversaryResult {
+  std::vector<Node> worst_faults;
+  std::uint32_t worst_diameter = 0;
+  std::uint64_t evaluations = 0;
+  bool exhaustive = false;
+};
+
+/// Ground truth: evaluates every f-subset of {0..n-1}. `stop_above`, if
+/// nonzero, aborts early once a fault set exceeding that diameter is found
+/// (useful to falsify a claimed bound quickly).
+AdversaryResult exhaustive_worst_faults(std::size_t n, std::size_t f,
+                                        const FaultEvaluator& eval,
+                                        std::uint32_t stop_above = 0);
+
+/// Uniform random sampling of `samples` fault sets.
+AdversaryResult sampled_worst_faults(std::size_t n, std::size_t f,
+                                     std::size_t samples,
+                                     const FaultEvaluator& eval, Rng& rng);
+
+/// Hill-climbing: from each start set, repeatedly try swapping one fault for
+/// one non-fault, keeping strict improvements, until no swap helps or the
+/// step budget runs out. `seeds` provides informed starting points (e.g.
+/// concentrator members); uniform restarts fill the rest.
+AdversaryResult hillclimb_worst_faults(std::size_t n, std::size_t f,
+                                       const FaultEvaluator& eval, Rng& rng,
+                                       std::size_t restarts = 8,
+                                       std::size_t max_steps = 64,
+                                       const std::vector<std::vector<Node>>& seeds = {});
+
+}  // namespace ftr

@@ -1,0 +1,74 @@
+#include "fault/surviving.hpp"
+
+#include "common/contracts.hpp"
+#include "graph/bfs.hpp"
+
+namespace ftr {
+
+namespace {
+
+std::vector<char> fault_flags(std::size_t n, const std::vector<Node>& faults) {
+  std::vector<char> faulty(n, 0);
+  for (Node f : faults) {
+    FTR_EXPECTS_MSG(f < n, "fault " << f << " out of range");
+    faulty[f] = 1;
+  }
+  return faulty;
+}
+
+bool path_survives(const Path& p, const std::vector<char>& faulty) {
+  for (Node v : p) {
+    if (faulty[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Digraph surviving_graph(const RoutingTable& table,
+                        const std::vector<Node>& faults) {
+  const std::size_t n = table.num_nodes();
+  const auto faulty = fault_flags(n, faults);
+  Digraph r(n);
+  for (Node v = 0; v < n; ++v) {
+    if (faulty[v]) r.remove_node(v);
+  }
+  table.for_each([&](Node x, Node y, const Path& path) {
+    if (!faulty[x] && !faulty[y] && path_survives(path, faulty)) {
+      r.add_arc(x, y);
+    }
+  });
+  return r;
+}
+
+Digraph surviving_graph(const MultiRouteTable& table,
+                        const std::vector<Node>& faults) {
+  const std::size_t n = table.num_nodes();
+  const auto faulty = fault_flags(n, faults);
+  Digraph r(n);
+  for (Node v = 0; v < n; ++v) {
+    if (faulty[v]) r.remove_node(v);
+  }
+  table.for_each_pair([&](Node x, Node y, const std::vector<Path>& routes) {
+    if (faulty[x] || faulty[y]) return;
+    for (const Path& p : routes) {
+      if (path_survives(p, faulty)) {
+        r.add_arc(x, y);
+        return;
+      }
+    }
+  });
+  return r;
+}
+
+std::uint32_t surviving_diameter(const RoutingTable& table,
+                                 const std::vector<Node>& faults) {
+  return diameter(surviving_graph(table, faults));
+}
+
+std::uint32_t surviving_diameter(const MultiRouteTable& table,
+                                 const std::vector<Node>& faults) {
+  return diameter(surviving_graph(table, faults));
+}
+
+}  // namespace ftr

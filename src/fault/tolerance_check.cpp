@@ -1,0 +1,88 @@
+#include "fault/tolerance_check.hpp"
+
+#include <sstream>
+
+#include "common/combinatorics.hpp"
+#include "common/contracts.hpp"
+#include "fault/fault_gen.hpp"
+#include "fault/surviving.hpp"
+#include "graph/bfs.hpp"
+
+namespace ftr {
+
+std::string ToleranceReport::summary() const {
+  std::ostringstream os;
+  os << "f=" << faults << " claimed<=" << claimed_bound << " measured=";
+  if (worst_diameter == kUnreachable) {
+    os << "disconnected";
+  } else {
+    os << worst_diameter;
+  }
+  os << (exhaustive ? " (exhaustive, " : " (adversarial, ")
+     << fault_sets_checked << " sets) " << (holds ? "HOLDS" : "VIOLATED");
+  return os.str();
+}
+
+ToleranceReport check_tolerance_with(std::size_t n, const FaultEvaluator& eval,
+                                     std::uint32_t f,
+                                     std::uint32_t claimed_bound, Rng& rng,
+                                     const ToleranceCheckOptions& options) {
+  ToleranceReport report;
+  report.claimed_bound = claimed_bound;
+  report.faults = f;
+
+  if (binomial(n, f) <= options.exhaustive_budget) {
+    const AdversaryResult r = exhaustive_worst_faults(n, f, eval);
+    report.worst_diameter = r.worst_diameter;
+    report.worst_faults = r.worst_faults;
+    report.fault_sets_checked = r.evaluations;
+    report.exhaustive = true;
+  } else {
+    AdversaryResult best =
+        sampled_worst_faults(n, f, options.samples, eval, rng);
+    AdversaryResult climbed = hillclimb_worst_faults(
+        n, f, eval, rng, options.hillclimb_restarts, options.hillclimb_steps,
+        options.seeds);
+    if (climbed.worst_diameter > best.worst_diameter) {
+      best.worst_diameter = climbed.worst_diameter;
+      best.worst_faults = std::move(climbed.worst_faults);
+    }
+    best.evaluations += climbed.evaluations;
+    report.worst_diameter = best.worst_diameter;
+    report.worst_faults = std::move(best.worst_faults);
+    report.fault_sets_checked = best.evaluations;
+    report.exhaustive = false;
+  }
+  report.holds = report.worst_diameter <= claimed_bound;
+  return report;
+}
+
+ToleranceReport check_tolerance(const RoutingTable& table, std::uint32_t f,
+                                std::uint32_t claimed_bound, Rng& rng,
+                                const ToleranceCheckOptions& options) {
+  const FaultEvaluator eval = [&table](const std::vector<Node>& faults) {
+    return surviving_diameter(table, faults);
+  };
+  // Seed the hill-climber with route-load-targeted sets: knocking out the
+  // busiest nodes first is the natural informed attack.
+  ToleranceCheckOptions opts = options;
+  if (opts.seeds.empty() && f > 0 && f <= table.num_nodes()) {
+    const auto ranked = nodes_by_route_load(table);
+    std::vector<Node> top(ranked.begin(), ranked.begin() + f);
+    opts.seeds.push_back(std::move(top));
+  }
+  return check_tolerance_with(table.num_nodes(), eval, f, claimed_bound, rng,
+                              opts);
+}
+
+ToleranceReport check_tolerance(const MultiRouteTable& table, std::uint32_t f,
+                                std::uint32_t claimed_bound, Rng& rng,
+                                const ToleranceCheckOptions& options) {
+  const FaultEvaluator eval = [&table](const std::vector<Node>& faults) {
+    return surviving_diameter(table, faults);
+  };
+  return check_tolerance_with(table.num_nodes(), eval, f, claimed_bound, rng,
+                              options);
+}
+
+}  // namespace ftr

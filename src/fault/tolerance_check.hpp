@@ -1,0 +1,60 @@
+// The (d, f)-tolerance verification harness: the bridge between the paper's
+// theorems and the benchmark tables. Given a routing and a claimed bound, it
+// measures the worst surviving diameter over fault sets of size <= f —
+// exhaustively when affordable, otherwise with sampling + targeted
+// hill-climbing — and reports claimed vs. measured.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/adversary.hpp"
+#include "graph/graph.hpp"
+#include "routing/multi_route_table.hpp"
+#include "routing/route_table.hpp"
+
+namespace ftr {
+
+struct ToleranceReport {
+  std::uint32_t claimed_bound = 0;   // the theorem's d
+  std::uint32_t faults = 0;          // the f actually injected
+  std::uint32_t worst_diameter = 0;  // measured (kUnreachable = disconnected)
+  std::uint64_t fault_sets_checked = 0;
+  bool exhaustive = false;  // ground truth vs. adversarial lower bound
+  bool holds = false;       // worst_diameter <= claimed_bound
+  std::vector<Node> worst_faults;
+
+  std::string summary() const;
+};
+
+struct ToleranceCheckOptions {
+  /// Enumerate all C(n, f) fault sets when that count is <= this budget.
+  std::uint64_t exhaustive_budget = 20000;
+  /// Otherwise: this many uniform samples ...
+  std::size_t samples = 200;
+  /// ... plus hill-climbing with this many restarts and step budget.
+  std::size_t hillclimb_restarts = 6;
+  std::size_t hillclimb_steps = 24;
+  /// Extra seed sets (e.g. concentrator-targeted) for the hill-climber.
+  std::vector<std::vector<Node>> seeds;
+};
+
+/// Worst-case check for exactly f faults (the paper's bounds are monotone
+/// in f for the exhaustive case; sweep callers vary f explicitly).
+ToleranceReport check_tolerance(const RoutingTable& table, std::uint32_t f,
+                                std::uint32_t claimed_bound, Rng& rng,
+                                const ToleranceCheckOptions& options = {});
+
+ToleranceReport check_tolerance(const MultiRouteTable& table, std::uint32_t f,
+                                std::uint32_t claimed_bound, Rng& rng,
+                                const ToleranceCheckOptions& options = {});
+
+/// Generic version over an evaluator (used by both overloads above).
+ToleranceReport check_tolerance_with(std::size_t n, const FaultEvaluator& eval,
+                                     std::uint32_t f,
+                                     std::uint32_t claimed_bound, Rng& rng,
+                                     const ToleranceCheckOptions& options);
+
+}  // namespace ftr

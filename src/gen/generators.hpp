@@ -1,0 +1,118 @@
+// Graph generators for every family the paper mentions plus standard test
+// fodder. Each generator returns a GeneratedGraph carrying the Graph, a
+// printable name, and — where the family's connectivity is analytic — the
+// known node connectivity, so experiments need not recompute kappa for big
+// instances.
+//
+// Families named in the paper (Section 1 / Section 4): the hypercube, its
+// bounded-degree realizations (cube-connected cycles, butterfly /
+// "extended butterfly", shuffle-exchange per Ullman 1984), and random graphs
+// G(n,p) for the bipolar construction of Section 5.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace ftr {
+
+/// A generated graph plus metadata used by experiments.
+struct GeneratedGraph {
+  Graph graph;
+  std::string name;
+  /// Node connectivity when it is known analytically for the family;
+  /// experiments fall back to node_connectivity() when absent.
+  std::optional<std::uint32_t> known_connectivity;
+};
+
+// --- Classic families -----------------------------------------------------
+
+/// K_n, kappa = n-1.
+GeneratedGraph complete_graph(std::size_t n);
+
+/// Cycle C_n (n >= 3), kappa = 2.
+GeneratedGraph cycle_graph(std::size_t n);
+
+/// Path P_n (n >= 2), kappa = 1.
+GeneratedGraph path_graph(std::size_t n);
+
+/// Star K_{1,n} (center node 0), kappa = 1.
+GeneratedGraph star_graph(std::size_t leaves);
+
+/// Complete bipartite K_{a,b}, kappa = min(a,b).
+GeneratedGraph complete_bipartite(std::size_t a, std::size_t b);
+
+/// rows x cols grid (both >= 2), kappa = 2.
+GeneratedGraph grid_graph(std::size_t rows, std::size_t cols);
+
+/// rows x cols torus (both >= 3), 4-regular, kappa = 4.
+GeneratedGraph torus_graph(std::size_t rows, std::size_t cols);
+
+/// The Petersen graph: 10 nodes, 3-regular, kappa = 3, girth 5.
+GeneratedGraph petersen_graph();
+
+/// Generalized Petersen graph GP(n, k), 1 <= k < n/2: outer n-cycle, inner
+/// star polygon with step k, spokes between them. 3-regular, kappa = 3.
+GeneratedGraph generalized_petersen(std::size_t n, std::size_t k);
+
+/// The dodecahedron GP(10, 2): 20 nodes, 3-regular, girth 5, diameter 5 —
+/// the smallest classic graph with the two-trees property at t = 2.
+GeneratedGraph dodecahedron();
+
+/// The Desargues graph GP(10, 3): 20 nodes, 3-regular, girth 6, diameter 5.
+GeneratedGraph desargues_graph();
+
+/// The Moebius–Kantor graph GP(8, 3): 16 nodes, 3-regular, girth 6.
+GeneratedGraph moebius_kantor_graph();
+
+/// The Nauru graph GP(12, 5): 24 nodes, 3-regular, girth 6.
+GeneratedGraph nauru_graph();
+
+/// Circulant graph C_n(offsets): node i adjacent to i +- s for each offset.
+/// Connectivity is not filled in (depends on the offset structure).
+GeneratedGraph circulant_graph(std::size_t n, const std::vector<std::uint32_t>& offsets);
+
+// --- Network topologies (paper Section 1) ---------------------------------
+
+/// Hypercube Q_d: 2^d nodes, d-regular, kappa = d. Node ids are the
+/// bit-strings themselves.
+GeneratedGraph hypercube(std::size_t dim);
+
+/// Cube-connected cycles CCC(d), d >= 3: d*2^d nodes, 3-regular, kappa = 3.
+/// Node (w, i) has id w*d + i: ring edges around each cube vertex plus one
+/// cube edge flipping bit i.
+GeneratedGraph cube_connected_cycles(std::size_t dim);
+
+/// Unwrapped butterfly BF(d): (d+1)*2^d nodes, kappa = 2 (end levels have
+/// degree 2). Node (level, w) has id level*2^d + w.
+GeneratedGraph butterfly(std::size_t dim);
+
+/// Wrapped butterfly WBF(d), d >= 3: d*2^d nodes, 4-regular; being
+/// vertex-transitive it has kappa = 4 ("extended butterfly" of the paper).
+GeneratedGraph wrapped_butterfly(std::size_t dim);
+
+/// Undirected binary de Bruijn graph on 2^d nodes (self-loops dropped).
+/// Connectivity left unset (ends have degree < 4).
+GeneratedGraph de_bruijn(std::size_t dim);
+
+/// Shuffle-exchange graph on 2^d nodes, degree <= 3. Connectivity unset.
+GeneratedGraph shuffle_exchange(std::size_t dim);
+
+// --- Random models (paper Section 5) ---------------------------------------
+
+/// Erdos–Renyi G(n,p). Not guaranteed connected.
+GeneratedGraph gnp(std::size_t n, double p, Rng& rng);
+
+/// G(n,p) resampled until connected (throws after max_tries failures).
+GeneratedGraph gnp_connected(std::size_t n, double p, Rng& rng,
+                             std::size_t max_tries = 100);
+
+/// Random d-regular graph via the pairing model (restarts on collisions).
+/// Requires n*d even and d < n.
+GeneratedGraph random_regular(std::size_t n, std::size_t d, Rng& rng,
+                              std::size_t max_tries = 1000);
+
+}  // namespace ftr

@@ -1,0 +1,113 @@
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "gen/generators.hpp"
+
+namespace ftr {
+
+namespace {
+
+std::string dim_name(const char* base, std::size_t d) {
+  std::ostringstream os;
+  os << base << '(' << d << ')';
+  return os.str();
+}
+
+std::uint32_t rotate_left(std::uint32_t w, std::size_t dim) {
+  const std::uint32_t mask = (1u << dim) - 1;
+  return ((w << 1) | (w >> (dim - 1))) & mask;
+}
+
+}  // namespace
+
+GeneratedGraph hypercube(std::size_t dim) {
+  FTR_EXPECTS(dim >= 1 && dim <= 24);
+  const std::size_t n = std::size_t{1} << dim;
+  Graph g(n);
+  for (Node w = 0; w < n; ++w) {
+    for (std::size_t b = 0; b < dim; ++b) {
+      const Node v = w ^ (Node{1} << b);
+      if (w < v) g.add_edge(w, v);
+    }
+  }
+  return {std::move(g), dim_name("Q", dim), static_cast<std::uint32_t>(dim)};
+}
+
+GeneratedGraph cube_connected_cycles(std::size_t dim) {
+  FTR_EXPECTS_MSG(dim >= 3, "CCC needs ring length >= 3 for simplicity");
+  const std::size_t cube = std::size_t{1} << dim;
+  Graph g(cube * dim);
+  auto id = [dim](std::size_t w, std::size_t i) {
+    return static_cast<Node>(w * dim + i);
+  };
+  for (std::size_t w = 0; w < cube; ++w) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      g.add_edge(id(w, i), id(w, (i + 1) % dim));          // ring edge
+      const std::size_t w2 = w ^ (std::size_t{1} << i);    // cube edge
+      if (w < w2) g.add_edge(id(w, i), id(w2, i));
+    }
+  }
+  return {std::move(g), dim_name("CCC", dim), 3u};
+}
+
+GeneratedGraph butterfly(std::size_t dim) {
+  FTR_EXPECTS(dim >= 1);
+  const std::size_t cols = std::size_t{1} << dim;
+  Graph g((dim + 1) * cols);
+  auto id = [cols](std::size_t level, std::size_t w) {
+    return static_cast<Node>(level * cols + w);
+  };
+  for (std::size_t level = 0; level < dim; ++level) {
+    for (std::size_t w = 0; w < cols; ++w) {
+      g.add_edge(id(level, w), id(level + 1, w));
+      g.add_edge(id(level, w), id(level + 1, w ^ (std::size_t{1} << level)));
+    }
+  }
+  return {std::move(g), dim_name("BF", dim), 2u};
+}
+
+GeneratedGraph wrapped_butterfly(std::size_t dim) {
+  FTR_EXPECTS_MSG(dim >= 3, "WBF needs >= 3 levels for simplicity");
+  const std::size_t cols = std::size_t{1} << dim;
+  Graph g(dim * cols);
+  auto id = [cols](std::size_t level, std::size_t w) {
+    return static_cast<Node>(level * cols + w);
+  };
+  for (std::size_t level = 0; level < dim; ++level) {
+    const std::size_t next = (level + 1) % dim;
+    for (std::size_t w = 0; w < cols; ++w) {
+      g.add_edge(id(level, w), id(next, w));
+      g.add_edge(id(level, w), id(next, w ^ (std::size_t{1} << level)));
+    }
+  }
+  // Vertex-transitive 4-regular graphs have kappa >= 2(4+1)/3 > 3, so 4.
+  return {std::move(g), dim_name("WBF", dim), 4u};
+}
+
+GeneratedGraph de_bruijn(std::size_t dim) {
+  FTR_EXPECTS(dim >= 2 && dim <= 24);
+  const std::size_t n = std::size_t{1} << dim;
+  const Node mask = static_cast<Node>(n - 1);
+  Graph g(n);
+  for (Node w = 0; w < n; ++w) {
+    for (Node bit = 0; bit <= 1; ++bit) {
+      const Node v = ((w << 1) | bit) & mask;
+      if (v != w) g.add_edge(w, v);
+    }
+  }
+  return {std::move(g), dim_name("deBruijn", dim), std::nullopt};
+}
+
+GeneratedGraph shuffle_exchange(std::size_t dim) {
+  FTR_EXPECTS(dim >= 2 && dim <= 24);
+  const std::size_t n = std::size_t{1} << dim;
+  Graph g(n);
+  for (Node w = 0; w < n; ++w) {
+    g.add_edge(w, w ^ 1u);  // exchange
+    const Node shuffled = rotate_left(w, dim);
+    if (shuffled != w) g.add_edge(w, shuffled);  // shuffle
+  }
+  return {std::move(g), dim_name("SE", dim), std::nullopt};
+}
+
+}  // namespace ftr

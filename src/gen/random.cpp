@@ -1,0 +1,96 @@
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/contracts.hpp"
+#include "gen/generators.hpp"
+#include "graph/bfs.hpp"
+
+namespace ftr {
+
+GeneratedGraph gnp(std::size_t n, double p, Rng& rng) {
+  FTR_EXPECTS(n >= 1);
+  FTR_EXPECTS(p >= 0.0 && p <= 1.0);
+  Graph g(n);
+  // Geometric skipping: expected O(n^2 p) work instead of O(n^2).
+  if (p > 0.0) {
+    const double logq = std::log1p(-p);
+    if (p >= 1.0 || logq == 0.0) {
+      for (Node u = 0; u < n; ++u)
+        for (Node v = u + 1; v < n; ++v) g.add_edge(u, v);
+    } else {
+      // Iterate over the strictly-upper-triangular cells in row-major order,
+      // skipping ahead geometrically.
+      std::uint64_t cell = 0;  // linear index into the C(n,2) cells
+      const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+      auto cell_to_edge = [n](std::uint64_t c) {
+        // Row-major: row u contributes (n-1-u) cells.
+        Node u = 0;
+        std::uint64_t remaining = c;
+        std::uint64_t row_len = n - 1;
+        while (remaining >= row_len) {
+          remaining -= row_len;
+          ++u;
+          --row_len;
+        }
+        return std::pair<Node, Node>{u, static_cast<Node>(u + 1 + remaining)};
+      };
+      while (true) {
+        const double r = rng.uniform();
+        const auto skip =
+            static_cast<std::uint64_t>(std::floor(std::log1p(-r) / logq));
+        cell += skip;
+        if (cell >= total) break;
+        const auto [u, v] = cell_to_edge(cell);
+        g.add_edge(u, v);
+        ++cell;
+        if (cell >= total) break;
+      }
+    }
+  }
+  std::ostringstream os;
+  os << "G(" << n << "," << p << ")";
+  return {std::move(g), os.str(), std::nullopt};
+}
+
+GeneratedGraph gnp_connected(std::size_t n, double p, Rng& rng,
+                             std::size_t max_tries) {
+  for (std::size_t attempt = 0; attempt < max_tries; ++attempt) {
+    GeneratedGraph gg = gnp(n, p, rng);
+    if (is_connected(gg.graph)) {
+      gg.name += "|connected";
+      return gg;
+    }
+  }
+  throw std::runtime_error("gnp_connected: no connected sample within budget");
+}
+
+GeneratedGraph random_regular(std::size_t n, std::size_t d, Rng& rng,
+                              std::size_t max_tries) {
+  FTR_EXPECTS_MSG((n * d) % 2 == 0, "n*d must be even for a d-regular graph");
+  FTR_EXPECTS(d < n);
+  for (std::size_t attempt = 0; attempt < max_tries; ++attempt) {
+    // Pairing model: n*d stubs, matched by a random permutation; reject
+    // samples containing loops or parallel edges.
+    std::vector<Node> stubs(n * d);
+    for (std::size_t i = 0; i < stubs.size(); ++i)
+      stubs[i] = static_cast<Node>(i / d);
+    const auto perm = rng.permutation(stubs.size());
+    Graph g(n);
+    bool ok = true;
+    for (std::size_t i = 0; ok && i + 1 < stubs.size(); i += 2) {
+      const Node u = stubs[perm[i]];
+      const Node v = stubs[perm[i + 1]];
+      if (u == v || !g.add_edge(u, v)) ok = false;
+    }
+    if (ok) {
+      std::ostringstream os;
+      os << "RR(" << n << "," << d << ")";
+      return {std::move(g), os.str(), std::nullopt};
+    }
+  }
+  throw std::runtime_error("random_regular: no simple pairing within budget");
+}
+
+}  // namespace ftr

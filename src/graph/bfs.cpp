@@ -1,0 +1,196 @@
+#include "graph/bfs.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/contracts.hpp"
+
+namespace ftr {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Node source) {
+  FTR_EXPECTS(g.valid_node(source));
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::deque<Node> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const Node u = queue.front();
+    queue.pop_front();
+    for (Node v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint32_t> bfs_distances(const Digraph& g, Node source) {
+  FTR_EXPECTS(g.present(source));
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::deque<Node> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const Node u = queue.front();
+    queue.pop_front();
+    for (Node v : g.successors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+Path shortest_path(const Graph& g, Node source, Node target) {
+  FTR_EXPECTS(g.valid_node(source) && g.valid_node(target));
+  if (source == target) return {source};
+  std::vector<Node> parent(g.num_nodes(), kUnreachable);
+  std::deque<Node> queue;
+  parent[source] = source;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const Node u = queue.front();
+    queue.pop_front();
+    for (Node v : g.neighbors(u)) {
+      if (parent[v] != kUnreachable) continue;
+      parent[v] = u;
+      if (v == target) {
+        Path path{target};
+        for (Node w = target; w != source; w = parent[w]) path.push_back(parent[w]);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(v);
+    }
+  }
+  return {};
+}
+
+std::uint32_t distance(const Graph& g, Node x, Node y) {
+  return bfs_distances(g, x)[y];
+}
+
+std::uint32_t eccentricity(const Graph& g, Node source) {
+  const auto dist = bfs_distances(g, source);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t d : dist) {
+    if (d == kUnreachable) return kUnreachable;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter(const Graph& g) {
+  if (g.num_nodes() <= 1) return 0;
+  std::uint32_t diam = 0;
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    const std::uint32_t ecc = eccentricity(g, u);
+    if (ecc == kUnreachable) return kUnreachable;
+    diam = std::max(diam, ecc);
+  }
+  return diam;
+}
+
+std::uint32_t diameter(const Digraph& g) {
+  const auto nodes = g.present_nodes();
+  if (nodes.size() <= 1) return 0;
+  std::uint32_t diam = 0;
+  for (Node u : nodes) {
+    const auto dist = bfs_distances(g, u);
+    for (Node v : nodes) {
+      if (dist[v] == kUnreachable) return kUnreachable;
+      diam = std::max(diam, dist[v]);
+    }
+  }
+  return diam;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() <= 1) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::uint32_t d) { return d == kUnreachable; });
+}
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+  std::vector<std::uint32_t> comp(g.num_nodes(), kUnreachable);
+  std::uint32_t next = 0;
+  std::deque<Node> queue;
+  for (Node s = 0; s < g.num_nodes(); ++s) {
+    if (comp[s] != kUnreachable) continue;
+    comp[s] = next;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const Node u = queue.front();
+      queue.pop_front();
+      for (Node v : g.neighbors(u)) {
+        if (comp[v] == kUnreachable) {
+          comp[v] = next;
+          queue.push_back(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+namespace {
+
+// BFS-based shortest cycle through `r`: runs BFS from r, and the first time
+// two distinct BFS branches touch (edge between nodes whose root-children
+// differ) closes the shortest cycle through r. Standard technique: track for
+// every node which child-of-r subtree it belongs to.
+std::uint32_t cycle_through(const Graph& g, Node r) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::uint32_t> dist(n, kUnreachable);
+  std::vector<Node> branch(n, kUnreachable);
+  std::deque<Node> queue;
+  dist[r] = 0;
+  branch[r] = r;
+  std::uint32_t best = kUnreachable;
+  for (Node c : g.neighbors(r)) {
+    dist[c] = 1;
+    branch[c] = c;
+    queue.push_back(c);
+  }
+  while (!queue.empty()) {
+    const Node u = queue.front();
+    queue.pop_front();
+    for (Node v : g.neighbors(u)) {
+      if (v == r) continue;
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        branch[v] = branch[u];
+        queue.push_back(v);
+      } else if (branch[v] != branch[u]) {
+        // Edge {u,v} joins two different subtrees hanging off r: the cycle
+        // r ... u - v ... r has length dist[u] + dist[v] + 1.
+        best = std::min(best, dist[u] + dist[v] + 1);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::uint32_t shortest_cycle_through(const Graph& g, Node r) {
+  FTR_EXPECTS(g.valid_node(r));
+  return cycle_through(g, r);
+}
+
+std::uint32_t girth(const Graph& g) {
+  std::uint32_t best = kUnreachable;
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    best = std::min(best, cycle_through(g, u));
+    if (best == 3) break;  // girth can't get smaller
+  }
+  return best;
+}
+
+}  // namespace ftr

@@ -1,0 +1,62 @@
+// Breadth-first search toolkit for Graph and Digraph: single-source
+// distances, shortest paths, eccentricities, diameter, girth.
+//
+// Distances use kUnreachable (uint32 max) as infinity so diameter
+// computations can distinguish "disconnected" from any finite bound.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+
+namespace ftr {
+
+inline constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Single-source BFS distances in an undirected graph.
+std::vector<std::uint32_t> bfs_distances(const Graph& g, Node source);
+
+/// Single-source BFS distances in a digraph; absent nodes are unreachable
+/// and never enqueued. `source` must be present.
+std::vector<std::uint32_t> bfs_distances(const Digraph& g, Node source);
+
+/// Shortest path (by hops) from source to target; empty path if unreachable.
+Path shortest_path(const Graph& g, Node source, Node target);
+
+/// dist(x, y, G) in the paper's notation; kUnreachable if disconnected.
+std::uint32_t distance(const Graph& g, Node x, Node y);
+
+/// Maximum finite distance from `source`; kUnreachable if any present node
+/// is unreachable from it.
+std::uint32_t eccentricity(const Graph& g, Node source);
+
+/// diam(G): max over all pairs; kUnreachable if G is disconnected or has
+/// fewer than 2 nodes reachable from each other. O(n * (n + m)).
+std::uint32_t diameter(const Graph& g);
+
+/// Directed diameter over *present* nodes of a digraph: max over ordered
+/// pairs (x, y) of dist(x -> y); kUnreachable if some ordered pair is
+/// unreachable. This is exactly the paper's diameter of the surviving route
+/// graph. Graphs with <= 1 present node have diameter 0.
+std::uint32_t diameter(const Digraph& g);
+
+/// True if the undirected graph is connected (n <= 1 counts as connected).
+bool is_connected(const Graph& g);
+
+/// Connected components; returns component id per node, ids dense from 0.
+std::vector<std::uint32_t> connected_components(const Graph& g);
+
+/// Girth (length of shortest cycle); kUnreachable for forests.
+/// O(n * (n + m)) BFS from every node, fine at laptop scale.
+std::uint32_t girth(const Graph& g);
+
+/// Length of the shortest cycle through a given node; kUnreachable if none.
+/// Used by the two-trees detector ("no cycle of length 3 or 4 through r").
+std::uint32_t shortest_cycle_through(const Graph& g, Node r);
+
+}  // namespace ftr

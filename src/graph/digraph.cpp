@@ -1,0 +1,68 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace ftr {
+
+Digraph::Digraph(std::size_t n)
+    : out_(n), present_(n, 1), present_count_(n) {}
+
+void Digraph::remove_node(Node u) {
+  FTR_EXPECTS(u < out_.size());
+  if (!present_[u]) return;
+  FTR_EXPECTS_MSG(out_[u].empty(),
+                  "remove_node(" << u << ") after arcs were added");
+  present_[u] = 0;
+  --present_count_;
+}
+
+bool Digraph::present(Node u) const {
+  FTR_EXPECTS(u < out_.size());
+  return present_[u] != 0;
+}
+
+bool Digraph::add_arc(Node u, Node v) {
+  FTR_EXPECTS(u < out_.size() && v < out_.size());
+  FTR_EXPECTS_MSG(u != v, "self-arc at node " << u);
+  FTR_EXPECTS_MSG(present_[u] && present_[v],
+                  "arc (" << u << "->" << v << ") touches an absent node");
+  auto& su = out_[u];
+  const auto it = std::lower_bound(su.begin(), su.end(), v);
+  if (it != su.end() && *it == v) return false;
+  su.insert(it, v);
+  ++num_arcs_;
+  return true;
+}
+
+bool Digraph::has_arc(Node u, Node v) const {
+  if (u >= out_.size() || v >= out_.size()) return false;
+  const auto& su = out_[u];
+  return std::binary_search(su.begin(), su.end(), v);
+}
+
+std::span<const Node> Digraph::successors(Node u) const {
+  FTR_EXPECTS(u < out_.size());
+  return {out_[u].data(), out_[u].size()};
+}
+
+std::vector<Node> Digraph::present_nodes() const {
+  std::vector<Node> out;
+  out.reserve(present_count_);
+  for (Node u = 0; u < out_.size(); ++u) {
+    if (present_[u]) out.push_back(u);
+  }
+  return out;
+}
+
+bool Digraph::is_symmetric() const {
+  for (Node u = 0; u < out_.size(); ++u) {
+    for (Node v : out_[u]) {
+      if (!has_arc(v, u)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ftr

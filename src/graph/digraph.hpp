@@ -1,0 +1,61 @@
+// Directed graph used to represent surviving route graphs R(G,ρ)/F.
+//
+// The surviving graph of a unidirectional routing is genuinely directed
+// (ρ(x,y) may survive while ρ(y,x) does not), so diameters must be computed
+// over directed distances. Nodes keep the ids of the underlying Graph;
+// faulty nodes are marked absent rather than renumbered.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftr {
+
+/// Directed graph over the same dense node ids as Graph, with per-node
+/// presence flags (absent nodes model faulty nodes removed from the
+/// surviving graph).
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t n);
+
+  std::size_t num_nodes() const { return out_.size(); }
+
+  /// Number of *present* nodes.
+  std::size_t num_present() const { return present_count_; }
+
+  std::size_t num_arcs() const { return num_arcs_; }
+
+  /// Marks a node absent (e.g. faulty). Must be called before adding arcs
+  /// incident to it; arcs to absent nodes are rejected.
+  void remove_node(Node u);
+
+  bool present(Node u) const;
+
+  /// Adds arc u -> v. Both endpoints must be present. Duplicate arcs are
+  /// ignored (returns false).
+  bool add_arc(Node u, Node v);
+
+  bool has_arc(Node u, Node v) const;
+
+  std::span<const Node> successors(Node u) const;
+
+  /// All present node ids, ascending.
+  std::vector<Node> present_nodes() const;
+
+  /// True if for every arc u->v the arc v->u also exists (i.e. the digraph
+  /// is the orientation of an undirected graph). Surviving graphs of
+  /// bidirectional routings must satisfy this.
+  bool is_symmetric() const;
+
+ private:
+  std::vector<std::vector<Node>> out_;
+  std::vector<char> present_;
+  std::size_t present_count_ = 0;
+  std::size_t num_arcs_ = 0;
+};
+
+}  // namespace ftr

@@ -1,0 +1,120 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/contracts.hpp"
+
+namespace ftr {
+
+Graph::Graph(std::size_t n) : adj_(n) {}
+
+bool Graph::add_edge(Node u, Node v) {
+  FTR_EXPECTS_MSG(u < adj_.size() && v < adj_.size(),
+                  "edge (" << u << "," << v << ") out of range n=" << adj_.size());
+  FTR_EXPECTS_MSG(u != v, "self-loop at node " << u);
+  auto& nu = adj_[u];
+  const auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  if (it != nu.end() && *it == v) return false;
+  nu.insert(it, v);
+  auto& nv = adj_[v];
+  nv.insert(std::lower_bound(nv.begin(), nv.end(), u), u);
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::has_edge(Node u, Node v) const {
+  if (u >= adj_.size() || v >= adj_.size()) return false;
+  const auto& nu = adj_[u];
+  return std::binary_search(nu.begin(), nu.end(), v);
+}
+
+std::size_t Graph::degree(Node u) const {
+  FTR_EXPECTS(u < adj_.size());
+  return adj_[u].size();
+}
+
+std::span<const Node> Graph::neighbors(Node u) const {
+  FTR_EXPECTS(u < adj_.size());
+  return {adj_[u].data(), adj_[u].size()};
+}
+
+std::size_t Graph::min_degree() const {
+  std::size_t best = adj_.empty() ? 0 : adj_[0].size();
+  for (const auto& nbrs : adj_) best = std::min(best, nbrs.size());
+  return best;
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& nbrs : adj_) best = std::max(best, nbrs.size());
+  return best;
+}
+
+std::vector<std::pair<Node, Node>> Graph::edges() const {
+  std::vector<std::pair<Node, Node>> out;
+  out.reserve(num_edges_);
+  for (Node u = 0; u < adj_.size(); ++u) {
+    for (Node v : adj_[u]) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+Graph Graph::without_nodes(const std::vector<Node>& removed) const {
+  std::vector<char> gone(adj_.size(), 0);
+  for (Node u : removed) {
+    FTR_EXPECTS(u < adj_.size());
+    gone[u] = 1;
+  }
+  Graph out(adj_.size());
+  for (Node u = 0; u < adj_.size(); ++u) {
+    if (gone[u]) continue;
+    for (Node v : adj_[u]) {
+      if (u < v && !gone[v]) out.add_edge(u, v);
+    }
+  }
+  return out;
+}
+
+bool Graph::is_simple_path(const Path& path) const {
+  if (path.empty()) return false;
+  std::unordered_set<Node> seen;
+  seen.reserve(path.size() * 2);
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (path[i] >= adj_.size()) return false;
+    if (!seen.insert(path[i]).second) return false;
+    if (i > 0 && !has_edge(path[i - 1], path[i])) return false;
+  }
+  return true;
+}
+
+std::string Graph::to_dot(const std::string& name) const {
+  std::ostringstream os;
+  os << "graph " << name << " {\n";
+  for (const auto& [u, v] : edges()) os << "  " << u << " -- " << v << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string path_to_string(const Path& path) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i) os << "->";
+    os << path[i];
+  }
+  return os.str();
+}
+
+bool paths_share_internal_node(const Path& a, const Path& b) {
+  if (a.size() <= 2 || b.size() <= 2) return false;
+  std::unordered_set<Node> inner(a.begin() + 1, a.end() - 1);
+  for (std::size_t i = 1; i + 1 < b.size(); ++i) {
+    if (inner.count(b[i])) return true;
+  }
+  return false;
+}
+
+}  // namespace ftr

@@ -1,0 +1,89 @@
+// Undirected simple graph used as the network model throughout ftroute.
+//
+// Design notes:
+//  * Nodes are dense integers 0..n-1 (Node = uint32_t); the generators in
+//    src/gen own any richer labeling (hypercube bit-strings, CCC (ring,pos)
+//    pairs, ...) and expose it via GraphInfo.
+//  * Adjacency lists are kept sorted, so `has_edge` is O(log d) and
+//    neighborhood set operations (intersections, disjointness checks used by
+//    the two-trees detector) are linear merges.
+//  * The class enforces simplicity: no self-loops, no parallel edges.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ftr {
+
+using Node = std::uint32_t;
+
+/// A simple path, stored as the node sequence from source to target
+/// (inclusive). An empty vector means "no path".
+using Path = std::vector<Node>;
+
+/// Undirected simple graph over nodes 0..n-1.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates an edgeless graph on n nodes.
+  explicit Graph(std::size_t n);
+
+  std::size_t num_nodes() const { return adj_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Adds the undirected edge {u, v}. Returns true if the edge was new,
+  /// false if it already existed. Self-loops are rejected (precondition).
+  bool add_edge(Node u, Node v);
+
+  /// O(log deg(u)) membership test.
+  bool has_edge(Node u, Node v) const;
+
+  std::size_t degree(Node u) const;
+
+  /// Sorted neighbor list of u; valid until the next mutation.
+  std::span<const Node> neighbors(Node u) const;
+
+  /// Minimum and maximum degree over all nodes. Empty graph => {0, 0}.
+  std::size_t min_degree() const;
+  std::size_t max_degree() const;
+
+  /// All edges as (u, v) pairs with u < v, sorted lexicographically.
+  std::vector<std::pair<Node, Node>> edges() const;
+
+  /// Returns a copy of this graph with the given nodes (and their incident
+  /// edges) removed. Node identities are preserved: the result keeps n nodes
+  /// and the removed nodes simply become isolated. This keeps fault handling
+  /// simple — fault sets never renumber the survivors.
+  Graph without_nodes(const std::vector<Node>& removed) const;
+
+  /// True if `path` is a simple path in this graph (consecutive nodes
+  /// adjacent, no repeated node). Single-node paths are valid.
+  bool is_simple_path(const Path& path) const;
+
+  /// True if every node in the (possibly empty) set is a valid node id.
+  bool valid_node(Node u) const { return u < adj_.size(); }
+
+  /// Graphviz DOT rendering, handy when debugging routings on small graphs.
+  std::string to_dot(const std::string& name = "G") const;
+
+  bool operator==(const Graph& other) const {
+    return adj_ == other.adj_;
+  }
+
+ private:
+  std::vector<std::vector<Node>> adj_;
+  std::size_t num_edges_ = 0;
+};
+
+/// Formats a path as "a->b->c" for diagnostics.
+std::string path_to_string(const Path& path);
+
+/// True if two paths share any node other than the listed allowed ones.
+/// Used to validate internal node-disjointness of tree routings.
+bool paths_share_internal_node(const Path& a, const Path& b);
+
+}  // namespace ftr

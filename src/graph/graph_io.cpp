@@ -1,0 +1,64 @@
+#include "graph/graph_io.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace ftr {
+
+void save_graph(const Graph& g, std::ostream& os) {
+  os << "ftroute-graph v1 " << g.num_nodes() << '\n';
+  for (const auto& [u, v] : g.edges()) os << "edge " << u << ' ' << v << '\n';
+  os << "end\n";
+}
+
+std::string graph_to_string(const Graph& g) {
+  std::ostringstream os;
+  save_graph(g, os);
+  return os.str();
+}
+
+Graph load_graph(std::istream& is) {
+  std::string line;
+  std::string magic, version;
+  std::size_t n = 0;
+  bool have_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    ls >> magic >> version >> n;
+    FTR_EXPECTS_MSG(!ls.fail() && magic == "ftroute-graph" && version == "v1",
+                    "bad graph header: '" << line << "'");
+    have_header = true;
+    break;
+  }
+  FTR_EXPECTS_MSG(have_header, "missing graph header");
+
+  Graph g(n);
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    std::uint64_t u = 0, v = 0;
+    ls >> tag >> u >> v;
+    FTR_EXPECTS_MSG(!ls.fail() && tag == "edge",
+                    "unexpected graph line: '" << line << "'");
+    FTR_EXPECTS_MSG(u < n && v < n, "edge out of range: '" << line << "'");
+    g.add_edge(static_cast<Node>(u), static_cast<Node>(v));
+  }
+  FTR_EXPECTS_MSG(saw_end, "missing 'end' terminator");
+  return g;
+}
+
+Graph graph_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_graph(is);
+}
+
+}  // namespace ftr

@@ -1,0 +1,28 @@
+// Graph persistence: a line-oriented edge-list format so users can run the
+// library on their own topologies (and the CLI tool can pipe graphs
+// between commands).
+//
+// Format:
+//   ftroute-graph v1 <num_nodes>
+//   edge <u> <v>
+//   ...
+//   end
+// '#' lines and blank lines are ignored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ftr {
+
+void save_graph(const Graph& g, std::ostream& os);
+std::string graph_to_string(const Graph& g);
+
+/// Throws ContractViolation on malformed input (bad header, out-of-range or
+/// self-loop edges, missing "end").
+Graph load_graph(std::istream& is);
+Graph graph_from_string(const std::string& text);
+
+}  // namespace ftr

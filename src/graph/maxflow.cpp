@@ -1,0 +1,124 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace ftr {
+
+namespace {
+constexpr std::uint32_t kNoLevel = std::numeric_limits<std::uint32_t>::max();
+}
+
+FlowNetwork::FlowNetwork(std::size_t num_nodes) : head_(num_nodes) {}
+
+std::size_t FlowNetwork::add_edge(std::uint32_t u, std::uint32_t v,
+                                  std::int64_t capacity) {
+  FTR_EXPECTS(u < head_.size() && v < head_.size());
+  FTR_EXPECTS(capacity >= 0);
+  const std::size_t id = to_.size();
+  to_.push_back(v);
+  cap_.push_back(capacity);
+  init_.push_back(capacity);
+  head_[u].push_back(id);
+  to_.push_back(u);
+  cap_.push_back(0);
+  init_.push_back(0);
+  head_[v].push_back(id + 1);
+  return id;
+}
+
+bool FlowNetwork::bfs_levels(std::uint32_t s, std::uint32_t t) {
+  level_.assign(head_.size(), kNoLevel);
+  std::deque<std::uint32_t> queue;
+  level_[s] = 0;
+  queue.push_back(s);
+  while (!queue.empty()) {
+    const std::uint32_t u = queue.front();
+    queue.pop_front();
+    for (std::size_t id : head_[u]) {
+      const std::uint32_t v = to_[id];
+      if (cap_[id] > 0 && level_[v] == kNoLevel) {
+        level_[v] = level_[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return level_[t] != kNoLevel;
+}
+
+std::int64_t FlowNetwork::dfs_augment(std::uint32_t u, std::uint32_t t,
+                                      std::int64_t pushed) {
+  if (u == t) return pushed;
+  for (std::size_t& i = iter_[u]; i < head_[u].size(); ++i) {
+    const std::size_t id = head_[u][i];
+    const std::uint32_t v = to_[id];
+    if (cap_[id] > 0 && level_[v] == level_[u] + 1) {
+      const std::int64_t got =
+          dfs_augment(v, t, std::min(pushed, cap_[id]));
+      if (got > 0) {
+        cap_[id] -= got;
+        cap_[id ^ 1] += got;
+        return got;
+      }
+    }
+  }
+  return 0;
+}
+
+std::int64_t FlowNetwork::max_flow(std::uint32_t s, std::uint32_t t,
+                                   std::int64_t limit) {
+  FTR_EXPECTS(s < head_.size() && t < head_.size());
+  FTR_EXPECTS(s != t);
+  std::int64_t flow = 0;
+  while (flow < limit && bfs_levels(s, t)) {
+    iter_.assign(head_.size(), 0);
+    while (flow < limit) {
+      const std::int64_t got = dfs_augment(s, t, limit - flow);
+      if (got == 0) break;
+      flow += got;
+    }
+  }
+  return flow;
+}
+
+std::int64_t FlowNetwork::flow_on(std::size_t id) const {
+  FTR_EXPECTS(id < cap_.size());
+  return init_[id] - cap_[id];
+}
+
+std::int64_t FlowNetwork::residual(std::size_t id) const {
+  FTR_EXPECTS(id < cap_.size());
+  return cap_[id];
+}
+
+std::vector<char> FlowNetwork::residual_reachable(std::uint32_t s) const {
+  FTR_EXPECTS(s < head_.size());
+  std::vector<char> seen(head_.size(), 0);
+  std::deque<std::uint32_t> queue;
+  seen[s] = 1;
+  queue.push_back(s);
+  while (!queue.empty()) {
+    const std::uint32_t u = queue.front();
+    queue.pop_front();
+    for (std::size_t id : head_[u]) {
+      const std::uint32_t v = to_[id];
+      if (cap_[id] > 0 && !seen[v]) {
+        seen[v] = 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+void FlowNetwork::consume_unit(std::size_t id) {
+  FTR_EXPECTS(id < cap_.size());
+  FTR_EXPECTS_MSG(flow_on(id) >= 1, "edge " << id << " carries no flow");
+  cap_[id] += 1;
+  cap_[id ^ 1] -= 1;
+}
+
+}  // namespace ftr

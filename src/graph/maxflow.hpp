@@ -1,0 +1,68 @@
+// Dinic max-flow on small integer-capacity networks.
+//
+// This is the Menger engine behind everything in ftroute: node connectivity,
+// minimum vertex cuts, internally node-disjoint paths, and the tree routings
+// of Lemma 2 are all computed on vertex-split unit-capacity networks built on
+// top of this class. Unit capacities make Dinic run in O(E * sqrt(V)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ftr {
+
+/// A directed flow network with integer capacities. Nodes are added
+/// implicitly by referencing them in add_edge (ids must be < node_count
+/// passed at construction).
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(std::size_t num_nodes);
+
+  std::size_t num_nodes() const { return head_.size(); }
+
+  /// Adds a directed edge u -> v with the given capacity; returns the edge
+  /// id (the paired reverse edge has id ^ 1). Capacity must be >= 0.
+  std::size_t add_edge(std::uint32_t u, std::uint32_t v, std::int64_t capacity);
+
+  /// Runs Dinic from s to t, augmenting up to `limit` units (default: no
+  /// limit). Returns the flow value found. Can be called repeatedly; flow
+  /// accumulates.
+  std::int64_t max_flow(std::uint32_t s, std::uint32_t t,
+                        std::int64_t limit = kNoLimit);
+
+  /// Flow currently on edge `id` (forward edges only meaningful).
+  std::int64_t flow_on(std::size_t id) const;
+
+  /// Residual capacity of edge `id`.
+  std::int64_t residual(std::size_t id) const;
+
+  /// Nodes reachable from s in the residual graph after max_flow; this is
+  /// the source side of a minimum cut.
+  std::vector<char> residual_reachable(std::uint32_t s) const;
+
+  /// Edge target node.
+  std::uint32_t edge_to(std::size_t id) const { return to_[id]; }
+
+  /// For flow decomposition: consume one unit of flow along edge id.
+  void consume_unit(std::size_t id);
+
+  /// Out-edge ids of node u (forward and reverse edges interleaved).
+  const std::vector<std::size_t>& out_edges(std::uint32_t u) const {
+    return head_[u];
+  }
+
+  static constexpr std::int64_t kNoLimit = INT64_MAX;
+
+ private:
+  bool bfs_levels(std::uint32_t s, std::uint32_t t);
+  std::int64_t dfs_augment(std::uint32_t u, std::uint32_t t, std::int64_t pushed);
+
+  std::vector<std::vector<std::size_t>> head_;  // per node: edge ids
+  std::vector<std::uint32_t> to_;
+  std::vector<std::int64_t> cap_;   // residual capacities
+  std::vector<std::int64_t> init_;  // original capacities (for flow_on)
+  std::vector<std::uint32_t> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace ftr

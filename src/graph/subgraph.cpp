@@ -1,0 +1,58 @@
+#include "graph/subgraph.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace ftr {
+
+Path InducedSubgraph::lift(const Path& sub_path) const {
+  Path out;
+  out.reserve(sub_path.size());
+  for (Node v : sub_path) {
+    FTR_EXPECTS(v < to_original.size());
+    out.push_back(to_original[v]);
+  }
+  return out;
+}
+
+InducedSubgraph induced_subgraph(const Graph& g, const std::vector<Node>& keep) {
+  InducedSubgraph out;
+  out.from_original.assign(g.num_nodes(), InducedSubgraph::kInvalidNode);
+  out.to_original.reserve(keep.size());
+  for (Node v : keep) {
+    FTR_EXPECTS(g.valid_node(v));
+    FTR_EXPECTS_MSG(out.from_original[v] == InducedSubgraph::kInvalidNode,
+                    "duplicate node " << v << " in induced set");
+    out.from_original[v] = static_cast<Node>(out.to_original.size());
+    out.to_original.push_back(v);
+  }
+  out.graph = Graph(out.to_original.size());
+  for (Node v : keep) {
+    for (Node w : g.neighbors(v)) {
+      const Node nv = out.from_original[v];
+      const Node nw = out.from_original[w];
+      if (nw != InducedSubgraph::kInvalidNode && nv < nw) {
+        out.graph.add_edge(nv, nw);
+      }
+    }
+  }
+  return out;
+}
+
+InducedSubgraph surviving_subgraph(const Graph& g,
+                                   const std::vector<Node>& removed) {
+  std::vector<char> gone(g.num_nodes(), 0);
+  for (Node v : removed) {
+    FTR_EXPECTS(g.valid_node(v));
+    gone[v] = 1;
+  }
+  std::vector<Node> keep;
+  keep.reserve(g.num_nodes());
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    if (!gone[v]) keep.push_back(v);
+  }
+  return induced_subgraph(g, keep);
+}
+
+}  // namespace ftr

@@ -1,0 +1,33 @@
+// Induced subgraphs with node renumbering. Unlike Graph::without_nodes
+// (which keeps ids stable for fault bookkeeping), these helpers produce a
+// compact graph over 0..k-1 plus the id mappings — what the recovery module
+// needs to re-run constructions on a degraded network.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftr {
+
+/// An induced subgraph together with the mappings between old and new ids.
+struct InducedSubgraph {
+  Graph graph;                     // nodes renumbered 0..k-1
+  std::vector<Node> to_original;   // new id -> original id
+  std::vector<Node> from_original; // original id -> new id (kInvalidNode if absent)
+
+  static constexpr Node kInvalidNode = static_cast<Node>(-1);
+
+  /// Translates a path in the subgraph back to original node ids.
+  Path lift(const Path& sub_path) const;
+};
+
+/// The subgraph induced by `keep` (must be valid, duplicate-free node ids).
+InducedSubgraph induced_subgraph(const Graph& g, const std::vector<Node>& keep);
+
+/// The subgraph induced by all nodes EXCEPT `removed` — the survivors'
+/// network after a fault event.
+InducedSubgraph surviving_subgraph(const Graph& g,
+                                   const std::vector<Node>& removed);
+
+}  // namespace ftr

@@ -1,0 +1,77 @@
+#include "routing/augmented.hpp"
+
+#include "common/contracts.hpp"
+#include "graph/connectivity.hpp"
+#include "routing/kernel.hpp"
+
+namespace ftr {
+
+const char* augment_variant_name(AugmentVariant v) {
+  switch (v) {
+    case AugmentVariant::kClique:
+      return "clique";
+    case AugmentVariant::kCycle:
+      return "cycle";
+    case AugmentVariant::kStar:
+      return "star";
+  }
+  return "?";
+}
+
+std::size_t AugmentedKernelRouting::claimed_edge_bound() const {
+  switch (variant) {
+    case AugmentVariant::kClique:
+      return static_cast<std::size_t>(t) * (t + 1) / 2;
+    case AugmentVariant::kCycle:
+      return static_cast<std::size_t>(t) + 1;
+    case AugmentVariant::kStar:
+      return static_cast<std::size_t>(t);
+  }
+  return 0;
+}
+
+AugmentedKernelRouting build_augmented_kernel(
+    const Graph& g, std::uint32_t t, std::optional<std::vector<Node>> m,
+    AugmentVariant variant) {
+  std::vector<Node> set = m ? std::move(*m) : min_vertex_cut(g);
+  FTR_EXPECTS_MSG(set.size() >= t + 1,
+                  "separating set of size " << set.size()
+                                            << " cannot host width " << t + 1);
+  FTR_EXPECTS_MSG(is_separating_set(g, set), "M does not separate the graph");
+
+  Graph augmented = g;
+  std::size_t added = 0;
+  switch (variant) {
+    case AugmentVariant::kClique:
+      for (std::size_t i = 0; i < set.size(); ++i) {
+        for (std::size_t j = i + 1; j < set.size(); ++j) {
+          if (augmented.add_edge(set[i], set[j])) ++added;
+        }
+      }
+      break;
+    case AugmentVariant::kCycle:
+      if (set.size() >= 3) {
+        for (std::size_t i = 0; i < set.size(); ++i) {
+          if (augmented.add_edge(set[i], set[(i + 1) % set.size()])) ++added;
+        }
+      } else if (set.size() == 2) {
+        if (augmented.add_edge(set[0], set[1])) ++added;
+      }
+      break;
+    case AugmentVariant::kStar:
+      for (std::size_t i = 1; i < set.size(); ++i) {
+        if (augmented.add_edge(set[0], set[i])) ++added;
+      }
+      break;
+  }
+
+  // Adding edges inside M leaves it separating, so the kernel construction
+  // applies verbatim on the augmented network.
+  KernelRouting kernel = build_kernel_routing(augmented, t, set);
+
+  return AugmentedKernelRouting{std::move(augmented), std::move(kernel.table),
+                                std::move(kernel.separating_set), added, t,
+                                variant};
+}
+
+}  // namespace ftr

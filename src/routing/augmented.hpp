@@ -1,0 +1,51 @@
+// "Changing the network" (paper Section 6): add links inside the kernel
+// concentrator until it is a clique; the kernel routing on the modified
+// network is then (3, t)-tolerant, at the price of at most t(t+1)/2 new
+// links (for a minimum separating set of size t+1). Experiment E14.
+//
+// The paper then asks (Section 6 + open problem 2) whether constant
+// tolerance is achievable for only O(t) added edges. The kCycle and kStar
+// variants probe exactly that: a cycle on M costs <= t+1 edges, a star
+// <= t. Their guarantees are *measured*, not proven — experiment E14's
+// ablation table reports what the cheaper wirings actually buy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "routing/route_table.hpp"
+
+namespace ftr {
+
+enum class AugmentVariant : std::uint8_t {
+  kClique,  // paper's construction: (3, t) proven, <= t(t+1)/2 edges
+  kCycle,   // open-problem-2 probe: <= t+1 edges, measured tolerance
+  kStar,    // open-problem-2 probe: <= t edges (hub = first member)
+};
+
+const char* augment_variant_name(AugmentVariant v);
+
+struct AugmentedKernelRouting {
+  Graph augmented_graph;  // original network plus the added concentrator links
+  RoutingTable table;     // kernel routing on the augmented network
+  std::vector<Node> m;
+  std::size_t added_edges = 0;
+  std::uint32_t t = 0;
+  AugmentVariant variant = AugmentVariant::kClique;
+
+  /// The paper's price bound for the clique on a minimum separating set:
+  /// t(t+1)/2. Cycle: t+1. Star: t.
+  std::size_t claimed_edge_bound() const;
+};
+
+/// Builds the augmented kernel routing. Uses a minimum vertex cut as the
+/// concentrator when `m` is absent; with t = kappa-1 that cut has exactly
+/// t+1 members and the per-variant edge bounds apply.
+AugmentedKernelRouting build_augmented_kernel(
+    const Graph& g, std::uint32_t t,
+    std::optional<std::vector<Node>> m = std::nullopt,
+    AugmentVariant variant = AugmentVariant::kClique);
+
+}  // namespace ftr

@@ -1,0 +1,52 @@
+// The bipolar constructions (paper Section 5, Fig. 3).
+//
+// Both need the two-trees property: roots r1, r2 whose depth-2
+// neighborhoods form disjoint trees. With M1 = Gamma(r1), M2 = Gamma(r2),
+// M = M1 u M2 and Gamma^1_i / Gamma^2_i the neighbor sets of the members,
+//
+// Unidirectional bipolar (Theorem 20, (4, t)-tolerant):
+//   B-POL 1: tree routing from every x not in M1 to M1   (direction x -> M1)
+//   B-POL 2: tree routing from every x not in M2 to M2   (direction x -> M2)
+//   B-POL 3: tree routings from every m in M1 to every Gamma^1_j
+//   B-POL 4: tree routings from every m in M2 to every Gamma^2_j
+//   B-POL 5: for pairs routed in only one direction, mirror the path
+//   B-POL 6: direct edge routes
+//
+// Bidirectional bipolar (Theorem 23, (5, t)-tolerant):
+//   2B-POL 1: tree routing from every x not in M u Gamma^1 to M1
+//   2B-POL 2: tree routing from every x not in M2 u Gamma^2 to M2
+//   2B-POL 3: tree routings from every m in M1 to every Gamma^1_j
+//   2B-POL 4: tree routings from every m in M2 to every Gamma^2_j
+//   2B-POL 5: direct edge routes
+// (The domain exclusions are exactly what keeps the bidirectional closure
+// conflict-free; the table's conflict checker verifies this at build time.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/two_trees.hpp"
+#include "graph/graph.hpp"
+#include "routing/route_table.hpp"
+
+namespace ftr {
+
+struct BipolarRouting {
+  RoutingTable table;
+  TwoTreesWitness roots{0, 0};
+  std::vector<Node> m1;  // Gamma(r1)
+  std::vector<Node> m2;  // Gamma(r2)
+  std::uint32_t t = 0;
+};
+
+/// Unidirectional bipolar routing; (4, t)-tolerant per Theorem 20.
+/// Preconditions: `roots` is a valid two-trees witness and g is
+/// (t+1)-connected.
+BipolarRouting build_bipolar_unidirectional(const Graph& g, std::uint32_t t,
+                                            const TwoTreesWitness& roots);
+
+/// Bidirectional bipolar routing; (5, t)-tolerant per Theorem 23.
+BipolarRouting build_bipolar_bidirectional(const Graph& g, std::uint32_t t,
+                                           const TwoTreesWitness& roots);
+
+}  // namespace ftr

@@ -1,0 +1,41 @@
+// The circular construction (paper Section 4, Fig. 1).
+//
+// Given a neighborhood set M = {m_0, ..., m_{K-1}} (independent nodes with
+// pairwise disjoint neighbor sets), let Gamma_i = Gamma(m_i). The
+// bidirectional circular routing consists of
+//   CIRC 1: tree routings from every x outside Gamma = U Gamma_i to every
+//           set Gamma_i,
+//   CIRC 2: tree routings from every x in Gamma_i to the "forward half"
+//           sets Gamma_{(i+j) mod K}, 1 <= j <= ceil(K/2) - 1,
+//   CIRC 3: direct edge routes.
+// K must be odd — the forward-half restriction then never defines a pair of
+// conflicting routings between two shells (the paper's remark after CIRC 2).
+//
+// Guarantee reproduced by experiment E3 (Theorem 10): with K >= t+1 (t even)
+// or K >= t+2 (t odd), the routing is (6, t)-tolerant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "routing/route_table.hpp"
+
+namespace ftr {
+
+struct CircularRouting {
+  RoutingTable table;
+  std::vector<Node> m;  // the concentrator, in circular order
+  std::uint32_t t = 0;
+};
+
+/// Builds the circular routing over the first K members of
+/// `neighborhood_set` where K is the smallest valid size >= the Theorem 10
+/// requirement, unless `k_override` asks for a specific (odd) K.
+/// Preconditions: the set is a neighborhood set, large enough, and the graph
+/// is (t+1)-connected so the tree routings exist.
+CircularRouting build_circular_routing(const Graph& g, std::uint32_t t,
+                                       const std::vector<Node>& neighborhood_set,
+                                       std::uint32_t k_override = 0);
+
+}  // namespace ftr

@@ -1,0 +1,28 @@
+// Hypercube bit-fixing routings — the Dolev et al. (1984) baseline family
+// the paper cites in its introduction: a bidirectional hypercube routing
+// with surviving diameter 3 and a unidirectional one with diameter 2.
+//
+// The 1984 construction is not restated in Peleg & Simons, so we implement
+// the standard ascending-index bit-fixing scheme and *measure* its surviving
+// diameter (experiment E15); see DESIGN.md §2 on this substitution.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "routing/route_table.hpp"
+
+namespace ftr {
+
+/// rho(x, y) walks from x to y flipping the differing bits in ascending
+/// index order. As a unidirectional routing, rho(x,y) and rho(y,x) differ
+/// (each starts correcting at its own source).
+RoutingTable build_bitfixing_unidirectional(const Graph& hypercube,
+                                            std::size_t dim);
+
+/// Bidirectional variant: the unordered pair's path is generated from the
+/// numerically smaller endpoint, then shared by both directions.
+RoutingTable build_bitfixing_bidirectional(const Graph& hypercube,
+                                           std::size_t dim);
+
+}  // namespace ftr

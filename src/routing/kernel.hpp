@@ -1,0 +1,38 @@
+// The basic kernel construction (paper Section 3; originally Dolev, Halpern,
+// Simons & Strong 1984).
+//
+// Given a separating set M of >= t+1 nodes, the bidirectional kernel routing
+// consists of
+//   KERNEL 1: a tree routing (width t+1) from every node x not in M to M,
+//   KERNEL 2: a direct edge route between any two neighboring nodes.
+//
+// Guarantees reproduced by experiments E1/E2:
+//   Theorem 3: (2t, t)-tolerant.
+//   Theorem 4: (4, floor(t/2))-tolerant.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "routing/route_table.hpp"
+
+namespace ftr {
+
+struct KernelRouting {
+  RoutingTable table;
+  std::vector<Node> separating_set;  // the concentrator M
+  std::uint32_t t = 0;               // tolerance parameter (width - 1)
+};
+
+/// Builds the kernel routing for tolerance parameter t (the graph must be at
+/// least (t+1)-connected so the tree routings exist). If `separating_set` is
+/// not provided, a minimum vertex cut is used, matching the paper's "choose
+/// a minimal separating set"; a provided set must be separating and have at
+/// least t+1 members.
+KernelRouting build_kernel_routing(
+    const Graph& g, std::uint32_t t,
+    std::optional<std::vector<Node>> separating_set = std::nullopt);
+
+}  // namespace ftr

@@ -1,0 +1,97 @@
+#include "routing/multi_route_table.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace ftr {
+
+MultiRouteTable::MultiRouteTable(std::size_t num_nodes,
+                                 std::size_t max_routes_per_pair,
+                                 bool bidirectional)
+    : n_(num_nodes), cap_(max_routes_per_pair), bidirectional_(bidirectional) {
+  FTR_EXPECTS(num_nodes >= 2);
+}
+
+void MultiRouteTable::add_route(const Path& path) {
+  FTR_EXPECTS_MSG(path.size() >= 2, "a route needs at least two nodes");
+  const Node x = path.front();
+  const Node y = path.back();
+  FTR_EXPECTS(x < n_ && y < n_ && x != y);
+
+  auto append = [this](std::uint64_t k, const Path& p) {
+    auto& bucket = routes_[k];
+    if (std::find(bucket.begin(), bucket.end(), p) != bucket.end()) return;
+    FTR_EXPECTS_MSG(cap_ == 0 || bucket.size() < cap_,
+                    "pair (" << p.front() << "," << p.back()
+                             << ") exceeds the cap of " << cap_
+                             << " parallel routes");
+    bucket.push_back(p);
+  };
+
+  append(key(x, y), path);
+  if (bidirectional_) append(key(y, x), Path(path.rbegin(), path.rend()));
+}
+
+bool MultiRouteTable::try_add_route(const Path& path) {
+  FTR_EXPECTS_MSG(path.size() >= 2, "a route needs at least two nodes");
+  const Node x = path.front();
+  const Node y = path.back();
+  FTR_EXPECTS(x < n_ && y < n_ && x != y);
+
+  auto status = [this](std::uint64_t k, const Path& p) {
+    const auto it = routes_.find(k);
+    if (it == routes_.end()) return 0;  // absent: room
+    const auto& bucket = it->second;
+    if (std::find(bucket.begin(), bucket.end(), p) != bucket.end())
+      return 1;  // duplicate
+    return (cap_ != 0 && bucket.size() >= cap_) ? 2 : 0;  // full : room
+  };
+
+  const Path rev(path.rbegin(), path.rend());
+  const int fwd = status(key(x, y), path);
+  const int bwd = bidirectional_ ? status(key(y, x), rev) : 1;
+  if (fwd == 2 || bwd == 2) return false;
+  if (fwd == 0) routes_[key(x, y)].push_back(path);
+  if (bidirectional_ && bwd == 0) routes_[key(y, x)].push_back(rev);
+  return true;
+}
+
+const std::vector<Path>& MultiRouteTable::routes(Node x, Node y) const {
+  FTR_EXPECTS(x < n_ && y < n_);
+  const auto it = routes_.find(key(x, y));
+  return it == routes_.end() ? empty_ : it->second;
+}
+
+std::size_t MultiRouteTable::total_routes() const {
+  std::size_t total = 0;
+  for (const auto& [k, bucket] : routes_) {
+    (void)k;
+    total += bucket.size();
+  }
+  return total;
+}
+
+void MultiRouteTable::for_each_pair(
+    const std::function<void(Node, Node, const std::vector<Path>&)>& fn) const {
+  for (const auto& [k, bucket] : routes_) {
+    fn(static_cast<Node>(k / n_), static_cast<Node>(k % n_), bucket);
+  }
+}
+
+void MultiRouteTable::validate(const Graph& g) const {
+  FTR_EXPECTS(g.num_nodes() == n_);
+  for (const auto& [k, bucket] : routes_) {
+    const Node x = static_cast<Node>(k / n_);
+    const Node y = static_cast<Node>(k % n_);
+    FTR_ASSERT_MSG(cap_ == 0 || bucket.size() <= cap_,
+                   "pair (" << x << "," << y << ") over cap");
+    for (const Path& p : bucket) {
+      FTR_ASSERT(p.front() == x && p.back() == y);
+      FTR_ASSERT_MSG(g.is_simple_path(p),
+                     "route " << path_to_string(p) << " is not a simple path");
+    }
+  }
+}
+
+}  // namespace ftr

@@ -1,0 +1,66 @@
+// Multiroutings (paper Section 6): a generalization of RoutingTable that
+// allows up to `max_routes_per_pair` parallel routes between a pair. The
+// surviving graph gets an edge x -> y iff at least one of the routes
+// survives. The per-pair cap turns the section's "at most two parallel
+// routes" / "t+1 parallel routes" budgets into checked invariants.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftr {
+
+class MultiRouteTable {
+ public:
+  /// `max_routes_per_pair` == 0 means unlimited.
+  MultiRouteTable(std::size_t num_nodes, std::size_t max_routes_per_pair,
+                  bool bidirectional = true);
+
+  std::size_t num_nodes() const { return n_; }
+  bool bidirectional() const { return bidirectional_; }
+  std::size_t max_routes_per_pair() const { return cap_; }
+
+  /// Appends a route for (path.front(), path.back()); mirrored for the
+  /// reverse pair when bidirectional. Duplicate paths are ignored; exceeding
+  /// the per-pair cap throws.
+  void add_route(const Path& path);
+
+  /// Like add_route but drops the path (returns false) when either direction
+  /// of the pair is at capacity, instead of throwing. Duplicates return true
+  /// without change. Used by the MULT construction, whose overlapping shells
+  /// naturally produce more candidate routes than the two-route budget.
+  bool try_add_route(const Path& path);
+
+  /// All routes for the ordered pair (x, y); empty if none.
+  const std::vector<Path>& routes(Node x, Node y) const;
+
+  /// Number of ordered pairs that have at least one route.
+  std::size_t num_routed_pairs() const { return routes_.size(); }
+
+  /// Total number of (pair, route) entries.
+  std::size_t total_routes() const;
+
+  void for_each_pair(
+      const std::function<void(Node, Node, const std::vector<Path>&)>& fn) const;
+
+  /// Checks all paths are simple paths of g with matching endpoints and the
+  /// per-pair cap holds.
+  void validate(const Graph& g) const;
+
+ private:
+  std::uint64_t key(Node x, Node y) const {
+    return static_cast<std::uint64_t>(x) * n_ + y;
+  }
+
+  std::size_t n_;
+  std::size_t cap_;
+  bool bidirectional_;
+  std::unordered_map<std::uint64_t, std::vector<Path>> routes_;
+  std::vector<Path> empty_;
+};
+
+}  // namespace ftr

@@ -1,0 +1,113 @@
+#include "routing/route_table.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace ftr {
+
+namespace {
+
+Path reversed(const Path& p) { return Path(p.rbegin(), p.rend()); }
+
+}  // namespace
+
+RoutingTable::RoutingTable(std::size_t num_nodes, RoutingMode mode)
+    : n_(num_nodes), mode_(mode) {
+  FTR_EXPECTS(num_nodes >= 2);
+}
+
+void RoutingTable::set_route(const Path& path) {
+  FTR_EXPECTS_MSG(path.size() >= 2, "a route needs at least two nodes");
+  const Node x = path.front();
+  const Node y = path.back();
+  FTR_EXPECTS(x < n_ && y < n_ && x != y);
+
+  auto assign = [this](std::uint64_t k, const Path& p) {
+    auto [it, inserted] = routes_.try_emplace(k, p);
+    if (!inserted) {
+      FTR_EXPECTS_MSG(it->second == p,
+                      "conflicting route for pair ("
+                          << p.front() << "," << p.back() << "): existing "
+                          << path_to_string(it->second) << " vs new "
+                          << path_to_string(p));
+    }
+  };
+
+  assign(key(x, y), path);
+  if (mode_ == RoutingMode::kBidirectional) assign(key(y, x), reversed(path));
+}
+
+bool RoutingTable::set_route_if_absent(const Path& path) {
+  FTR_EXPECTS_MSG(path.size() >= 2, "a route needs at least two nodes");
+  const Node x = path.front();
+  const Node y = path.back();
+  FTR_EXPECTS(x < n_ && y < n_ && x != y);
+  if (routes_.count(key(x, y))) return false;
+  if (mode_ == RoutingMode::kBidirectional && routes_.count(key(y, x)))
+    return false;
+  set_route(path);
+  return true;
+}
+
+const Path* RoutingTable::route(Node x, Node y) const {
+  FTR_EXPECTS(x < n_ && y < n_);
+  const auto it = routes_.find(key(x, y));
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+void RoutingTable::for_each(
+    const std::function<void(Node, Node, const Path&)>& fn) const {
+  for (const auto& [k, path] : routes_) {
+    fn(static_cast<Node>(k / n_), static_cast<Node>(k % n_), path);
+  }
+}
+
+void RoutingTable::validate(const Graph& g) const {
+  FTR_EXPECTS(g.num_nodes() == n_);
+  for (const auto& [k, path] : routes_) {
+    const Node x = static_cast<Node>(k / n_);
+    const Node y = static_cast<Node>(k % n_);
+    FTR_ASSERT_MSG(path.front() == x && path.back() == y,
+                   "route keyed (" << x << "," << y << ") holds path "
+                                   << path_to_string(path));
+    FTR_ASSERT_MSG(g.is_simple_path(path),
+                   "route " << path_to_string(path) << " is not a simple path");
+    if (mode_ == RoutingMode::kBidirectional) {
+      const Path* back = route(y, x);
+      FTR_ASSERT_MSG(back != nullptr, "bidirectional table missing reverse of ("
+                                          << x << "," << y << ")");
+      FTR_ASSERT_MSG(*back == reversed(path),
+                     "bidirectional routes for (" << x << "," << y
+                                                  << ") are not mirrored");
+    }
+  }
+}
+
+RoutingTable::Stats RoutingTable::stats() const {
+  Stats s;
+  s.ordered_pairs = routes_.size();
+  std::size_t total_hops = 0;
+  for (const auto& [k, path] : routes_) {
+    (void)k;
+    const std::size_t hops = path.size() - 1;
+    s.max_hops = std::max(s.max_hops, hops);
+    total_hops += hops;
+  }
+  s.avg_hops = routes_.empty()
+                   ? 0.0
+                   : static_cast<double>(total_hops) /
+                         static_cast<double>(routes_.size());
+  return s;
+}
+
+void install_edge_routes(RoutingTable& table, const Graph& g) {
+  for (const auto& [u, v] : g.edges()) {
+    table.set_route(Path{u, v});
+    if (table.mode() == RoutingMode::kUnidirectional) {
+      table.set_route(Path{v, u});
+    }
+  }
+}
+
+}  // namespace ftr

@@ -1,0 +1,92 @@
+// The routing function rho of the paper: a partial map from ordered node
+// pairs to fixed simple paths, with the "miserly" restriction of at most one
+// route per pair enforced structurally.
+//
+// A bidirectional table (the paper's default) stores both directions of each
+// assigned path and keeps them mirror images; a unidirectional table treats
+// rho(x,y) and rho(y,x) as independent entries (used by the unidirectional
+// bipolar routing of Section 5).
+//
+// Conflict discipline: the paper's constructions occasionally re-derive the
+// same route from two components (e.g. the direct edge between m_i^1 and r1
+// arises in every Component B-POL 3 tree routing). Re-assigning an
+// *identical* path is therefore a no-op, while assigning a *different* path
+// to an already-routed pair throws ContractViolation — this turns the
+// paper's "the reader may confirm there is at most one route between each
+// pair" remarks into machine-checked invariants.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ftr {
+
+enum class RoutingMode : std::uint8_t { kBidirectional, kUnidirectional };
+
+class RoutingTable {
+ public:
+  /// An empty table over zero nodes; any set_route fails. Exists so that
+  /// result structs (e.g. RecoveryOutcome) can default-construct.
+  RoutingTable() : n_(0), mode_(RoutingMode::kBidirectional) {}
+
+  RoutingTable(std::size_t num_nodes, RoutingMode mode);
+
+  std::size_t num_nodes() const { return n_; }
+  RoutingMode mode() const { return mode_; }
+
+  /// Assigns the route for the ordered pair (path.front(), path.back());
+  /// in bidirectional mode the reversed path is assigned to the reverse
+  /// pair as well. Path must have >= 2 nodes. Identical re-assignment is a
+  /// no-op; conflicting re-assignment throws.
+  void set_route(const Path& path);
+
+  /// Assigns only if the ordered pair has no route yet (both directions
+  /// unset in bidirectional mode). Returns true if assigned. Used by
+  /// Component B-POL 5 ("define the other direction along the same path").
+  bool set_route_if_absent(const Path& path);
+
+  /// The route for ordered pair (x, y), or nullptr if undefined.
+  const Path* route(Node x, Node y) const;
+
+  bool has_route(Node x, Node y) const { return route(x, y) != nullptr; }
+
+  /// Number of defined ordered pairs (a bidirectional assignment counts 2).
+  std::size_t num_routes() const { return routes_.size(); }
+
+  /// Iterates all defined ordered pairs as (x, y, path).
+  void for_each(const std::function<void(Node, Node, const Path&)>& fn) const;
+
+  /// Structural validation (used heavily in tests):
+  ///  * every path is a simple path of g starting/ending at its key pair,
+  ///  * bidirectional tables are symmetric with mirrored paths,
+  ///  * adjacent pairs that have a route use the direct edge if the route's
+  ///    length-1 (sanity; constructions enforce stronger rules themselves).
+  /// Throws ContractViolation on the first violation.
+  void validate(const Graph& g) const;
+
+  struct Stats {
+    std::size_t ordered_pairs = 0;
+    std::size_t max_hops = 0;   // longest route, in edges
+    double avg_hops = 0.0;
+  };
+  Stats stats() const;
+
+ private:
+  std::uint64_t key(Node x, Node y) const {
+    return static_cast<std::uint64_t>(x) * n_ + y;
+  }
+
+  std::size_t n_;
+  RoutingMode mode_;
+  std::unordered_map<std::uint64_t, Path> routes_;
+};
+
+/// Installs a direct-edge route for every edge of g (Components KERNEL 2,
+/// CIRC 3, T-CIRC 4, B-POL 6, 2B-POL 5, MULT 3 all share this shape).
+void install_edge_routes(RoutingTable& table, const Graph& g);
+
+}  // namespace ftr

@@ -1,0 +1,166 @@
+#include "routing/serialization.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace ftr {
+
+void save_routing_table(const RoutingTable& table, std::ostream& os) {
+  os << "ftroute-table v1 " << table.num_nodes() << ' '
+     << (table.mode() == RoutingMode::kBidirectional ? "bidirectional"
+                                                     : "unidirectional")
+     << '\n';
+  table.for_each([&](Node x, Node y, const Path& path) {
+    // Bidirectional tables store mirrored pairs; emit each path once.
+    if (table.mode() == RoutingMode::kBidirectional && x > y) return;
+    os << "route";
+    for (Node v : path) os << ' ' << v;
+    os << '\n';
+    (void)x;
+    (void)y;
+  });
+  os << "end\n";
+}
+
+std::string routing_table_to_string(const RoutingTable& table) {
+  std::ostringstream os;
+  save_routing_table(table, os);
+  return os.str();
+}
+
+RoutingTable load_routing_table(std::istream& is) {
+  std::string line;
+  // Header (skipping blank/comment lines).
+  std::string magic, version, mode_str;
+  std::size_t n = 0;
+  bool have_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    ls >> magic >> version >> n >> mode_str;
+    FTR_EXPECTS_MSG(!ls.fail() && magic == "ftroute-table" && version == "v1",
+                    "bad header line: '" << line << "'");
+    FTR_EXPECTS_MSG(mode_str == "bidirectional" || mode_str == "unidirectional",
+                    "bad mode '" << mode_str << "'");
+    FTR_EXPECTS_MSG(n >= 2, "table needs at least 2 nodes");
+    have_header = true;
+    break;
+  }
+  FTR_EXPECTS_MSG(have_header, "missing header");
+
+  RoutingTable table(n, mode_str == "bidirectional"
+                            ? RoutingMode::kBidirectional
+                            : RoutingMode::kUnidirectional);
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    FTR_EXPECTS_MSG(tag == "route", "unexpected line: '" << line << "'");
+    Path path;
+    std::uint64_t v;
+    while (ls >> v) {
+      FTR_EXPECTS_MSG(v < n, "node " << v << " out of range in '" << line
+                                     << "'");
+      path.push_back(static_cast<Node>(v));
+    }
+    FTR_EXPECTS_MSG(path.size() >= 2, "truncated route: '" << line << "'");
+    table.set_route(path);
+  }
+  FTR_EXPECTS_MSG(saw_end, "missing 'end' terminator");
+  return table;
+}
+
+RoutingTable routing_table_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_routing_table(is);
+}
+
+void save_multi_route_table(const MultiRouteTable& table, std::ostream& os) {
+  os << "ftroute-multitable v1 " << table.num_nodes() << ' '
+     << table.max_routes_per_pair() << ' '
+     << (table.bidirectional() ? "bidirectional" : "unidirectional") << '\n';
+  table.for_each_pair([&](Node x, Node y, const std::vector<Path>& routes) {
+    // Bidirectional tables mirror every path; emit each once from the
+    // smaller source (palindromic-endpoint duplicates cannot occur since
+    // x != y always).
+    if (table.bidirectional() && x > y) return;
+    (void)x;
+    (void)y;
+    for (const Path& p : routes) {
+      os << "route";
+      for (Node v : p) os << ' ' << v;
+      os << '\n';
+    }
+  });
+  os << "end\n";
+}
+
+std::string multi_route_table_to_string(const MultiRouteTable& table) {
+  std::ostringstream os;
+  save_multi_route_table(table, os);
+  return os.str();
+}
+
+MultiRouteTable load_multi_route_table(std::istream& is) {
+  std::string line;
+  std::string magic, version, mode_str;
+  std::size_t n = 0;
+  std::size_t cap = 0;
+  bool have_header = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    ls >> magic >> version >> n >> cap >> mode_str;
+    FTR_EXPECTS_MSG(!ls.fail() && magic == "ftroute-multitable" &&
+                        version == "v1",
+                    "bad multitable header: '" << line << "'");
+    FTR_EXPECTS_MSG(mode_str == "bidirectional" || mode_str == "unidirectional",
+                    "bad mode '" << mode_str << "'");
+    FTR_EXPECTS_MSG(n >= 2, "table needs at least 2 nodes");
+    have_header = true;
+    break;
+  }
+  FTR_EXPECTS_MSG(have_header, "missing multitable header");
+
+  MultiRouteTable table(n, cap, mode_str == "bidirectional");
+  bool saw_end = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "end") {
+      saw_end = true;
+      break;
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    FTR_EXPECTS_MSG(tag == "route", "unexpected line: '" << line << "'");
+    Path path;
+    std::uint64_t v;
+    while (ls >> v) {
+      FTR_EXPECTS_MSG(v < n, "node " << v << " out of range in '" << line
+                                     << "'");
+      path.push_back(static_cast<Node>(v));
+    }
+    FTR_EXPECTS_MSG(path.size() >= 2, "truncated route: '" << line << "'");
+    table.add_route(path);
+  }
+  FTR_EXPECTS_MSG(saw_end, "missing 'end' terminator");
+  return table;
+}
+
+MultiRouteTable multi_route_table_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_multi_route_table(is);
+}
+
+}  // namespace ftr

@@ -1,0 +1,43 @@
+// Route-table persistence. The paper's deployment model computes routing
+// tables once, offline, and distributes them; this module provides the
+// stable text format for that hand-off.
+//
+// Format (line-oriented, '#' comments allowed):
+//   ftroute-table v1 <num_nodes> <bidirectional|unidirectional>
+//   route <n0> <n1> ... <nk>          # one per stored ordered pair
+//   end
+// Bidirectional tables serialize each unordered pair once (the direction
+// with the smaller source first); load reconstructs the mirror.
+// Multiroute tables use the analogous format with header
+//   ftroute-multitable v1 <num_nodes> <cap> <bidirectional|unidirectional>
+// and the same route lines (each stored path emitted once; bidirectional
+// tables emit the direction whose source is smaller, ties by the path).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "routing/multi_route_table.hpp"
+#include "routing/route_table.hpp"
+
+namespace ftr {
+
+/// Writes the table to a stream in the v1 text format.
+void save_routing_table(const RoutingTable& table, std::ostream& os);
+
+/// Serializes to a string (convenience over save_routing_table).
+std::string routing_table_to_string(const RoutingTable& table);
+
+/// Parses a v1 text table. Throws ContractViolation on malformed input
+/// (bad header, truncated routes, out-of-range nodes, missing "end").
+RoutingTable load_routing_table(std::istream& is);
+
+RoutingTable routing_table_from_string(const std::string& text);
+
+/// Multiroute variants of the above.
+void save_multi_route_table(const MultiRouteTable& table, std::ostream& os);
+std::string multi_route_table_to_string(const MultiRouteTable& table);
+MultiRouteTable load_multi_route_table(std::istream& is);
+MultiRouteTable multi_route_table_from_string(const std::string& text);
+
+}  // namespace ftr

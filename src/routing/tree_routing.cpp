@@ -1,0 +1,73 @@
+#include "routing/tree_routing.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/contracts.hpp"
+#include "graph/connectivity.hpp"
+
+namespace ftr {
+
+std::vector<Node> TreeRouting::endpoints() const {
+  std::vector<Node> out;
+  out.reserve(paths.size());
+  for (const Path& p : paths) out.push_back(p.back());
+  return out;
+}
+
+TreeRouting build_tree_routing(const Graph& g, Node x,
+                               const std::vector<Node>& target_set,
+                               std::uint32_t width) {
+  FTR_EXPECTS(width >= 1);
+  auto paths = disjoint_paths_to_set(g, x, target_set);
+  FTR_EXPECTS_MSG(paths.size() >= width,
+                  "only " << paths.size() << " disjoint paths from " << x
+                          << " to the target set; " << width << " required");
+
+  // disjoint_paths_to_set returns direct-edge paths first; keep that prefix
+  // and order the rest shortest-first, then trim to the requested width.
+  const auto direct_end = std::find_if(
+      paths.begin(), paths.end(), [](const Path& p) { return p.size() != 2; });
+  std::sort(direct_end, paths.end(), [](const Path& a, const Path& b) {
+    return a.size() < b.size();
+  });
+  paths.resize(width);
+
+  TreeRouting tr{x, std::move(paths)};
+  FTR_ENSURES(validate_tree_routing(g, tr, target_set));
+  return tr;
+}
+
+bool validate_tree_routing(const Graph& g, const TreeRouting& tr,
+                           const std::vector<Node>& target_set) {
+  const std::unordered_set<Node> m_set(target_set.begin(), target_set.end());
+  if (m_set.count(tr.source)) return false;
+
+  std::unordered_set<Node> used_endpoints;
+  std::unordered_set<Node> used_internal;
+  for (const Path& p : tr.paths) {
+    if (p.size() < 2) return false;
+    if (p.front() != tr.source) return false;
+    if (!g.is_simple_path(p)) return false;
+    if (!m_set.count(p.back())) return false;
+    if (!used_endpoints.insert(p.back()).second) return false;  // dup target
+    for (std::size_t i = 1; i + 1 < p.size(); ++i) {
+      if (m_set.count(p[i])) return false;  // must stop at first M node
+      if (!used_internal.insert(p[i]).second) return false;  // not disjoint
+    }
+    // Direct-edge rule: a chosen endpoint adjacent to x is reached by the
+    // edge itself.
+    if (g.has_edge(tr.source, p.back()) && p.size() != 2) return false;
+  }
+  // Endpoints must not appear as internal nodes of other paths.
+  for (Node e : used_endpoints) {
+    if (used_internal.count(e)) return false;
+  }
+  return true;
+}
+
+void install_tree_routing(RoutingTable& table, const TreeRouting& tr) {
+  for (const Path& p : tr.paths) table.set_route(p);
+}
+
+}  // namespace ftr

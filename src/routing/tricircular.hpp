@@ -1,0 +1,53 @@
+// The tri-circular construction (paper Section 4, Fig. 2).
+//
+// Partition a neighborhood set M of size K = 3k into three circular
+// components M^0, M^1, M^2. The bidirectional tri-circular routing consists
+// of
+//   T-CIRC 1: tree routings from every x outside Gamma to every shell
+//             Gamma_i^j,
+//   T-CIRC 2: tree routings from every x in Gamma_i^j forward within its own
+//             component: Gamma^j_{(i+l) mod k} for 1 <= l <= forward window,
+//   T-CIRC 3: tree routings from every x in Gamma_i^j to every shell of the
+//             next component Gamma^{(j+1) mod 3},
+//   T-CIRC 4: direct edge routes.
+//
+// Two variants, both reproduced by experiments E4/E5:
+//   Full (Theorem 13):    K = 6t+9 (k = 2t+3, window t+1)  -> (4, t)-tolerant.
+//   Compact (Remark 14):  K = 3t+3 or 3t+6 (k = t+1 / t+2,
+//                         window ceil(k/2)-1)               -> (5, t)-tolerant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "routing/route_table.hpp"
+
+namespace ftr {
+
+enum class TriCircularVariant : std::uint8_t {
+  kFull,     // Theorem 13: K = 6t+9, diameter bound 4
+  kCompact,  // Remark 14:  K = 3t+3 (t even) / 3t+6 (t odd), bound 5
+};
+
+struct TriCircularRouting {
+  RoutingTable table;
+  std::vector<Node> m;  // concatenation of M^0, M^1, M^2
+  std::uint32_t t = 0;
+  std::uint32_t component_size = 0;  // k = K/3
+  TriCircularVariant variant = TriCircularVariant::kFull;
+
+  /// Diameter bound guaranteed by the paper for this variant.
+  std::uint32_t claimed_bound() const {
+    return variant == TriCircularVariant::kFull ? 4u : 5u;
+  }
+};
+
+/// Builds the tri-circular routing over the first K members of
+/// `neighborhood_set`, K determined by the variant and t. Preconditions as
+/// in build_circular_routing.
+TriCircularRouting build_tricircular_routing(
+    const Graph& g, std::uint32_t t, const std::vector<Node>& neighborhood_set,
+    TriCircularVariant variant = TriCircularVariant::kFull);
+
+}  // namespace ftr

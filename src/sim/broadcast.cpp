@@ -1,0 +1,51 @@
+#include "sim/broadcast.hpp"
+
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace ftr {
+
+BroadcastResult simulate_broadcast(const Digraph& surviving, Node source,
+                                   std::uint32_t counter_bound) {
+  FTR_EXPECTS_MSG(surviving.present(source), "broadcast source is faulty");
+  BroadcastResult result;
+  result.survivors = surviving.num_present();
+
+  std::vector<char> informed(surviving.num_nodes(), 0);
+  informed[source] = 1;
+  result.informed = 1;
+
+  std::vector<Node> frontier{source};
+  std::uint32_t round = 0;
+  while (!frontier.empty()) {
+    ++round;
+    if (counter_bound != 0 && round > counter_bound) {
+      --round;  // this round's sends were suppressed by the counter
+      break;
+    }
+    std::vector<Node> next;
+    for (Node u : frontier) {
+      // A newly informed node forwards along every one of its routes.
+      for (Node v : surviving.successors(u)) {
+        ++result.messages_sent;
+        if (!informed[v]) {
+          informed[v] = 1;
+          ++result.informed;
+          next.push_back(v);
+        }
+      }
+    }
+    if (next.empty()) {
+      --round;  // final round informed nobody new
+      frontier.clear();
+      break;
+    }
+    frontier = std::move(next);
+  }
+  result.rounds = round;
+  result.complete = result.informed == result.survivors;
+  return result;
+}
+
+}  // namespace ftr

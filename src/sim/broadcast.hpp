@@ -1,0 +1,32 @@
+// The route-counter broadcast protocol from the paper's introduction: to
+// rebuild routing tables after faults, a node broadcasts along all of its
+// surviving routes; each forwarded copy carries a counter incremented per
+// route traversal and is discarded once the counter exceeds the known bound
+// on the surviving diameter. The number of broadcast rounds is therefore
+// bounded by diam R(G, rho)/F — experiment E16 validates exactly that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+
+namespace ftr {
+
+struct BroadcastResult {
+  std::uint32_t rounds = 0;         // rounds until no new node was informed
+  std::size_t informed = 0;         // nodes that received the message
+  std::size_t survivors = 0;        // non-faulty nodes
+  std::uint64_t messages_sent = 0;  // total route traversals
+  bool complete = false;            // informed == survivors
+};
+
+/// Simulates the protocol on a surviving route graph from `source` with the
+/// given counter bound: in round r, every node first informed in round r-1
+/// forwards along all of its routes with counter r (discarded if r exceeds
+/// `counter_bound`). `counter_bound` = 0 means unbounded.
+BroadcastResult simulate_broadcast(const Digraph& surviving, Node source,
+                                   std::uint32_t counter_bound = 0);
+
+}  // namespace ftr

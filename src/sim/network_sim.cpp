@@ -1,0 +1,102 @@
+#include "sim/network_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/contracts.hpp"
+#include "fault/surviving.hpp"
+#include "graph/bfs.hpp"
+
+namespace ftr {
+
+namespace {
+
+struct HopCounts {
+  std::uint32_t route_hops;
+  std::uint64_t edge_hops;
+  bool delivered;
+};
+
+// BFS over the surviving route graph minimizing route traversals; edge hops
+// are accumulated along the BFS tree path actually taken (a realistic
+// delivery, not necessarily edge-optimal).
+HopCounts route_message(const Digraph& surviving, const RoutingTable& table,
+                        Node source, Node target) {
+  if (source == target) return {0, 0, true};
+  const std::size_t n = surviving.num_nodes();
+  std::vector<Node> parent(n, static_cast<Node>(n));
+  std::deque<Node> queue;
+  parent[source] = source;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const Node u = queue.front();
+    queue.pop_front();
+    for (Node v : surviving.successors(u)) {
+      if (parent[v] != static_cast<Node>(n)) continue;
+      parent[v] = u;
+      if (v == target) {
+        std::uint32_t route_hops = 0;
+        std::uint64_t edge_hops = 0;
+        for (Node w = target; w != source; w = parent[w]) {
+          ++route_hops;
+          const Path* leg = table.route(parent[w], w);
+          FTR_ASSERT_MSG(leg != nullptr, "surviving arc without a route");
+          edge_hops += leg->size() - 1;
+        }
+        return {route_hops, edge_hops, true};
+      }
+      queue.push_back(v);
+    }
+  }
+  return {0, 0, false};
+}
+
+}  // namespace
+
+DeliveryStats measure_delivery(const RoutingTable& table,
+                               const std::vector<Node>& faults,
+                               std::size_t sample_pairs, Rng& rng) {
+  const Digraph surviving = surviving_graph(table, faults);
+  const auto nodes = surviving.present_nodes();
+  DeliveryStats stats;
+  if (nodes.size() < 2) return stats;
+
+  std::uint64_t total_route_hops = 0;
+  std::uint64_t total_edge_hops = 0;
+
+  auto run_pair = [&](Node s, Node t) {
+    ++stats.pairs_sampled;
+    const HopCounts hc = route_message(surviving, table, s, t);
+    if (!hc.delivered) return;
+    ++stats.delivered;
+    total_route_hops += hc.route_hops;
+    total_edge_hops += hc.edge_hops;
+    stats.max_route_hops = std::max(stats.max_route_hops, hc.route_hops);
+    stats.max_edge_hops = std::max(stats.max_edge_hops, hc.edge_hops);
+  };
+
+  if (sample_pairs == 0) {
+    for (Node s : nodes) {
+      for (Node t : nodes) {
+        if (s != t) run_pair(s, t);
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < sample_pairs; ++i) {
+      const Node s = nodes[rng.below(nodes.size())];
+      Node t = nodes[rng.below(nodes.size())];
+      while (t == s) t = nodes[rng.below(nodes.size())];
+      run_pair(s, t);
+    }
+  }
+
+  if (stats.delivered > 0) {
+    stats.avg_route_hops = static_cast<double>(total_route_hops) /
+                           static_cast<double>(stats.delivered);
+    stats.avg_edge_hops = static_cast<double>(total_edge_hops) /
+                          static_cast<double>(stats.delivered);
+  }
+  return stats;
+}
+
+}  // namespace ftr

@@ -1,0 +1,36 @@
+// End-to-end message delivery under the paper's cost model: transmission
+// time is dominated by per-route endpoint processing (encryption, error
+// correction), so delivery cost ~ number of routes traversed, and the
+// surviving diameter is the worst case. This module measures both the
+// route-hop distribution and the underlying edge-hop totals for delivered
+// messages — the systems-level view of the graph-theoretic bounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+#include "routing/route_table.hpp"
+
+namespace ftr {
+
+struct DeliveryStats {
+  std::size_t pairs_sampled = 0;
+  std::size_t delivered = 0;        // pairs connected in the surviving graph
+  double avg_route_hops = 0.0;      // mean #routes traversed (delivered only)
+  std::uint32_t max_route_hops = 0;
+  double avg_edge_hops = 0.0;       // mean total underlying edges traversed
+  std::uint64_t max_edge_hops = 0;
+};
+
+/// Samples ordered pairs of non-faulty nodes and routes a message from
+/// source to target through the surviving route graph (fewest route
+/// traversals; edge hops accumulated along the realized route sequence).
+/// `sample_pairs` = 0 measures all ordered pairs.
+DeliveryStats measure_delivery(const RoutingTable& table,
+                               const std::vector<Node>& faults,
+                               std::size_t sample_pairs, Rng& rng);
+
+}  // namespace ftr

@@ -1,0 +1,88 @@
+#include "sim/recovery.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "fault/surviving.hpp"
+#include "graph/bfs.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/subgraph.hpp"
+
+namespace ftr {
+
+ComponentwiseDiameter componentwise_surviving_diameter(
+    const Graph& g, const RoutingTable& table,
+    const std::vector<Node>& faults) {
+  FTR_EXPECTS(g.num_nodes() == table.num_nodes());
+  const Digraph r = surviving_graph(table, faults);
+  const Graph degraded = g.without_nodes(faults);
+  const auto comp = connected_components(degraded);
+  const auto survivors = r.present_nodes();
+
+  ComponentwiseDiameter out;
+  out.survivors = survivors.size();
+  // Count distinct components among survivors.
+  std::vector<std::uint32_t> ids;
+  for (Node v : survivors) ids.push_back(comp[v]);
+  std::sort(ids.begin(), ids.end());
+  out.num_components = static_cast<std::size_t>(
+      std::unique(ids.begin(), ids.end()) - ids.begin());
+
+  for (Node x : survivors) {
+    const auto dist = bfs_distances(r, x);
+    for (Node y : survivors) {
+      if (y == x || comp[y] != comp[x]) continue;
+      if (dist[y] == kUnreachable) {
+        out.worst = kUnreachable;
+        return out;
+      }
+      out.worst = std::max(out.worst, dist[y]);
+    }
+  }
+  return out;
+}
+
+RecoveryOutcome rebuild_after_faults(const Graph& g,
+                                     const std::vector<Node>& faults,
+                                     Rng& rng) {
+  FTR_EXPECTS_MSG(g.num_nodes() >= faults.size() + 3,
+                  "need at least 3 survivors to rebuild a routing");
+  const InducedSubgraph sub = surviving_subgraph(g, faults);
+
+  RecoveryOutcome out;
+  out.table = RoutingTable(g.num_nodes(), RoutingMode::kBidirectional);
+  out.survivors = sub.to_original;
+  out.survivors_connected = is_connected(sub.graph);
+  if (!out.survivors_connected) return out;
+
+  out.degraded_connectivity = node_connectivity(sub.graph);
+  if (out.degraded_connectivity == 0) return out;
+
+  const GraphProfile profile =
+      profile_graph(sub.graph, out.degraded_connectivity, rng,
+                    /*compute_diameter=*/false);
+  if (!profile.kernel_applicable && !profile.circular_applicable &&
+      !profile.bipolar_applicable) {
+    // Complete or trivial survivor network: every pair is adjacent anyway.
+    out.plan = Plan{};
+    return out;
+  }
+  PlannedRouting planned = build_planned_routing(sub.graph, profile, rng);
+  out.plan = planned.plan;
+
+  // Lift routes from subgraph ids to the original node ids.
+  RoutingTable lifted(g.num_nodes(), planned.table.mode());
+  planned.table.for_each([&](Node x, Node y, const Path& path) {
+    (void)x;
+    (void)y;
+    const Path orig = sub.lift(path);
+    if (lifted.mode() == RoutingMode::kUnidirectional ||
+        orig.front() < orig.back()) {
+      lifted.set_route(orig);
+    }
+  });
+  out.table = std::move(lifted);
+  return out;
+}
+
+}  // namespace ftr

@@ -1,0 +1,55 @@
+// Fault recovery and over-budget behavior (paper Section 7, open problem 3:
+// "Suppose that there are more than t faults ... Are there routings that
+// are well behaved so long as the network is not disconnected and that
+// continue to keep the diameter small in the connected components?").
+//
+// Two tools:
+//  * componentwise_surviving_diameter measures exactly the open problem's
+//    metric: the worst surviving-route distance between survivors that are
+//    still connected in the underlying network, even when G - F has split;
+//  * rebuild_after_faults re-runs the planner on the survivors' network —
+//    the offline version of the route-counter recomputation from Section 1
+//    — and reports the fresh guarantee the degraded network supports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/planner.hpp"
+#include "graph/graph.hpp"
+#include "routing/route_table.hpp"
+
+namespace ftr {
+
+struct ComponentwiseDiameter {
+  /// Worst surviving-route distance over ordered survivor pairs that share
+  /// a connected component of G - F; kUnreachable if some such pair cannot
+  /// route.
+  std::uint32_t worst = 0;
+  std::size_t num_components = 0;  // components among survivors
+  std::size_t survivors = 0;
+};
+
+/// The open-problem-3 metric for a routing under a (possibly over-budget)
+/// fault set.
+ComponentwiseDiameter componentwise_surviving_diameter(
+    const Graph& g, const RoutingTable& table, const std::vector<Node>& faults);
+
+struct RecoveryOutcome {
+  bool survivors_connected = false;
+  std::uint32_t degraded_connectivity = 0;  // kappa of the survivors' graph
+  Plan plan;                                // fresh plan on the survivors
+  RoutingTable table;                       // routes lifted to original ids
+  std::vector<Node> survivors;
+};
+
+/// Rebuilds a routing for the survivors' network. Requires >= 3 survivors;
+/// if they are disconnected (or the degraded network is complete/trivial so
+/// no construction applies), survivors_connected/plan reflect that and the
+/// table is empty.
+RecoveryOutcome rebuild_after_faults(const Graph& g,
+                                     const std::vector<Node>& faults,
+                                     Rng& rng);
+
+}  // namespace ftr

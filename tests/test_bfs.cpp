@@ -1,0 +1,168 @@
+#include "graph/bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+
+namespace ftr {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const auto gg = path_graph(5);
+  const auto dist = bfs_distances(gg.graph, 0);
+  for (Node v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(Bfs, DigraphRespectsDirection) {
+  Digraph d(3);
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  const auto dist = bfs_distances(d, 0);
+  EXPECT_EQ(dist[2], 2u);
+  const auto back = bfs_distances(d, 2);
+  EXPECT_EQ(back[0], kUnreachable);
+}
+
+TEST(ShortestPath, FindsPathAndEndpoints) {
+  const auto gg = cycle_graph(6);
+  const Path p = shortest_path(gg.graph, 0, 3);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.front(), 0u);
+  EXPECT_EQ(p.back(), 3u);
+  EXPECT_TRUE(gg.graph.is_simple_path(p));
+}
+
+TEST(ShortestPath, SelfIsTrivial) {
+  const auto gg = cycle_graph(4);
+  EXPECT_EQ(shortest_path(gg.graph, 2, 2), Path{2});
+}
+
+TEST(ShortestPath, EmptyWhenDisconnected) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(shortest_path(g, 0, 2).empty());
+}
+
+TEST(Distance, MatchesManual) {
+  const auto gg = grid_graph(3, 3);
+  // Manhattan distance on a grid.
+  EXPECT_EQ(distance(gg.graph, 0, 8), 4u);
+  EXPECT_EQ(distance(gg.graph, 0, 4), 2u);
+}
+
+TEST(Diameter, KnownFamilies) {
+  EXPECT_EQ(diameter(complete_graph(6).graph), 1u);
+  EXPECT_EQ(diameter(cycle_graph(8).graph), 4u);
+  EXPECT_EQ(diameter(cycle_graph(9).graph), 4u);
+  EXPECT_EQ(diameter(path_graph(7).graph), 6u);
+  EXPECT_EQ(diameter(hypercube(4).graph), 4u);
+  EXPECT_EQ(diameter(petersen_graph().graph), 2u);
+}
+
+TEST(Diameter, DisconnectedIsUnreachable) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  EXPECT_EQ(diameter(g), kUnreachable);
+}
+
+TEST(Diameter, SingleNodeIsZero) {
+  Graph g(1);
+  EXPECT_EQ(diameter(g), 0u);
+}
+
+TEST(DirectedDiameter, CycleOrientation) {
+  Digraph d(4);
+  for (Node u = 0; u < 4; ++u) d.add_arc(u, (u + 1) % 4);
+  EXPECT_EQ(diameter(d), 3u);  // directed cycle: worst pair is 3 arcs
+}
+
+TEST(DirectedDiameter, UnreachablePair) {
+  Digraph d(3);
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  EXPECT_EQ(diameter(d), kUnreachable);  // 2 cannot reach 0
+}
+
+TEST(DirectedDiameter, IgnoresAbsentNodes) {
+  Digraph d(4);
+  d.remove_node(3);  // otherwise isolated node would force kUnreachable
+  d.add_arc(0, 1);
+  d.add_arc(1, 2);
+  d.add_arc(2, 0);
+  EXPECT_EQ(diameter(d), 2u);
+}
+
+TEST(Eccentricity, CenterVsLeaf) {
+  const auto gg = path_graph(5);
+  EXPECT_EQ(eccentricity(gg.graph, 2), 2u);
+  EXPECT_EQ(eccentricity(gg.graph, 0), 4u);
+}
+
+TEST(IsConnected, Basics) {
+  EXPECT_TRUE(is_connected(cycle_graph(5).graph));
+  Graph g(3);
+  EXPECT_FALSE(is_connected(g));
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(ConnectedComponents, LabelsAndCount) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[5], comp[0]);
+  EXPECT_NE(comp[5], comp[2]);
+}
+
+TEST(Girth, KnownValues) {
+  EXPECT_EQ(girth(complete_graph(4).graph), 3u);
+  EXPECT_EQ(girth(cycle_graph(7).graph), 7u);
+  EXPECT_EQ(girth(petersen_graph().graph), 5u);
+  EXPECT_EQ(girth(hypercube(3).graph), 4u);
+  EXPECT_EQ(girth(grid_graph(3, 3).graph), 4u);
+}
+
+TEST(Girth, ForestHasNone) {
+  EXPECT_EQ(girth(path_graph(6).graph), kUnreachable);
+  EXPECT_EQ(girth(star_graph(5).graph), kUnreachable);
+}
+
+TEST(ShortestCycleThrough, NodeSpecific) {
+  // A triangle with a pendant path: node 4 lies on no cycle.
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  EXPECT_EQ(shortest_cycle_through(g, 0), 3u);
+  EXPECT_EQ(shortest_cycle_through(g, 3), kUnreachable);
+  EXPECT_EQ(shortest_cycle_through(g, 4), kUnreachable);
+}
+
+TEST(ShortestCycleThrough, PetersenEveryNode) {
+  const auto gg = petersen_graph();
+  for (Node u = 0; u < 10; ++u) {
+    EXPECT_EQ(shortest_cycle_through(gg.graph, u), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace ftr

@@ -1,0 +1,112 @@
+// Experiment E16 in miniature: the route-counter broadcast protocol's round
+// count is bounded by the surviving diameter.
+#include "sim/broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "fault/surviving.hpp"
+#include "gen/generators.hpp"
+#include "graph/bfs.hpp"
+#include "routing/kernel.hpp"
+
+namespace ftr {
+namespace {
+
+TEST(Broadcast, ReachesAllOnCompleteSurvivingGraph) {
+  Digraph d(4);
+  for (Node u = 0; u < 4; ++u) {
+    for (Node v = 0; v < 4; ++v) {
+      if (u != v) d.add_arc(u, v);
+    }
+  }
+  const auto r = simulate_broadcast(d, 0);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.rounds, 1u);
+  EXPECT_EQ(r.informed, 4u);
+}
+
+TEST(Broadcast, RoundsEqualEccentricity) {
+  Digraph d(5);  // directed path 0->1->2->3->4
+  for (Node u = 0; u + 1 < 5; ++u) d.add_arc(u, u + 1);
+  const auto r = simulate_broadcast(d, 0);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.rounds, 4u);
+}
+
+TEST(Broadcast, CounterBoundTruncates) {
+  Digraph d(5);
+  for (Node u = 0; u + 1 < 5; ++u) d.add_arc(u, u + 1);
+  const auto r = simulate_broadcast(d, 0, /*counter_bound=*/2);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.informed, 3u);  // source + two rounds
+  EXPECT_EQ(r.rounds, 2u);
+}
+
+TEST(Broadcast, FaultySourceRejected) {
+  Digraph d(3);
+  d.remove_node(0);
+  EXPECT_THROW(simulate_broadcast(d, 0), ContractViolation);
+}
+
+TEST(Broadcast, SingleSurvivorTrivial) {
+  Digraph d(3);
+  d.remove_node(1);
+  d.remove_node(2);
+  const auto r = simulate_broadcast(d, 0);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.rounds, 0u);
+  EXPECT_EQ(r.messages_sent, 0u);
+}
+
+TEST(Broadcast, MessageCountMatchesForwardingModel) {
+  // Star orientation: center sends along all its routes exactly once.
+  Digraph d(5);
+  for (Node v = 1; v < 5; ++v) d.add_arc(0, v);
+  const auto r = simulate_broadcast(d, 0);
+  EXPECT_EQ(r.messages_sent, 4u);
+  EXPECT_EQ(r.rounds, 1u);
+}
+
+TEST(Broadcast, RoundsBoundedBySurvivingDiameterOnKernel) {
+  // The paper's claim: broadcast rounds <= diam R(G,rho)/F, from every
+  // source, for every (small) fault set.
+  const auto gg = cube_connected_cycles(3);
+  const auto kr = build_kernel_routing(gg.graph, 2);
+  const std::vector<std::vector<Node>> fault_sets = {
+      {}, {0}, {5, 11}, {1, 20}, {7, 23}};
+  for (const auto& faults : fault_sets) {
+    const auto r = surviving_graph(kr.table, faults);
+    const auto d = diameter(r);
+    ASSERT_NE(d, kUnreachable);
+    for (Node src : r.present_nodes()) {
+      const auto b = simulate_broadcast(r, src);
+      EXPECT_TRUE(b.complete);
+      EXPECT_LE(b.rounds, d);
+    }
+  }
+}
+
+TEST(Broadcast, CounterBoundAtDiameterStillCompletes) {
+  // Running the protocol with the *claimed* bound (4 for kernel at
+  // f <= floor(t/2)) must inform everyone — that is why the bound matters.
+  const auto gg = torus_graph(4, 4);  // t = 3
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  const auto r = surviving_graph(kr.table, {3});
+  for (Node src : r.present_nodes()) {
+    const auto b = simulate_broadcast(r, src, /*counter_bound=*/4);
+    EXPECT_TRUE(b.complete) << "source " << src;
+  }
+}
+
+TEST(Broadcast, UnreachableSurvivorDetected) {
+  Digraph d(3);
+  d.add_arc(0, 1);  // 2 is isolated
+  const auto r = simulate_broadcast(d, 0);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.informed, 2u);
+  EXPECT_EQ(r.survivors, 3u);
+}
+
+}  // namespace
+}  // namespace ftr

@@ -1,0 +1,124 @@
+#include "common/combinatorics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+namespace ftr {
+namespace {
+
+TEST(Binomial, SmallValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(5, 0), 1u);
+  EXPECT_EQ(binomial(5, 5), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(10, 3), 120u);
+  EXPECT_EQ(binomial(52, 5), 2598960u);
+}
+
+TEST(Binomial, KGreaterThanNIsZero) {
+  EXPECT_EQ(binomial(3, 4), 0u);
+  EXPECT_EQ(binomial(0, 1), 0u);
+}
+
+TEST(Binomial, Symmetry) {
+  for (std::uint64_t n = 1; n <= 20; ++n) {
+    for (std::uint64_t k = 0; k <= n; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n, n - k)) << n << " " << k;
+    }
+  }
+}
+
+TEST(Binomial, PascalRecurrence) {
+  for (std::uint64_t n = 2; n <= 30; ++n) {
+    for (std::uint64_t k = 1; k < n; ++k) {
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(Binomial, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(binomial(1000, 500), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(SubsetEnumerator, CountMatchesBinomial) {
+  for (std::size_t n = 0; n <= 8; ++n) {
+    for (std::size_t k = 0; k <= n; ++k) {
+      SubsetEnumerator e(n, k);
+      std::uint64_t count = 0;
+      while (e.valid()) {
+        ++count;
+        e.advance();
+      }
+      EXPECT_EQ(count, binomial(n, k)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(SubsetEnumerator, EmptySubsetEnumeratedOnce) {
+  SubsetEnumerator e(5, 0);
+  ASSERT_TRUE(e.valid());
+  EXPECT_TRUE(e.current().empty());
+  e.advance();
+  EXPECT_FALSE(e.valid());
+}
+
+TEST(SubsetEnumerator, KGreaterThanNIsEmptyEnumeration) {
+  SubsetEnumerator e(2, 3);
+  EXPECT_FALSE(e.valid());
+}
+
+TEST(SubsetEnumerator, LexicographicOrderAndUniqueness) {
+  SubsetEnumerator e(6, 3);
+  std::set<std::vector<std::size_t>> seen;
+  std::vector<std::size_t> prev;
+  while (e.valid()) {
+    const auto& cur = e.current();
+    EXPECT_TRUE(std::is_sorted(cur.begin(), cur.end()));
+    EXPECT_TRUE(seen.insert(cur).second) << "duplicate subset";
+    if (!prev.empty()) {
+      EXPECT_LT(prev, cur) << "not lexicographic";
+    }
+    prev = cur;
+    e.advance();
+  }
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(ForEachSubset, VisitsAll) {
+  int count = 0;
+  const bool completed =
+      for_each_subset(5, 2, [&](const std::vector<std::size_t>&) {
+        ++count;
+        return true;
+      });
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(ForEachSubset, EarlyStop) {
+  int count = 0;
+  const bool completed =
+      for_each_subset(5, 2, [&](const std::vector<std::size_t>&) {
+        ++count;
+        return count < 3;
+      });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(ForEachSubsetOf, MapsUniverseValues) {
+  const std::vector<std::size_t> universe = {10, 20, 30};
+  std::set<std::vector<std::size_t>> seen;
+  for_each_subset_of(universe, 2, [&](const std::vector<std::size_t>& s) {
+    seen.insert(s);
+    return true;
+  });
+  const std::set<std::vector<std::size_t>> expected = {
+      {10, 20}, {10, 30}, {20, 30}};
+  EXPECT_EQ(seen, expected);
+}
+
+}  // namespace
+}  // namespace ftr

@@ -1,0 +1,85 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace ftr {
+namespace {
+
+TEST(Digraph, FreshAllPresent) {
+  Digraph d(4);
+  EXPECT_EQ(d.num_nodes(), 4u);
+  EXPECT_EQ(d.num_present(), 4u);
+  for (Node u = 0; u < 4; ++u) EXPECT_TRUE(d.present(u));
+}
+
+TEST(Digraph, RemoveNode) {
+  Digraph d(4);
+  d.remove_node(2);
+  EXPECT_FALSE(d.present(2));
+  EXPECT_EQ(d.num_present(), 3u);
+  d.remove_node(2);  // idempotent
+  EXPECT_EQ(d.num_present(), 3u);
+}
+
+TEST(Digraph, ArcsAreDirected) {
+  Digraph d(3);
+  EXPECT_TRUE(d.add_arc(0, 1));
+  EXPECT_TRUE(d.has_arc(0, 1));
+  EXPECT_FALSE(d.has_arc(1, 0));
+  EXPECT_EQ(d.num_arcs(), 1u);
+}
+
+TEST(Digraph, DuplicateArcIgnored) {
+  Digraph d(3);
+  EXPECT_TRUE(d.add_arc(0, 1));
+  EXPECT_FALSE(d.add_arc(0, 1));
+  EXPECT_EQ(d.num_arcs(), 1u);
+}
+
+TEST(Digraph, ArcToAbsentNodeRejected) {
+  Digraph d(3);
+  d.remove_node(1);
+  EXPECT_THROW(d.add_arc(0, 1), ContractViolation);
+  EXPECT_THROW(d.add_arc(1, 0), ContractViolation);
+}
+
+TEST(Digraph, SelfArcRejected) {
+  Digraph d(3);
+  EXPECT_THROW(d.add_arc(2, 2), ContractViolation);
+}
+
+TEST(Digraph, PresentNodesList) {
+  Digraph d(5);
+  d.remove_node(0);
+  d.remove_node(3);
+  const auto present = d.present_nodes();
+  EXPECT_EQ(present, (std::vector<Node>{1, 2, 4}));
+}
+
+TEST(Digraph, SuccessorsSorted) {
+  Digraph d(5);
+  d.add_arc(0, 4);
+  d.add_arc(0, 1);
+  d.add_arc(0, 3);
+  const auto succ = d.successors(0);
+  EXPECT_TRUE(std::is_sorted(succ.begin(), succ.end()));
+  EXPECT_EQ(succ.size(), 3u);
+}
+
+TEST(Digraph, SymmetryDetection) {
+  Digraph d(3);
+  d.add_arc(0, 1);
+  EXPECT_FALSE(d.is_symmetric());
+  d.add_arc(1, 0);
+  EXPECT_TRUE(d.is_symmetric());
+}
+
+TEST(Digraph, EmptyIsSymmetric) {
+  Digraph d(2);
+  EXPECT_TRUE(d.is_symmetric());
+}
+
+}  // namespace
+}  // namespace ftr

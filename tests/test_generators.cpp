@@ -1,0 +1,278 @@
+#include "gen/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/contracts.hpp"
+#include "graph/bfs.hpp"
+
+namespace ftr {
+namespace {
+
+TEST(Generators, CompleteGraph) {
+  const auto gg = complete_graph(6);
+  EXPECT_EQ(gg.graph.num_nodes(), 6u);
+  EXPECT_EQ(gg.graph.num_edges(), 15u);
+  EXPECT_EQ(gg.name, "K(6)");
+  EXPECT_EQ(gg.known_connectivity, 5u);
+}
+
+TEST(Generators, CycleGraph) {
+  const auto gg = cycle_graph(7);
+  EXPECT_EQ(gg.graph.num_edges(), 7u);
+  EXPECT_EQ(gg.graph.min_degree(), 2u);
+  EXPECT_EQ(gg.graph.max_degree(), 2u);
+  EXPECT_TRUE(is_connected(gg.graph));
+}
+
+TEST(Generators, CycleTooSmallRejected) {
+  EXPECT_THROW(cycle_graph(2), ContractViolation);
+}
+
+TEST(Generators, PathGraph) {
+  const auto gg = path_graph(5);
+  EXPECT_EQ(gg.graph.num_edges(), 4u);
+  EXPECT_EQ(gg.graph.degree(0), 1u);
+  EXPECT_EQ(gg.graph.degree(2), 2u);
+}
+
+TEST(Generators, StarGraph) {
+  const auto gg = star_graph(6);
+  EXPECT_EQ(gg.graph.num_nodes(), 7u);
+  EXPECT_EQ(gg.graph.degree(0), 6u);
+  for (Node v = 1; v <= 6; ++v) EXPECT_EQ(gg.graph.degree(v), 1u);
+}
+
+TEST(Generators, CompleteBipartite) {
+  const auto gg = complete_bipartite(3, 4);
+  EXPECT_EQ(gg.graph.num_nodes(), 7u);
+  EXPECT_EQ(gg.graph.num_edges(), 12u);
+  // No edges within the sides.
+  EXPECT_FALSE(gg.graph.has_edge(0, 1));
+  EXPECT_FALSE(gg.graph.has_edge(3, 4));
+  EXPECT_TRUE(gg.graph.has_edge(0, 3));
+}
+
+TEST(Generators, GridGraph) {
+  const auto gg = grid_graph(3, 4);
+  EXPECT_EQ(gg.graph.num_nodes(), 12u);
+  EXPECT_EQ(gg.graph.num_edges(), 3 * 3 + 2 * 4);  // (cols-1)*rows + (rows-1)*cols
+  EXPECT_EQ(gg.graph.degree(0), 2u);   // corner
+  EXPECT_EQ(gg.graph.degree(5), 4u);   // interior
+}
+
+TEST(Generators, TorusGraphIsFourRegular) {
+  const auto gg = torus_graph(4, 5);
+  EXPECT_EQ(gg.graph.num_nodes(), 20u);
+  EXPECT_EQ(gg.graph.min_degree(), 4u);
+  EXPECT_EQ(gg.graph.max_degree(), 4u);
+  EXPECT_EQ(gg.graph.num_edges(), 40u);
+}
+
+TEST(Generators, TorusTooSmallRejected) {
+  EXPECT_THROW(torus_graph(2, 5), ContractViolation);
+}
+
+TEST(Generators, Petersen) {
+  const auto gg = petersen_graph();
+  EXPECT_EQ(gg.graph.num_nodes(), 10u);
+  EXPECT_EQ(gg.graph.num_edges(), 15u);
+  EXPECT_EQ(gg.graph.min_degree(), 3u);
+  EXPECT_EQ(gg.graph.max_degree(), 3u);
+  EXPECT_EQ(girth(gg.graph), 5u);
+  EXPECT_EQ(diameter(gg.graph), 2u);
+}
+
+TEST(Generators, GeneralizedPetersenFamily) {
+  const auto gp = generalized_petersen(7, 2);
+  EXPECT_EQ(gp.graph.num_nodes(), 14u);
+  EXPECT_EQ(gp.graph.min_degree(), 3u);
+  EXPECT_EQ(gp.graph.max_degree(), 3u);
+  EXPECT_TRUE(is_connected(gp.graph));
+  // GP(5,2) is the Petersen graph (up to labeling): same counts and girth.
+  const auto gp52 = generalized_petersen(5, 2);
+  EXPECT_EQ(gp52.graph.num_edges(), 15u);
+  EXPECT_EQ(girth(gp52.graph), 5u);
+}
+
+TEST(Generators, GeneralizedPetersenRejectsBadStep) {
+  EXPECT_THROW(generalized_petersen(6, 3), ContractViolation);  // 2k = n
+  EXPECT_THROW(generalized_petersen(6, 0), ContractViolation);
+}
+
+TEST(Generators, Dodecahedron) {
+  const auto gg = dodecahedron();
+  EXPECT_EQ(gg.graph.num_nodes(), 20u);
+  EXPECT_EQ(gg.graph.num_edges(), 30u);
+  EXPECT_EQ(girth(gg.graph), 5u);
+  EXPECT_EQ(diameter(gg.graph), 5u);
+}
+
+TEST(Generators, Desargues) {
+  const auto gg = desargues_graph();
+  EXPECT_EQ(gg.graph.num_nodes(), 20u);
+  EXPECT_EQ(girth(gg.graph), 6u);
+  EXPECT_EQ(diameter(gg.graph), 5u);
+}
+
+TEST(Generators, MoebiusKantorAndNauru) {
+  const auto mk = moebius_kantor_graph();
+  EXPECT_EQ(mk.graph.num_nodes(), 16u);
+  EXPECT_EQ(girth(mk.graph), 6u);
+  const auto nauru = nauru_graph();
+  EXPECT_EQ(nauru.graph.num_nodes(), 24u);
+  EXPECT_EQ(girth(nauru.graph), 6u);
+  EXPECT_EQ(nauru.graph.min_degree(), 3u);
+}
+
+TEST(Generators, Circulant) {
+  const auto gg = circulant_graph(10, {1, 2});
+  EXPECT_EQ(gg.graph.num_nodes(), 10u);
+  EXPECT_EQ(gg.graph.min_degree(), 4u);
+  EXPECT_EQ(gg.graph.max_degree(), 4u);
+  EXPECT_TRUE(gg.graph.has_edge(0, 2));
+  EXPECT_FALSE(gg.graph.has_edge(0, 3));
+}
+
+TEST(Generators, HypercubeStructure) {
+  const auto gg = hypercube(4);
+  EXPECT_EQ(gg.graph.num_nodes(), 16u);
+  EXPECT_EQ(gg.graph.num_edges(), 32u);
+  EXPECT_EQ(gg.graph.min_degree(), 4u);
+  EXPECT_EQ(gg.graph.max_degree(), 4u);
+  // Adjacent iff Hamming distance 1.
+  EXPECT_TRUE(gg.graph.has_edge(0b0000, 0b0100));
+  EXPECT_FALSE(gg.graph.has_edge(0b0000, 0b0110));
+  EXPECT_EQ(diameter(gg.graph), 4u);
+}
+
+TEST(Generators, CccStructure) {
+  const std::size_t d = 3;
+  const auto gg = cube_connected_cycles(d);
+  EXPECT_EQ(gg.graph.num_nodes(), d * 8);
+  EXPECT_EQ(gg.graph.min_degree(), 3u);
+  EXPECT_EQ(gg.graph.max_degree(), 3u);
+  EXPECT_TRUE(is_connected(gg.graph));
+  // Ring edge inside cube vertex 0: (0,0)-(0,1); cube edge (0,0)-(1,0).
+  EXPECT_TRUE(gg.graph.has_edge(0, 1));
+  EXPECT_TRUE(gg.graph.has_edge(0, 1 * d + 0));
+}
+
+TEST(Generators, CccTooSmallRejected) {
+  EXPECT_THROW(cube_connected_cycles(2), ContractViolation);
+}
+
+TEST(Generators, ButterflyStructure) {
+  const std::size_t d = 3;
+  const auto gg = butterfly(d);
+  EXPECT_EQ(gg.graph.num_nodes(), (d + 1) * 8);
+  // End levels have degree 2, middle levels 4.
+  EXPECT_EQ(gg.graph.degree(0), 2u);
+  EXPECT_EQ(gg.graph.degree(static_cast<Node>(1 * 8 + 0)), 4u);
+  EXPECT_TRUE(is_connected(gg.graph));
+}
+
+TEST(Generators, WrappedButterflyIsFourRegular) {
+  const auto gg = wrapped_butterfly(3);
+  EXPECT_EQ(gg.graph.num_nodes(), 24u);
+  EXPECT_EQ(gg.graph.min_degree(), 4u);
+  EXPECT_EQ(gg.graph.max_degree(), 4u);
+  EXPECT_TRUE(is_connected(gg.graph));
+}
+
+TEST(Generators, DeBruijnStructure) {
+  const auto gg = de_bruijn(3);
+  EXPECT_EQ(gg.graph.num_nodes(), 8u);
+  EXPECT_TRUE(is_connected(gg.graph));
+  // 000 -> 001 via shift; self-loops at 000 and 111 dropped.
+  EXPECT_TRUE(gg.graph.has_edge(0, 1));
+  EXPECT_LE(gg.graph.max_degree(), 4u);
+}
+
+TEST(Generators, ShuffleExchangeStructure) {
+  const auto gg = shuffle_exchange(3);
+  EXPECT_EQ(gg.graph.num_nodes(), 8u);
+  EXPECT_TRUE(is_connected(gg.graph));
+  EXPECT_TRUE(gg.graph.has_edge(0, 1));               // exchange
+  EXPECT_TRUE(gg.graph.has_edge(0b001, 0b010));       // shuffle (rotate)
+  EXPECT_LE(gg.graph.max_degree(), 3u);
+}
+
+TEST(Generators, GnpEdgeCountConcentrates) {
+  Rng rng(5);
+  const std::size_t n = 200;
+  const double p = 0.1;
+  double total = 0;
+  for (int rep = 0; rep < 10; ++rep) {
+    total += static_cast<double>(gnp(n, p, rng).graph.num_edges());
+  }
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(total / 10.0, expected, expected * 0.1);
+}
+
+TEST(Generators, GnpExtremes) {
+  Rng rng(6);
+  EXPECT_EQ(gnp(10, 0.0, rng).graph.num_edges(), 0u);
+  EXPECT_EQ(gnp(10, 1.0, rng).graph.num_edges(), 45u);
+}
+
+TEST(Generators, GnpDeterministicGivenSeed) {
+  Rng a(9), b(9);
+  EXPECT_EQ(gnp(50, 0.2, a).graph, gnp(50, 0.2, b).graph);
+}
+
+TEST(Generators, GnpConnectedIsConnected) {
+  Rng rng(10);
+  const auto gg = gnp_connected(30, 0.2, rng);
+  EXPECT_TRUE(is_connected(gg.graph));
+}
+
+TEST(Generators, GnpConnectedGivesUpGracefully) {
+  Rng rng(11);
+  // p = 0 can never be connected for n >= 2.
+  EXPECT_THROW(gnp_connected(5, 0.0, rng, 3), std::runtime_error);
+}
+
+TEST(Generators, RandomRegularDegrees) {
+  Rng rng(12);
+  const auto gg = random_regular(20, 4, rng);
+  EXPECT_EQ(gg.graph.num_nodes(), 20u);
+  EXPECT_EQ(gg.graph.min_degree(), 4u);
+  EXPECT_EQ(gg.graph.max_degree(), 4u);
+  EXPECT_EQ(gg.graph.num_edges(), 40u);
+}
+
+TEST(Generators, RandomRegularOddProductRejected) {
+  Rng rng(13);
+  EXPECT_THROW(random_regular(5, 3, rng), ContractViolation);
+}
+
+TEST(Generators, NamesAreInformative) {
+  EXPECT_EQ(hypercube(3).name, "Q(3)");
+  EXPECT_EQ(cube_connected_cycles(3).name, "CCC(3)");
+  EXPECT_EQ(torus_graph(3, 3).name, "torus(3,3)");
+  Rng rng(1);
+  EXPECT_EQ(random_regular(10, 3, rng).name, "RR(10,3)");
+}
+
+TEST(Generators, HypercubeBitLabelsConsistent) {
+  // Every edge differs in exactly one bit (node id = bit string).
+  const auto gg = hypercube(5);
+  for (const auto& [u, v] : gg.graph.edges()) {
+    const Node x = u ^ v;
+    EXPECT_EQ(x & (x - 1), 0u) << u << "-" << v << " differ in >1 bit";
+  }
+}
+
+TEST(Generators, TorusIsVertexTransitiveDistanceProfile) {
+  // Sanity proxy: every node of a torus has the same eccentricity.
+  const auto gg = torus_graph(4, 4);
+  const auto e0 = eccentricity(gg.graph, 0);
+  for (Node u = 1; u < gg.graph.num_nodes(); ++u) {
+    EXPECT_EQ(eccentricity(gg.graph, u), e0);
+  }
+}
+
+}  // namespace
+}  // namespace ftr

@@ -1,0 +1,71 @@
+#include "analysis/gnp_theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+
+namespace ftr {
+namespace {
+
+TEST(Lemma24, ZeroProbabilityGraphIsNeverBad) {
+  const auto b = lemma24_bound(100, 0.0);
+  EXPECT_EQ(b.event1, 0.0);
+  EXPECT_EQ(b.event2, 0.0);
+  EXPECT_EQ(b.event3, 0.0);
+  EXPECT_EQ(b.total, 0.0);
+}
+
+TEST(Lemma24, TotalClampedToOne) {
+  const auto b = lemma24_bound(100, 0.9);
+  EXPECT_EQ(b.total, 1.0);
+}
+
+TEST(Lemma24, EventsSymmetric) {
+  const auto b = lemma24_bound(200, 0.01);
+  EXPECT_EQ(b.event1, b.event2);
+}
+
+TEST(Lemma24, DecreasesWithSparserGraphs) {
+  const auto dense = lemma24_bound(256, 0.02);
+  const auto sparse = lemma24_bound(256, 0.005);
+  EXPECT_LT(sparse.total, dense.total);
+}
+
+TEST(Lemma24, AsymptoticDecayInN) {
+  // With p = c*n^eps/n and eps < 1/4, the bound must shrink as n grows.
+  const double c = 1.0, eps = 0.1;
+  double prev = 1.0;
+  for (std::size_t n : {128u, 256u, 512u, 1024u, 2048u}) {
+    const double p = gnp_p_from_epsilon(n, c, eps);
+    const double total = lemma24_bound(n, p).total;
+    EXPECT_LE(total, prev);
+    prev = total;
+  }
+  EXPECT_LT(prev, 0.35);
+}
+
+TEST(Lemma24, Delta) {
+  EXPECT_DOUBLE_EQ(lemma24_delta(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(lemma24_delta(0.25), 0.0);
+  EXPECT_GT(lemma24_delta(0.1), 0.0);
+}
+
+TEST(Lemma24, PFromEpsilon) {
+  EXPECT_DOUBLE_EQ(gnp_p_from_epsilon(100, 1.0, 0.0), 0.01);
+  // c*n^eps/n never exceeds 1.
+  EXPECT_LE(gnp_p_from_epsilon(2, 100.0, 0.9), 1.0);
+}
+
+TEST(Lemma24, RejectsInvalidP) {
+  EXPECT_THROW(lemma24_bound(10, -0.1), ContractViolation);
+  EXPECT_THROW(lemma24_bound(10, 1.1), ContractViolation);
+}
+
+TEST(Lemma24, Event3DominatedByPathTerm) {
+  // For tiny p the linear term p dominates event 3.
+  const auto b = lemma24_bound(1000, 1e-9);
+  EXPECT_NEAR(b.event3, 1e-9, 1e-10);
+}
+
+}  // namespace
+}  // namespace ftr

@@ -1,0 +1,166 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace ftr {
+namespace {
+
+Graph triangle() {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  return g;
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.min_degree(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(4);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, DuplicateEdgeIgnored) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), ContractViolation);
+}
+
+TEST(Graph, OutOfRangeRejected) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 3), ContractViolation);
+  EXPECT_THROW(g.add_edge(5, 0), ContractViolation);
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(2, 1);
+  const auto nbrs = g.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 4u);
+}
+
+TEST(Graph, DegreeTracking) {
+  Graph g = triangle();
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.min_degree(), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(Graph, EdgesListSortedAndCanonical) {
+  Graph g(4);
+  g.add_edge(3, 1);
+  g.add_edge(2, 0);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+}
+
+TEST(Graph, WithoutNodesPreservesIds) {
+  Graph g = triangle();
+  const Graph h = g.without_nodes({1});
+  EXPECT_EQ(h.num_nodes(), 3u);  // ids preserved, node 1 isolated
+  EXPECT_EQ(h.num_edges(), 1u);
+  EXPECT_TRUE(h.has_edge(0, 2));
+  EXPECT_FALSE(h.has_edge(0, 1));
+  EXPECT_EQ(h.degree(1), 0u);
+}
+
+TEST(Graph, WithoutNodesEmptySet) {
+  Graph g = triangle();
+  EXPECT_EQ(g.without_nodes({}), g);
+}
+
+TEST(Graph, WithoutNodesOutOfRange) {
+  Graph g = triangle();
+  EXPECT_THROW(g.without_nodes({7}), ContractViolation);
+}
+
+TEST(Graph, IsSimplePathAcceptsValid) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.is_simple_path({0, 1, 2, 3}));
+  EXPECT_TRUE(g.is_simple_path({2, 1, 0}));
+  EXPECT_TRUE(g.is_simple_path({1}));  // single node
+}
+
+TEST(Graph, IsSimplePathRejectsInvalid) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_FALSE(g.is_simple_path({}));          // empty
+  EXPECT_FALSE(g.is_simple_path({0, 2}));      // non-edge
+  EXPECT_FALSE(g.is_simple_path({0, 1, 0}));   // repeated node
+  EXPECT_FALSE(g.is_simple_path({0, 1, 7}));   // out of range
+}
+
+TEST(Graph, EqualityIsStructural) {
+  Graph a = triangle();
+  Graph b = triangle();
+  EXPECT_EQ(a, b);
+  b.add_edge(0, 1);  // duplicate, no change
+  EXPECT_EQ(a, b);
+}
+
+TEST(Graph, ToDotContainsEdges) {
+  Graph g(3);
+  g.add_edge(0, 2);
+  const std::string dot = g.to_dot("test");
+  EXPECT_NE(dot.find("graph test"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 2"), std::string::npos);
+}
+
+TEST(PathToString, Formats) {
+  EXPECT_EQ(path_to_string({1, 2, 3}), "1->2->3");
+  EXPECT_EQ(path_to_string({}), "");
+  EXPECT_EQ(path_to_string({9}), "9");
+}
+
+TEST(PathsShareInternalNode, DetectsOverlap) {
+  EXPECT_TRUE(paths_share_internal_node({0, 5, 1}, {2, 5, 3}));
+  EXPECT_FALSE(paths_share_internal_node({0, 5, 1}, {2, 6, 3}));
+  // Shared endpoints do not count as internal overlap.
+  EXPECT_FALSE(paths_share_internal_node({0, 5, 1}, {1, 6, 0}));
+  // Length-2 paths have no internal nodes.
+  EXPECT_FALSE(paths_share_internal_node({0, 1}, {0, 1}));
+}
+
+TEST(Graph, LargeGraphDegreeSums) {
+  Graph g(1000);
+  for (Node u = 0; u + 1 < 1000; ++u) g.add_edge(u, u + 1);
+  std::size_t total = 0;
+  for (Node u = 0; u < 1000; ++u) total += g.degree(u);
+  EXPECT_EQ(total, 2 * g.num_edges());  // handshake lemma
+}
+
+}  // namespace
+}  // namespace ftr

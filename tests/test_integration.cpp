@@ -1,0 +1,226 @@
+// End-to-end property sweeps (parameterized): for each (graph, construction)
+// configuration, build the routing, verify its structural invariants, and
+// check the paper-claimed (d, f) bound with the tolerance harness across the
+// full fault budget f = 0..t. This is the test-suite twin of the E17
+// comparison bench.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "analysis/neighborhood.hpp"
+#include "analysis/properties.hpp"
+#include "analysis/two_trees.hpp"
+#include "core/planner.hpp"
+#include "fault/tolerance_check.hpp"
+#include "fault/surviving.hpp"
+#include "gen/generators.hpp"
+#include "graph/bfs.hpp"
+#include "routing/bipolar.hpp"
+#include "routing/circular.hpp"
+#include "routing/kernel.hpp"
+#include "routing/tricircular.hpp"
+#include "sim/broadcast.hpp"
+
+namespace ftr {
+namespace {
+
+enum class Kind { kKernel, kKernelHalf, kCircular, kTriFull, kTriCompact,
+                  kBipolarUni, kBipolarBi };
+
+struct Config {
+  std::string label;     // for test naming
+  GeneratedGraph (*make)();
+  Kind kind;
+  std::uint32_t t;
+  std::uint32_t claimed;  // claimed diameter bound
+  std::uint32_t faults;   // fault budget to verify at
+};
+
+GeneratedGraph make_c16() { return cycle_graph(16); }
+GeneratedGraph make_c14() { return cycle_graph(14); }
+GeneratedGraph make_c30() { return cycle_graph(30); }
+GeneratedGraph make_c48() { return cycle_graph(48); }
+GeneratedGraph make_ccc3() { return cube_connected_cycles(3); }
+GeneratedGraph make_ccc4() { return cube_connected_cycles(4); }
+GeneratedGraph make_torus44() { return torus_graph(4, 4); }
+GeneratedGraph make_torus55() { return torus_graph(5, 5); }
+GeneratedGraph make_q4() { return hypercube(4); }
+GeneratedGraph make_q5() { return hypercube(5); }
+GeneratedGraph make_dodeca() { return dodecahedron(); }
+GeneratedGraph make_desargues() { return desargues_graph(); }
+GeneratedGraph make_moebius() { return moebius_kantor_graph(); }
+GeneratedGraph make_nauru() { return nauru_graph(); }
+GeneratedGraph make_wbf3() { return wrapped_butterfly(3); }
+GeneratedGraph make_petersen() { return petersen_graph(); }
+GeneratedGraph make_grid66() { return grid_graph(6, 6); }
+
+const Config kConfigs[] = {
+    // Kernel, Theorem 3: (max{2t,4}, t).
+    {"kernel_C16_t1", make_c16, Kind::kKernel, 1, 4, 1},
+    {"kernel_CCC3_t2", make_ccc3, Kind::kKernel, 2, 4, 2},
+    {"kernel_torus44_t3", make_torus44, Kind::kKernel, 3, 6, 3},
+    {"kernel_Q4_t3", make_q4, Kind::kKernel, 3, 6, 3},
+    {"kernel_WBF3_t3", make_wbf3, Kind::kKernel, 3, 6, 3},
+    // Kernel, Theorem 4: (4, floor(t/2)).
+    {"kernel4_torus44_t3f1", make_torus44, Kind::kKernelHalf, 3, 4, 1},
+    {"kernel4_Q4_t3f1", make_q4, Kind::kKernelHalf, 3, 4, 1},
+    // Circular, Theorem 10: (6, t).
+    {"circ_C16_t1", make_c16, Kind::kCircular, 1, 6, 1},
+    {"circ_CCC3_t2", make_ccc3, Kind::kCircular, 2, 6, 2},
+    {"circ_torus55_t3f2", make_torus55, Kind::kCircular, 3, 6, 2},
+    // Tri-circular, Theorem 13 / Remark 14.
+    {"tri_C48_t1", make_c48, Kind::kTriFull, 1, 4, 1},
+    {"tric_C30_t1", make_c30, Kind::kTriCompact, 1, 5, 1},
+    // Bipolar, Theorems 20/23.
+    {"bipu_C14_t1", make_c14, Kind::kBipolarUni, 1, 4, 1},
+    {"bipu_dodeca_t2", make_dodeca, Kind::kBipolarUni, 2, 4, 2},
+    {"bipu_desargues_t2", make_desargues, Kind::kBipolarUni, 2, 4, 2},
+    {"bipb_C14_t1", make_c14, Kind::kBipolarBi, 1, 5, 1},
+    {"bipb_dodeca_t2", make_dodeca, Kind::kBipolarBi, 2, 5, 2},
+    {"bipb_desargues_t2", make_desargues, Kind::kBipolarBi, 2, 5, 2},
+    // Wider family coverage at lowered fault budgets (t' <= kappa-1 is
+    // always legal and exercises the constructions on denser graphs).
+    {"kernel_petersen_t2", make_petersen, Kind::kKernel, 2, 4, 2},
+    {"kernel_grid66_t1", make_grid66, Kind::kKernel, 1, 4, 1},
+    {"kernel_Q5_t2", make_q5, Kind::kKernel, 2, 4, 2},
+    {"circ_CCC4_t2", make_ccc4, Kind::kCircular, 2, 6, 2},
+    {"tric_CCC4_t2", make_ccc4, Kind::kTriCompact, 2, 5, 2},
+    {"circ_Q5_t2", make_q5, Kind::kCircular, 2, 6, 2},
+};
+
+std::string config_name(const testing::TestParamInfo<Config>& info) {
+  return info.param.label;
+}
+
+RoutingTable build_for(const Config& cfg, const Graph& g) {
+  Rng rng(20240611);
+  switch (cfg.kind) {
+    case Kind::kKernel:
+    case Kind::kKernelHalf:
+      return build_kernel_routing(g, cfg.t).table;
+    case Kind::kCircular: {
+      const auto m =
+          neighborhood_set_of_size(g, circular_required_k(cfg.t), rng, 32);
+      return build_circular_routing(g, cfg.t, m).table;
+    }
+    case Kind::kTriFull: {
+      const auto m =
+          neighborhood_set_of_size(g, tricircular_required_k(cfg.t), rng, 32);
+      return build_tricircular_routing(g, cfg.t, m, TriCircularVariant::kFull)
+          .table;
+    }
+    case Kind::kTriCompact: {
+      const auto m = neighborhood_set_of_size(
+          g, tricircular_compact_required_k(cfg.t), rng, 32);
+      return build_tricircular_routing(g, cfg.t, m,
+                                       TriCircularVariant::kCompact)
+          .table;
+    }
+    case Kind::kBipolarUni: {
+      const auto w = find_two_trees(g);
+      EXPECT_TRUE(w.has_value());
+      return build_bipolar_unidirectional(g, cfg.t, *w).table;
+    }
+    case Kind::kBipolarBi: {
+      const auto w = find_two_trees(g);
+      EXPECT_TRUE(w.has_value());
+      return build_bipolar_bidirectional(g, cfg.t, *w).table;
+    }
+  }
+  throw std::logic_error("unreachable");
+}
+
+class ToleranceSweep : public testing::TestWithParam<Config> {};
+
+TEST_P(ToleranceSweep, StructurallyValid) {
+  const Config& cfg = GetParam();
+  const auto gg = cfg.make();
+  const auto table = build_for(cfg, gg.graph);
+  EXPECT_NO_THROW(table.validate(gg.graph));
+}
+
+TEST_P(ToleranceSweep, ClaimedBoundHolds) {
+  const Config& cfg = GetParam();
+  const auto gg = cfg.make();
+  const auto table = build_for(cfg, gg.graph);
+  Rng rng(7);
+  ToleranceCheckOptions opts;
+  opts.exhaustive_budget = 6000;
+  opts.samples = 120;
+  opts.hillclimb_restarts = 4;
+  opts.hillclimb_steps = 12;
+  for (std::uint32_t f = 0; f <= cfg.faults; ++f) {
+    const auto report = check_tolerance(table, f, cfg.claimed, rng, opts);
+    EXPECT_TRUE(report.holds) << cfg.label << ": " << report.summary();
+  }
+}
+
+TEST_P(ToleranceSweep, BroadcastRoundsWithinClaimedBound) {
+  const Config& cfg = GetParam();
+  const auto gg = cfg.make();
+  const auto table = build_for(cfg, gg.graph);
+  Rng rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto sample = rng.sample(gg.graph.num_nodes(), cfg.faults);
+    const std::vector<Node> faults(sample.begin(), sample.end());
+    const auto r = surviving_graph(table, faults);
+    const auto survivors = r.present_nodes();
+    ASSERT_FALSE(survivors.empty());
+    const Node src = survivors[rng.below(survivors.size())];
+    const auto b = simulate_broadcast(r, src, cfg.claimed);
+    EXPECT_TRUE(b.complete) << cfg.label << " trial " << trial;
+    EXPECT_LE(b.rounds, cfg.claimed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Paper, ToleranceSweep, testing::ValuesIn(kConfigs),
+                         config_name);
+
+// Documented negative: girth >= 5 alone is not the two-trees property — the
+// roots must also be distance >= 5 apart, which diameter-4 graphs like
+// Moebius–Kantor and Nauru cannot offer despite girth 6.
+TEST(TwoTreesNegative, GirthSixButDiameterFourLacksWitness) {
+  for (auto make : {make_moebius, make_nauru}) {
+    const auto gg = make();
+    EXPECT_GE(girth(gg.graph), 6u) << gg.name;
+    EXPECT_FALSE(find_two_trees(gg.graph).has_value()) << gg.name;
+  }
+}
+
+// ---- Planner end-to-end on every family it can plan for. ----
+
+class PlannerSweep
+    : public testing::TestWithParam<GeneratedGraph (*)()> {};
+
+TEST_P(PlannerSweep, PlannedGuaranteeHolds) {
+  const auto gg = GetParam()();
+  Rng rng(11);
+  const auto profile = profile_graph(gg.graph, gg.known_connectivity, rng,
+                                     /*compute_diameter=*/false);
+  const auto planned = build_planned_routing(gg.graph, profile, rng);
+  ToleranceCheckOptions opts;
+  opts.exhaustive_budget = 2000;
+  opts.samples = 60;
+  opts.hillclimb_restarts = 3;
+  opts.hillclimb_steps = 8;
+  // Verify at the full tolerated budget (capped at 2 for runtime).
+  const std::uint32_t f = std::min(planned.plan.tolerated_faults, 2u);
+  // Theorem 3's kernel guarantee covers f = t; Theorem 4 covers 4 at t/2 —
+  // the planner reports the f = t bound, so check against that.
+  const auto report = check_tolerance(planned.table, f,
+                                      planned.plan.guaranteed_diameter, rng,
+                                      opts);
+  EXPECT_TRUE(report.holds)
+      << gg.name << " via " << construction_name(planned.plan.construction)
+      << ": " << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, PlannerSweep,
+                         testing::Values(make_c16, make_c30, make_c48,
+                                         make_ccc3, make_torus44, make_torus55,
+                                         make_q4, make_dodeca, make_desargues,
+                                         make_wbf3));
+
+}  // namespace
+}  // namespace ftr

@@ -1,0 +1,100 @@
+#include "routing/multi_route_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "gen/generators.hpp"
+
+namespace ftr {
+namespace {
+
+TEST(MultiRouteTable, AddAndQuery) {
+  MultiRouteTable t(5, 3);
+  t.add_route({0, 1, 2});
+  t.add_route({0, 3, 2});
+  EXPECT_EQ(t.routes(0, 2).size(), 2u);
+  EXPECT_EQ(t.routes(2, 0).size(), 2u);  // bidirectional mirror
+  EXPECT_EQ(t.routes(0, 1).size(), 0u);
+}
+
+TEST(MultiRouteTable, DuplicateIgnored) {
+  MultiRouteTable t(5, 3);
+  t.add_route({0, 1, 2});
+  t.add_route({0, 1, 2});
+  EXPECT_EQ(t.routes(0, 2).size(), 1u);
+}
+
+TEST(MultiRouteTable, CapEnforced) {
+  MultiRouteTable t(6, 2);
+  t.add_route({0, 1, 5});
+  t.add_route({0, 2, 5});
+  EXPECT_THROW(t.add_route({0, 3, 5}), ContractViolation);
+}
+
+TEST(MultiRouteTable, UnlimitedWhenCapZero) {
+  MultiRouteTable t(8, 0);
+  for (Node mid = 1; mid < 7; ++mid) {
+    t.add_route({0, mid, 7});
+  }
+  EXPECT_EQ(t.routes(0, 7).size(), 6u);
+}
+
+TEST(MultiRouteTable, TryAddRouteDropsAtCap) {
+  MultiRouteTable t(6, 2);
+  EXPECT_TRUE(t.try_add_route({0, 1, 5}));
+  EXPECT_TRUE(t.try_add_route({0, 2, 5}));
+  EXPECT_FALSE(t.try_add_route({0, 3, 5}));
+  EXPECT_EQ(t.routes(0, 5).size(), 2u);
+}
+
+TEST(MultiRouteTable, TryAddRouteDuplicateReportsSuccess) {
+  MultiRouteTable t(6, 2);
+  EXPECT_TRUE(t.try_add_route({0, 1, 5}));
+  EXPECT_TRUE(t.try_add_route({0, 1, 5}));
+  EXPECT_EQ(t.routes(0, 5).size(), 1u);
+}
+
+TEST(MultiRouteTable, UnidirectionalDoesNotMirror) {
+  MultiRouteTable t(5, 2, /*bidirectional=*/false);
+  t.add_route({0, 1, 2});
+  EXPECT_EQ(t.routes(0, 2).size(), 1u);
+  EXPECT_EQ(t.routes(2, 0).size(), 0u);
+}
+
+TEST(MultiRouteTable, TotalsAndPairCounts) {
+  MultiRouteTable t(5, 3);
+  t.add_route({0, 1, 2});
+  t.add_route({0, 3, 2});
+  t.add_route({1, 2});
+  EXPECT_EQ(t.num_routed_pairs(), 4u);  // (0,2),(2,0),(1,2),(2,1)
+  EXPECT_EQ(t.total_routes(), 6u);
+}
+
+TEST(MultiRouteTable, ValidateChecksPaths) {
+  const auto gg = cycle_graph(5);
+  MultiRouteTable t(5, 2);
+  t.add_route({0, 1, 2});
+  EXPECT_NO_THROW(t.validate(gg.graph));
+  t.add_route({0, 2});  // not an edge in C5
+  EXPECT_THROW(t.validate(gg.graph), ContractViolation);
+}
+
+TEST(MultiRouteTable, MirrorStaysInSyncUnderTryAdd) {
+  MultiRouteTable t(6, 2);
+  EXPECT_TRUE(t.try_add_route({0, 1, 5}));
+  // Make the reverse direction full via another insertion order.
+  EXPECT_TRUE(t.try_add_route({5, 2, 0}));
+  // Both buckets now hold 2; a third distinct path must be rejected.
+  EXPECT_FALSE(t.try_add_route({0, 3, 5}));
+  EXPECT_EQ(t.routes(0, 5).size(), 2u);
+  EXPECT_EQ(t.routes(5, 0).size(), 2u);
+}
+
+TEST(MultiRouteTable, RejectsDegenerate) {
+  MultiRouteTable t(4, 2);
+  EXPECT_THROW(t.add_route({2}), ContractViolation);
+  EXPECT_THROW(t.add_route({0, 7}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ftr

@@ -1,0 +1,114 @@
+#include "analysis/neighborhood.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "graph/bfs.hpp"
+
+namespace ftr {
+namespace {
+
+TEST(NeighborhoodSet, ValidatorAcceptsDistanceThreePacking) {
+  const auto gg = cycle_graph(9);
+  EXPECT_TRUE(is_neighborhood_set(gg.graph, {0, 3, 6}));
+}
+
+TEST(NeighborhoodSet, ValidatorRejectsAdjacentMembers) {
+  const auto gg = cycle_graph(9);
+  EXPECT_FALSE(is_neighborhood_set(gg.graph, {0, 1}));
+}
+
+TEST(NeighborhoodSet, ValidatorRejectsSharedNeighbor) {
+  const auto gg = cycle_graph(9);
+  // 0 and 2 share neighbor 1.
+  EXPECT_FALSE(is_neighborhood_set(gg.graph, {0, 2}));
+}
+
+TEST(NeighborhoodSet, ValidatorRejectsDuplicates) {
+  const auto gg = cycle_graph(9);
+  EXPECT_FALSE(is_neighborhood_set(gg.graph, {0, 0}));
+}
+
+TEST(NeighborhoodSet, EmptyAndSingletonValid) {
+  const auto gg = cycle_graph(5);
+  EXPECT_TRUE(is_neighborhood_set(gg.graph, {}));
+  EXPECT_TRUE(is_neighborhood_set(gg.graph, {2}));
+}
+
+TEST(NeighborhoodSet, GreedyRespectsLemma15Bound) {
+  const GeneratedGraph cases[] = {
+      cycle_graph(20),      torus_graph(6, 6),   hypercube(4),
+      cube_connected_cycles(3), petersen_graph(), grid_graph(5, 5),
+  };
+  for (const auto& gg : cases) {
+    const auto m = greedy_neighborhood_set(gg.graph);
+    EXPECT_TRUE(is_neighborhood_set(gg.graph, m)) << gg.name;
+    EXPECT_GE(m.size(), lemma15_bound(gg.graph)) << gg.name;
+  }
+}
+
+TEST(NeighborhoodSet, Lemma15BoundFormula) {
+  // n = 20, d = 2 -> ceil(20/5) = 4.
+  const auto gg = cycle_graph(20);
+  EXPECT_EQ(lemma15_bound(gg.graph), 4u);
+  // Hypercube Q4: n = 16, d = 4 -> ceil(16/17) = 1.
+  EXPECT_EQ(lemma15_bound(hypercube(4).graph), 1u);
+}
+
+TEST(NeighborhoodSet, GreedyOrderMatters) {
+  // On a star, only the order determines whether the center blocks all.
+  const auto gg = star_graph(5);
+  const auto from_center = greedy_neighborhood_set(gg.graph, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(from_center.size(), 1u);  // center kills everything within dist 2
+}
+
+TEST(NeighborhoodSet, RandomizedAtLeastAsGoodAsGreedy) {
+  Rng rng(42);
+  const auto gg = torus_graph(8, 8);
+  const auto greedy = greedy_neighborhood_set(gg.graph);
+  const auto randomized = randomized_neighborhood_set(gg.graph, rng, 8);
+  EXPECT_GE(randomized.size(), greedy.size());
+  EXPECT_TRUE(is_neighborhood_set(gg.graph, randomized));
+}
+
+TEST(NeighborhoodSet, TorusPackingDensity) {
+  // Distance->=3 packings on the torus reach density ~1/5 (Lee-sphere
+  // packing); the randomized greedy should find at least n/7.
+  Rng rng(7);
+  const auto gg = torus_graph(10, 10);
+  const auto m = randomized_neighborhood_set(gg.graph, rng, 16);
+  EXPECT_GE(m.size(), 100u / 7);
+}
+
+TEST(NeighborhoodSet, OfSizeTrimsOrFallsShort) {
+  Rng rng(3);
+  const auto gg = torus_graph(6, 6);
+  const auto m3 = neighborhood_set_of_size(gg.graph, 3, rng);
+  EXPECT_EQ(m3.size(), 3u);
+  EXPECT_TRUE(is_neighborhood_set(gg.graph, m3));
+  // Asking for far more than exists returns what was found.
+  const auto mbig = neighborhood_set_of_size(gg.graph, 1000, rng);
+  EXPECT_LT(mbig.size(), 1000u);
+}
+
+TEST(NeighborhoodSet, MembersPairwiseDistanceAtLeastThree) {
+  Rng rng(13);
+  const auto gg = cube_connected_cycles(4);
+  const auto m = randomized_neighborhood_set(gg.graph, rng, 4);
+  ASSERT_GE(m.size(), 2u);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const auto dist = bfs_distances(gg.graph, m[i]);
+    for (std::size_t j = i + 1; j < m.size(); ++j) {
+      EXPECT_GE(dist[m[j]], 3u);
+    }
+  }
+}
+
+TEST(NeighborhoodSet, CompleteGraphHasOnlySingletons) {
+  const auto gg = complete_graph(6);
+  const auto m = greedy_neighborhood_set(gg.graph);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ftr

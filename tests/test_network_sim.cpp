@@ -1,0 +1,77 @@
+#include "sim/network_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/surviving.hpp"
+#include "gen/generators.hpp"
+#include "routing/kernel.hpp"
+#include "routing/route_table.hpp"
+
+namespace ftr {
+namespace {
+
+TEST(NetworkSim, AllPairsOnEdgeRouting) {
+  const auto gg = cycle_graph(6);
+  RoutingTable t(6, RoutingMode::kBidirectional);
+  install_edge_routes(t, gg.graph);
+  Rng rng(1);
+  const auto stats = measure_delivery(t, {}, 0, rng);
+  EXPECT_EQ(stats.pairs_sampled, 30u);
+  EXPECT_EQ(stats.delivered, 30u);
+  // With only edge routes, route hops equal graph distance: max = 3 on C6.
+  EXPECT_EQ(stats.max_route_hops, 3u);
+  EXPECT_EQ(stats.max_edge_hops, 3u);
+}
+
+TEST(NetworkSim, SamplingCountsPairs) {
+  const auto gg = cycle_graph(8);
+  RoutingTable t(8, RoutingMode::kBidirectional);
+  install_edge_routes(t, gg.graph);
+  Rng rng(2);
+  const auto stats = measure_delivery(t, {}, 40, rng);
+  EXPECT_EQ(stats.pairs_sampled, 40u);
+  EXPECT_EQ(stats.delivered, 40u);
+}
+
+TEST(NetworkSim, KernelRoutingDeliversUnderFaults) {
+  const auto gg = cube_connected_cycles(3);
+  const auto kr = build_kernel_routing(gg.graph, 2);
+  Rng rng(3);
+  const auto stats = measure_delivery(kr.table, {0, 7}, 0, rng);
+  EXPECT_EQ(stats.delivered, stats.pairs_sampled);
+  // Theorem 3 bound: 2t = 4 route hops worst case.
+  EXPECT_LE(stats.max_route_hops, 4u);
+  // Edge hops can exceed route hops (multi-hop routes).
+  EXPECT_GE(stats.avg_edge_hops, stats.avg_route_hops);
+}
+
+TEST(NetworkSim, UndeliveredCountedWhenRoutingDisconnects) {
+  RoutingTable t(4, RoutingMode::kBidirectional);
+  t.set_route({0, 1});
+  t.set_route({2, 3});
+  Rng rng(4);
+  const auto stats = measure_delivery(t, {}, 0, rng);
+  EXPECT_EQ(stats.pairs_sampled, 12u);
+  EXPECT_EQ(stats.delivered, 4u);  // only within the two pairs
+}
+
+TEST(NetworkSim, FewSurvivorsShortCircuit) {
+  RoutingTable t(3, RoutingMode::kBidirectional);
+  t.set_route({0, 1});
+  Rng rng(5);
+  const auto stats = measure_delivery(t, {0, 1}, 10, rng);
+  EXPECT_EQ(stats.pairs_sampled, 0u);
+}
+
+TEST(NetworkSim, AveragesAreConsistent) {
+  const auto gg = torus_graph(4, 4);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  Rng rng(6);
+  const auto stats = measure_delivery(kr.table, {5}, 0, rng);
+  EXPECT_GT(stats.avg_route_hops, 0.0);
+  EXPECT_LE(stats.avg_route_hops, static_cast<double>(stats.max_route_hops));
+  EXPECT_LE(stats.avg_edge_hops, static_cast<double>(stats.max_edge_hops));
+}
+
+}  // namespace
+}  // namespace ftr

@@ -1,0 +1,99 @@
+#include "core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "fault/surviving.hpp"
+#include "gen/generators.hpp"
+
+namespace ftr {
+namespace {
+
+GraphProfile profile_of(const GeneratedGraph& gg, std::uint64_t seed = 9) {
+  Rng rng(seed);
+  return profile_graph(gg.graph, gg.known_connectivity, rng,
+                       /*compute_diameter=*/false);
+}
+
+TEST(Planner, PrefersTriCircularWhenAvailable) {
+  const auto gg = cycle_graph(60);  // t = 1, plenty of members
+  const auto plan = plan_routing(profile_of(gg));
+  EXPECT_EQ(plan.construction, Construction::kTriCircularFull);
+  EXPECT_EQ(plan.guaranteed_diameter, 4u);
+  EXPECT_EQ(plan.tolerated_faults, 1u);
+}
+
+TEST(Planner, FallsBackToBipolarOnTwoTrees) {
+  // Dodecahedron: t = 2 needs K = 21 > n/... no tri-circular, but the
+  // two-trees property holds.
+  const auto gg = dodecahedron();
+  const auto plan = plan_routing(profile_of(gg));
+  EXPECT_EQ(plan.construction, Construction::kBipolarUnidirectional);
+  EXPECT_EQ(plan.guaranteed_diameter, 4u);
+}
+
+TEST(Planner, TorusGetsCircularFamily) {
+  // Torus has no two-trees; small tori lack 6t+9 members but have t+2.
+  const auto gg = torus_graph(6, 6);  // t = 3: full needs 27, compact 15
+  const auto plan = plan_routing(profile_of(gg));
+  EXPECT_TRUE(plan.construction == Construction::kCircular ||
+              plan.construction == Construction::kTriCircularCompact);
+  EXPECT_LE(plan.guaranteed_diameter, 6u);
+}
+
+TEST(Planner, HypercubeFallsBackToKernel) {
+  // Q4: girth 4 kills two-trees; K = 6t+9 = 27 > n/(d^2+1) ~ 1.
+  const auto gg = hypercube(4);
+  const auto plan = plan_routing(profile_of(gg));
+  EXPECT_EQ(plan.construction, Construction::kKernel);
+  EXPECT_EQ(plan.guaranteed_diameter, std::max(2u * 3u, 4u));
+}
+
+TEST(Planner, CompleteGraphRejected) {
+  const auto gg = complete_graph(5);
+  EXPECT_THROW(plan_routing(profile_of(gg)), ContractViolation);
+}
+
+TEST(Planner, RationaleNamesTheTheorem) {
+  const auto gg = cycle_graph(60);
+  const auto plan = plan_routing(profile_of(gg));
+  EXPECT_NE(plan.rationale.find("Theorem 13"), std::string::npos);
+}
+
+TEST(Planner, BuildPlannedRoutingEndToEnd) {
+  Rng rng(4);
+  const auto gg = cube_connected_cycles(3);
+  const auto planned =
+      build_planned_routing(gg.graph, gg.known_connectivity, rng);
+  EXPECT_NO_THROW(planned.table.validate(gg.graph));
+  // The built routing honors its own guarantee on a few fault sets.
+  const std::vector<std::vector<Node>> fault_sets = {{}, {0}, {3, 17}};
+  for (const auto& faults : fault_sets) {
+    if (faults.size() > planned.plan.tolerated_faults) continue;
+    EXPECT_LE(surviving_diameter(planned.table, faults),
+              planned.plan.guaranteed_diameter);
+  }
+}
+
+TEST(Planner, BuildMatchesPlanChoice) {
+  Rng rng(5);
+  const auto gg = cycle_graph(60);
+  const auto profile = profile_of(gg);
+  const auto plan = plan_routing(profile);
+  const auto planned = build_planned_routing(gg.graph, profile, rng);
+  EXPECT_EQ(planned.plan.construction, plan.construction);
+  if (plan.construction != Construction::kBipolarUnidirectional &&
+      plan.construction != Construction::kBipolarBidirectional) {
+    EXPECT_FALSE(planned.concentrator.empty());
+  }
+}
+
+TEST(Planner, ConstructionNamesAreStable) {
+  EXPECT_STREQ(construction_name(Construction::kKernel), "kernel");
+  EXPECT_STREQ(construction_name(Construction::kCircular), "circular");
+  EXPECT_STREQ(construction_name(Construction::kTriCircularFull),
+               "tri-circular (full)");
+}
+
+}  // namespace
+}  // namespace ftr

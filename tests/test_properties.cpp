@@ -1,0 +1,133 @@
+#include "analysis/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "graph/bfs.hpp"
+
+namespace ftr {
+namespace {
+
+TEST(RequiredK, CircularParity) {
+  EXPECT_EQ(circular_required_k(0), 1u);
+  EXPECT_EQ(circular_required_k(1), 3u);
+  EXPECT_EQ(circular_required_k(2), 3u);
+  EXPECT_EQ(circular_required_k(3), 5u);
+  EXPECT_EQ(circular_required_k(4), 5u);
+  // Always odd.
+  for (std::uint32_t t = 0; t < 20; ++t) {
+    EXPECT_EQ(circular_required_k(t) % 2, 1u);
+    EXPECT_GE(circular_required_k(t), t + 1);
+  }
+}
+
+TEST(RequiredK, TriCircular) {
+  EXPECT_EQ(tricircular_required_k(0), 9u);
+  EXPECT_EQ(tricircular_required_k(1), 15u);
+  EXPECT_EQ(tricircular_required_k(2), 21u);
+  EXPECT_EQ(tricircular_required_k(3), 27u);
+  for (std::uint32_t t = 0; t < 20; ++t) {
+    EXPECT_EQ(tricircular_required_k(t) % 3, 0u);
+    EXPECT_EQ((tricircular_required_k(t) / 3) % 2, 1u);  // odd components
+  }
+}
+
+TEST(RequiredK, TriCircularCompact) {
+  EXPECT_EQ(tricircular_compact_required_k(0), 3u);
+  EXPECT_EQ(tricircular_compact_required_k(1), 9u);
+  EXPECT_EQ(tricircular_compact_required_k(2), 9u);
+  EXPECT_EQ(tricircular_compact_required_k(3), 15u);
+  for (std::uint32_t t = 0; t < 20; ++t) {
+    EXPECT_EQ(tricircular_compact_required_k(t) % 3, 0u);
+    EXPECT_EQ((tricircular_compact_required_k(t) / 3) % 2, 1u);
+    EXPECT_LE(tricircular_compact_required_k(t), tricircular_required_k(t));
+  }
+}
+
+TEST(DegreeThresholds, Corollary17Constants) {
+  EXPECT_NEAR(circular_degree_threshold(1000), 7.9, 1e-9);
+  EXPECT_NEAR(tricircular_degree_threshold(1000), 4.6, 1e-9);
+  EXPECT_GT(circular_degree_threshold(64), tricircular_degree_threshold(64));
+}
+
+TEST(Profile, CycleGraph) {
+  Rng rng(1);
+  const auto gg = cycle_graph(16);
+  const auto p = profile_graph(gg.graph, gg.known_connectivity, rng);
+  EXPECT_EQ(p.n, 16u);
+  EXPECT_EQ(p.m, 16u);
+  EXPECT_EQ(p.connectivity, 2u);
+  EXPECT_EQ(p.t, 1u);
+  EXPECT_EQ(p.girth, 16u);
+  EXPECT_EQ(p.diameter, 8u);
+  EXPECT_TRUE(p.kernel_applicable);
+  // t = 1 needs K >= 3: a 16-cycle packs 5 members at distance >= 3.
+  EXPECT_TRUE(p.circular_applicable);
+  EXPECT_TRUE(p.two_trees.has_value());
+  EXPECT_TRUE(p.bipolar_applicable);
+}
+
+TEST(Profile, ComputesConnectivityWhenUnknown) {
+  Rng rng(2);
+  const auto gg = petersen_graph();
+  const auto p = profile_graph(gg.graph, std::nullopt, rng);
+  EXPECT_EQ(p.connectivity, 3u);
+  EXPECT_EQ(p.t, 2u);
+}
+
+TEST(Profile, CompleteGraphNothingApplies) {
+  Rng rng(3);
+  const auto gg = complete_graph(6);
+  const auto p = profile_graph(gg.graph, gg.known_connectivity, rng);
+  EXPECT_FALSE(p.kernel_applicable);  // no separating set exists
+  EXPECT_FALSE(p.circular_applicable);
+  EXPECT_FALSE(p.bipolar_applicable);
+}
+
+TEST(Profile, TorusHasNeighborhoodButNoTwoTrees) {
+  Rng rng(4);
+  const auto gg = torus_graph(8, 8);
+  const auto p = profile_graph(gg.graph, gg.known_connectivity, rng);
+  EXPECT_EQ(p.t, 3u);
+  EXPECT_FALSE(p.bipolar_applicable);
+  EXPECT_GE(p.neighborhood_set_size, 9u);
+  // t = 3 circular needs K >= 5.
+  EXPECT_TRUE(p.circular_applicable);
+}
+
+TEST(Profile, PropertiesAreIndependent) {
+  // The paper stresses the two-trees property is independent of the
+  // neighborhood-set properties: torus has neighborhood sets but no two
+  // trees; a long cycle has both; C9 has neither-ish (tiny K only).
+  Rng rng(5);
+  const auto torus = profile_graph(torus_graph(8, 8).graph, 4, rng);
+  EXPECT_TRUE(torus.circular_applicable);
+  EXPECT_FALSE(torus.bipolar_applicable);
+
+  const auto c30 = profile_graph(cycle_graph(30).graph, 2, rng);
+  EXPECT_TRUE(c30.circular_applicable);
+  EXPECT_TRUE(c30.bipolar_applicable);
+}
+
+TEST(Profile, SkipDiameterFlag) {
+  Rng rng(6);
+  const auto gg = cycle_graph(10);
+  const auto p = profile_graph(gg.graph, gg.known_connectivity, rng,
+                               /*compute_diameter=*/false);
+  EXPECT_EQ(p.diameter, 0u);
+}
+
+TEST(Profile, TriCircularNeedsLotsOfMembers) {
+  Rng rng(7);
+  // CCC(3): t = 2 needs K >= 21 but n = 24 only packs a couple of members.
+  const auto small = profile_graph(cube_connected_cycles(3).graph, 3u, rng);
+  EXPECT_FALSE(small.tricircular_applicable);
+  // A long cycle: t = 1 needs K >= 15, C60 packs 20.
+  const auto c60 = profile_graph(cycle_graph(60).graph, 2u, rng);
+  EXPECT_TRUE(c60.tricircular_applicable);
+}
+
+}  // namespace
+}  // namespace ftr

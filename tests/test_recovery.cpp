@@ -1,0 +1,110 @@
+// Open problem 3 (Section 7) machinery: componentwise surviving diameter
+// past the fault budget, and route-table rebuilding on the degraded network.
+#include "sim/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "fault/surviving.hpp"
+#include "gen/generators.hpp"
+#include "graph/bfs.hpp"
+#include "routing/kernel.hpp"
+
+namespace ftr {
+namespace {
+
+TEST(ComponentwiseDiameter, MatchesPlainDiameterWhenConnected) {
+  const auto gg = cube_connected_cycles(3);
+  const auto kr = build_kernel_routing(gg.graph, 2);
+  const std::vector<Node> faults = {0, 7};
+  const auto cw = componentwise_surviving_diameter(gg.graph, kr.table, faults);
+  EXPECT_EQ(cw.num_components, 1u);
+  EXPECT_EQ(cw.worst, surviving_diameter(kr.table, faults));
+}
+
+TEST(ComponentwiseDiameter, SplitCycleStaysFiniteWithinArcs) {
+  // Cut a cycle into two arcs with 2 faults (t = 1 exceeded): the plain
+  // surviving diameter is infinite, but within each arc the edge routes
+  // still work — exactly the open problem's "well behaved" notion.
+  const auto gg = cycle_graph(10);
+  const auto kr = build_kernel_routing(gg.graph, 1);
+  const std::vector<Node> faults = {0, 5};
+  EXPECT_EQ(surviving_diameter(kr.table, faults), kUnreachable);
+  const auto cw = componentwise_surviving_diameter(gg.graph, kr.table, faults);
+  EXPECT_EQ(cw.num_components, 2u);
+  EXPECT_EQ(cw.survivors, 8u);
+  // Each 4-node arc keeps its edge routes plus any surviving tree-routing
+  // shortcuts: finite and small.
+  EXPECT_GE(cw.worst, 1u);
+  EXPECT_LE(cw.worst, 3u);
+}
+
+TEST(ComponentwiseDiameter, OverBudgetSweepStaysMeaningful) {
+  // The open problem's quantity stays finite (per component) well past t.
+  const auto gg = torus_graph(5, 5);  // t = 3
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  Rng rng(5);
+  for (std::size_t f = 4; f <= 6; ++f) {
+    const auto sample = rng.sample(gg.graph.num_nodes(), f);
+    const std::vector<Node> faults(sample.begin(), sample.end());
+    const auto cw =
+        componentwise_surviving_diameter(gg.graph, kr.table, faults);
+    EXPECT_GE(cw.num_components, 1u);
+    EXPECT_EQ(cw.survivors, 25u - f);
+    // worst may be kUnreachable when the ROUTING disconnects within a
+    // component; that is precisely the behavior the open problem studies.
+  }
+}
+
+TEST(Recovery, RebuildOnConnectedSurvivors) {
+  Rng rng(7);
+  const auto gg = torus_graph(5, 5);  // kappa 4
+  const std::vector<Node> faults = {0, 6, 12};
+  const auto outcome = rebuild_after_faults(gg.graph, faults, rng);
+  ASSERT_TRUE(outcome.survivors_connected);
+  EXPECT_EQ(outcome.survivors.size(), 22u);
+  EXPECT_GE(outcome.degraded_connectivity, 1u);
+  // The rebuilt routing honors its own (fresh) guarantee with no faults.
+  const auto d = surviving_diameter(outcome.table, faults);
+  EXPECT_LE(d, outcome.plan.guaranteed_diameter);
+}
+
+TEST(Recovery, RebuiltRoutesAvoidFaultyNodes) {
+  Rng rng(8);
+  const auto gg = cube_connected_cycles(3);
+  const std::vector<Node> faults = {1, 2};
+  const auto outcome = rebuild_after_faults(gg.graph, faults, rng);
+  ASSERT_TRUE(outcome.survivors_connected);
+  outcome.table.for_each([&](Node, Node, const Path& p) {
+    for (Node v : p) {
+      EXPECT_NE(v, 1u);
+      EXPECT_NE(v, 2u);
+    }
+    EXPECT_TRUE(gg.graph.is_simple_path(p));
+  });
+}
+
+TEST(Recovery, DisconnectedSurvivorsReported) {
+  Rng rng(9);
+  const auto gg = cycle_graph(10);
+  const auto outcome = rebuild_after_faults(gg.graph, {0, 5}, rng);
+  EXPECT_FALSE(outcome.survivors_connected);
+  EXPECT_EQ(outcome.table.num_routes(), 0u);
+}
+
+TEST(Recovery, TooFewSurvivorsRejected) {
+  Rng rng(10);
+  const auto gg = cycle_graph(4);
+  EXPECT_THROW(rebuild_after_faults(gg.graph, {0, 1}, rng), ContractViolation);
+}
+
+TEST(Recovery, DegradedGuaranteeNeverStrongerThanConnectivityAllows) {
+  Rng rng(11);
+  const auto gg = torus_graph(4, 4);
+  const auto outcome = rebuild_after_faults(gg.graph, {0}, rng);
+  ASSERT_TRUE(outcome.survivors_connected);
+  EXPECT_LE(outcome.plan.tolerated_faults + 1, outcome.degraded_connectivity);
+}
+
+}  // namespace
+}  // namespace ftr

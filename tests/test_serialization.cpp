@@ -1,0 +1,177 @@
+#include "routing/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+#include "fault/surviving.hpp"
+#include "gen/generators.hpp"
+#include "routing/kernel.hpp"
+#include "routing/multirouting.hpp"
+
+namespace ftr {
+namespace {
+
+TEST(Serialization, RoundTripBidirectional) {
+  RoutingTable t(6, RoutingMode::kBidirectional);
+  t.set_route({0, 1, 2});
+  t.set_route({3, 4});
+  t.set_route({5, 0});
+  const auto text = routing_table_to_string(t);
+  const auto loaded = routing_table_from_string(text);
+  EXPECT_EQ(loaded.num_nodes(), 6u);
+  EXPECT_EQ(loaded.mode(), RoutingMode::kBidirectional);
+  EXPECT_EQ(loaded.num_routes(), t.num_routes());
+  EXPECT_EQ(*loaded.route(0, 2), (Path{0, 1, 2}));
+  EXPECT_EQ(*loaded.route(2, 0), (Path{2, 1, 0}));
+  EXPECT_EQ(*loaded.route(4, 3), (Path{4, 3}));
+}
+
+TEST(Serialization, RoundTripUnidirectional) {
+  RoutingTable t(5, RoutingMode::kUnidirectional);
+  t.set_route({0, 1, 2});
+  t.set_route({2, 3, 0});  // asymmetric pair
+  const auto loaded = routing_table_from_string(routing_table_to_string(t));
+  EXPECT_EQ(loaded.mode(), RoutingMode::kUnidirectional);
+  EXPECT_EQ(*loaded.route(0, 2), (Path{0, 1, 2}));
+  EXPECT_EQ(*loaded.route(2, 0), (Path{2, 3, 0}));
+  EXPECT_EQ(loaded.num_routes(), 2u);
+}
+
+TEST(Serialization, RoundTripPreservesSurvivingBehavior) {
+  // Functional equivalence: the loaded table produces identical surviving
+  // graphs under the same faults.
+  const auto gg = cube_connected_cycles(3);
+  const auto kr = build_kernel_routing(gg.graph, 2);
+  const auto loaded =
+      routing_table_from_string(routing_table_to_string(kr.table));
+  EXPECT_EQ(loaded.num_routes(), kr.table.num_routes());
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto sample = rng.sample(gg.graph.num_nodes(), 2);
+    const std::vector<Node> faults(sample.begin(), sample.end());
+    EXPECT_EQ(surviving_diameter(kr.table, faults),
+              surviving_diameter(loaded, faults));
+  }
+}
+
+TEST(Serialization, HeaderFormat) {
+  RoutingTable t(4, RoutingMode::kUnidirectional);
+  t.set_route({0, 1});
+  const auto text = routing_table_to_string(t);
+  EXPECT_EQ(text.find("ftroute-table v1 4 unidirectional"), 0u);
+  EXPECT_NE(text.find("\nend\n"), std::string::npos);
+}
+
+TEST(Serialization, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# comment\n"
+      "\n"
+      "ftroute-table v1 4 bidirectional\n"
+      "# another comment\n"
+      "route 0 1 2\n"
+      "\n"
+      "end\n";
+  const auto loaded = routing_table_from_string(text);
+  EXPECT_TRUE(loaded.has_route(0, 2));
+  EXPECT_TRUE(loaded.has_route(2, 0));
+}
+
+TEST(Serialization, RejectsBadHeader) {
+  EXPECT_THROW(routing_table_from_string("bogus v1 4 bidirectional\nend\n"),
+               ContractViolation);
+  EXPECT_THROW(routing_table_from_string("ftroute-table v2 4 bidirectional\nend\n"),
+               ContractViolation);
+  EXPECT_THROW(routing_table_from_string("ftroute-table v1 4 sideways\nend\n"),
+               ContractViolation);
+  EXPECT_THROW(routing_table_from_string(""), ContractViolation);
+}
+
+TEST(Serialization, RejectsOutOfRangeNode) {
+  EXPECT_THROW(routing_table_from_string(
+                   "ftroute-table v1 4 bidirectional\nroute 0 9\nend\n"),
+               ContractViolation);
+}
+
+TEST(Serialization, RejectsTruncatedRoute) {
+  EXPECT_THROW(routing_table_from_string(
+                   "ftroute-table v1 4 bidirectional\nroute 0\nend\n"),
+               ContractViolation);
+}
+
+TEST(Serialization, RejectsMissingEnd) {
+  EXPECT_THROW(routing_table_from_string(
+                   "ftroute-table v1 4 bidirectional\nroute 0 1\n"),
+               ContractViolation);
+}
+
+TEST(MultiSerialization, RoundTrip) {
+  MultiRouteTable t(6, 3);
+  t.add_route({0, 1, 5});
+  t.add_route({0, 2, 5});
+  t.add_route({3, 4});
+  const auto loaded =
+      multi_route_table_from_string(multi_route_table_to_string(t));
+  EXPECT_EQ(loaded.num_nodes(), 6u);
+  EXPECT_EQ(loaded.max_routes_per_pair(), 3u);
+  EXPECT_TRUE(loaded.bidirectional());
+  EXPECT_EQ(loaded.routes(0, 5).size(), 2u);
+  EXPECT_EQ(loaded.routes(5, 0).size(), 2u);
+  EXPECT_EQ(loaded.routes(3, 4).size(), 1u);
+  EXPECT_EQ(loaded.total_routes(), t.total_routes());
+}
+
+TEST(MultiSerialization, RoundTripPreservesSurvivingBehavior) {
+  const auto gg = petersen_graph();
+  const auto table = build_full_multirouting(gg.graph, 2);
+  const auto loaded =
+      multi_route_table_from_string(multi_route_table_to_string(table));
+  Rng rng(4);
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto sample = rng.sample(10, 2);
+    const std::vector<Node> faults(sample.begin(), sample.end());
+    EXPECT_EQ(surviving_diameter(table, faults),
+              surviving_diameter(loaded, faults));
+  }
+}
+
+TEST(MultiSerialization, UnidirectionalRoundTrip) {
+  MultiRouteTable t(5, 2, /*bidirectional=*/false);
+  t.add_route({0, 1, 2});
+  const auto loaded =
+      multi_route_table_from_string(multi_route_table_to_string(t));
+  EXPECT_FALSE(loaded.bidirectional());
+  EXPECT_EQ(loaded.routes(0, 2).size(), 1u);
+  EXPECT_EQ(loaded.routes(2, 0).size(), 0u);
+}
+
+TEST(MultiSerialization, UnlimitedCapSurvivesRoundTrip) {
+  MultiRouteTable t(4, 0);
+  t.add_route({0, 1});
+  const auto loaded =
+      multi_route_table_from_string(multi_route_table_to_string(t));
+  EXPECT_EQ(loaded.max_routes_per_pair(), 0u);
+}
+
+TEST(MultiSerialization, RejectsBadHeader) {
+  EXPECT_THROW(
+      multi_route_table_from_string("ftroute-table v1 4 bidirectional\nend\n"),
+      ContractViolation);
+  EXPECT_THROW(multi_route_table_from_string(""), ContractViolation);
+}
+
+TEST(Serialization, BidirectionalStoresEachPairOnce) {
+  RoutingTable t(4, RoutingMode::kBidirectional);
+  t.set_route({0, 1, 2});
+  const auto text = routing_table_to_string(t);
+  // Exactly one 'route' line despite two stored directions.
+  std::size_t count = 0;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) count += line.rfind("route", 0) == 0;
+  EXPECT_EQ(count, 1u);
+}
+
+}  // namespace
+}  // namespace ftr

@@ -1,0 +1,88 @@
+#include "graph/subgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.hpp"
+#include "gen/generators.hpp"
+#include "graph/bfs.hpp"
+
+namespace ftr {
+namespace {
+
+TEST(Subgraph, InducedKeepsOnlyInternalEdges) {
+  const auto gg = cycle_graph(6);
+  const auto sub = induced_subgraph(gg.graph, {0, 1, 2, 4});
+  EXPECT_EQ(sub.graph.num_nodes(), 4u);
+  // Edges 0-1 and 1-2 survive; 4 is isolated inside the selection.
+  EXPECT_EQ(sub.graph.num_edges(), 2u);
+  EXPECT_TRUE(sub.graph.has_edge(sub.from_original[0], sub.from_original[1]));
+  EXPECT_TRUE(sub.graph.has_edge(sub.from_original[1], sub.from_original[2]));
+  EXPECT_EQ(sub.graph.degree(sub.from_original[4]), 0u);
+}
+
+TEST(Subgraph, MappingsAreInverse) {
+  const auto gg = petersen_graph();
+  const std::vector<Node> keep = {1, 3, 5, 7, 9};
+  const auto sub = induced_subgraph(gg.graph, keep);
+  for (Node nv = 0; nv < sub.graph.num_nodes(); ++nv) {
+    EXPECT_EQ(sub.from_original[sub.to_original[nv]], nv);
+  }
+  for (Node orig : keep) {
+    EXPECT_EQ(sub.to_original[sub.from_original[orig]], orig);
+  }
+}
+
+TEST(Subgraph, AbsentNodesMarkedInvalid) {
+  const auto gg = cycle_graph(5);
+  const auto sub = induced_subgraph(gg.graph, {0, 2});
+  EXPECT_EQ(sub.from_original[1], InducedSubgraph::kInvalidNode);
+  EXPECT_EQ(sub.from_original[3], InducedSubgraph::kInvalidNode);
+}
+
+TEST(Subgraph, DuplicateKeepRejected) {
+  const auto gg = cycle_graph(5);
+  EXPECT_THROW(induced_subgraph(gg.graph, {0, 0}), ContractViolation);
+}
+
+TEST(Subgraph, LiftTranslatesPaths) {
+  const auto gg = cycle_graph(8);
+  const auto sub = surviving_subgraph(gg.graph, {3});
+  // A path in the subgraph maps back to original ids.
+  const Path sub_path = shortest_path(sub.graph, sub.from_original[0],
+                                      sub.from_original[6]);
+  const Path lifted = sub.lift(sub_path);
+  EXPECT_EQ(lifted.front(), 0u);
+  EXPECT_EQ(lifted.back(), 6u);
+  EXPECT_TRUE(gg.graph.is_simple_path(lifted));
+}
+
+TEST(Subgraph, SurvivingSubgraphDropsFaults) {
+  const auto gg = torus_graph(4, 4);
+  const auto sub = surviving_subgraph(gg.graph, {0, 5, 10});
+  EXPECT_EQ(sub.graph.num_nodes(), 13u);
+  EXPECT_EQ(sub.from_original[0], InducedSubgraph::kInvalidNode);
+  EXPECT_EQ(sub.from_original[5], InducedSubgraph::kInvalidNode);
+}
+
+TEST(Subgraph, EmptyRemovalIsIsomorphicCopy) {
+  const auto gg = petersen_graph();
+  const auto sub = surviving_subgraph(gg.graph, {});
+  EXPECT_EQ(sub.graph.num_nodes(), gg.graph.num_nodes());
+  EXPECT_EQ(sub.graph.num_edges(), gg.graph.num_edges());
+  // Identity mapping in this case.
+  for (Node v = 0; v < 10; ++v) EXPECT_EQ(sub.to_original[v], v);
+}
+
+TEST(Subgraph, DistancesPreservedWithinComponent) {
+  const auto gg = grid_graph(4, 4);
+  const auto sub = surviving_subgraph(gg.graph, {5});
+  const Node a = sub.from_original[0];
+  const Node b = sub.from_original[15];
+  const auto d_sub = bfs_distances(sub.graph, a)[b];
+  // Removing node 5 from a 4x4 grid leaves 0 and 15 connected with the
+  // same Manhattan distance (alternative shortest paths exist).
+  EXPECT_EQ(d_sub, 6u);
+}
+
+}  // namespace
+}  // namespace ftr

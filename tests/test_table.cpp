@@ -1,0 +1,66 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace ftr {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"graph", "t", "bound"});
+  t.add_row({"Q4", "3", "6"});
+  t.add_row({"CCC(3)", "2", "6"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("graph"), std::string::npos);
+  EXPECT_NE(out.find("CCC(3)"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, CellFormatting) {
+  EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::cell(std::int64_t{-7}), "-7");
+  EXPECT_EQ(Table::cell(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::cell(true), "yes");
+  EXPECT_EQ(Table::cell(false), "no");
+  EXPECT_EQ(Table::cell("str"), "str");
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"x", "longer-header"});
+  t.add_row({"a-very-long-cell", "b"});
+  std::ostringstream os;
+  t.print(os);
+  // Every line has the same length when columns are padded.
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(Table, RowCount) {
+  Table t({"h"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace ftr

@@ -1,0 +1,92 @@
+#include "fault/tolerance_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/combinatorics.hpp"
+#include "fault/surviving.hpp"
+#include "gen/generators.hpp"
+#include "graph/bfs.hpp"
+#include "routing/kernel.hpp"
+#include "routing/multirouting.hpp"
+
+namespace ftr {
+namespace {
+
+TEST(ToleranceCheck, ExhaustiveWhenBudgetAllows) {
+  const auto gg = cycle_graph(10);
+  const auto kr = build_kernel_routing(gg.graph, 1);
+  Rng rng(1);
+  const auto report = check_tolerance(kr.table, 1, 4, rng);
+  EXPECT_TRUE(report.exhaustive);
+  EXPECT_EQ(report.fault_sets_checked, 10u);
+  EXPECT_TRUE(report.holds);
+  EXPECT_LE(report.worst_diameter, 4u);
+}
+
+TEST(ToleranceCheck, AdversarialWhenBudgetExceeded) {
+  const auto gg = cycle_graph(12);
+  const auto kr = build_kernel_routing(gg.graph, 1);
+  Rng rng(2);
+  ToleranceCheckOptions opts;
+  opts.exhaustive_budget = 2;  // force the sampled path
+  opts.samples = 30;
+  const auto report = check_tolerance(kr.table, 1, 4, rng, opts);
+  EXPECT_FALSE(report.exhaustive);
+  EXPECT_TRUE(report.holds);
+}
+
+TEST(ToleranceCheck, DetectsViolationOfFalseClaim) {
+  // Claim diameter 1 for a kernel routing: certainly false under faults.
+  const auto gg = cycle_graph(10);
+  const auto kr = build_kernel_routing(gg.graph, 1);
+  Rng rng(3);
+  const auto report = check_tolerance(kr.table, 1, 1, rng);
+  EXPECT_FALSE(report.holds);
+  EXPECT_GT(report.worst_diameter, 1u);
+  // The worst fault set is a genuine witness.
+  EXPECT_EQ(surviving_diameter(kr.table, report.worst_faults),
+            report.worst_diameter);
+}
+
+TEST(ToleranceCheck, MultiRouteOverload) {
+  const auto gg = petersen_graph();
+  const auto table = build_full_multirouting(gg.graph, 2);
+  Rng rng(4);
+  const auto report = check_tolerance(table, 2, 1, rng);
+  EXPECT_TRUE(report.exhaustive);
+  EXPECT_TRUE(report.holds);
+  EXPECT_EQ(report.worst_diameter, 1u);
+}
+
+TEST(ToleranceCheck, SummaryMentionsVerdict) {
+  const auto gg = cycle_graph(10);
+  const auto kr = build_kernel_routing(gg.graph, 1);
+  Rng rng(5);
+  const auto ok = check_tolerance(kr.table, 1, 4, rng);
+  EXPECT_NE(ok.summary().find("HOLDS"), std::string::npos);
+  const auto bad = check_tolerance(kr.table, 1, 0, rng);
+  EXPECT_NE(bad.summary().find("VIOLATED"), std::string::npos);
+}
+
+TEST(ToleranceCheck, ZeroFaultCase) {
+  const auto gg = cycle_graph(8);
+  const auto kr = build_kernel_routing(gg.graph, 1);
+  Rng rng(6);
+  const auto report = check_tolerance(kr.table, 0, 4, rng);
+  EXPECT_TRUE(report.exhaustive);
+  EXPECT_EQ(report.fault_sets_checked, 1u);
+}
+
+TEST(ToleranceCheck, GenericEvaluatorPath) {
+  Rng rng(7);
+  const FaultEvaluator eval = [](const std::vector<Node>& f) {
+    return static_cast<std::uint32_t>(f.size());
+  };
+  ToleranceCheckOptions opts;
+  const auto report = check_tolerance_with(10, eval, 3, 3, rng, opts);
+  EXPECT_TRUE(report.holds);
+  EXPECT_EQ(report.worst_diameter, 3u);
+}
+
+}  // namespace
+}  // namespace ftr

@@ -1,0 +1,121 @@
+#include "analysis/two_trees.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gen/generators.hpp"
+#include "graph/bfs.hpp"
+
+namespace ftr {
+namespace {
+
+TEST(TwoTrees, LongCycleHasWitness) {
+  const auto gg = cycle_graph(12);
+  const auto w = find_two_trees(gg.graph);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(two_trees_valid(gg.graph, w->r1, w->r2));
+  EXPECT_GE(distance(gg.graph, w->r1, w->r2), 5u);
+}
+
+TEST(TwoTrees, ShortCycleHasNone) {
+  // C9: any two nodes are within distance 4.
+  const auto gg = cycle_graph(9);
+  EXPECT_FALSE(find_two_trees(gg.graph).has_value());
+}
+
+TEST(TwoTrees, TorusFailsOnFourCycles) {
+  // Every torus node lies on a 4-cycle, so no candidate roots exist.
+  const auto gg = torus_graph(8, 8);
+  EXPECT_TRUE(locally_tree_like_nodes(gg.graph).empty());
+  EXPECT_FALSE(find_two_trees(gg.graph).has_value());
+}
+
+TEST(TwoTrees, HypercubeFailsDespiteSize) {
+  // Q5 has girth 4 — the two-trees property is independent of density.
+  const auto gg = hypercube(5);
+  EXPECT_FALSE(find_two_trees(gg.graph).has_value());
+}
+
+TEST(TwoTrees, PetersenFailsOnDiameter) {
+  // Girth 5 (so all nodes are candidates) but diameter 2 < 5.
+  const auto gg = petersen_graph();
+  EXPECT_EQ(locally_tree_like_nodes(gg.graph).size(), 10u);
+  EXPECT_FALSE(find_two_trees(gg.graph).has_value());
+}
+
+TEST(TwoTrees, LargeCccHasWitness) {
+  // CCC(5) has girth >= 5 and diameter >= 5: witnesses exist.
+  const auto gg = cube_connected_cycles(5);
+  const auto w = find_two_trees(gg.graph);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(two_trees_valid(gg.graph, w->r1, w->r2));
+}
+
+TEST(TwoTrees, ValidatorRejectsSameNode) {
+  const auto gg = cycle_graph(12);
+  EXPECT_FALSE(two_trees_valid(gg.graph, 3, 3));
+}
+
+TEST(TwoTrees, ValidatorRejectsCloseRoots) {
+  const auto gg = cycle_graph(12);
+  EXPECT_FALSE(two_trees_valid(gg.graph, 0, 1));
+  EXPECT_FALSE(two_trees_valid(gg.graph, 0, 2));
+  EXPECT_FALSE(two_trees_valid(gg.graph, 0, 3));
+  EXPECT_FALSE(two_trees_valid(gg.graph, 0, 4));  // dist 4: trees share middle
+  EXPECT_TRUE(two_trees_valid(gg.graph, 0, 5));
+  EXPECT_TRUE(two_trees_valid(gg.graph, 0, 6));
+}
+
+TEST(TwoTrees, ValidatorRejectsRootOnTriangle) {
+  // Path of length 6 with a triangle glued at one end.
+  Graph g(8);
+  for (Node u = 0; u + 1 < 7; ++u) g.add_edge(u, u + 1);
+  g.add_edge(0, 7);
+  g.add_edge(1, 7);  // triangle 0-1-7
+  EXPECT_FALSE(two_trees_valid(g, 0, 6));  // root 0 on a 3-cycle
+  EXPECT_TRUE(two_trees_valid(g, 6, 0) == two_trees_valid(g, 0, 6));
+}
+
+TEST(TwoTrees, ValidatorRejectsRootOnFourCycle) {
+  Graph g(9);
+  for (Node u = 0; u + 1 < 7; ++u) g.add_edge(u, u + 1);
+  g.add_edge(0, 7);
+  g.add_edge(7, 8);
+  g.add_edge(8, 1);  // 4-cycle 0-1-8-7
+  EXPECT_FALSE(two_trees_valid(g, 0, 6));
+}
+
+TEST(TwoTrees, LocallyTreeLikeClassification) {
+  // Triangle with a long tail: triangle nodes are not tree-like.
+  Graph g(7);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  for (Node u = 2; u + 1 < 7; ++u) g.add_edge(u, u + 1);
+  const auto cand = locally_tree_like_nodes(g);
+  EXPECT_EQ(cand, (std::vector<Node>{3, 4, 5, 6}));
+}
+
+TEST(TwoTrees, SparseRandomGraphsOftenHaveIt) {
+  // Theorem 25 regime: p = c*n^eps/n with small eps. Most samples qualify.
+  Rng rng(99);
+  int have = 0;
+  const int trials = 20;
+  for (int i = 0; i < trials; ++i) {
+    const auto gg = gnp(150, 2.0 / 150.0, rng);
+    if (find_two_trees(gg.graph).has_value()) ++have;
+  }
+  EXPECT_GE(have, trials / 2);
+}
+
+TEST(TwoTrees, WitnessDegreesMatchTreeStructure) {
+  const auto gg = cube_connected_cycles(5);
+  const auto w = find_two_trees(gg.graph);
+  ASSERT_TRUE(w.has_value());
+  // Roots are not on short cycles.
+  EXPECT_GT(shortest_cycle_through(gg.graph, w->r1), 4u);
+  EXPECT_GT(shortest_cycle_through(gg.graph, w->r2), 4u);
+}
+
+}  // namespace
+}  // namespace ftr

@@ -1,0 +1,182 @@
+// ftroute CLI: run the library on graphs from files (or generate them).
+//
+//   ftroute gen <family> <args...>           > graph.ftg
+//   ftroute profile        < graph.ftg
+//   ftroute build [--seed S]                 < graph.ftg > table.ftt
+//   ftroute check <graph.ftg> <table.ftt> --faults F [--claimed D] [--seed S]
+//   ftroute stretch <graph.ftg> <table.ftt>
+//
+// Families for `gen`: cycle n | torus r c | grid r c | hypercube d | ccc d |
+//   wbf d | butterfly d | debruijn d | se d | petersen | dodecahedron |
+//   desargues | gp n k | gnp n p seed | rr n d seed
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/stretch.hpp"
+#include "core/ftroute.hpp"
+#include "graph/graph_io.hpp"
+
+namespace {
+
+using namespace ftr;
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  ftroute gen <family> <args...>                 (graph to stdout)\n"
+      "  ftroute profile                                (graph on stdin)\n"
+      "  ftroute build [--seed S]                       (graph on stdin, table to stdout)\n"
+      "  ftroute check <graph> <table> --faults F [--claimed D] [--seed S]\n"
+      "  ftroute stretch <graph> <table>\n";
+  return 2;
+}
+
+GeneratedGraph generate(const std::vector<std::string>& args) {
+  const auto& family = args.at(0);
+  auto num = [&](std::size_t i) {
+    return static_cast<std::size_t>(std::stoull(args.at(i)));
+  };
+  if (family == "cycle") return cycle_graph(num(1));
+  if (family == "torus") return torus_graph(num(1), num(2));
+  if (family == "grid") return grid_graph(num(1), num(2));
+  if (family == "hypercube") return hypercube(num(1));
+  if (family == "ccc") return cube_connected_cycles(num(1));
+  if (family == "wbf") return wrapped_butterfly(num(1));
+  if (family == "butterfly") return butterfly(num(1));
+  if (family == "debruijn") return de_bruijn(num(1));
+  if (family == "se") return shuffle_exchange(num(1));
+  if (family == "petersen") return petersen_graph();
+  if (family == "dodecahedron") return dodecahedron();
+  if (family == "desargues") return desargues_graph();
+  if (family == "gp") return generalized_petersen(num(1), num(2));
+  if (family == "gnp") {
+    Rng rng(num(3));
+    return gnp(num(1), std::stod(args.at(2)), rng);
+  }
+  if (family == "rr") {
+    Rng rng(num(3));
+    return random_regular(num(1), num(2), rng);
+  }
+  throw std::runtime_error("unknown family: " + family);
+}
+
+int cmd_gen(const std::vector<std::string>& args) {
+  const auto gg = generate(args);
+  std::cout << "# " << gg.name << '\n';
+  save_graph(gg.graph, std::cout);
+  return 0;
+}
+
+int cmd_profile() {
+  const Graph g = load_graph(std::cin);
+  Rng rng(1);
+  const auto profile = profile_graph(g, std::nullopt, rng);
+  Table t({"metric", "value"});
+  t.add_row({"nodes", Table::cell(profile.n)});
+  t.add_row({"edges", Table::cell(profile.m)});
+  t.add_row({"min/max degree", Table::cell(profile.min_degree) + "/" +
+                                   Table::cell(profile.max_degree)});
+  t.add_row({"connectivity (t+1)", Table::cell(profile.connectivity)});
+  t.add_row({"girth", profile.girth == kUnreachable
+                          ? "none"
+                          : Table::cell(profile.girth)});
+  t.add_row({"diameter", Table::cell(profile.diameter)});
+  t.add_row({"neighborhood set K", Table::cell(profile.neighborhood_set_size)});
+  t.add_row({"two-trees", Table::cell(profile.two_trees.has_value())});
+  t.print(std::cout);
+  if (profile.kernel_applicable) {
+    const auto plan = plan_routing(profile);
+    std::cout << "\nplan: " << construction_name(plan.construction) << " -> (d <= "
+              << plan.guaranteed_diameter << ", f <= " << plan.tolerated_faults
+              << ")\n  " << plan.rationale << '\n';
+  } else {
+    std::cout << "\nplan: none (graph complete, trivial, or disconnected)\n";
+  }
+  return 0;
+}
+
+std::uint64_t flag_value(const std::vector<std::string>& args,
+                         const std::string& name, std::uint64_t fallback) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == name) return std::stoull(args[i + 1]);
+  }
+  return fallback;
+}
+
+int cmd_build(const std::vector<std::string>& args) {
+  const Graph g = load_graph(std::cin);
+  Rng rng(flag_value(args, "--seed", 42));
+  const auto planned = build_planned_routing(g, std::nullopt, rng);
+  std::cerr << "built " << construction_name(planned.plan.construction)
+            << " routing: (d <= " << planned.plan.guaranteed_diameter
+            << ", f <= " << planned.plan.tolerated_faults << "), "
+            << planned.table.num_routes() << " directed routes\n";
+  save_routing_table(planned.table, std::cout);
+  return 0;
+}
+
+int cmd_check(const std::vector<std::string>& args) {
+  std::ifstream gf(args.at(0)), tf(args.at(1));
+  if (!gf || !tf) {
+    std::cerr << "cannot open input files\n";
+    return 2;
+  }
+  const Graph g = load_graph(gf);
+  const RoutingTable table = load_routing_table(tf);
+  table.validate(g);
+  const auto f = static_cast<std::uint32_t>(flag_value(args, "--faults", 1));
+  const auto claimed =
+      static_cast<std::uint32_t>(flag_value(args, "--claimed", 6));
+  Rng rng(flag_value(args, "--seed", 7));
+  const auto report = check_tolerance(table, f, claimed, rng);
+  std::cout << report.summary() << '\n';
+  if (!report.worst_faults.empty()) {
+    std::cout << "worst fault set:";
+    for (Node v : report.worst_faults) std::cout << ' ' << v;
+    std::cout << '\n';
+  }
+  return report.holds ? 0 : 1;
+}
+
+int cmd_stretch(const std::vector<std::string>& args) {
+  std::ifstream gf(args.at(0)), tf(args.at(1));
+  if (!gf || !tf) {
+    std::cerr << "cannot open input files\n";
+    return 2;
+  }
+  const Graph g = load_graph(gf);
+  const RoutingTable table = load_routing_table(tf);
+  const auto s = measure_stretch(g, table);
+  Table t({"metric", "value"});
+  t.add_row({"routes", Table::cell(s.routes)});
+  t.add_row({"avg stretch", Table::cell(s.avg_stretch, 3)});
+  t.add_row({"max stretch", Table::cell(s.max_stretch, 3)});
+  t.add_row({"shortest routes", Table::cell(s.shortest_routes)});
+  t.add_row({"max route hops", Table::cell(s.max_route_hops)});
+  t.add_row({"max detour (hops)", Table::cell(s.max_detour)});
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  const std::string cmd = args.front();
+  args.erase(args.begin());
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "profile") return cmd_profile();
+    if (cmd == "build") return cmd_build(args);
+    if (cmd == "check") return cmd_check(args);
+    if (cmd == "stretch") return cmd_stretch(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}
