@@ -7,6 +7,7 @@
 //     the guarantee the degraded network still supports.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -44,6 +45,8 @@ void table_overload() {
                        build_kernel_routing(gg.graph, 2).table});
   }
   for (const auto& e : entries) {
+    // One engine per table, reused across every fault set of the sweep.
+    SurvivingRouteGraphEngine engine(e.rt);
     for (std::uint32_t f = e.t; f <= 2 * e.t + 1; ++f) {
       const std::size_t trials = 60;
       std::size_t split = 0, cut = 0;
@@ -51,7 +54,7 @@ void table_overload() {
       for (std::size_t trial = 0; trial < trials; ++trial) {
         const auto sample = rng.sample(e.g.num_nodes(), f);
         const std::vector<Node> faults(sample.begin(), sample.end());
-        const auto cw = componentwise_surviving_diameter(e.g, e.rt, faults);
+        const auto cw = componentwise_surviving_diameter(e.g, engine, faults);
         if (cw.num_components > 1) ++split;
         if (cw.worst == kUnreachable) {
           ++cut;
@@ -102,6 +105,101 @@ void table_recovery() {
   std::cout << "\n";
 }
 
+// Batched vs. per-fault-set surviving-diameter throughput: the seed path
+// rebuilds the surviving Digraph (and all its per-node vectors) for every
+// fault set; the engine preprocesses the table once and replays fault sets
+// against reused scratch. The printed table gives the wall-clock summary;
+// the registered benchmarks below record fault-sets/sec in the JSON
+// baselines (items_per_second).
+void table_batched_throughput() {
+  std::cout << "-- Batched vs per-fault-set surviving diameter --\n";
+  Table table({"graph", "construction", "f", "fault sets", "per-set ms",
+               "batched ms", "speedup"});
+  Rng rng(929);
+  struct Entry {
+    std::string graph;
+    std::string name;
+    std::uint32_t t;
+    Graph g;
+    RoutingTable rt;
+  };
+  std::vector<Entry> entries;
+  {
+    const auto gg = torus_graph(6, 6);
+    entries.push_back({gg.name, "kernel", 3, gg.graph,
+                       build_kernel_routing(gg.graph, 3).table});
+  }
+  {
+    const auto gg = cube_connected_cycles(4);
+    entries.push_back({gg.name, "kernel", 2, gg.graph,
+                       build_kernel_routing(gg.graph, 2).table});
+  }
+  using clock = std::chrono::steady_clock;
+  for (const auto& e : entries) {
+    const std::size_t count = 400;
+    const auto sets = random_fault_sets(e.g.num_nodes(), e.t, count, rng);
+
+    std::uint64_t checksum_seed = 0;
+    const auto t0 = clock::now();
+    for (const auto& faults : sets) {
+      checksum_seed += surviving_diameter(e.rt, faults);
+    }
+    const auto t1 = clock::now();
+
+    SurvivingRouteGraphEngine engine(e.rt);
+    std::uint64_t checksum_batched = 0;
+    const auto t2 = clock::now();
+    for (const auto& faults : sets) {
+      checksum_batched += engine.surviving_diameter(faults);
+    }
+    const auto t3 = clock::now();
+    FTR_ASSERT_MSG(checksum_seed == checksum_batched,
+                   "engine and one-shot paths disagree");
+
+    const double seed_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double batched_ms =
+        std::chrono::duration<double, std::milli>(t3 - t2).count();
+    table.add_row({e.graph, e.name, Table::cell(e.t), Table::cell(count),
+                   Table::cell(seed_ms, 1), Table::cell(batched_ms, 1),
+                   Table::cell(seed_ms / batched_ms, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "(same diameters, same fault sets; the batched column reuses"
+            << " one SurvivingRouteGraphEngine)\n\n";
+}
+
+void bench_surviving_diameter_per_fault_set(benchmark::State& state) {
+  const auto gg = torus_graph(6, 6);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  Rng rng(9);
+  const auto sets = random_fault_sets(gg.graph.num_nodes(), 3, 64, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        surviving_diameter(kr.table, sets[i++ % sets.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("fault-sets");
+}
+BENCHMARK(bench_surviving_diameter_per_fault_set);
+
+void bench_surviving_diameter_batched(benchmark::State& state) {
+  const auto gg = torus_graph(6, 6);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  SurvivingRouteGraphEngine engine(kr.table);
+  Rng rng(9);
+  const auto sets = random_fault_sets(gg.graph.num_nodes(), 3, 64, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.surviving_diameter(sets[i++ % sets.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("fault-sets");
+}
+BENCHMARK(bench_surviving_diameter_batched);
+
 void bench_componentwise_diameter(benchmark::State& state) {
   const auto gg = torus_graph(5, 5);
   const auto kr = build_kernel_routing(gg.graph, 3);
@@ -135,5 +233,6 @@ int main(int argc, char** argv) {
                      "Section 7, open problem 3");
   table_overload();
   table_recovery();
+  table_batched_throughput();
   return ftr::bench::run_registered_benchmarks(argc, argv);
 }

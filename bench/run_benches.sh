@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs the benchmark binaries and emits BENCH_<name>.json baselines for the
+# perf trajectory (google-benchmark JSON; items_per_second on the fault-sweep
+# benchmarks is fault-sets/sec).
+#
+# Usage:
+#   bench/run_benches.sh [build-dir] [out-dir]
+#
+# Defaults: build-dir = ./build, out-dir = repo root. Pass a filter via
+# BENCH_FILTER to restrict which google-benchmark cases run (default runs
+# the surviving-diameter/fault-sweep throughput benches, which are the PR
+# acceptance metric; set BENCH_FILTER=. to run everything).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-.}"
+FILTER="${BENCH_FILTER:-surviving_diameter|fault_sweep}"
+mkdir -p "${OUT_DIR}"
+
+BENCHES=(bench_recovery bench_comparison)
+
+for bench in "${BENCHES[@]}"; do
+  bin="${BUILD_DIR}/${bench}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "skipping ${bench}: ${bin} not built" >&2
+    continue
+  fi
+  out="${OUT_DIR}/BENCH_${bench#bench_}.json"
+  echo "== ${bench} -> ${out}"
+  "${bin}" \
+    --benchmark_filter="${FILTER}" \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_format=console \
+    --benchmark_out="${out}" \
+    --benchmark_out_format=json
+done
+
+echo "done; baselines:"
+ls -1 "${OUT_DIR}"/BENCH_*.json

@@ -20,22 +20,15 @@ std::vector<char> membership(std::size_t n, const std::vector<Node>& set) {
 }
 
 // Distances from `source` following arcs forward (out = true) or backward
-// (out = false), cut off at `radius`. Backward BFS uses a transpose scan —
-// fine at the property-checking scale.
+// (out = false), cut off at `radius`. Backward scans walk the Digraph's
+// cached transpose via predecessors() — built once per digraph, not per
+// query.
 std::vector<std::uint32_t> bounded_bfs(const Digraph& r, Node source,
                                        std::uint32_t radius, bool out) {
   std::vector<std::uint32_t> dist(r.num_nodes(), kUnreachable);
   if (!r.present(source)) return dist;
   dist[source] = 0;
   std::deque<Node> queue{source};
-  // Precompute predecessors once for backward scans.
-  std::vector<std::vector<Node>> preds;
-  if (!out) {
-    preds.resize(r.num_nodes());
-    for (Node u : r.present_nodes()) {
-      for (Node v : r.successors(u)) preds[v].push_back(u);
-    }
-  }
   const auto relax = [&dist, &queue](Node v, std::uint32_t du) {
     if (dist[v] == kUnreachable) {
       dist[v] = du + 1;
@@ -49,7 +42,7 @@ std::vector<std::uint32_t> bounded_bfs(const Digraph& r, Node source,
     if (out) {
       for (Node v : r.successors(u)) relax(v, dist[u]);
     } else {
-      for (Node v : preds[u]) relax(v, dist[u]);
+      for (Node v : r.predecessors(u)) relax(v, dist[u]);
     }
   }
   return dist;

@@ -15,7 +15,7 @@ StretchStats measure_stretch(const Graph& g, const RoutingTable& table) {
 
   StretchStats s;
   double stretch_sum = 0.0;
-  table.for_each([&](Node x, Node y, const Path& path) {
+  table.for_each_view([&](Node x, Node y, PathView path) {
     const auto hops = static_cast<std::uint32_t>(path.size() - 1);
     const std::uint32_t d = dist[x][y];
     FTR_ASSERT_MSG(d != kUnreachable && d >= 1, "route between disconnected pair");

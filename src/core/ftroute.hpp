@@ -28,6 +28,7 @@
 #include "fault/adversary.hpp"
 #include "fault/edge_faults.hpp"
 #include "fault/fault_gen.hpp"
+#include "fault/srg_engine.hpp"
 #include "fault/surviving.hpp"
 #include "fault/tolerance_check.hpp"
 #include "gen/generators.hpp"

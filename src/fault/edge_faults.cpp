@@ -40,7 +40,7 @@ Digraph surviving_graph_with_edge_faults(
   for (Node v = 0; v < n; ++v) {
     if (faulty[v]) r.remove_node(v);
   }
-  table.for_each([&](Node x, Node y, const Path& path) {
+  table.for_each_view([&](Node x, Node y, PathView path) {
     if (faulty[x] || faulty[y]) return;
     for (Node v : path) {
       if (faulty[v]) return;

@@ -42,7 +42,7 @@ std::vector<Node> targeted_fault_set(std::size_t n,
 
 std::vector<Node> nodes_by_route_load(const RoutingTable& table) {
   std::vector<std::uint64_t> load(table.num_nodes(), 0);
-  table.for_each([&](Node, Node, const Path& path) {
+  table.for_each_view([&](Node, Node, PathView path) {
     for (Node v : path) ++load[v];
   });
   std::vector<Node> ranked(table.num_nodes());

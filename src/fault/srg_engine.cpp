@@ -1,0 +1,202 @@
+#include "fault/srg_engine.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+#include "graph/bfs.hpp"
+
+namespace ftr {
+
+SurvivingRouteGraphEngine::SurvivingRouteGraphEngine(const RoutingTable& table)
+    : n_(table.num_nodes()) {
+  route_nodes_.reserve(table.arena_size());
+  route_off_.reserve(table.num_routes() + 1);
+  route_off_.push_back(0);
+  // Every entry of a single-route table is its own ordered pair.
+  table.for_each_view([this](Node x, Node y, PathView path) {
+    route_src_.push_back(x);
+    route_dst_.push_back(y);
+    route_pair_.push_back(static_cast<std::uint32_t>(num_pairs_++));
+    route_nodes_.insert(route_nodes_.end(), path.begin(), path.end());
+    route_off_.push_back(static_cast<std::uint32_t>(route_nodes_.size()));
+  });
+  finalize_routes();
+}
+
+SurvivingRouteGraphEngine::SurvivingRouteGraphEngine(
+    const MultiRouteTable& table)
+    : n_(table.num_nodes()) {
+  route_nodes_.reserve(table.arena_size());
+  route_off_.reserve(table.total_routes() + 1);
+  route_off_.push_back(0);
+  table.for_each_pair_view([this](Node x, Node y,
+                                  const MultiRouteTable::RouteRange& routes) {
+    const auto pair_id = static_cast<std::uint32_t>(num_pairs_++);
+    for (PathView path : routes) {
+      route_src_.push_back(x);
+      route_dst_.push_back(y);
+      route_pair_.push_back(pair_id);
+      route_nodes_.insert(route_nodes_.end(), path.begin(), path.end());
+      route_off_.push_back(static_cast<std::uint32_t>(route_nodes_.size()));
+    }
+  });
+  finalize_routes();
+}
+
+void SurvivingRouteGraphEngine::finalize_routes() {
+  const std::size_t num_routes = route_src_.size();
+  // Inverted index: node -> ids of routes whose path contains it (endpoints
+  // included, so an endpoint fault kills the route like any interior fault).
+  node_route_off_.assign(n_ + 1, 0);
+  for (Node v : route_nodes_) ++node_route_off_[v + 1];
+  for (std::size_t i = 1; i <= n_; ++i) {
+    node_route_off_[i] += node_route_off_[i - 1];
+  }
+  node_route_ids_.resize(route_nodes_.size());
+  std::vector<std::uint32_t> cursor(node_route_off_.begin(),
+                                    node_route_off_.end() - 1);
+  for (std::uint32_t r = 0; r < num_routes; ++r) {
+    for (std::uint32_t i = route_off_[r]; i < route_off_[r + 1]; ++i) {
+      node_route_ids_[cursor[route_nodes_[i]]++] = r;
+    }
+  }
+
+  fault_stamp_.assign(n_, 0);
+  route_stamp_.assign(num_routes, 0);
+  pair_stamp_.assign(num_pairs_, 0);
+  arc_off_.assign(n_ + 1, 0);
+  arc_cursor_.assign(n_, 0);
+  seen_stamp_.assign(n_, 0);
+  dist_.assign(n_, 0);
+  queue_.reserve(n_);
+  arcs_.reserve(num_pairs_);
+}
+
+std::uint32_t SurvivingRouteGraphEngine::strike(std::span<const Node> faults) {
+  ++epoch_;
+  if (epoch_ == 0) {  // stamp wrap: reset everything once per 2^32 calls
+    std::fill(fault_stamp_.begin(), fault_stamp_.end(), 0);
+    std::fill(route_stamp_.begin(), route_stamp_.end(), 0);
+    std::fill(pair_stamp_.begin(), pair_stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  auto survivors = static_cast<std::uint32_t>(n_);
+  for (Node f : faults) {
+    FTR_EXPECTS_MSG(f < n_, "fault " << f << " out of range");
+    if (fault_stamp_[f] == epoch_) continue;  // duplicate fault id
+    fault_stamp_[f] = epoch_;
+    --survivors;
+    for (std::uint32_t i = node_route_off_[f]; i < node_route_off_[f + 1];
+         ++i) {
+      route_stamp_[node_route_ids_[i]] = epoch_;
+    }
+  }
+
+  // Collect surviving arcs, one per ordered pair with a live route.
+  arcs_.clear();
+  const std::size_t num_routes = route_src_.size();
+  for (std::uint32_t r = 0; r < num_routes; ++r) {
+    if (route_stamp_[r] == epoch_) continue;
+    const std::uint32_t pid = route_pair_[r];
+    if (pair_stamp_[pid] == epoch_) continue;
+    pair_stamp_[pid] = epoch_;
+    arcs_.emplace_back(route_src_[r], route_dst_[r]);
+  }
+
+  // Counting sort by source into the scratch CSR.
+  std::fill(arc_off_.begin(), arc_off_.end(), 0);
+  for (const auto& [src, dst] : arcs_) ++arc_off_[src + 1];
+  for (std::size_t i = 1; i <= n_; ++i) arc_off_[i] += arc_off_[i - 1];
+  arc_tgt_.resize(arcs_.size());
+  std::copy(arc_off_.begin(), arc_off_.end() - 1, arc_cursor_.begin());
+  for (const auto& [src, dst] : arcs_) arc_tgt_[arc_cursor_[src]++] = dst;
+  return survivors;
+}
+
+std::uint32_t SurvivingRouteGraphEngine::bfs_from(Node s,
+                                                  std::uint32_t* reached_out) {
+  ++bfs_epoch_;
+  if (bfs_epoch_ == 0) {
+    std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0);
+    bfs_epoch_ = 1;
+  }
+  queue_.clear();
+  queue_.push_back(s);
+  seen_stamp_[s] = bfs_epoch_;
+  dist_[s] = 0;
+  std::uint32_t reached = 1;
+  std::uint32_t ecc = 0;
+  for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
+    const Node u = queue_[qi];
+    const std::uint32_t du = dist_[u];
+    for (std::uint32_t i = arc_off_[u]; i < arc_off_[u + 1]; ++i) {
+      const Node v = arc_tgt_[i];
+      if (seen_stamp_[v] == bfs_epoch_) continue;
+      seen_stamp_[v] = bfs_epoch_;
+      dist_[v] = du + 1;
+      ecc = du + 1;
+      ++reached;
+      queue_.push_back(v);
+    }
+  }
+  if (reached_out != nullptr) *reached_out = reached;
+  return ecc;
+}
+
+SurvivingRouteGraphEngine::Result SurvivingRouteGraphEngine::evaluate(
+    std::span<const Node> faults) {
+  const std::uint32_t survivors = strike(faults);
+  Result res;
+  res.survivors = survivors;
+  res.arcs = static_cast<std::uint32_t>(arcs_.size());
+  if (survivors <= 1) return res;  // diameter 0 by convention
+  std::uint32_t diam = 0;
+  for (Node s = 0; s < n_; ++s) {
+    if (fault_stamp_[s] == epoch_) continue;
+    std::uint32_t reached = 0;
+    const std::uint32_t ecc = bfs_from(s, &reached);
+    if (reached < survivors) {
+      res.diameter = kUnreachable;
+      return res;
+    }
+    diam = std::max(diam, ecc);
+  }
+  res.diameter = diam;
+  return res;
+}
+
+std::uint32_t SurvivingRouteGraphEngine::surviving_diameter(
+    std::span<const Node> faults) {
+  return evaluate(faults).diameter;
+}
+
+std::uint32_t SurvivingRouteGraphEngine::componentwise_diameter(
+    std::span<const Node> faults, std::span<const std::uint32_t> comp) {
+  FTR_EXPECTS(comp.size() == n_);
+  const std::uint32_t survivors = strike(faults);
+  if (survivors <= 1) return 0;
+  std::uint32_t worst = 0;
+  for (Node s = 0; s < n_; ++s) {
+    if (fault_stamp_[s] == epoch_) continue;
+    bfs_from(s, nullptr);
+    for (Node t = 0; t < n_; ++t) {
+      if (t == s || fault_stamp_[t] == epoch_ || comp[t] != comp[s]) continue;
+      if (seen_stamp_[t] != bfs_epoch_) return kUnreachable;
+      worst = std::max(worst, dist_[t]);
+    }
+  }
+  return worst;
+}
+
+Digraph SurvivingRouteGraphEngine::surviving_graph(
+    std::span<const Node> faults) {
+  strike(faults);
+  Digraph r(n_);
+  for (Node v = 0; v < n_; ++v) {
+    if (fault_stamp_[v] == epoch_) r.remove_node(v);
+  }
+  for (const auto& [src, dst] : arcs_) r.add_arc(src, dst);
+  return r;
+}
+
+}  // namespace ftr

@@ -1,0 +1,109 @@
+// Batched evaluation of surviving route graphs R(G, rho)/F.
+//
+// The hot loop of every experiment in this repo is "strike a fault set,
+// materialize the surviving route graph, measure its diameter" — repeated
+// across thousands of fault sets against the SAME routing table (tolerance
+// checks, adversarial hill-climbing, recovery sweeps). The one-shot path in
+// fault/surviving.cpp rebuilds a Digraph (one heap vector per node) and
+// re-walks every route per fault set; this engine preprocesses the table
+// once into flat arrays and then answers each fault set from reusable,
+// epoch-stamped scratch buffers:
+//
+//  * a node -> routes inverted index, so a fault set of size f kills its
+//    routes in O(sum over faults of routes-through-fault) instead of
+//    re-scanning every route node;
+//  * one pass over the route list collects surviving arcs into a scratch
+//    CSR (counting sort by source), with per-pair dedup for multiroutes;
+//  * BFS runs over the scratch CSR with stamped distance arrays and a flat
+//    queue — no allocation after the first evaluation.
+//
+// Semantics match fault/surviving.cpp exactly: an arc x -> y survives iff
+// some route rho(x, y) avoids every fault (endpoints included), and the
+// diameter is the directed max over ordered survivor pairs (kUnreachable if
+// any pair cannot route, 0 when fewer than two survivors remain).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "graph/graph.hpp"
+#include "routing/multi_route_table.hpp"
+#include "routing/route_table.hpp"
+
+namespace ftr {
+
+class SurvivingRouteGraphEngine {
+ public:
+  explicit SurvivingRouteGraphEngine(const RoutingTable& table);
+  explicit SurvivingRouteGraphEngine(const MultiRouteTable& table);
+
+  std::size_t num_nodes() const { return n_; }
+  /// Directed routes preprocessed (multiroute tables count every parallel
+  /// route; ordered pairs may share one arc).
+  std::size_t num_routes() const { return route_src_.size(); }
+  std::size_t num_pairs() const { return num_pairs_; }
+
+  struct Result {
+    std::uint32_t diameter = 0;  // kUnreachable if some pair cannot route
+    std::uint32_t survivors = 0;
+    std::uint32_t arcs = 0;
+  };
+
+  /// Evaluates one fault set. Repeated calls reuse all scratch state; fault
+  /// ids must be < num_nodes() (duplicates are tolerated).
+  Result evaluate(std::span<const Node> faults);
+
+  /// diam R(G, rho)/F — the batched counterpart of ftr::surviving_diameter.
+  std::uint32_t surviving_diameter(std::span<const Node> faults);
+
+  /// Worst finite surviving-route distance over ordered survivor pairs that
+  /// share a class in `comp` (one id per node of the underlying graph);
+  /// kUnreachable if some same-class pair cannot route. Used by the
+  /// componentwise recovery metric (Section 7, open problem 3).
+  std::uint32_t componentwise_diameter(std::span<const Node> faults,
+                                       std::span<const std::uint32_t> comp);
+
+  /// Materializes the surviving route graph as a Digraph, for callers that
+  /// need the full structure (property checks, delivery simulation).
+  Digraph surviving_graph(std::span<const Node> faults);
+
+ private:
+  void finalize_routes();
+  // Stamps faults/killed routes and rebuilds the scratch arc CSR for this
+  // fault set. Returns the number of survivors.
+  std::uint32_t strike(std::span<const Node> faults);
+  // BFS from s over the scratch CSR; returns the eccentricity among reached
+  // survivors and leaves dist/seen stamps for this bfs_epoch_.
+  std::uint32_t bfs_from(Node s, std::uint32_t* reached_out);
+
+  std::size_t n_ = 0;
+
+  // --- immutable preprocessing ---------------------------------------------
+  std::vector<Node> route_nodes_;           // all route nodes, back to back
+  std::vector<std::uint32_t> route_off_;    // per route, offset into nodes
+  std::vector<Node> route_src_;
+  std::vector<Node> route_dst_;
+  std::vector<std::uint32_t> route_pair_;   // route -> ordered-pair id
+  std::size_t num_pairs_ = 0;
+  std::vector<std::uint32_t> node_route_off_;  // node -> routes through it
+  std::vector<std::uint32_t> node_route_ids_;
+
+  // --- per-fault-set scratch (epoch-stamped, allocation-free) --------------
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> fault_stamp_;
+  std::vector<std::uint32_t> route_stamp_;
+  std::vector<std::uint32_t> pair_stamp_;
+  std::vector<std::pair<Node, Node>> arcs_;
+  std::vector<std::uint32_t> arc_off_;     // scratch CSR offsets (n + 1)
+  std::vector<std::uint32_t> arc_cursor_;
+  std::vector<Node> arc_tgt_;
+
+  std::uint32_t bfs_epoch_ = 0;
+  std::vector<std::uint32_t> seen_stamp_;
+  std::vector<std::uint32_t> dist_;
+  std::vector<Node> queue_;
+};
+
+}  // namespace ftr

@@ -16,7 +16,7 @@ std::vector<char> fault_flags(std::size_t n, const std::vector<Node>& faults) {
   return faulty;
 }
 
-bool path_survives(const Path& p, const std::vector<char>& faulty) {
+bool path_survives(PathView p, const std::vector<char>& faulty) {
   for (Node v : p) {
     if (faulty[v]) return false;
   }
@@ -33,7 +33,7 @@ Digraph surviving_graph(const RoutingTable& table,
   for (Node v = 0; v < n; ++v) {
     if (faulty[v]) r.remove_node(v);
   }
-  table.for_each([&](Node x, Node y, const Path& path) {
+  table.for_each_view([&](Node x, Node y, PathView path) {
     if (!faulty[x] && !faulty[y] && path_survives(path, faulty)) {
       r.add_arc(x, y);
     }
@@ -49,15 +49,16 @@ Digraph surviving_graph(const MultiRouteTable& table,
   for (Node v = 0; v < n; ++v) {
     if (faulty[v]) r.remove_node(v);
   }
-  table.for_each_pair([&](Node x, Node y, const std::vector<Path>& routes) {
-    if (faulty[x] || faulty[y]) return;
-    for (const Path& p : routes) {
-      if (path_survives(p, faulty)) {
-        r.add_arc(x, y);
-        return;
-      }
-    }
-  });
+  table.for_each_pair_view(
+      [&](Node x, Node y, const MultiRouteTable::RouteRange& routes) {
+        if (faulty[x] || faulty[y]) return;
+        for (PathView p : routes) {
+          if (path_survives(p, faulty)) {
+            r.add_arc(x, y);
+            return;
+          }
+        }
+      });
   return r;
 }
 

@@ -5,7 +5,7 @@
 #include "common/combinatorics.hpp"
 #include "common/contracts.hpp"
 #include "fault/fault_gen.hpp"
-#include "fault/surviving.hpp"
+#include "fault/srg_engine.hpp"
 #include "graph/bfs.hpp"
 
 namespace ftr {
@@ -60,8 +60,11 @@ ToleranceReport check_tolerance_with(std::size_t n, const FaultEvaluator& eval,
 ToleranceReport check_tolerance(const RoutingTable& table, std::uint32_t f,
                                 std::uint32_t claimed_bound, Rng& rng,
                                 const ToleranceCheckOptions& options) {
-  const FaultEvaluator eval = [&table](const std::vector<Node>& faults) {
-    return surviving_diameter(table, faults);
+  // One engine per check: the preprocessing cost amortizes across the
+  // thousands of fault sets the adversary evaluates below.
+  SurvivingRouteGraphEngine engine(table);
+  const FaultEvaluator eval = [&engine](const std::vector<Node>& faults) {
+    return engine.surviving_diameter(faults);
   };
   // Seed the hill-climber with route-load-targeted sets: knocking out the
   // busiest nodes first is the natural informed attack.
@@ -78,8 +81,9 @@ ToleranceReport check_tolerance(const RoutingTable& table, std::uint32_t f,
 ToleranceReport check_tolerance(const MultiRouteTable& table, std::uint32_t f,
                                 std::uint32_t claimed_bound, Rng& rng,
                                 const ToleranceCheckOptions& options) {
-  const FaultEvaluator eval = [&table](const std::vector<Node>& faults) {
-    return surviving_diameter(table, faults);
+  SurvivingRouteGraphEngine engine(table);
+  const FaultEvaluator eval = [&engine](const std::vector<Node>& faults) {
+    return engine.surviving_diameter(faults);
   };
   return check_tolerance_with(table.num_nodes(), eval, f, claimed_bound, rng,
                               options);

@@ -24,48 +24,48 @@ std::string fmt_name(const std::string& base, std::initializer_list<std::size_t>
 
 GeneratedGraph complete_graph(std::size_t n) {
   FTR_EXPECTS(n >= 1);
-  Graph g(n);
+  GraphBuilder g(n);
   for (Node u = 0; u < n; ++u) {
     for (Node v = u + 1; v < n; ++v) g.add_edge(u, v);
   }
-  return {std::move(g), fmt_name("K", {n}),
+  return {g.build(), fmt_name("K", {n}),
           static_cast<std::uint32_t>(n - 1)};
 }
 
 GeneratedGraph cycle_graph(std::size_t n) {
   FTR_EXPECTS(n >= 3);
-  Graph g(n);
+  GraphBuilder g(n);
   for (Node u = 0; u < n; ++u) g.add_edge(u, static_cast<Node>((u + 1) % n));
-  return {std::move(g), fmt_name("C", {n}), 2u};
+  return {g.build(), fmt_name("C", {n}), 2u};
 }
 
 GeneratedGraph path_graph(std::size_t n) {
   FTR_EXPECTS(n >= 2);
-  Graph g(n);
+  GraphBuilder g(n);
   for (Node u = 0; u + 1 < n; ++u) g.add_edge(u, u + 1);
-  return {std::move(g), fmt_name("P", {n}), 1u};
+  return {g.build(), fmt_name("P", {n}), 1u};
 }
 
 GeneratedGraph star_graph(std::size_t leaves) {
   FTR_EXPECTS(leaves >= 1);
-  Graph g(leaves + 1);
+  GraphBuilder g(leaves + 1);
   for (Node v = 1; v <= leaves; ++v) g.add_edge(0, v);
-  return {std::move(g), fmt_name("star", {leaves}), 1u};
+  return {g.build(), fmt_name("star", {leaves}), 1u};
 }
 
 GeneratedGraph complete_bipartite(std::size_t a, std::size_t b) {
   FTR_EXPECTS(a >= 1 && b >= 1);
-  Graph g(a + b);
+  GraphBuilder g(a + b);
   for (Node u = 0; u < a; ++u) {
     for (Node v = 0; v < b; ++v) g.add_edge(u, static_cast<Node>(a + v));
   }
-  return {std::move(g), fmt_name("K", {a, b}),
+  return {g.build(), fmt_name("K", {a, b}),
           static_cast<std::uint32_t>(std::min(a, b))};
 }
 
 GeneratedGraph grid_graph(std::size_t rows, std::size_t cols) {
   FTR_EXPECTS(rows >= 2 && cols >= 2);
-  Graph g(rows * cols);
+  GraphBuilder g(rows * cols);
   auto id = [cols](std::size_t r, std::size_t c) {
     return static_cast<Node>(r * cols + c);
   };
@@ -75,12 +75,12 @@ GeneratedGraph grid_graph(std::size_t rows, std::size_t cols) {
       if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
     }
   }
-  return {std::move(g), fmt_name("grid", {rows, cols}), 2u};
+  return {g.build(), fmt_name("grid", {rows, cols}), 2u};
 }
 
 GeneratedGraph torus_graph(std::size_t rows, std::size_t cols) {
   FTR_EXPECTS(rows >= 3 && cols >= 3);
-  Graph g(rows * cols);
+  GraphBuilder g(rows * cols);
   auto id = [cols](std::size_t r, std::size_t c) {
     return static_cast<Node>(r * cols + c);
   };
@@ -90,31 +90,31 @@ GeneratedGraph torus_graph(std::size_t rows, std::size_t cols) {
       g.add_edge(id(r, c), id((r + 1) % rows, c));
     }
   }
-  return {std::move(g), fmt_name("torus", {rows, cols}), 4u};
+  return {g.build(), fmt_name("torus", {rows, cols}), 4u};
 }
 
 GeneratedGraph petersen_graph() {
   // Outer 5-cycle 0..4, inner 5-cycle (pentagram) 5..9, spokes i -- i+5.
-  Graph g(10);
+  GraphBuilder g(10);
   for (Node i = 0; i < 5; ++i) {
     g.add_edge(i, (i + 1) % 5);
     g.add_edge(5 + i, 5 + (i + 2) % 5);
     g.add_edge(i, 5 + i);
   }
-  return {std::move(g), "petersen", 3u};
+  return {g.build(), "petersen", 3u};
 }
 
 GeneratedGraph generalized_petersen(std::size_t n, std::size_t k) {
   FTR_EXPECTS(n >= 3);
   FTR_EXPECTS_MSG(k >= 1 && 2 * k < n, "GP(n,k) needs 1 <= k < n/2");
-  Graph g(2 * n);
+  GraphBuilder g(2 * n);
   for (Node i = 0; i < n; ++i) {
     g.add_edge(i, static_cast<Node>((i + 1) % n));              // outer cycle
     g.add_edge(static_cast<Node>(n + i),
                static_cast<Node>(n + (i + k) % n));             // inner star
     g.add_edge(i, static_cast<Node>(n + i));                    // spoke
   }
-  return {std::move(g), fmt_name("GP", {n, k}), 3u};
+  return {g.build(), fmt_name("GP", {n, k}), 3u};
 }
 
 GeneratedGraph dodecahedron() {
@@ -144,7 +144,7 @@ GeneratedGraph nauru_graph() {
 GeneratedGraph circulant_graph(std::size_t n,
                                const std::vector<std::uint32_t>& offsets) {
   FTR_EXPECTS(n >= 3);
-  Graph g(n);
+  GraphBuilder g(n);
   for (std::uint32_t s : offsets) {
     FTR_EXPECTS_MSG(s >= 1 && s < n, "circulant offset " << s << " out of range");
     for (Node u = 0; u < n; ++u) {
@@ -159,7 +159,7 @@ GeneratedGraph circulant_graph(std::size_t n,
     os << offsets[i];
   }
   os << ')';
-  return {std::move(g), os.str(), std::nullopt};
+  return {g.build(), os.str(), std::nullopt};
 }
 
 }  // namespace ftr

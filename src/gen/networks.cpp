@@ -23,20 +23,20 @@ std::uint32_t rotate_left(std::uint32_t w, std::size_t dim) {
 GeneratedGraph hypercube(std::size_t dim) {
   FTR_EXPECTS(dim >= 1 && dim <= 24);
   const std::size_t n = std::size_t{1} << dim;
-  Graph g(n);
+  GraphBuilder g(n);
   for (Node w = 0; w < n; ++w) {
     for (std::size_t b = 0; b < dim; ++b) {
       const Node v = w ^ (Node{1} << b);
       if (w < v) g.add_edge(w, v);
     }
   }
-  return {std::move(g), dim_name("Q", dim), static_cast<std::uint32_t>(dim)};
+  return {g.build(), dim_name("Q", dim), static_cast<std::uint32_t>(dim)};
 }
 
 GeneratedGraph cube_connected_cycles(std::size_t dim) {
   FTR_EXPECTS_MSG(dim >= 3, "CCC needs ring length >= 3 for simplicity");
   const std::size_t cube = std::size_t{1} << dim;
-  Graph g(cube * dim);
+  GraphBuilder g(cube * dim);
   auto id = [dim](std::size_t w, std::size_t i) {
     return static_cast<Node>(w * dim + i);
   };
@@ -47,13 +47,13 @@ GeneratedGraph cube_connected_cycles(std::size_t dim) {
       if (w < w2) g.add_edge(id(w, i), id(w2, i));
     }
   }
-  return {std::move(g), dim_name("CCC", dim), 3u};
+  return {g.build(), dim_name("CCC", dim), 3u};
 }
 
 GeneratedGraph butterfly(std::size_t dim) {
   FTR_EXPECTS(dim >= 1);
   const std::size_t cols = std::size_t{1} << dim;
-  Graph g((dim + 1) * cols);
+  GraphBuilder g((dim + 1) * cols);
   auto id = [cols](std::size_t level, std::size_t w) {
     return static_cast<Node>(level * cols + w);
   };
@@ -63,13 +63,13 @@ GeneratedGraph butterfly(std::size_t dim) {
       g.add_edge(id(level, w), id(level + 1, w ^ (std::size_t{1} << level)));
     }
   }
-  return {std::move(g), dim_name("BF", dim), 2u};
+  return {g.build(), dim_name("BF", dim), 2u};
 }
 
 GeneratedGraph wrapped_butterfly(std::size_t dim) {
   FTR_EXPECTS_MSG(dim >= 3, "WBF needs >= 3 levels for simplicity");
   const std::size_t cols = std::size_t{1} << dim;
-  Graph g(dim * cols);
+  GraphBuilder g(dim * cols);
   auto id = [cols](std::size_t level, std::size_t w) {
     return static_cast<Node>(level * cols + w);
   };
@@ -81,33 +81,33 @@ GeneratedGraph wrapped_butterfly(std::size_t dim) {
     }
   }
   // Vertex-transitive 4-regular graphs have kappa >= 2(4+1)/3 > 3, so 4.
-  return {std::move(g), dim_name("WBF", dim), 4u};
+  return {g.build(), dim_name("WBF", dim), 4u};
 }
 
 GeneratedGraph de_bruijn(std::size_t dim) {
   FTR_EXPECTS(dim >= 2 && dim <= 24);
   const std::size_t n = std::size_t{1} << dim;
   const Node mask = static_cast<Node>(n - 1);
-  Graph g(n);
+  GraphBuilder g(n);
   for (Node w = 0; w < n; ++w) {
     for (Node bit = 0; bit <= 1; ++bit) {
       const Node v = ((w << 1) | bit) & mask;
       if (v != w) g.add_edge(w, v);
     }
   }
-  return {std::move(g), dim_name("deBruijn", dim), std::nullopt};
+  return {g.build(), dim_name("deBruijn", dim), std::nullopt};
 }
 
 GeneratedGraph shuffle_exchange(std::size_t dim) {
   FTR_EXPECTS(dim >= 2 && dim <= 24);
   const std::size_t n = std::size_t{1} << dim;
-  Graph g(n);
+  GraphBuilder g(n);
   for (Node w = 0; w < n; ++w) {
     g.add_edge(w, w ^ 1u);  // exchange
     const Node shuffled = rotate_left(w, dim);
     if (shuffled != w) g.add_edge(w, shuffled);  // shuffle
   }
-  return {std::move(g), dim_name("SE", dim), std::nullopt};
+  return {g.build(), dim_name("SE", dim), std::nullopt};
 }
 
 }  // namespace ftr

@@ -12,7 +12,7 @@ namespace ftr {
 GeneratedGraph gnp(std::size_t n, double p, Rng& rng) {
   FTR_EXPECTS(n >= 1);
   FTR_EXPECTS(p >= 0.0 && p <= 1.0);
-  Graph g(n);
+  GraphBuilder g(n);
   // Geometric skipping: expected O(n^2 p) work instead of O(n^2).
   if (p > 0.0) {
     const double logq = std::log1p(-p);
@@ -51,7 +51,7 @@ GeneratedGraph gnp(std::size_t n, double p, Rng& rng) {
   }
   std::ostringstream os;
   os << "G(" << n << "," << p << ")";
-  return {std::move(g), os.str(), std::nullopt};
+  return {g.build(), os.str(), std::nullopt};
 }
 
 GeneratedGraph gnp_connected(std::size_t n, double p, Rng& rng,
@@ -77,7 +77,7 @@ GeneratedGraph random_regular(std::size_t n, std::size_t d, Rng& rng,
     for (std::size_t i = 0; i < stubs.size(); ++i)
       stubs[i] = static_cast<Node>(i / d);
     const auto perm = rng.permutation(stubs.size());
-    Graph g(n);
+    GraphBuilder g(n);
     bool ok = true;
     for (std::size_t i = 0; ok && i + 1 < stubs.size(); i += 2) {
       const Node u = stubs[perm[i]];
@@ -87,7 +87,7 @@ GeneratedGraph random_regular(std::size_t n, std::size_t d, Rng& rng,
     if (ok) {
       std::ostringstream os;
       os << "RR(" << n << "," << d << ")";
-      return {std::move(g), os.str(), std::nullopt};
+      return {g.build(), os.str(), std::nullopt};
     }
   }
   throw std::runtime_error("random_regular: no simple pairing within budget");

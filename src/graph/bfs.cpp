@@ -1,7 +1,6 @@
 #include "graph/bfs.hpp"
 
 #include <algorithm>
-#include <deque>
 
 #include "common/contracts.hpp"
 
@@ -10,12 +9,12 @@ namespace ftr {
 std::vector<std::uint32_t> bfs_distances(const Graph& g, Node source) {
   FTR_EXPECTS(g.valid_node(source));
   std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
-  std::deque<Node> queue;
+  std::vector<Node> queue;
+  queue.reserve(g.num_nodes());
   dist[source] = 0;
   queue.push_back(source);
-  while (!queue.empty()) {
-    const Node u = queue.front();
-    queue.pop_front();
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Node u = queue[head];
     for (Node v : g.neighbors(u)) {
       if (dist[v] == kUnreachable) {
         dist[v] = dist[u] + 1;
@@ -29,12 +28,12 @@ std::vector<std::uint32_t> bfs_distances(const Graph& g, Node source) {
 std::vector<std::uint32_t> bfs_distances(const Digraph& g, Node source) {
   FTR_EXPECTS(g.present(source));
   std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
-  std::deque<Node> queue;
+  std::vector<Node> queue;
+  queue.reserve(g.num_nodes());
   dist[source] = 0;
   queue.push_back(source);
-  while (!queue.empty()) {
-    const Node u = queue.front();
-    queue.pop_front();
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Node u = queue[head];
     for (Node v : g.successors(u)) {
       if (dist[v] == kUnreachable) {
         dist[v] = dist[u] + 1;
@@ -49,12 +48,12 @@ Path shortest_path(const Graph& g, Node source, Node target) {
   FTR_EXPECTS(g.valid_node(source) && g.valid_node(target));
   if (source == target) return {source};
   std::vector<Node> parent(g.num_nodes(), kUnreachable);
-  std::deque<Node> queue;
+  std::vector<Node> queue;
+  queue.reserve(g.num_nodes());
   parent[source] = source;
   queue.push_back(source);
-  while (!queue.empty()) {
-    const Node u = queue.front();
-    queue.pop_front();
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Node u = queue[head];
     for (Node v : g.neighbors(u)) {
       if (parent[v] != kUnreachable) continue;
       parent[v] = u;
@@ -119,14 +118,15 @@ bool is_connected(const Graph& g) {
 std::vector<std::uint32_t> connected_components(const Graph& g) {
   std::vector<std::uint32_t> comp(g.num_nodes(), kUnreachable);
   std::uint32_t next = 0;
-  std::deque<Node> queue;
+  std::vector<Node> queue;
+  queue.reserve(g.num_nodes());
   for (Node s = 0; s < g.num_nodes(); ++s) {
     if (comp[s] != kUnreachable) continue;
     comp[s] = next;
+    queue.clear();
     queue.push_back(s);
-    while (!queue.empty()) {
-      const Node u = queue.front();
-      queue.pop_front();
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Node u = queue[head];
       for (Node v : g.neighbors(u)) {
         if (comp[v] == kUnreachable) {
           comp[v] = next;
@@ -149,7 +149,8 @@ std::uint32_t cycle_through(const Graph& g, Node r) {
   const std::size_t n = g.num_nodes();
   std::vector<std::uint32_t> dist(n, kUnreachable);
   std::vector<Node> branch(n, kUnreachable);
-  std::deque<Node> queue;
+  std::vector<Node> queue;
+  queue.reserve(n);
   dist[r] = 0;
   branch[r] = r;
   std::uint32_t best = kUnreachable;
@@ -158,9 +159,8 @@ std::uint32_t cycle_through(const Graph& g, Node r) {
     branch[c] = c;
     queue.push_back(c);
   }
-  while (!queue.empty()) {
-    const Node u = queue.front();
-    queue.pop_front();
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Node u = queue[head];
     for (Node v : g.neighbors(u)) {
       if (v == r) continue;
       if (dist[v] == kUnreachable) {

@@ -32,11 +32,11 @@ FlowNetwork build_split_network(const Graph& g, Node x, Node y,
     const std::int64_t cap = (v == x || v == y) ? kInf : 1;
     net.add_edge(in_node(v), out_node(v), cap);
   }
-  for (const auto& [u, v] : g.edges()) {
-    if (skip_direct_edge && ((u == x && v == y) || (u == y && v == x))) continue;
+  g.for_each_edge([&](Node u, Node v) {
+    if (skip_direct_edge && ((u == x && v == y) || (u == y && v == x))) return;
     net.add_edge(out_node(u), in_node(v), kInf);
     net.add_edge(out_node(v), in_node(u), kInf);
-  }
+  });
   return net;
 }
 
@@ -244,14 +244,14 @@ std::vector<Path> disjoint_paths_to_set(const Graph& g, Node x,
       net.add_edge(in_node(v), out_node(v), 1);
     }
   }
-  for (const auto& [u, v] : g.edges()) {
-    if (blocked(u) || blocked(v)) continue;
+  g.for_each_edge([&](Node u, Node v) {
+    if (blocked(u) || blocked(v)) return;
     const bool u_target = m_set.count(u) != 0;
     const bool v_target = m_set.count(v) != 0;
-    if (u_target && v_target) continue;  // never traversed
+    if (u_target && v_target) return;  // never traversed
     if (!u_target) net.add_edge(out_node(u), in_node(v), 1);
     if (!v_target) net.add_edge(out_node(v), in_node(u), 1);
-  }
+  });
   const std::int64_t flow = net.max_flow(out_node(x), sink);
   for (std::int64_t i = 0; i < flow; ++i) {
     Path p = extract_unit_path(net, x, sink);

@@ -33,6 +33,7 @@ bool Digraph::add_arc(Node u, Node v) {
   if (it != su.end() && *it == v) return false;
   su.insert(it, v);
   ++num_arcs_;
+  transpose_valid_ = false;
   return true;
 }
 
@@ -45,6 +46,31 @@ bool Digraph::has_arc(Node u, Node v) const {
 std::span<const Node> Digraph::successors(Node u) const {
   FTR_EXPECTS(u < out_.size());
   return {out_[u].data(), out_[u].size()};
+}
+
+void Digraph::ensure_transpose() const {
+  if (transpose_valid_) return;
+  const std::size_t n = out_.size();
+  tin_offsets_.assign(n + 1, 0);
+  for (Node u = 0; u < n; ++u) {
+    for (Node v : out_[u]) ++tin_offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) tin_offsets_[i] += tin_offsets_[i - 1];
+  tin_targets_.resize(num_arcs_);
+  std::vector<std::uint32_t> cursor(tin_offsets_.begin(),
+                                    tin_offsets_.end() - 1);
+  // Scanning sources in ascending order leaves each predecessor row sorted.
+  for (Node u = 0; u < n; ++u) {
+    for (Node v : out_[u]) tin_targets_[cursor[v]++] = u;
+  }
+  transpose_valid_ = true;
+}
+
+std::span<const Node> Digraph::predecessors(Node u) const {
+  FTR_EXPECTS(u < out_.size());
+  ensure_transpose();
+  return {tin_targets_.data() + tin_offsets_[u],
+          tin_offsets_[u + 1] - tin_offsets_[u]};
 }
 
 std::vector<Node> Digraph::present_nodes() const {

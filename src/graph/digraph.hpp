@@ -4,6 +4,11 @@
 // (ρ(x,y) may survive while ρ(y,x) does not), so diameters must be computed
 // over directed distances. Nodes keep the ids of the underlying Graph;
 // faulty nodes are marked absent rather than renumbered.
+//
+// Backward traversals (the concentrator-relay "who reaches z" balls) use
+// predecessors(), backed by a CSR transpose that is built lazily on first
+// use and cached until the next mutation — callers no longer re-derive the
+// predecessor lists per query.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +48,12 @@ class Digraph {
 
   std::span<const Node> successors(Node u) const;
 
+  /// Sorted predecessor list of u (all v with arc v -> u), served from the
+  /// cached transpose. The first call after a mutation rebuilds the
+  /// transpose in O(n + arcs); subsequent calls are O(1). The span is valid
+  /// until the next add_arc.
+  std::span<const Node> predecessors(Node u) const;
+
   /// All present node ids, ascending.
   std::vector<Node> present_nodes() const;
 
@@ -52,10 +63,17 @@ class Digraph {
   bool is_symmetric() const;
 
  private:
+  void ensure_transpose() const;
+
   std::vector<std::vector<Node>> out_;
   std::vector<char> present_;
   std::size_t present_count_ = 0;
   std::size_t num_arcs_ = 0;
+
+  // Cached CSR transpose; rebuilt lazily after mutations.
+  mutable std::vector<std::uint32_t> tin_offsets_;
+  mutable std::vector<Node> tin_targets_;
+  mutable bool transpose_valid_ = false;
 };
 
 }  // namespace ftr

@@ -35,7 +35,7 @@ Graph load_graph(std::istream& is) {
   }
   FTR_EXPECTS_MSG(have_header, "missing graph header");
 
-  Graph g(n);
+  GraphBuilder builder(n);
   bool saw_end = false;
   while (std::getline(is, line)) {
     if (line.empty() || line[0] == '#') continue;
@@ -50,10 +50,10 @@ Graph load_graph(std::istream& is) {
     FTR_EXPECTS_MSG(!ls.fail() && tag == "edge",
                     "unexpected graph line: '" << line << "'");
     FTR_EXPECTS_MSG(u < n && v < n, "edge out of range: '" << line << "'");
-    g.add_edge(static_cast<Node>(u), static_cast<Node>(v));
+    builder.add_edge(static_cast<Node>(u), static_cast<Node>(v));
   }
   FTR_EXPECTS_MSG(saw_end, "missing 'end' terminator");
-  return g;
+  return builder.build();
 }
 
 Graph graph_from_string(const std::string& text) {

@@ -6,7 +6,7 @@
 
 namespace ftr {
 
-Path InducedSubgraph::lift(const Path& sub_path) const {
+Path InducedSubgraph::lift(std::span<const Node> sub_path) const {
   Path out;
   out.reserve(sub_path.size());
   for (Node v : sub_path) {
@@ -27,16 +27,17 @@ InducedSubgraph induced_subgraph(const Graph& g, const std::vector<Node>& keep) 
     out.from_original[v] = static_cast<Node>(out.to_original.size());
     out.to_original.push_back(v);
   }
-  out.graph = Graph(out.to_original.size());
+  GraphBuilder builder(out.to_original.size());
   for (Node v : keep) {
     for (Node w : g.neighbors(v)) {
       const Node nv = out.from_original[v];
       const Node nw = out.from_original[w];
       if (nw != InducedSubgraph::kInvalidNode && nv < nw) {
-        out.graph.add_edge(nv, nw);
+        builder.add_edge(nv, nw);
       }
     }
   }
+  out.graph = builder.build();
   return out;
 }
 

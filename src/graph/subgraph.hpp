@@ -4,6 +4,7 @@
 // needs to re-run constructions on a degraded network.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -18,8 +19,9 @@ struct InducedSubgraph {
 
   static constexpr Node kInvalidNode = static_cast<Node>(-1);
 
-  /// Translates a path in the subgraph back to original node ids.
-  Path lift(const Path& sub_path) const;
+  /// Translates a path in the subgraph back to original node ids. Accepts
+  /// any contiguous node sequence (Path or PathView::span()).
+  Path lift(std::span<const Node> sub_path) const;
 };
 
 /// The subgraph induced by `keep` (must be valid, duplicate-free node ids).

@@ -39,31 +39,32 @@ AugmentedKernelRouting build_augmented_kernel(
                                             << " cannot host width " << t + 1);
   FTR_EXPECTS_MSG(is_separating_set(g, set), "M does not separate the graph");
 
-  Graph augmented = g;
+  GraphBuilder builder(g);
   std::size_t added = 0;
   switch (variant) {
     case AugmentVariant::kClique:
       for (std::size_t i = 0; i < set.size(); ++i) {
         for (std::size_t j = i + 1; j < set.size(); ++j) {
-          if (augmented.add_edge(set[i], set[j])) ++added;
+          if (builder.add_edge(set[i], set[j])) ++added;
         }
       }
       break;
     case AugmentVariant::kCycle:
       if (set.size() >= 3) {
         for (std::size_t i = 0; i < set.size(); ++i) {
-          if (augmented.add_edge(set[i], set[(i + 1) % set.size()])) ++added;
+          if (builder.add_edge(set[i], set[(i + 1) % set.size()])) ++added;
         }
       } else if (set.size() == 2) {
-        if (augmented.add_edge(set[0], set[1])) ++added;
+        if (builder.add_edge(set[0], set[1])) ++added;
       }
       break;
     case AugmentVariant::kStar:
       for (std::size_t i = 1; i < set.size(); ++i) {
-        if (augmented.add_edge(set[0], set[i])) ++added;
+        if (builder.add_edge(set[0], set[i])) ++added;
       }
       break;
   }
+  Graph augmented = builder.build();
 
   // Adding edges inside M leaves it separating, so the kernel construction
   // applies verbatim on the augmented network.

@@ -100,7 +100,7 @@ BipolarRouting build_bipolar_unidirectional(const Graph& g, std::uint32_t t,
   // Component B-POL 5: mirror every one-directional route. Snapshot first;
   // set_route_if_absent keeps already-defined directions intact.
   std::vector<Path> to_mirror;
-  table.for_each([&](Node x, Node y, const Path& path) {
+  table.for_each_view([&](Node x, Node y, PathView path) {
     if (!table.has_route(y, x)) {
       (void)x;
       to_mirror.emplace_back(path.rbegin(), path.rend());

@@ -3,8 +3,22 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "routing/pair_hash.hpp"
 
 namespace ftr {
+
+using detail::equals_path;
+using detail::hash_pair_key;
+
+PathView MultiRouteTable::RouteRange::iterator::operator*() const {
+  return t_->view_of(t_->pool_[cur_]);
+}
+
+MultiRouteTable::RouteRange::iterator&
+MultiRouteTable::RouteRange::iterator::operator++() {
+  cur_ = t_->pool_[cur_].next;
+  return *this;
+}
 
 MultiRouteTable::MultiRouteTable(std::size_t num_nodes,
                                  std::size_t max_routes_per_pair,
@@ -13,24 +27,90 @@ MultiRouteTable::MultiRouteTable(std::size_t num_nodes,
   FTR_EXPECTS(num_nodes >= 2);
 }
 
+std::uint32_t MultiRouteTable::find_pair(std::uint64_t k) const {
+  if (slots_.empty()) return kNone;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = hash_pair_key(k) & mask;
+  while (slots_[i] != kNone) {
+    if (pairs_[slots_[i]].key == k) return slots_[i];
+    i = (i + 1) & mask;
+  }
+  return kNone;
+}
+
+void MultiRouteTable::grow_slots() {
+  const std::size_t cap = std::max<std::size_t>(16, slots_.size() * 2);
+  slots_.assign(cap, kNone);
+  const std::size_t mask = cap - 1;
+  for (std::uint32_t idx = 0; idx < pairs_.size(); ++idx) {
+    std::size_t i = hash_pair_key(pairs_[idx].key) & mask;
+    while (slots_[i] != kNone) i = (i + 1) & mask;
+    slots_[i] = idx;
+  }
+}
+
+std::uint32_t MultiRouteTable::ensure_pair(std::uint64_t k) {
+  const std::uint32_t idx = find_pair(k);
+  if (idx != kNone) return idx;
+  if ((pairs_.size() + 1) * 2 > slots_.size()) grow_slots();
+  pairs_.push_back(PairEntry{k, kNone, kNone, 0});
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = hash_pair_key(k) & mask;
+  while (slots_[i] != kNone) i = (i + 1) & mask;
+  slots_[i] = static_cast<std::uint32_t>(pairs_.size() - 1);
+  return static_cast<std::uint32_t>(pairs_.size() - 1);
+}
+
+int MultiRouteTable::chain_status(std::uint64_t k, const Path& p,
+                                  bool rev) const {
+  const std::uint32_t idx = find_pair(k);
+  if (idx == kNone) return 0;
+  const PairEntry& pe = pairs_[idx];
+  for (std::uint32_t cur = pe.head; cur != kNone; cur = pool_[cur].next) {
+    if (equals_path(view_of(pool_[cur]), p, rev)) return 1;
+  }
+  return (cap_ != 0 && pe.count >= cap_) ? 2 : 0;
+}
+
+void MultiRouteTable::append_route(std::uint64_t k, const Path& p, bool rev) {
+  const std::uint32_t idx = ensure_pair(k);
+  const auto offset = static_cast<std::uint32_t>(arena_.size());
+  if (rev) {
+    arena_.insert(arena_.end(), p.rbegin(), p.rend());
+  } else {
+    arena_.insert(arena_.end(), p.begin(), p.end());
+  }
+  pool_.push_back(
+      RouteEntry{offset, static_cast<std::uint32_t>(p.size()), kNone});
+  const auto rid = static_cast<std::uint32_t>(pool_.size() - 1);
+  PairEntry& pe = pairs_[idx];
+  if (pe.head == kNone) {
+    pe.head = rid;
+  } else {
+    pool_[pe.tail].next = rid;
+  }
+  pe.tail = rid;
+  ++pe.count;
+}
+
 void MultiRouteTable::add_route(const Path& path) {
   FTR_EXPECTS_MSG(path.size() >= 2, "a route needs at least two nodes");
   const Node x = path.front();
   const Node y = path.back();
   FTR_EXPECTS(x < n_ && y < n_ && x != y);
 
-  auto append = [this](std::uint64_t k, const Path& p) {
-    auto& bucket = routes_[k];
-    if (std::find(bucket.begin(), bucket.end(), p) != bucket.end()) return;
-    FTR_EXPECTS_MSG(cap_ == 0 || bucket.size() < cap_,
-                    "pair (" << p.front() << "," << p.back()
-                             << ") exceeds the cap of " << cap_
-                             << " parallel routes");
-    bucket.push_back(p);
+  auto append = [this](std::uint64_t k, const Path& p, bool rev) {
+    const int st = chain_status(k, p, rev);
+    if (st == 1) return;  // duplicate
+    FTR_EXPECTS_MSG(st != 2, "pair (" << (rev ? p.back() : p.front()) << ","
+                                      << (rev ? p.front() : p.back())
+                                      << ") exceeds the cap of " << cap_
+                                      << " parallel routes");
+    append_route(k, p, rev);
   };
 
-  append(key(x, y), path);
-  if (bidirectional_) append(key(y, x), Path(path.rbegin(), path.rend()));
+  append(key(x, y), path, /*rev=*/false);
+  if (bidirectional_) append(key(y, x), path, /*rev=*/true);
 }
 
 bool MultiRouteTable::try_add_route(const Path& path) {
@@ -39,54 +119,60 @@ bool MultiRouteTable::try_add_route(const Path& path) {
   const Node y = path.back();
   FTR_EXPECTS(x < n_ && y < n_ && x != y);
 
-  auto status = [this](std::uint64_t k, const Path& p) {
-    const auto it = routes_.find(k);
-    if (it == routes_.end()) return 0;  // absent: room
-    const auto& bucket = it->second;
-    if (std::find(bucket.begin(), bucket.end(), p) != bucket.end())
-      return 1;  // duplicate
-    return (cap_ != 0 && bucket.size() >= cap_) ? 2 : 0;  // full : room
-  };
-
-  const Path rev(path.rbegin(), path.rend());
-  const int fwd = status(key(x, y), path);
-  const int bwd = bidirectional_ ? status(key(y, x), rev) : 1;
+  const int fwd = chain_status(key(x, y), path, /*rev=*/false);
+  const int bwd =
+      bidirectional_ ? chain_status(key(y, x), path, /*rev=*/true) : 1;
   if (fwd == 2 || bwd == 2) return false;
-  if (fwd == 0) routes_[key(x, y)].push_back(path);
-  if (bidirectional_ && bwd == 0) routes_[key(y, x)].push_back(rev);
+  if (fwd == 0) append_route(key(x, y), path, /*rev=*/false);
+  if (bidirectional_ && bwd == 0) append_route(key(y, x), path, /*rev=*/true);
   return true;
 }
 
-const std::vector<Path>& MultiRouteTable::routes(Node x, Node y) const {
+MultiRouteTable::RouteRange MultiRouteTable::routes_view(Node x, Node y) const {
   FTR_EXPECTS(x < n_ && y < n_);
-  const auto it = routes_.find(key(x, y));
-  return it == routes_.end() ? empty_ : it->second;
+  const std::uint32_t idx = find_pair(key(x, y));
+  if (idx == kNone) return RouteRange(this, kNone, 0);
+  return RouteRange(this, pairs_[idx].head, pairs_[idx].count);
 }
 
-std::size_t MultiRouteTable::total_routes() const {
-  std::size_t total = 0;
-  for (const auto& [k, bucket] : routes_) {
-    (void)k;
-    total += bucket.size();
-  }
-  return total;
+std::vector<Path> MultiRouteTable::routes(Node x, Node y) const {
+  std::vector<Path> out;
+  const RouteRange range = routes_view(x, y);
+  out.reserve(range.size());
+  for (PathView v : range) out.push_back(v.to_path());
+  return out;
 }
 
 void MultiRouteTable::for_each_pair(
     const std::function<void(Node, Node, const std::vector<Path>&)>& fn) const {
-  for (const auto& [k, bucket] : routes_) {
-    fn(static_cast<Node>(k / n_), static_cast<Node>(k % n_), bucket);
+  std::vector<Path> bucket;
+  for (const PairEntry& pe : pairs_) {
+    bucket.clear();
+    bucket.reserve(pe.count);
+    for (std::uint32_t cur = pe.head; cur != kNone; cur = pool_[cur].next) {
+      bucket.push_back(view_of(pool_[cur]).to_path());
+    }
+    fn(static_cast<Node>(pe.key / n_), static_cast<Node>(pe.key % n_), bucket);
+  }
+}
+
+void MultiRouteTable::for_each_pair_view(
+    const std::function<void(Node, Node, const RouteRange&)>& fn) const {
+  for (const PairEntry& pe : pairs_) {
+    fn(static_cast<Node>(pe.key / n_), static_cast<Node>(pe.key % n_),
+       RouteRange(this, pe.head, pe.count));
   }
 }
 
 void MultiRouteTable::validate(const Graph& g) const {
   FTR_EXPECTS(g.num_nodes() == n_);
-  for (const auto& [k, bucket] : routes_) {
-    const Node x = static_cast<Node>(k / n_);
-    const Node y = static_cast<Node>(k % n_);
-    FTR_ASSERT_MSG(cap_ == 0 || bucket.size() <= cap_,
+  for (const PairEntry& pe : pairs_) {
+    const Node x = static_cast<Node>(pe.key / n_);
+    const Node y = static_cast<Node>(pe.key % n_);
+    FTR_ASSERT_MSG(cap_ == 0 || pe.count <= cap_,
                    "pair (" << x << "," << y << ") over cap");
-    for (const Path& p : bucket) {
+    for (std::uint32_t cur = pe.head; cur != kNone; cur = pool_[cur].next) {
+      const PathView p = view_of(pool_[cur]);
       FTR_ASSERT(p.front() == x && p.back() == y);
       FTR_ASSERT_MSG(g.is_simple_path(p),
                      "route " << path_to_string(p) << " is not a simple path");

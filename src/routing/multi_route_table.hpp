@@ -3,11 +3,14 @@
 // surviving graph gets an edge x -> y iff at least one of the routes
 // survives. The per-pair cap turns the section's "at most two parallel
 // routes" / "t+1 parallel routes" budgets into checked invariants.
+//
+// Storage mirrors RoutingTable: all route nodes live in one contiguous
+// arena; each ordered pair owns a singly-linked chain of (offset, length)
+// entries in a shared pool, found through a flat open-addressed index.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -35,32 +38,105 @@ class MultiRouteTable {
   /// naturally produce more candidate routes than the two-route budget.
   bool try_add_route(const Path& path);
 
-  /// All routes for the ordered pair (x, y); empty if none.
-  const std::vector<Path>& routes(Node x, Node y) const;
+  /// Iterable, allocation-free view of one pair's route chain.
+  class RouteRange {
+   public:
+    class iterator {
+     public:
+      iterator(const MultiRouteTable* t, std::uint32_t cur)
+          : t_(t), cur_(cur) {}
+      PathView operator*() const;
+      iterator& operator++();
+      bool operator!=(const iterator& o) const { return cur_ != o.cur_; }
+      bool operator==(const iterator& o) const { return cur_ == o.cur_; }
+
+     private:
+      const MultiRouteTable* t_;
+      std::uint32_t cur_;
+    };
+
+    iterator begin() const { return {t_, head_}; }
+    iterator end() const { return {t_, kNone}; }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+   private:
+    friend class MultiRouteTable;
+    RouteRange(const MultiRouteTable* t, std::uint32_t head, std::uint32_t count)
+        : t_(t), head_(head), count_(count) {}
+    const MultiRouteTable* t_;
+    std::uint32_t head_;
+    std::uint32_t count_;
+  };
+
+  /// All routes for the ordered pair (x, y), materialized; empty if none.
+  std::vector<Path> routes(Node x, Node y) const;
+
+  /// Allocation-free view of the pair's routes (valid until next mutation).
+  RouteRange routes_view(Node x, Node y) const;
+
+  /// Number of routes stored for the ordered pair (x, y).
+  std::size_t num_routes(Node x, Node y) const { return routes_view(x, y).size(); }
 
   /// Number of ordered pairs that have at least one route.
-  std::size_t num_routed_pairs() const { return routes_.size(); }
+  std::size_t num_routed_pairs() const { return pairs_.size(); }
 
   /// Total number of (pair, route) entries.
-  std::size_t total_routes() const;
+  std::size_t total_routes() const { return pool_.size(); }
 
+  /// Iterates pairs in insertion order, materializing each route list. The
+  /// vector reference is scratch reused between pairs: it is only valid for
+  /// the duration of the callback (unlike the map-backed storage this class
+  /// replaced). Use for_each_pair_view on hot paths.
   void for_each_pair(
       const std::function<void(Node, Node, const std::vector<Path>&)>& fn) const;
+
+  /// Allocation-free pair iteration, insertion order.
+  void for_each_pair_view(
+      const std::function<void(Node, Node, const RouteRange&)>& fn) const;
 
   /// Checks all paths are simple paths of g with matching endpoints and the
   /// per-pair cap holds.
   void validate(const Graph& g) const;
 
+  /// Total nodes stored across all routes (arena length).
+  std::size_t arena_size() const { return arena_.size(); }
+
  private:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  struct RouteEntry {
+    std::uint32_t offset;
+    std::uint32_t len;
+    std::uint32_t next;  // next route of the same pair, kNone at the tail
+  };
+  struct PairEntry {
+    std::uint64_t key;
+    std::uint32_t head;   // first route in pool_
+    std::uint32_t tail;   // last route in pool_ (append point)
+    std::uint32_t count;
+  };
+
   std::uint64_t key(Node x, Node y) const {
     return static_cast<std::uint64_t>(x) * n_ + y;
+  }
+  std::uint32_t find_pair(std::uint64_t k) const;
+  std::uint32_t ensure_pair(std::uint64_t k);
+  void grow_slots();
+  // 0 = room, 1 = duplicate, 2 = full.
+  int chain_status(std::uint64_t k, const Path& p, bool rev) const;
+  void append_route(std::uint64_t k, const Path& p, bool rev);
+  PathView view_of(const RouteEntry& e) const {
+    return {arena_.data() + e.offset, e.len};
   }
 
   std::size_t n_;
   std::size_t cap_;
   bool bidirectional_;
-  std::unordered_map<std::uint64_t, std::vector<Path>> routes_;
-  std::vector<Path> empty_;
+  std::vector<Node> arena_;
+  std::vector<RouteEntry> pool_;
+  std::vector<PairEntry> pairs_;       // insertion order
+  std::vector<std::uint32_t> slots_;   // open-addressed index into pairs_
 };
 
 }  // namespace ftr

@@ -43,7 +43,7 @@ ConcentratorMultirouting build_kernel_multirouting(
   MultiRouteTable table(g.num_nodes(), t + 1, /*bidirectional=*/true);
 
   // Kernel components, single-routed: direct edges and tree routings to M.
-  for (const auto& [u, v] : g.edges()) table.add_route(Path{u, v});
+  g.for_each_edge([&table](Node u, Node v) { table.add_route(Path{u, v}); });
   const std::unordered_set<Node> in_m(set.begin(), set.end());
   for (Node x = 0; x < g.num_nodes(); ++x) {
     if (in_m.count(x)) continue;
@@ -80,7 +80,7 @@ ConcentratorMultirouting build_mult_routing(
       FTR_ASSERT_MSG(kept, "MULT 1 route dropped; cap misconfigured");
     }
   }
-  for (const auto& [u, v] : g.edges()) table.try_add_route(Path{u, v});
+  g.for_each_edge([&table](Node u, Node v) { table.try_add_route(Path{u, v}); });
 
   // Component MULT 2: every member routes to every member's shell. Members
   // may be adjacent (M is only a separating set), in which case the shell

@@ -3,18 +3,71 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "routing/pair_hash.hpp"
 
 namespace ftr {
 
-namespace {
-
-Path reversed(const Path& p) { return Path(p.rbegin(), p.rend()); }
-
-}  // namespace
+using detail::equals_path;
+using detail::hash_pair_key;
 
 RoutingTable::RoutingTable(std::size_t num_nodes, RoutingMode mode)
     : n_(num_nodes), mode_(mode) {
   FTR_EXPECTS(num_nodes >= 2);
+}
+
+std::uint32_t RoutingTable::find(std::uint64_t k) const {
+  if (slots_.empty()) return kNoEntry;
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = hash_pair_key(k) & mask;
+  while (slots_[i] != kNoEntry) {
+    if (entries_[slots_[i]].key == k) return slots_[i];
+    i = (i + 1) & mask;
+  }
+  return kNoEntry;
+}
+
+void RoutingTable::grow_slots() {
+  const std::size_t cap = std::max<std::size_t>(16, slots_.size() * 2);
+  slots_.assign(cap, kNoEntry);
+  const std::size_t mask = cap - 1;
+  for (std::uint32_t idx = 0; idx < entries_.size(); ++idx) {
+    std::size_t i = hash_pair_key(entries_[idx].key) & mask;
+    while (slots_[i] != kNoEntry) i = (i + 1) & mask;
+    slots_[i] = idx;
+  }
+}
+
+void RoutingTable::insert_entry(std::uint64_t k, std::uint32_t offset,
+                                std::uint32_t len) {
+  // Keep load factor <= 1/2.
+  if ((entries_.size() + 1) * 2 > slots_.size()) grow_slots();
+  entries_.push_back(Entry{k, offset, len});
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = hash_pair_key(k) & mask;
+  while (slots_[i] != kNoEntry) i = (i + 1) & mask;
+  slots_[i] = static_cast<std::uint32_t>(entries_.size() - 1);
+}
+
+void RoutingTable::assign(std::uint64_t k, const Path& p, bool rev) {
+  const std::uint32_t idx = find(k);
+  if (idx != kNoEntry) {
+    FTR_EXPECTS_MSG(equals_path(view_of(entries_[idx]), p, rev),
+                    "conflicting route for pair ("
+                        << (rev ? p.back() : p.front()) << ","
+                        << (rev ? p.front() : p.back()) << "): existing "
+                        << path_to_string(view_of(entries_[idx]))
+                        << " vs new "
+                        << (rev ? path_to_string(Path(p.rbegin(), p.rend()))
+                                : path_to_string(p)));
+    return;
+  }
+  const auto offset = static_cast<std::uint32_t>(arena_.size());
+  if (rev) {
+    arena_.insert(arena_.end(), p.rbegin(), p.rend());
+  } else {
+    arena_.insert(arena_.end(), p.begin(), p.end());
+  }
+  insert_entry(k, offset, static_cast<std::uint32_t>(p.size()));
 }
 
 void RoutingTable::set_route(const Path& path) {
@@ -23,19 +76,8 @@ void RoutingTable::set_route(const Path& path) {
   const Node y = path.back();
   FTR_EXPECTS(x < n_ && y < n_ && x != y);
 
-  auto assign = [this](std::uint64_t k, const Path& p) {
-    auto [it, inserted] = routes_.try_emplace(k, p);
-    if (!inserted) {
-      FTR_EXPECTS_MSG(it->second == p,
-                      "conflicting route for pair ("
-                          << p.front() << "," << p.back() << "): existing "
-                          << path_to_string(it->second) << " vs new "
-                          << path_to_string(p));
-    }
-  };
-
-  assign(key(x, y), path);
-  if (mode_ == RoutingMode::kBidirectional) assign(key(y, x), reversed(path));
+  assign(key(x, y), path, /*rev=*/false);
+  if (mode_ == RoutingMode::kBidirectional) assign(key(y, x), path, /*rev=*/true);
 }
 
 bool RoutingTable::set_route_if_absent(const Path& path) {
@@ -43,71 +85,84 @@ bool RoutingTable::set_route_if_absent(const Path& path) {
   const Node x = path.front();
   const Node y = path.back();
   FTR_EXPECTS(x < n_ && y < n_ && x != y);
-  if (routes_.count(key(x, y))) return false;
-  if (mode_ == RoutingMode::kBidirectional && routes_.count(key(y, x)))
+  if (find(key(x, y)) != kNoEntry) return false;
+  if (mode_ == RoutingMode::kBidirectional && find(key(y, x)) != kNoEntry)
     return false;
   set_route(path);
   return true;
 }
 
-const Path* RoutingTable::route(Node x, Node y) const {
+PathView RoutingTable::route(Node x, Node y) const {
   FTR_EXPECTS(x < n_ && y < n_);
-  const auto it = routes_.find(key(x, y));
-  return it == routes_.end() ? nullptr : &it->second;
+  const std::uint32_t idx = find(key(x, y));
+  return idx == kNoEntry ? PathView{} : view_of(entries_[idx]);
 }
 
 void RoutingTable::for_each(
     const std::function<void(Node, Node, const Path&)>& fn) const {
-  for (const auto& [k, path] : routes_) {
-    fn(static_cast<Node>(k / n_), static_cast<Node>(k % n_), path);
+  for (const Entry& e : entries_) {
+    const PathView v = view_of(e);
+    fn(static_cast<Node>(e.key / n_), static_cast<Node>(e.key % n_),
+       v.to_path());
+  }
+}
+
+void RoutingTable::for_each_view(
+    const std::function<void(Node, Node, PathView)>& fn) const {
+  for (const Entry& e : entries_) {
+    fn(static_cast<Node>(e.key / n_), static_cast<Node>(e.key % n_),
+       view_of(e));
   }
 }
 
 void RoutingTable::validate(const Graph& g) const {
   FTR_EXPECTS(g.num_nodes() == n_);
-  for (const auto& [k, path] : routes_) {
-    const Node x = static_cast<Node>(k / n_);
-    const Node y = static_cast<Node>(k % n_);
+  for (const Entry& e : entries_) {
+    const Node x = static_cast<Node>(e.key / n_);
+    const Node y = static_cast<Node>(e.key % n_);
+    const PathView path = view_of(e);
     FTR_ASSERT_MSG(path.front() == x && path.back() == y,
                    "route keyed (" << x << "," << y << ") holds path "
                                    << path_to_string(path));
     FTR_ASSERT_MSG(g.is_simple_path(path),
                    "route " << path_to_string(path) << " is not a simple path");
     if (mode_ == RoutingMode::kBidirectional) {
-      const Path* back = route(y, x);
-      FTR_ASSERT_MSG(back != nullptr, "bidirectional table missing reverse of ("
-                                          << x << "," << y << ")");
-      FTR_ASSERT_MSG(*back == reversed(path),
-                     "bidirectional routes for (" << x << "," << y
-                                                  << ") are not mirrored");
+      const PathView back = route(y, x);
+      FTR_ASSERT_MSG(!back.null(), "bidirectional table missing reverse of ("
+                                       << x << "," << y << ")");
+      bool mirrored = back.size() == path.size();
+      for (std::size_t i = 0; mirrored && i < path.size(); ++i) {
+        mirrored = back[i] == path[path.size() - 1 - i];
+      }
+      FTR_ASSERT_MSG(mirrored, "bidirectional routes for ("
+                                   << x << "," << y << ") are not mirrored");
     }
   }
 }
 
 RoutingTable::Stats RoutingTable::stats() const {
   Stats s;
-  s.ordered_pairs = routes_.size();
+  s.ordered_pairs = entries_.size();
   std::size_t total_hops = 0;
-  for (const auto& [k, path] : routes_) {
-    (void)k;
-    const std::size_t hops = path.size() - 1;
+  for (const Entry& e : entries_) {
+    const std::size_t hops = e.len - 1;
     s.max_hops = std::max(s.max_hops, hops);
     total_hops += hops;
   }
-  s.avg_hops = routes_.empty()
+  s.avg_hops = entries_.empty()
                    ? 0.0
                    : static_cast<double>(total_hops) /
-                         static_cast<double>(routes_.size());
+                         static_cast<double>(entries_.size());
   return s;
 }
 
 void install_edge_routes(RoutingTable& table, const Graph& g) {
-  for (const auto& [u, v] : g.edges()) {
+  g.for_each_edge([&table](Node u, Node v) {
     table.set_route(Path{u, v});
     if (table.mode() == RoutingMode::kUnidirectional) {
       table.set_route(Path{v, u});
     }
-  }
+  });
 }
 
 }  // namespace ftr

@@ -14,11 +14,16 @@
 // to an already-routed pair throws ContractViolation — this turns the
 // paper's "the reader may confirm there is at most one route between each
 // pair" remarks into machine-checked invariants.
+//
+// Storage: routes live in a single contiguous Node arena; the pair index is
+// a flat open-addressed hash table of (key, offset, length) entries kept in
+// insertion order. One heap block for all path data instead of one vector
+// per route — the difference between thrashing and streaming when the
+// surviving-route-graph engine replays thousands of fault sets.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -49,16 +54,27 @@ class RoutingTable {
   /// Component B-POL 5 ("define the other direction along the same path").
   bool set_route_if_absent(const Path& path);
 
-  /// The route for ordered pair (x, y), or nullptr if undefined.
-  const Path* route(Node x, Node y) const;
+  /// The route for ordered pair (x, y), or a null view if undefined. The
+  /// view points into the path arena and stays valid until the next
+  /// set_route (it compares equal to nullptr when the pair is unrouted,
+  /// matching the old `const Path*` contract).
+  PathView route(Node x, Node y) const;
 
-  bool has_route(Node x, Node y) const { return route(x, y) != nullptr; }
+  bool has_route(Node x, Node y) const { return !route(x, y).null(); }
 
   /// Number of defined ordered pairs (a bidirectional assignment counts 2).
-  std::size_t num_routes() const { return routes_.size(); }
+  std::size_t num_routes() const { return entries_.size(); }
 
-  /// Iterates all defined ordered pairs as (x, y, path).
+  /// Iterates all defined ordered pairs as (x, y, path) in insertion order.
+  /// Materializes a Path per call — use for_each_view on hot paths. The
+  /// Path reference is only valid for the duration of the callback (it is
+  /// a temporary, unlike the map-backed storage this class replaced).
   void for_each(const std::function<void(Node, Node, const Path&)>& fn) const;
+
+  /// Allocation-free iteration over (x, y, route view), insertion order.
+  /// Views remain valid until the next set_route.
+  void for_each_view(
+      const std::function<void(Node, Node, PathView)>& fn) const;
 
   /// Structural validation (used heavily in tests):
   ///  * every path is a simple path of g starting/ending at its key pair,
@@ -75,14 +91,35 @@ class RoutingTable {
   };
   Stats stats() const;
 
+  /// Total nodes stored across all routes (arena length) — the engine uses
+  /// this to size its preprocessing buffers in one shot.
+  std::size_t arena_size() const { return arena_.size(); }
+
  private:
+  struct Entry {
+    std::uint64_t key;
+    std::uint32_t offset;
+    std::uint32_t len;
+  };
+  static constexpr std::uint32_t kNoEntry = 0xffffffffu;
+
   std::uint64_t key(Node x, Node y) const {
     return static_cast<std::uint64_t>(x) * n_ + y;
+  }
+  std::uint32_t find(std::uint64_t k) const;
+  void insert_entry(std::uint64_t k, std::uint32_t offset, std::uint32_t len);
+  void grow_slots();
+  // Compares/installs one direction; `rev` stores the path reversed.
+  void assign(std::uint64_t k, const Path& p, bool rev);
+  PathView view_of(const Entry& e) const {
+    return {arena_.data() + e.offset, e.len};
   }
 
   std::size_t n_;
   RoutingMode mode_;
-  std::unordered_map<std::uint64_t, Path> routes_;
+  std::vector<Node> arena_;            // all route nodes, back to back
+  std::vector<Entry> entries_;         // insertion order
+  std::vector<std::uint32_t> slots_;   // open-addressed index into entries_
 };
 
 /// Installs a direct-edge route for every edge of g (Components KERNEL 2,

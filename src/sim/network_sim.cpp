@@ -39,9 +39,9 @@ HopCounts route_message(const Digraph& surviving, const RoutingTable& table,
         std::uint64_t edge_hops = 0;
         for (Node w = target; w != source; w = parent[w]) {
           ++route_hops;
-          const Path* leg = table.route(parent[w], w);
-          FTR_ASSERT_MSG(leg != nullptr, "surviving arc without a route");
-          edge_hops += leg->size() - 1;
+          const PathView leg = table.route(parent[w], w);
+          FTR_ASSERT_MSG(!leg.null(), "surviving arc without a route");
+          edge_hops += leg.hops();
         }
         return {route_hops, edge_hops, true};
       }
@@ -57,6 +57,21 @@ DeliveryStats measure_delivery(const RoutingTable& table,
                                const std::vector<Node>& faults,
                                std::size_t sample_pairs, Rng& rng) {
   const Digraph surviving = surviving_graph(table, faults);
+  return measure_delivery_on(table, surviving, sample_pairs, rng);
+}
+
+DeliveryStats measure_delivery(const RoutingTable& table,
+                               SurvivingRouteGraphEngine& engine,
+                               const std::vector<Node>& faults,
+                               std::size_t sample_pairs, Rng& rng) {
+  FTR_EXPECTS(engine.num_nodes() == table.num_nodes());
+  const Digraph surviving = engine.surviving_graph(faults);
+  return measure_delivery_on(table, surviving, sample_pairs, rng);
+}
+
+DeliveryStats measure_delivery_on(const RoutingTable& table,
+                                  const Digraph& surviving,
+                                  std::size_t sample_pairs, Rng& rng) {
   const auto nodes = surviving.present_nodes();
   DeliveryStats stats;
   if (nodes.size() < 2) return stats;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "fault/srg_engine.hpp"
 #include "graph/digraph.hpp"
 #include "graph/graph.hpp"
 #include "routing/route_table.hpp"
@@ -32,5 +33,17 @@ struct DeliveryStats {
 DeliveryStats measure_delivery(const RoutingTable& table,
                                const std::vector<Node>& faults,
                                std::size_t sample_pairs, Rng& rng);
+
+/// Batched variant: reuses a prepared engine (built from `table`) so sweeps
+/// over many fault sets skip the per-set table walk.
+DeliveryStats measure_delivery(const RoutingTable& table,
+                               SurvivingRouteGraphEngine& engine,
+                               const std::vector<Node>& faults,
+                               std::size_t sample_pairs, Rng& rng);
+
+/// Core: measures delivery over an already-materialized surviving graph.
+DeliveryStats measure_delivery_on(const RoutingTable& table,
+                                  const Digraph& surviving,
+                                  std::size_t sample_pairs, Rng& rng);
 
 }  // namespace ftr

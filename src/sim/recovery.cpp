@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
-#include "fault/surviving.hpp"
 #include "graph/bfs.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/subgraph.hpp"
@@ -14,31 +13,37 @@ ComponentwiseDiameter componentwise_surviving_diameter(
     const Graph& g, const RoutingTable& table,
     const std::vector<Node>& faults) {
   FTR_EXPECTS(g.num_nodes() == table.num_nodes());
-  const Digraph r = surviving_graph(table, faults);
+  SurvivingRouteGraphEngine engine(table);
+  return componentwise_surviving_diameter(g, engine, faults);
+}
+
+ComponentwiseDiameter componentwise_surviving_diameter(
+    const Graph& g, SurvivingRouteGraphEngine& engine,
+    const std::vector<Node>& faults) {
+  FTR_EXPECTS(g.num_nodes() == engine.num_nodes());
   const Graph degraded = g.without_nodes(faults);
   const auto comp = connected_components(degraded);
-  const auto survivors = r.present_nodes();
+
+  std::vector<char> faulty(g.num_nodes(), 0);
+  for (Node f : faults) {
+    FTR_EXPECTS(f < g.num_nodes());
+    faulty[f] = 1;
+  }
 
   ComponentwiseDiameter out;
-  out.survivors = survivors.size();
-  // Count distinct components among survivors.
+  // Count survivors and distinct components among them.
   std::vector<std::uint32_t> ids;
-  for (Node v : survivors) ids.push_back(comp[v]);
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    if (!faulty[v]) {
+      ++out.survivors;
+      ids.push_back(comp[v]);
+    }
+  }
   std::sort(ids.begin(), ids.end());
   out.num_components = static_cast<std::size_t>(
       std::unique(ids.begin(), ids.end()) - ids.begin());
 
-  for (Node x : survivors) {
-    const auto dist = bfs_distances(r, x);
-    for (Node y : survivors) {
-      if (y == x || comp[y] != comp[x]) continue;
-      if (dist[y] == kUnreachable) {
-        out.worst = kUnreachable;
-        return out;
-      }
-      out.worst = std::max(out.worst, dist[y]);
-    }
-  }
+  out.worst = engine.componentwise_diameter(faults, comp);
   return out;
 }
 
@@ -72,10 +77,10 @@ RecoveryOutcome rebuild_after_faults(const Graph& g,
 
   // Lift routes from subgraph ids to the original node ids.
   RoutingTable lifted(g.num_nodes(), planned.table.mode());
-  planned.table.for_each([&](Node x, Node y, const Path& path) {
+  planned.table.for_each_view([&](Node x, Node y, PathView path) {
     (void)x;
     (void)y;
-    const Path orig = sub.lift(path);
+    const Path orig = sub.lift(path.span());
     if (lifted.mode() == RoutingMode::kUnidirectional ||
         orig.front() < orig.back()) {
       lifted.set_route(orig);

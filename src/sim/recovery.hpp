@@ -17,6 +17,7 @@
 
 #include "common/rng.hpp"
 #include "core/planner.hpp"
+#include "fault/srg_engine.hpp"
 #include "graph/graph.hpp"
 #include "routing/route_table.hpp"
 
@@ -35,6 +36,12 @@ struct ComponentwiseDiameter {
 /// fault set.
 ComponentwiseDiameter componentwise_surviving_diameter(
     const Graph& g, const RoutingTable& table, const std::vector<Node>& faults);
+
+/// Batched variant: reuses a prepared engine across many fault sets against
+/// the same table (the engine must have been built from that table).
+ComponentwiseDiameter componentwise_surviving_diameter(
+    const Graph& g, SurvivingRouteGraphEngine& engine,
+    const std::vector<Node>& faults);
 
 struct RecoveryOutcome {
   bool survivors_connected = false;

@@ -14,9 +14,10 @@ TEST(Bfs, DistancesOnPath) {
 }
 
 TEST(Bfs, UnreachableMarked) {
-  Graph g(4);
-  g.add_edge(0, 1);
-  g.add_edge(2, 3);
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
   const auto dist = bfs_distances(g, 0);
   EXPECT_EQ(dist[1], 1u);
   EXPECT_EQ(dist[2], kUnreachable);
@@ -48,9 +49,9 @@ TEST(ShortestPath, SelfIsTrivial) {
 }
 
 TEST(ShortestPath, EmptyWhenDisconnected) {
-  Graph g(3);
-  g.add_edge(0, 1);
-  EXPECT_TRUE(shortest_path(g, 0, 2).empty());
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_TRUE(shortest_path(b.build(), 0, 2).empty());
 }
 
 TEST(Distance, MatchesManual) {
@@ -70,9 +71,9 @@ TEST(Diameter, KnownFamilies) {
 }
 
 TEST(Diameter, DisconnectedIsUnreachable) {
-  Graph g(4);
-  g.add_edge(0, 1);
-  EXPECT_EQ(diameter(g), kUnreachable);
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  EXPECT_EQ(diameter(b.build()), kUnreachable);
 }
 
 TEST(Diameter, SingleNodeIsZero) {
@@ -110,19 +111,19 @@ TEST(Eccentricity, CenterVsLeaf) {
 
 TEST(IsConnected, Basics) {
   EXPECT_TRUE(is_connected(cycle_graph(5).graph));
-  Graph g(3);
-  EXPECT_FALSE(is_connected(g));
-  g.add_edge(0, 1);
-  g.add_edge(1, 2);
-  EXPECT_TRUE(is_connected(g));
+  GraphBuilder b(3);
+  EXPECT_FALSE(is_connected(b.build()));
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  EXPECT_TRUE(is_connected(b.build()));
 }
 
 TEST(ConnectedComponents, LabelsAndCount) {
-  Graph g(6);
-  g.add_edge(0, 1);
-  g.add_edge(2, 3);
-  g.add_edge(3, 4);
-  const auto comp = connected_components(g);
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  const auto comp = connected_components(b.build());
   EXPECT_EQ(comp[0], comp[1]);
   EXPECT_EQ(comp[2], comp[3]);
   EXPECT_EQ(comp[3], comp[4]);
@@ -146,12 +147,13 @@ TEST(Girth, ForestHasNone) {
 
 TEST(ShortestCycleThrough, NodeSpecific) {
   // A triangle with a pendant path: node 4 lies on no cycle.
-  Graph g(5);
-  g.add_edge(0, 1);
-  g.add_edge(1, 2);
-  g.add_edge(2, 0);
-  g.add_edge(2, 3);
-  g.add_edge(3, 4);
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  const Graph g = b.build();
   EXPECT_EQ(shortest_cycle_through(g, 0), 3u);
   EXPECT_EQ(shortest_cycle_through(g, 3), kUnreachable);
   EXPECT_EQ(shortest_cycle_through(g, 4), kUnreachable);

@@ -69,7 +69,7 @@ TEST(Bipolar, UnidirectionalMayUseAsymmetricPaths) {
   const auto br = build_bipolar_unidirectional(gg.graph, 2, witness_of(gg.graph));
   bool found_asymmetric = false;
   br.table.for_each([&](Node x, Node y, const Path& p) {
-    const Path* back = br.table.route(y, x);
+    const PathView back = br.table.route(y, x);
     if (back != nullptr && !std::equal(p.rbegin(), p.rend(), back->begin(),
                                        back->end())) {
       found_asymmetric = true;

@@ -27,14 +27,14 @@ TEST(LocalConnectivity, CompleteGraph) {
 
 TEST(LocalConnectivity, CutVertexLimits) {
   // Two triangles sharing node 2: local connectivity across the waist is 1.
-  Graph g(5);
-  g.add_edge(0, 1);
-  g.add_edge(1, 2);
-  g.add_edge(0, 2);
-  g.add_edge(2, 3);
-  g.add_edge(3, 4);
-  g.add_edge(2, 4);
-  EXPECT_EQ(local_node_connectivity(g, 0, 4), 1u);
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(2, 4);
+  EXPECT_EQ(local_node_connectivity(b.build(), 0, 4), 1u);
 }
 
 TEST(NodeConnectivity, KnownFamilies) {
@@ -63,9 +63,9 @@ TEST(NodeConnectivity, WrappedButterflyIsFour) {
 }
 
 TEST(NodeConnectivity, DisconnectedIsZero) {
-  Graph g(4);
-  g.add_edge(0, 1);
-  EXPECT_EQ(node_connectivity(g), 0u);
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  EXPECT_EQ(node_connectivity(b.build()), 0u);
 }
 
 TEST(NodeConnectivity, GeneratorMetadataAgrees) {

@@ -24,7 +24,7 @@ std::uint32_t exhaustive_worst(const RoutingTable& table, std::size_t f) {
 TEST(BitFixing, PathsFollowAscendingBits) {
   const auto gg = hypercube(4);
   const auto table = build_bitfixing_unidirectional(gg.graph, 4);
-  const Path* p = table.route(0b0000, 0b1010);
+  const PathView p = table.route(0b0000, 0b1010);
   ASSERT_NE(p, nullptr);
   EXPECT_EQ(*p, (Path{0b0000, 0b0010, 0b1010}));
 }
@@ -32,8 +32,8 @@ TEST(BitFixing, PathsFollowAscendingBits) {
 TEST(BitFixing, UnidirectionalPairsDiffer) {
   const auto gg = hypercube(3);
   const auto table = build_bitfixing_unidirectional(gg.graph, 3);
-  const Path* fwd = table.route(0, 3);
-  const Path* bwd = table.route(3, 0);
+  const PathView fwd = table.route(0, 3);
+  const PathView bwd = table.route(3, 0);
   ASSERT_NE(fwd, nullptr);
   ASSERT_NE(bwd, nullptr);
   // 0->3 goes 0,1,3; 3->0 goes 3,2,0: different intermediate nodes.
@@ -44,8 +44,8 @@ TEST(BitFixing, BidirectionalMirrors) {
   const auto gg = hypercube(3);
   const auto table = build_bitfixing_bidirectional(gg.graph, 3);
   table.validate(gg.graph);
-  const Path* fwd = table.route(1, 6);
-  const Path* bwd = table.route(6, 1);
+  const PathView fwd = table.route(1, 6);
+  const PathView bwd = table.route(6, 1);
   ASSERT_NE(fwd, nullptr);
   ASSERT_NE(bwd, nullptr);
   EXPECT_TRUE(std::equal(fwd->rbegin(), fwd->rend(), bwd->begin(), bwd->end()));

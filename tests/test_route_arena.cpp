@@ -1,0 +1,147 @@
+// Arena-specific coverage for the flat RoutingTable / MultiRouteTable
+// storage: view stability, conflict discipline at scale, insertion-order
+// iteration, and serialization round-trips on non-trivial tables. The
+// behavioral basics (mirroring, no-op reassignment, stats) live in
+// test_route_table.cpp; here we stress the arena against a reference
+// implementation and through realistic construction workloads.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+#include "gen/generators.hpp"
+#include "graph/bfs.hpp"
+#include "routing/kernel.hpp"
+#include "routing/route_table.hpp"
+#include "routing/serialization.hpp"
+
+namespace ftr {
+namespace {
+
+TEST(RouteArena, ViewsStayValidAcrossLookups) {
+  RoutingTable t(6, RoutingMode::kBidirectional);
+  t.set_route({0, 1, 2});
+  t.set_route({3, 4, 5});
+  const PathView a = t.route(0, 2);
+  const PathView b = t.route(3, 5);
+  // Lookups do not mutate; both views must still read correctly.
+  EXPECT_EQ(a, (Path{0, 1, 2}));
+  EXPECT_EQ(b, (Path{3, 4, 5}));
+  EXPECT_EQ(t.route(2, 0), (Path{2, 1, 0}));
+}
+
+TEST(RouteArena, ArenaSizeTracksStoredNodes) {
+  RoutingTable t(6, RoutingMode::kBidirectional);
+  EXPECT_EQ(t.arena_size(), 0u);
+  t.set_route({0, 1, 2});  // stored twice (both directions)
+  EXPECT_EQ(t.arena_size(), 6u);
+  t.set_route({0, 1, 2});  // no-op, no growth
+  EXPECT_EQ(t.arena_size(), 6u);
+  t.set_route({4, 5});
+  EXPECT_EQ(t.arena_size(), 10u);
+}
+
+TEST(RouteArena, ForEachViewMatchesForEach) {
+  const auto gg = torus_graph(4, 4);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  std::map<std::pair<Node, Node>, Path> from_view;
+  kr.table.for_each_view([&](Node x, Node y, PathView p) {
+    from_view[{x, y}] = p.to_path();
+  });
+  std::map<std::pair<Node, Node>, Path> from_path;
+  kr.table.for_each(
+      [&](Node x, Node y, const Path& p) { from_path[{x, y}] = p; });
+  EXPECT_EQ(from_view, from_path);
+  EXPECT_EQ(from_view.size(), kr.table.num_routes());
+}
+
+TEST(RouteArena, DifferentialAgainstReferenceMap) {
+  // Drive the open-addressed index through enough inserts to force several
+  // rehashes, mirrored against a std::map reference model.
+  const std::size_t n = 64;
+  RoutingTable t(n, RoutingMode::kUnidirectional);
+  std::map<std::pair<Node, Node>, Path> ref;
+  Rng rng(2024);
+  for (std::size_t i = 0; i < 4000; ++i) {
+    const Node x = static_cast<Node>(rng.below(n));
+    Node y = static_cast<Node>(rng.below(n));
+    while (y == x) y = static_cast<Node>(rng.below(n));
+    const Node mid = static_cast<Node>(rng.below(n));
+    Path p{x, y};
+    if (mid != x && mid != y) p = Path{x, mid, y};
+    if (ref.count({x, y})) {
+      if (ref[{x, y}] == p) {
+        EXPECT_NO_THROW(t.set_route(p));
+      } else {
+        EXPECT_THROW(t.set_route(p), ContractViolation);
+      }
+    } else {
+      t.set_route(p);
+      ref[{x, y}] = p;
+    }
+  }
+  EXPECT_EQ(t.num_routes(), ref.size());
+  for (const auto& [pair, path] : ref) {
+    EXPECT_EQ(t.route(pair.first, pair.second), path);
+  }
+}
+
+TEST(RouteArena, SerializationRoundTripOnKernelRouting) {
+  // A non-trivial table: the kernel construction on a 5x5 torus (hundreds
+  // of routes through a separating set).
+  const auto gg = torus_graph(5, 5);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  ASSERT_GT(kr.table.num_routes(), 100u);
+
+  const std::string text = routing_table_to_string(kr.table);
+  const RoutingTable loaded = routing_table_from_string(text);
+
+  EXPECT_EQ(loaded.num_nodes(), kr.table.num_nodes());
+  EXPECT_EQ(loaded.mode(), kr.table.mode());
+  EXPECT_EQ(loaded.num_routes(), kr.table.num_routes());
+  loaded.validate(gg.graph);
+  kr.table.for_each_view([&](Node x, Node y, PathView p) {
+    EXPECT_EQ(loaded.route(x, y), p) << "pair (" << x << "," << y << ")";
+  });
+  const auto s1 = kr.table.stats();
+  const auto s2 = loaded.stats();
+  EXPECT_EQ(s1.ordered_pairs, s2.ordered_pairs);
+  EXPECT_EQ(s1.max_hops, s2.max_hops);
+  EXPECT_DOUBLE_EQ(s1.avg_hops, s2.avg_hops);
+}
+
+TEST(MultiRouteArena, RoutesViewMatchesMaterialized) {
+  MultiRouteTable t(8, 3, /*bidirectional=*/true);
+  t.add_route({0, 1, 5});
+  t.add_route({0, 2, 5});
+  t.add_route({0, 3, 5});
+  const auto materialized = t.routes(0, 5);
+  ASSERT_EQ(materialized.size(), 3u);
+  std::size_t i = 0;
+  for (PathView v : t.routes_view(0, 5)) {
+    EXPECT_EQ(v, materialized[i++]);
+  }
+  EXPECT_EQ(i, 3u);
+  EXPECT_EQ(t.num_routes(0, 5), 3u);
+  EXPECT_EQ(t.num_routes(5, 0), 3u);
+  EXPECT_EQ(t.num_routes(1, 2), 0u);
+  EXPECT_TRUE(t.routes_view(1, 2).empty());
+}
+
+TEST(MultiRouteArena, CapAndDuplicateDisciplinePreserved) {
+  MultiRouteTable t(8, 2, /*bidirectional=*/true);
+  t.add_route({0, 1, 5});
+  t.add_route({0, 1, 5});  // duplicate: ignored
+  EXPECT_EQ(t.num_routes(0, 5), 1u);
+  t.add_route({0, 2, 5});
+  EXPECT_THROW(t.add_route({0, 3, 5}), ContractViolation);
+  EXPECT_FALSE(t.try_add_route({0, 4, 5}));
+  EXPECT_TRUE(t.try_add_route({0, 2, 5}));  // duplicate reports success
+  EXPECT_EQ(t.total_routes(), 4u);          // 2 routes x 2 directions
+}
+
+}  // namespace
+}  // namespace ftr

@@ -106,9 +106,10 @@ TEST(RoutingTable, ValidatePassesOnConsistentTable) {
 }
 
 TEST(RoutingTable, ValidateCatchesNonPath) {
-  Graph g(4);
-  g.add_edge(0, 1);
-  g.add_edge(1, 2);
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  const Graph g = b.build();
   RoutingTable t(4, RoutingMode::kUnidirectional);
   t.set_route({0, 3});  // not an edge of g — table can't know yet
   EXPECT_THROW(t.validate(g), ContractViolation);

@@ -68,30 +68,33 @@ TEST(TwoTrees, ValidatorRejectsCloseRoots) {
 
 TEST(TwoTrees, ValidatorRejectsRootOnTriangle) {
   // Path of length 6 with a triangle glued at one end.
-  Graph g(8);
-  for (Node u = 0; u + 1 < 7; ++u) g.add_edge(u, u + 1);
-  g.add_edge(0, 7);
-  g.add_edge(1, 7);  // triangle 0-1-7
+  GraphBuilder b(8);
+  for (Node u = 0; u + 1 < 7; ++u) b.add_edge(u, u + 1);
+  b.add_edge(0, 7);
+  b.add_edge(1, 7);  // triangle 0-1-7
+  const Graph g = b.build();
   EXPECT_FALSE(two_trees_valid(g, 0, 6));  // root 0 on a 3-cycle
   EXPECT_TRUE(two_trees_valid(g, 6, 0) == two_trees_valid(g, 0, 6));
 }
 
 TEST(TwoTrees, ValidatorRejectsRootOnFourCycle) {
-  Graph g(9);
-  for (Node u = 0; u + 1 < 7; ++u) g.add_edge(u, u + 1);
-  g.add_edge(0, 7);
-  g.add_edge(7, 8);
-  g.add_edge(8, 1);  // 4-cycle 0-1-8-7
+  GraphBuilder b(9);
+  for (Node u = 0; u + 1 < 7; ++u) b.add_edge(u, u + 1);
+  b.add_edge(0, 7);
+  b.add_edge(7, 8);
+  b.add_edge(8, 1);  // 4-cycle 0-1-8-7
+  const Graph g = b.build();
   EXPECT_FALSE(two_trees_valid(g, 0, 6));
 }
 
 TEST(TwoTrees, LocallyTreeLikeClassification) {
   // Triangle with a long tail: triangle nodes are not tree-like.
-  Graph g(7);
-  g.add_edge(0, 1);
-  g.add_edge(1, 2);
-  g.add_edge(2, 0);
-  for (Node u = 2; u + 1 < 7; ++u) g.add_edge(u, u + 1);
+  GraphBuilder b(7);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  for (Node u = 2; u + 1 < 7; ++u) b.add_edge(u, u + 1);
+  const Graph g = b.build();
   const auto cand = locally_tree_like_nodes(g);
   EXPECT_EQ(cand, (std::vector<Node>{3, 4, 5, 6}));
 }
