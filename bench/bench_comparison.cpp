@@ -140,6 +140,50 @@ void bench_fault_sweep_batched(benchmark::State& state) {
 }
 BENCHMARK(bench_fault_sweep_batched);
 
+// The same sweep fanned across worker threads over one shared SrgIndex:
+// /threads:N names in BENCH_comparison.json record the scaling curve.
+void bench_fault_sweep_engine_threads(benchmark::State& state) {
+  const auto gg = torus_graph(7, 7);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  const SrgIndex index(kr.table);
+  Rng rng(4);
+  const auto sets = random_fault_sets(gg.graph.num_nodes(), 3, 256, rng);
+  FaultSweepOptions opts;
+  opts.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sweep_fault_sets(kr.table, index, sets, opts));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * sets.size()));
+  state.SetLabel("fault-sets");
+}
+// UseRealTime: wall clock, not main-thread CPU time — see bench_recovery.
+BENCHMARK(bench_fault_sweep_engine_threads)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime();
+
+// Parallel certification: the planner's check_tolerance at the plan's
+// (d, f), fanned across 4 workers.
+void bench_certified_check_parallel(benchmark::State& state) {
+  const auto gg = torus_graph(7, 7);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  ToleranceCheckOptions opts = bench::standard_options();
+  opts.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(1401);
+    benchmark::DoNotOptimize(check_tolerance(kr.table, 3, 6, rng, opts));
+  }
+  state.SetLabel("checks");
+}
+BENCHMARK(bench_certified_check_parallel)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime();
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -108,13 +108,14 @@ void table_recovery() {
 // Batched vs. per-fault-set surviving-diameter throughput: the seed path
 // rebuilds the surviving Digraph (and all its per-node vectors) for every
 // fault set; the engine preprocesses the table once and replays fault sets
-// against reused scratch. The printed table gives the wall-clock summary;
-// the registered benchmarks below record fault-sets/sec in the JSON
-// baselines (items_per_second).
+// against reused scratch; the parallel column fans the same batch across
+// 4 worker scratches over one shared index. The printed table gives the
+// wall-clock summary; the registered benchmarks below record
+// fault-sets/sec in the JSON baselines (items_per_second).
 void table_batched_throughput() {
   std::cout << "-- Batched vs per-fault-set surviving diameter --\n";
   Table table({"graph", "construction", "f", "fault sets", "per-set ms",
-               "batched ms", "speedup"});
+               "batched ms", "4-thread ms", "speedup", "par speedup"});
   Rng rng(929);
   struct Entry {
     std::string graph;
@@ -156,17 +157,32 @@ void table_batched_throughput() {
     FTR_ASSERT_MSG(checksum_seed == checksum_batched,
                    "engine and one-shot paths disagree");
 
+    FaultSweepOptions opts;
+    opts.threads = 4;
+    const auto t4 = clock::now();
+    const auto summary = sweep_fault_sets(e.rt, *engine.index(), sets, opts);
+    const auto t5 = clock::now();
+    std::uint64_t checksum_parallel = 0;
+    for (const auto& rec : summary.per_set) checksum_parallel += rec.diameter;
+    FTR_ASSERT_MSG(checksum_seed == checksum_parallel,
+                   "parallel sweep and one-shot paths disagree");
+
     const double seed_ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     const double batched_ms =
         std::chrono::duration<double, std::milli>(t3 - t2).count();
+    const double parallel_ms =
+        std::chrono::duration<double, std::milli>(t5 - t4).count();
     table.add_row({e.graph, e.name, Table::cell(e.t), Table::cell(count),
                    Table::cell(seed_ms, 1), Table::cell(batched_ms, 1),
-                   Table::cell(seed_ms / batched_ms, 1)});
+                   Table::cell(parallel_ms, 1),
+                   Table::cell(seed_ms / batched_ms, 1),
+                   Table::cell(batched_ms / parallel_ms, 1)});
   }
   table.print(std::cout);
   std::cout << "(same diameters, same fault sets; the batched column reuses"
-            << " one SurvivingRouteGraphEngine)\n\n";
+            << " one SurvivingRouteGraphEngine, the 4-thread column fans the"
+            << " shared index across worker scratches)\n\n";
 }
 
 void bench_surviving_diameter_per_fault_set(benchmark::State& state) {
@@ -199,6 +215,57 @@ void bench_surviving_diameter_batched(benchmark::State& state) {
   state.SetLabel("fault-sets");
 }
 BENCHMARK(bench_surviving_diameter_batched);
+
+// Thread-scaling sweep throughput on the kernel/torus workload: one shared
+// SrgIndex, state.range(0) worker scratches. items_per_second is
+// fault-sets/sec; /threads:1 vs /threads:4 in BENCH_recovery.json is the
+// serial-vs-parallel acceptance metric.
+void bench_surviving_diameter_sweep(benchmark::State& state) {
+  const auto gg = torus_graph(6, 6);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  const SrgIndex index(kr.table);
+  Rng rng(9);
+  const auto sets = random_fault_sets(gg.graph.num_nodes(), 3, 256, rng);
+  FaultSweepOptions opts;
+  opts.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sweep_fault_sets(kr.table, index, sets, opts));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * sets.size()));
+  state.SetLabel("fault-sets");
+}
+// UseRealTime: items_per_second must count wall clock, not main-thread CPU
+// time, or multi-worker cases would fabricate speedup on small hosts.
+BENCHMARK(bench_surviving_diameter_sweep)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime();
+
+// Recovery-metric sweep, serial vs fanned-out (the componentwise metric is
+// the heavy per-set evaluation, so it parallelizes best).
+void bench_componentwise_sweep(benchmark::State& state) {
+  const auto gg = torus_graph(5, 5);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  const SrgIndex index(kr.table);
+  Rng rng(5);
+  const auto sets = random_fault_sets(25, 5, 128, rng);
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        componentwise_sweep(gg.graph, index, sets, threads));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * sets.size()));
+  state.SetLabel("fault-sets");
+}
+BENCHMARK(bench_componentwise_sweep)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime();
 
 void bench_componentwise_diameter(benchmark::State& state) {
   const auto gg = torus_graph(5, 5);

@@ -5,6 +5,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "graph/bfs.hpp"
 
@@ -75,6 +76,11 @@ void add_tolerance_row(Table& table, const std::string& graph_name,
 int run_registered_benchmarks(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Execution context for the JSON baselines: how many cores the host has.
+  // Per-case sweep worker counts are hard-coded benchmark Args and appear
+  // in the /threads:N case names themselves.
+  benchmark::AddCustomContext("host_cores",
+                              std::to_string(hardware_threads()));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Runs the benchmark binaries and emits BENCH_<name>.json baselines for the
 # perf trajectory (google-benchmark JSON; items_per_second on the fault-sweep
-# benchmarks is fault-sets/sec).
+# benchmarks is fault-sets/sec; /threads:N case names carry the worker count
+# of the parallel sweep cases).
 #
 # Usage:
 #   bench/run_benches.sh [build-dir] [out-dir]
@@ -9,13 +10,18 @@
 # Defaults: build-dir = ./build, out-dir = repo root. Pass a filter via
 # BENCH_FILTER to restrict which google-benchmark cases run (default runs
 # the surviving-diameter/fault-sweep throughput benches, which are the PR
-# acceptance metric; set BENCH_FILTER=. to run everything).
+# acceptance metric; set BENCH_FILTER=. to run everything). Each JSON's
+# context block records host_cores next to google-benchmark's own num_cpus;
+# sweep worker counts are carried by the /threads:N case names.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-.}"
-FILTER="${BENCH_FILTER:-surviving_diameter|fault_sweep}"
+FILTER="${BENCH_FILTER:-surviving_diameter|fault_sweep|componentwise_sweep}"
+HOST_CORES="$(nproc 2>/dev/null || echo 1)"
 mkdir -p "${OUT_DIR}"
+
+echo "host cores: ${HOST_CORES}"
 
 BENCHES=(bench_recovery bench_comparison)
 

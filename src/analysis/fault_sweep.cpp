@@ -1,0 +1,98 @@
+#include "analysis/fault_sweep.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/contracts.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "graph/bfs.hpp"
+
+namespace ftr {
+
+FaultSweepSummary sweep_fault_sets(
+    const RoutingTable& table, const SrgIndex& index,
+    const std::vector<std::vector<Node>>& fault_sets,
+    const FaultSweepOptions& options) {
+  FTR_EXPECTS(index.num_nodes() == table.num_nodes());
+  FaultSweepSummary summary;
+  summary.per_set.resize(fault_sets.size());
+  const std::size_t grain = sweep_grain(fault_sets.size(), options.threads);
+  summary.threads_used = workers_for(fault_sets.size(), options.threads, grain);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  parallel_for_chunks(
+      fault_sets.size(), options.threads, grain,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        (void)chunk;
+        SrgScratch scratch(index);
+        for (std::size_t i = begin; i < end; ++i) {
+          FaultSweepRecord& rec = summary.per_set[i];
+          const auto res = scratch.evaluate(fault_sets[i]);
+          rec.diameter = res.diameter;
+          rec.survivors = res.survivors;
+          rec.arcs = res.arcs;
+          if (options.delivery_pairs > 0) {
+            // Per-set stream: the sampled pairs are a function of
+            // (seed, set index), not of scheduling. The scratch is still
+            // struck from evaluate() above, so skip the second strike.
+            Rng rng = Rng::stream(options.seed, i);
+            rec.delivery =
+                measure_delivery_on(table, scratch.last_surviving_graph(),
+                                    options.delivery_pairs, rng);
+          }
+        }
+      });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // Index-ordered reduce; every aggregate below is independent of how the
+  // records were produced.
+  bool have_worst = false;
+  long double route_hop_sum = 0.0L;
+  for (std::size_t i = 0; i < summary.per_set.size(); ++i) {
+    const FaultSweepRecord& rec = summary.per_set[i];
+    if (rec.diameter == kUnreachable) {
+      ++summary.disconnected;
+    } else {
+      if (rec.diameter >= summary.diameter_histogram.size()) {
+        summary.diameter_histogram.resize(rec.diameter + 1, 0);
+      }
+      ++summary.diameter_histogram[rec.diameter];
+    }
+    // kUnreachable compares greater than every finite diameter, so the
+    // "first index attaining the max" rule needs no special casing.
+    if (!have_worst || rec.diameter > summary.worst_diameter) {
+      summary.worst_diameter = rec.diameter;
+      summary.worst_index = i;
+      have_worst = true;
+    }
+    summary.pairs_sampled += rec.delivery.pairs_sampled;
+    summary.delivered += rec.delivery.delivered;
+    route_hop_sum += static_cast<long double>(rec.delivery.avg_route_hops) *
+                     static_cast<long double>(rec.delivery.delivered);
+    summary.max_route_hops =
+        std::max(summary.max_route_hops, rec.delivery.max_route_hops);
+    summary.max_edge_hops =
+        std::max(summary.max_edge_hops, rec.delivery.max_edge_hops);
+  }
+  if (summary.delivered > 0) {
+    summary.avg_route_hops = static_cast<double>(
+        route_hop_sum / static_cast<long double>(summary.delivered));
+  }
+
+  summary.seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (summary.seconds > 0.0 && !fault_sets.empty()) {
+    summary.fault_sets_per_sec =
+        static_cast<double>(fault_sets.size()) / summary.seconds;
+  }
+  return summary;
+}
+
+FaultSweepSummary sweep_fault_sets(
+    const RoutingTable& table, const std::vector<std::vector<Node>>& fault_sets,
+    const FaultSweepOptions& options) {
+  const SrgIndex index(table);
+  return sweep_fault_sets(table, index, fault_sets, options);
+}
+
+}  // namespace ftr

@@ -1,0 +1,84 @@
+// The fault-sweep pipeline: evaluate one routing table against a batch of
+// fault sets and aggregate what every experiment in this repo wants from
+// such a sweep — the surviving-diameter distribution, the worst witness,
+// and (optionally) per-set delivery measurements from the paper's cost
+// model. This is the library surface behind the CLI `sweep` verb and the
+// scenario benches.
+//
+// Execution fans fault sets across FaultSweepOptions::threads workers, each
+// owning an SrgScratch over one shared SrgIndex. Per-set results land at
+// their input index and the aggregation is a single index-ordered pass, so
+// a sweep's output — every record, the histogram, the worst index — is
+// bit-identical for any thread count. Randomized delivery sampling draws
+// from Rng::stream(seed, set_index), never from a shared generator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/srg_engine.hpp"
+#include "graph/graph.hpp"
+#include "routing/route_table.hpp"
+#include "sim/network_sim.hpp"
+
+namespace ftr {
+
+struct FaultSweepOptions {
+  /// Worker threads (0 = all hardware threads). Results never depend on it.
+  unsigned threads = 1;
+  /// Ordered survivor pairs to sample per fault set for delivery stats;
+  /// 0 skips delivery measurement entirely.
+  std::size_t delivery_pairs = 0;
+  /// Root seed for the per-set delivery sampling streams.
+  std::uint64_t seed = 0;
+};
+
+struct FaultSweepRecord {
+  std::uint32_t diameter = 0;  // kUnreachable = some pair cannot route
+  std::uint32_t survivors = 0;
+  std::uint32_t arcs = 0;
+  DeliveryStats delivery;  // only populated when delivery_pairs > 0
+};
+
+struct FaultSweepSummary {
+  /// One record per input fault set, positionally aligned.
+  std::vector<FaultSweepRecord> per_set;
+
+  /// diameter_histogram[d] = number of sets with finite surviving diameter
+  /// d; disconnected sets are counted separately.
+  std::vector<std::uint64_t> diameter_histogram;
+  std::uint64_t disconnected = 0;
+
+  /// Worst surviving diameter over the batch (kUnreachable if any set
+  /// disconnects) and the first input index attaining it.
+  std::uint32_t worst_diameter = 0;
+  std::size_t worst_index = 0;
+
+  /// Delivery aggregates over all sampled pairs of all sets (zero when
+  /// delivery_pairs == 0).
+  std::uint64_t pairs_sampled = 0;
+  std::uint64_t delivered = 0;
+  double avg_route_hops = 0.0;  // mean over delivered messages
+  std::uint32_t max_route_hops = 0;
+  std::uint64_t max_edge_hops = 0;
+
+  /// Execution telemetry (not part of the deterministic result).
+  unsigned threads_used = 1;
+  double seconds = 0.0;
+  double fault_sets_per_sec = 0.0;
+};
+
+/// Sweeps `fault_sets` against a prebuilt index (which must come from
+/// `table`). The deterministic fields of the summary are a pure function of
+/// (table, fault_sets, options.delivery_pairs, options.seed).
+FaultSweepSummary sweep_fault_sets(const RoutingTable& table,
+                                   const SrgIndex& index,
+                                   const std::vector<std::vector<Node>>& fault_sets,
+                                   const FaultSweepOptions& options = {});
+
+/// Convenience overload that builds the index itself.
+FaultSweepSummary sweep_fault_sets(const RoutingTable& table,
+                                   const std::vector<std::vector<Node>>& fault_sets,
+                                   const FaultSweepOptions& options = {});
+
+}  // namespace ftr

@@ -24,6 +24,12 @@ class SubsetEnumerator {
  public:
   SubsetEnumerator(std::size_t n, std::size_t k);
 
+  /// Starts the enumeration at the subset of lexicographic rank `rank`
+  /// (rank >= count() yields an exhausted enumerator). This is what lets
+  /// the parallel exhaustive adversary hand each worker chunk a disjoint
+  /// rank range of the same enumeration order the serial scan uses.
+  SubsetEnumerator(std::size_t n, std::size_t k, std::uint64_t rank);
+
   bool valid() const { return valid_; }
   const std::vector<std::size_t>& current() const { return cur_; }
   void advance();
@@ -37,6 +43,12 @@ class SubsetEnumerator {
   std::vector<std::size_t> cur_;
   bool valid_;
 };
+
+/// The k-subset of {0,...,n-1} with lexicographic rank `rank` (0-based,
+/// rank < binomial(n, k)). Standard combinatorial unranking: O(n) binomial
+/// probes.
+std::vector<std::size_t> subset_at_rank(std::size_t n, std::size_t k,
+                                        std::uint64_t rank);
 
 /// Calls `fn` for every k-subset of {0,...,n-1}; stops early if `fn` returns
 /// false. Returns true iff the enumeration ran to completion.

@@ -1,0 +1,93 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace ftr {
+
+unsigned hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+unsigned resolve_threads(unsigned requested) {
+  if (requested == 0) return hardware_threads();
+  return std::min(requested, 256u);
+}
+
+std::size_t num_chunks(std::size_t count, std::size_t grain) {
+  if (count == 0) return 0;
+  const std::size_t g = std::max<std::size_t>(grain, 1);
+  return (count + g - 1) / g;
+}
+
+std::size_t sweep_grain(std::size_t count, unsigned threads) {
+  const unsigned workers = std::max(resolve_threads(threads), 1u);
+  const std::size_t target_chunks = static_cast<std::size_t>(workers) * 8;
+  return std::max<std::size_t>(1, count / std::max<std::size_t>(target_chunks, 1));
+}
+
+unsigned workers_for(std::size_t count, unsigned threads, std::size_t grain) {
+  const std::size_t chunks = num_chunks(count, grain);
+  return static_cast<unsigned>(
+      std::min<std::size_t>(std::max(resolve_threads(threads), 1u),
+                            std::max<std::size_t>(chunks, 1)));
+}
+
+void parallel_for_chunks(std::size_t count, unsigned threads,
+                         std::size_t grain, const ChunkBody& body) {
+  if (count == 0) return;
+  const std::size_t g = std::max<std::size_t>(grain, 1);
+  const std::size_t chunks = num_chunks(count, g);
+  const unsigned workers = workers_for(count, threads, g);
+
+  if (workers <= 1) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      body(c, c * g, std::min(c * g + g, count));
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  // Once anything failed, remaining chunks are abandoned rather than
+  // ground through — the rethrow makes their results unreachable anyway.
+  // Among the chunks that did fail, the lowest index wins the rethrow.
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::size_t error_chunk = chunks;
+  std::exception_ptr error;
+
+  const auto worker = [&] {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      try {
+        body(c, c * g, std::min(c * g + g, count));
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (c < error_chunk) {
+          error_chunk = c;
+          error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned i = 1; i < workers; ++i) pool.emplace_back(worker);
+  worker();
+  for (auto& t : pool) t.join();
+
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace ftr

@@ -1,0 +1,66 @@
+// Deterministic chunked parallelism for the fault-sweep layer.
+//
+// Every experiment in this repo sweeps thousands of independent fault sets
+// against one routing table, so the execution model is a plain data-parallel
+// fan-out. What makes it worth a dedicated layer is the determinism
+// contract: sweep results must be bit-identical for ANY thread count, so
+//
+//  * work is split into chunks of a fixed grain over [0, count) — chunk
+//    boundaries are a function of (count, grain) only, never of the thread
+//    count or of scheduling;
+//  * workers pull chunk ids from a shared counter, but every chunk writes
+//    its results keyed by chunk/item index, so callers reduce in index
+//    order — an order-independent merge no matter which thread ran what;
+//  * randomized tasks draw from counter-based streams (Rng::stream) keyed
+//    by item index, not from a shared generator whose consumption order
+//    would depend on scheduling.
+//
+// parallel_for_chunks is the only primitive; everything above it (adversary
+// searches, tolerance sweeps, recovery sweeps, the CLI `sweep` verb) is a
+// chunked map plus an index-ordered reduce.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace ftr {
+
+/// Worker body for one chunk: half-open item range [begin, end), plus the
+/// chunk's index (chunks cover [0, count) in order, so chunk i spans items
+/// [i * grain, min((i + 1) * grain, count))).
+using ChunkBody =
+    std::function<void(std::size_t chunk, std::size_t begin, std::size_t end)>;
+
+/// Number of hardware threads (>= 1 even when the runtime reports 0).
+unsigned hardware_threads();
+
+/// Maps the user-facing thread request to an actual worker count:
+/// 0 = "all hardware threads", anything else is taken literally (capped at
+/// 256 to keep a typo'd request from fork-bombing the host).
+unsigned resolve_threads(unsigned requested);
+
+/// Chunks [0, count) for the given grain (grain 0 = one chunk per item).
+std::size_t num_chunks(std::size_t count, std::size_t grain);
+
+/// Worker count parallel_for_chunks will actually use for this shape (it
+/// never spawns more workers than there are chunks). Exposed so callers
+/// reporting execution telemetry stay in sync with the executor.
+unsigned workers_for(std::size_t count, unsigned threads, std::size_t grain);
+
+/// Runs `body` over all chunks of [0, count) on `threads` workers (the
+/// calling thread is one of them; threads <= 1 runs inline with no spawns).
+/// Chunk boundaries depend only on (count, grain). Chunks are claimed from
+/// an atomic cursor, so any chunk may run on any worker — bodies must not
+/// rely on execution order and must write results keyed by chunk or item
+/// index. If a body throws, unclaimed chunks are abandoned and the failing
+/// exception (lowest chunk index among those that threw) is rethrown on
+/// the caller.
+void parallel_for_chunks(std::size_t count, unsigned threads,
+                         std::size_t grain, const ChunkBody& body);
+
+/// Grain heuristic for sweeps: aims for ~8 chunks per worker so the atomic
+/// cursor stays cold, while never exceeding `count`. Depends only on its
+/// arguments, so two runs with the same inputs chunk identically.
+std::size_t sweep_grain(std::size_t count, unsigned threads);
+
+}  // namespace ftr

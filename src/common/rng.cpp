@@ -101,4 +101,15 @@ std::vector<std::size_t> Rng::sample(std::size_t n, std::size_t k) {
 
 Rng Rng::split() { return Rng((*this)() ^ 0xd1342543de82ef95ULL); }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_id) {
+  // Two splitmix64 finalizations decorrelate (seed, stream_id) pairs; the
+  // Rng constructor then runs its own splitmix chain over the mix, so
+  // nearby stream ids land in unrelated xoshiro states.
+  std::uint64_t a = seed;
+  std::uint64_t b = stream_id ^ 0xa0761d6478bd642fULL;
+  const std::uint64_t ha = splitmix64(a);
+  const std::uint64_t hb = splitmix64(b);
+  return Rng(ha ^ rotl(hb, 31));
+}
+
 }  // namespace ftr

@@ -50,6 +50,14 @@ class Rng {
   /// each parallel experiment arm its own deterministic stream.
   Rng split();
 
+  /// Counter-based stream derivation: a generator that is a pure function
+  /// of (seed, stream_id). Unlike split(), which advances the parent state
+  /// (so the result depends on how many draws preceded it), stream(s, i) is
+  /// stable however work is scheduled — this is what makes randomized
+  /// parallel sweeps bit-identical for any thread count: task i always
+  /// draws from stream(root_seed, i), no matter which worker runs it.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream_id);
+
  private:
   std::uint64_t s_[4];
 };

@@ -14,6 +14,7 @@
 //   // d <= planned.plan.guaranteed_diameter, per the paper's theorems.
 #pragma once
 
+#include "analysis/fault_sweep.hpp"
 #include "analysis/gnp_theory.hpp"
 #include "analysis/neighborhood.hpp"
 #include "analysis/properties.hpp"
@@ -22,6 +23,7 @@
 #include "analysis/two_trees.hpp"
 #include "common/combinatorics.hpp"
 #include "common/contracts.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/planner.hpp"

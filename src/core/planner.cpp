@@ -117,4 +117,14 @@ PlannedRouting build_planned_routing(
   return build_planned_routing(g, profile, rng);
 }
 
+CertifiedRouting build_certified_routing(
+    const Graph& g, std::optional<std::uint32_t> known_connectivity, Rng& rng,
+    const ToleranceCheckOptions& check_options) {
+  CertifiedRouting out{build_planned_routing(g, known_connectivity, rng), {}};
+  out.certificate =
+      check_tolerance(out.routing.table, out.routing.plan.tolerated_faults,
+                      out.routing.plan.guaranteed_diameter, rng, check_options);
+  return out;
+}
+
 }  // namespace ftr

@@ -16,6 +16,7 @@
 
 #include "analysis/properties.hpp"
 #include "common/rng.hpp"
+#include "fault/tolerance_check.hpp"
 #include "graph/graph.hpp"
 #include "routing/route_table.hpp"
 
@@ -54,5 +55,23 @@ PlannedRouting build_planned_routing(const Graph& g,
 
 PlannedRouting build_planned_routing(
     const Graph& g, std::optional<std::uint32_t> known_connectivity, Rng& rng);
+
+/// A planned routing together with the measured evidence for its claim.
+struct CertifiedRouting {
+  PlannedRouting routing;
+  /// check_tolerance at f = plan.tolerated_faults against d =
+  /// plan.guaranteed_diameter. certificate.holds must be true unless the
+  /// construction (or the paper) is wrong — certification is the harness
+  /// that would catch either.
+  ToleranceReport certificate;
+};
+
+/// Profiles, plans, builds, and then certifies the built table with the
+/// tolerance sweep harness — the planner's end of the sweep pipeline. The
+/// check fans across check_options.threads workers; the certificate is
+/// bit-identical for any thread count.
+CertifiedRouting build_certified_routing(
+    const Graph& g, std::optional<std::uint32_t> known_connectivity, Rng& rng,
+    const ToleranceCheckOptions& check_options = {});
 
 }  // namespace ftr

@@ -1,13 +1,50 @@
 #include "fault/adversary.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_set>
+#include <utility>
 
 #include "common/combinatorics.hpp"
 #include "common/contracts.hpp"
+#include "common/parallel.hpp"
 #include "graph/bfs.hpp"
 
 namespace ftr {
+
+namespace {
+
+// Per-chunk partial search state. Chunks cover disjoint, ordered slices of
+// the task space (subset ranks, sample indices, restart indices), so
+// merging partials in chunk order with the serial tie-break rule ("first
+// set reaching the max wins") reproduces a serial scan exactly.
+struct SearchPartial {
+  std::uint32_t d = 0;
+  std::vector<Node> faults;
+  std::uint64_t evaluations = 0;
+  bool any = false;      // a candidate has been recorded
+  bool stopped = false;  // this chunk hit its early-stop condition
+};
+
+void absorb(AdversaryResult& acc, bool& have_candidate, SearchPartial&& p) {
+  acc.evaluations += p.evaluations;
+  if (p.any && (!have_candidate || p.d > acc.worst_diameter)) {
+    acc.worst_diameter = p.d;
+    acc.worst_faults = std::move(p.faults);
+    have_candidate = true;
+  }
+}
+
+// Lock-free "minimum chunk that stopped": later chunks use it to skip work
+// that the ordered merge would discard anyway.
+void note_stop(std::atomic<std::size_t>& first_stop, std::size_t chunk) {
+  std::size_t cur = first_stop.load(std::memory_order_relaxed);
+  while (chunk < cur && !first_stop.compare_exchange_weak(
+                            cur, chunk, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
 
 AdversaryResult exhaustive_worst_faults(std::size_t n, std::size_t f,
                                         const FaultEvaluator& eval,
@@ -30,6 +67,65 @@ AdversaryResult exhaustive_worst_faults(std::size_t n, std::size_t f,
     }
     return true;
   });
+  return result;
+}
+
+AdversaryResult exhaustive_worst_faults(std::size_t n, std::size_t f,
+                                        const FaultEvaluatorFactory& make_eval,
+                                        const SearchExecution& exec,
+                                        std::uint32_t stop_above) {
+  FTR_EXPECTS(f <= n);
+  const std::uint64_t total = binomial(n, f);
+  FTR_EXPECTS_MSG(total != ~std::uint64_t{0},
+                  "C(" << n << "," << f << ") saturated; not enumerable");
+  const auto count = static_cast<std::size_t>(total);
+  const unsigned threads = resolve_threads(exec.threads);
+  const std::size_t grain = sweep_grain(count, threads);
+  const std::size_t chunks = num_chunks(count, grain);
+  std::vector<SearchPartial> partials(chunks);
+  std::atomic<std::size_t> first_stop{chunks};
+
+  parallel_for_chunks(
+      count, threads, grain,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        // A chunk past an already-stopped one will be discarded by the
+        // ordered merge; skipping it is a pure optimization.
+        if (chunk > first_stop.load(std::memory_order_relaxed)) return;
+        SearchPartial& p = partials[chunk];
+        const FaultEvaluator eval = make_eval();
+        SubsetEnumerator e(n, f, begin);
+        std::vector<Node> faults(f);
+        for (std::size_t r = begin; r < end && e.valid(); ++r, e.advance()) {
+          const auto& subset = e.current();
+          for (std::size_t i = 0; i < f; ++i) {
+            faults[i] = static_cast<Node>(subset[i]);
+          }
+          const std::uint32_t d = eval(faults);
+          ++p.evaluations;
+          if (!p.any || d > p.d) {
+            p.any = true;
+            p.d = d;
+            p.faults = faults;
+          }
+          if (stop_above != 0 && d > stop_above) {
+            p.stopped = true;
+            note_stop(first_stop, chunk);
+            break;
+          }
+        }
+      });
+
+  AdversaryResult result;
+  result.exhaustive = true;
+  bool have = false;
+  for (auto& p : partials) {
+    const bool stopped = p.stopped;
+    absorb(result, have, std::move(p));
+    if (stopped) {
+      result.exhaustive = false;  // aborted early, like the serial scan
+      break;
+    }
+  }
   return result;
 }
 
@@ -117,6 +213,100 @@ AdversaryResult hillclimb_worst_faults(
       result.worst_faults = std::move(faults);
     }
     if (result.worst_diameter == kUnreachable) break;
+  }
+  return result;
+}
+
+AdversaryResult sampled_worst_faults(std::size_t n, std::size_t f,
+                                     std::size_t samples,
+                                     const FaultEvaluatorFactory& make_eval,
+                                     std::uint64_t seed,
+                                     const SearchExecution& exec) {
+  FTR_EXPECTS(f <= n);
+  const unsigned threads = resolve_threads(exec.threads);
+  const std::size_t grain = sweep_grain(samples, threads);
+  const std::size_t chunks = num_chunks(samples, grain);
+  std::vector<SearchPartial> partials(chunks);
+
+  parallel_for_chunks(
+      samples, threads, grain,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        SearchPartial& p = partials[chunk];
+        const FaultEvaluator eval = make_eval();
+        for (std::size_t i = begin; i < end; ++i) {
+          // Sample i is a pure function of (seed, i): thread-count-proof.
+          Rng rng = Rng::stream(seed, i);
+          const auto sample = rng.sample(n, f);
+          std::vector<Node> faults(sample.begin(), sample.end());
+          const std::uint32_t d = eval(faults);
+          ++p.evaluations;
+          if (!p.any || d > p.d) {
+            p.any = true;
+            p.d = d;
+            p.faults = std::move(faults);
+          }
+        }
+      });
+
+  AdversaryResult result;
+  bool have = false;
+  for (auto& p : partials) absorb(result, have, std::move(p));
+  return result;
+}
+
+AdversaryResult hillclimb_worst_faults(std::size_t n, std::size_t f,
+                                       const FaultEvaluatorFactory& make_eval,
+                                       std::uint64_t seed,
+                                       const SearchExecution& exec,
+                                       std::size_t restarts,
+                                       std::size_t max_steps,
+                                       const std::vector<std::vector<Node>>& seeds) {
+  FTR_EXPECTS(f <= n);
+  AdversaryResult result;
+  if (f == 0) {
+    result.worst_diameter = make_eval()({});
+    result.evaluations = 1;
+    return result;
+  }
+  const std::size_t total = std::max(seeds.size(), restarts);
+  std::vector<SearchPartial> partials(total);
+  std::atomic<std::size_t> first_stop{total};
+
+  // One restart per chunk: climbs dominate the cost and balance poorly, so
+  // the finest grain gives the scheduler the most room.
+  parallel_for_chunks(
+      total, resolve_threads(exec.threads), 1,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        (void)end;
+        if (chunk > first_stop.load(std::memory_order_relaxed)) return;
+        SearchPartial& p = partials[chunk];
+        const FaultEvaluator eval = make_eval();
+        Rng rng = Rng::stream(seed, begin);
+        std::vector<Node> start;
+        if (begin < seeds.size()) {
+          start = seeds[begin];
+        } else {
+          const auto sample = rng.sample(n, f);
+          start.assign(sample.begin(), sample.end());
+        }
+        FTR_EXPECTS(start.size() == f);
+        auto [faults, d] =
+            climb(n, eval, std::move(start), max_steps, rng, p.evaluations);
+        p.any = true;
+        p.d = d;
+        p.faults = std::move(faults);
+        if (d == kUnreachable) {
+          p.stopped = true;
+          note_stop(first_stop, chunk);
+        }
+      });
+
+  bool have = false;
+  for (auto& p : partials) {
+    const bool stopped = p.stopped;
+    absorb(result, have, std::move(p));
+    // Serial scan breaks after absorbing a disconnecting restart.
+    if (stopped) break;
   }
   return result;
 }

@@ -6,6 +6,18 @@
 //
 // The searchers are generic over an evaluation callback so they work for
 // single-route tables, multiroute tables, and any future routing flavor.
+//
+// Each searcher has two forms:
+//  * the single-evaluator form — one FaultEvaluator, scanned serially
+//    (unchanged from the original API);
+//  * the factory form — a FaultEvaluatorFactory that mints one evaluator
+//    per worker chunk, fanned across SearchExecution::threads. Work is
+//    split deterministically (subset-rank ranges, sample indices, restart
+//    indices) and merged in index order with the serial tie-breaking rule
+//    (first set reaching the max wins), and randomized searchers draw from
+//    counter-based Rng streams keyed by task index — so the result,
+//    including the reported witness and evaluation count, is bit-identical
+//    for ANY thread count, and equal to a serial scan.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +31,18 @@ namespace ftr {
 
 /// Maps a fault set to the diameter of the surviving route graph.
 using FaultEvaluator = std::function<std::uint32_t(const std::vector<Node>&)>;
+
+/// Mints a fresh evaluator for one worker chunk. Each returned evaluator is
+/// used from exactly one thread at a time, so it may own mutable scratch
+/// (an SrgScratch over a shared SrgIndex is the canonical instance).
+using FaultEvaluatorFactory = std::function<FaultEvaluator()>;
+
+/// Execution knobs for the factory-form searchers.
+struct SearchExecution {
+  /// Worker threads to fan chunks across; 0 = all hardware threads. Results
+  /// never depend on this value.
+  unsigned threads = 1;
+};
 
 struct AdversaryResult {
   std::vector<Node> worst_faults;
@@ -34,10 +58,29 @@ AdversaryResult exhaustive_worst_faults(std::size_t n, std::size_t f,
                                         const FaultEvaluator& eval,
                                         std::uint32_t stop_above = 0);
 
+/// Parallel ground truth: chunks the lexicographic subset enumeration into
+/// rank ranges. The merged result (witness, diameter, evaluation count,
+/// early-stop behavior) is identical to the serial scan: chunks are merged
+/// in rank order and everything after the first early-stopped chunk is
+/// discarded, un-counted.
+AdversaryResult exhaustive_worst_faults(std::size_t n, std::size_t f,
+                                        const FaultEvaluatorFactory& make_eval,
+                                        const SearchExecution& exec,
+                                        std::uint32_t stop_above = 0);
+
 /// Uniform random sampling of `samples` fault sets.
 AdversaryResult sampled_worst_faults(std::size_t n, std::size_t f,
                                      std::size_t samples,
                                      const FaultEvaluator& eval, Rng& rng);
+
+/// Parallel sampling: sample i is drawn from Rng::stream(seed, i), so the
+/// sampled sets — and therefore the result — do not depend on the thread
+/// count or on chunk boundaries.
+AdversaryResult sampled_worst_faults(std::size_t n, std::size_t f,
+                                     std::size_t samples,
+                                     const FaultEvaluatorFactory& make_eval,
+                                     std::uint64_t seed,
+                                     const SearchExecution& exec);
 
 /// Hill-climbing: from each start set, repeatedly try swapping one fault for
 /// one non-fault, keeping strict improvements, until no swap helps or the
@@ -45,6 +88,19 @@ AdversaryResult sampled_worst_faults(std::size_t n, std::size_t f,
 /// concentrator members); uniform restarts fill the rest.
 AdversaryResult hillclimb_worst_faults(std::size_t n, std::size_t f,
                                        const FaultEvaluator& eval, Rng& rng,
+                                       std::size_t restarts = 8,
+                                       std::size_t max_steps = 64,
+                                       const std::vector<std::vector<Node>>& seeds = {});
+
+/// Parallel hill-climbing: restart i climbs with Rng::stream(seed, i)
+/// (uniform restarts also draw their start set from that stream), one
+/// restart per chunk. Restarts are merged in index order; once a restart
+/// reaches kUnreachable the rest are discarded, matching the serial early
+/// break.
+AdversaryResult hillclimb_worst_faults(std::size_t n, std::size_t f,
+                                       const FaultEvaluatorFactory& make_eval,
+                                       std::uint64_t seed,
+                                       const SearchExecution& exec,
                                        std::size_t restarts = 8,
                                        std::size_t max_steps = 64,
                                        const std::vector<std::vector<Node>>& seeds = {});

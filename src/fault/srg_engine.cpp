@@ -7,8 +7,7 @@
 
 namespace ftr {
 
-SurvivingRouteGraphEngine::SurvivingRouteGraphEngine(const RoutingTable& table)
-    : n_(table.num_nodes()) {
+SrgIndex::SrgIndex(const RoutingTable& table) : n_(table.num_nodes()) {
   route_nodes_.reserve(table.arena_size());
   route_off_.reserve(table.num_routes() + 1);
   route_off_.push_back(0);
@@ -23,9 +22,7 @@ SurvivingRouteGraphEngine::SurvivingRouteGraphEngine(const RoutingTable& table)
   finalize_routes();
 }
 
-SurvivingRouteGraphEngine::SurvivingRouteGraphEngine(
-    const MultiRouteTable& table)
-    : n_(table.num_nodes()) {
+SrgIndex::SrgIndex(const MultiRouteTable& table) : n_(table.num_nodes()) {
   route_nodes_.reserve(table.arena_size());
   route_off_.reserve(table.total_routes() + 1);
   route_off_.push_back(0);
@@ -43,7 +40,7 @@ SurvivingRouteGraphEngine::SurvivingRouteGraphEngine(
   finalize_routes();
 }
 
-void SurvivingRouteGraphEngine::finalize_routes() {
+void SrgIndex::finalize_routes() {
   const std::size_t num_routes = route_src_.size();
   // Inverted index: node -> ids of routes whose path contains it (endpoints
   // included, so an endpoint fault kills the route like any interior fault).
@@ -60,63 +57,84 @@ void SurvivingRouteGraphEngine::finalize_routes() {
       node_route_ids_[cursor[route_nodes_[i]]++] = r;
     }
   }
-
-  fault_stamp_.assign(n_, 0);
-  route_stamp_.assign(num_routes, 0);
-  pair_stamp_.assign(num_pairs_, 0);
-  arc_off_.assign(n_ + 1, 0);
-  arc_cursor_.assign(n_, 0);
-  seen_stamp_.assign(n_, 0);
-  dist_.assign(n_, 0);
-  queue_.reserve(n_);
-  arcs_.reserve(num_pairs_);
 }
 
-std::uint32_t SurvivingRouteGraphEngine::strike(std::span<const Node> faults) {
+SrgScratch::SrgScratch(const SrgIndex& index) : index_(&index) {
+  const std::size_t n = index.n_;
+  fault_stamp_.assign(n, 0);
+  route_stamp_.assign(index.route_src_.size(), 0);
+  pair_stamp_.assign(index.num_pairs_, 0);
+  arc_off_.assign(n + 1, 0);
+  arc_cursor_.assign(n, 0);
+  seen_stamp_.assign(n, 0);
+  dist_.assign(n, 0);
+  queue_.reserve(n);
+  arcs_.reserve(index.num_pairs_);
+}
+
+void SrgScratch::reset() {
+  std::fill(fault_stamp_.begin(), fault_stamp_.end(), 0);
+  std::fill(route_stamp_.begin(), route_stamp_.end(), 0);
+  std::fill(pair_stamp_.begin(), pair_stamp_.end(), 0);
+  std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0);
+  epoch_ = 0;
+  bfs_epoch_ = 0;
+}
+
+void SrgScratch::set_epochs_for_testing(std::uint32_t epoch) {
+  reset();
+  epoch_ = epoch;
+  bfs_epoch_ = epoch;
+}
+
+std::uint32_t SrgScratch::strike(std::span<const Node> faults) {
+  const SrgIndex& ix = *index_;
   ++epoch_;
-  if (epoch_ == 0) {  // stamp wrap: reset everything once per 2^32 calls
+  if (epoch_ == 0) {
+    // Stamp wrap, once per 2^32 strikes: a stale stamp from the previous
+    // counter era could otherwise collide with a fresh epoch value. Re-zero
+    // every strike-side stamp and restart the counter above the zeroes.
     std::fill(fault_stamp_.begin(), fault_stamp_.end(), 0);
     std::fill(route_stamp_.begin(), route_stamp_.end(), 0);
     std::fill(pair_stamp_.begin(), pair_stamp_.end(), 0);
     epoch_ = 1;
   }
-  auto survivors = static_cast<std::uint32_t>(n_);
+  auto survivors = static_cast<std::uint32_t>(ix.n_);
   for (Node f : faults) {
-    FTR_EXPECTS_MSG(f < n_, "fault " << f << " out of range");
+    FTR_EXPECTS_MSG(f < ix.n_, "fault " << f << " out of range");
     if (fault_stamp_[f] == epoch_) continue;  // duplicate fault id
     fault_stamp_[f] = epoch_;
     --survivors;
-    for (std::uint32_t i = node_route_off_[f]; i < node_route_off_[f + 1];
+    for (std::uint32_t i = ix.node_route_off_[f]; i < ix.node_route_off_[f + 1];
          ++i) {
-      route_stamp_[node_route_ids_[i]] = epoch_;
+      route_stamp_[ix.node_route_ids_[i]] = epoch_;
     }
   }
 
   // Collect surviving arcs, one per ordered pair with a live route.
   arcs_.clear();
-  const std::size_t num_routes = route_src_.size();
+  const std::size_t num_routes = ix.route_src_.size();
   for (std::uint32_t r = 0; r < num_routes; ++r) {
     if (route_stamp_[r] == epoch_) continue;
-    const std::uint32_t pid = route_pair_[r];
+    const std::uint32_t pid = ix.route_pair_[r];
     if (pair_stamp_[pid] == epoch_) continue;
     pair_stamp_[pid] = epoch_;
-    arcs_.emplace_back(route_src_[r], route_dst_[r]);
+    arcs_.emplace_back(ix.route_src_[r], ix.route_dst_[r]);
   }
 
   // Counting sort by source into the scratch CSR.
   std::fill(arc_off_.begin(), arc_off_.end(), 0);
   for (const auto& [src, dst] : arcs_) ++arc_off_[src + 1];
-  for (std::size_t i = 1; i <= n_; ++i) arc_off_[i] += arc_off_[i - 1];
+  for (std::size_t i = 1; i <= ix.n_; ++i) arc_off_[i] += arc_off_[i - 1];
   arc_tgt_.resize(arcs_.size());
   std::copy(arc_off_.begin(), arc_off_.end() - 1, arc_cursor_.begin());
   for (const auto& [src, dst] : arcs_) arc_tgt_[arc_cursor_[src]++] = dst;
   return survivors;
 }
 
-std::uint32_t SurvivingRouteGraphEngine::bfs_from(Node s,
-                                                  std::uint32_t* reached_out) {
+std::uint32_t SrgScratch::bfs_from(Node s, std::uint32_t* reached_out) {
   ++bfs_epoch_;
-  if (bfs_epoch_ == 0) {
+  if (bfs_epoch_ == 0) {  // same wraparound discipline as strike()
     std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0);
     bfs_epoch_ = 1;
   }
@@ -143,15 +161,14 @@ std::uint32_t SurvivingRouteGraphEngine::bfs_from(Node s,
   return ecc;
 }
 
-SurvivingRouteGraphEngine::Result SurvivingRouteGraphEngine::evaluate(
-    std::span<const Node> faults) {
+SrgScratch::Result SrgScratch::evaluate(std::span<const Node> faults) {
   const std::uint32_t survivors = strike(faults);
   Result res;
   res.survivors = survivors;
   res.arcs = static_cast<std::uint32_t>(arcs_.size());
   if (survivors <= 1) return res;  // diameter 0 by convention
   std::uint32_t diam = 0;
-  for (Node s = 0; s < n_; ++s) {
+  for (Node s = 0; s < index_->n_; ++s) {
     if (fault_stamp_[s] == epoch_) continue;
     std::uint32_t reached = 0;
     const std::uint32_t ecc = bfs_from(s, &reached);
@@ -165,21 +182,20 @@ SurvivingRouteGraphEngine::Result SurvivingRouteGraphEngine::evaluate(
   return res;
 }
 
-std::uint32_t SurvivingRouteGraphEngine::surviving_diameter(
-    std::span<const Node> faults) {
+std::uint32_t SrgScratch::surviving_diameter(std::span<const Node> faults) {
   return evaluate(faults).diameter;
 }
 
-std::uint32_t SurvivingRouteGraphEngine::componentwise_diameter(
+std::uint32_t SrgScratch::componentwise_diameter(
     std::span<const Node> faults, std::span<const std::uint32_t> comp) {
-  FTR_EXPECTS(comp.size() == n_);
+  FTR_EXPECTS(comp.size() == index_->n_);
   const std::uint32_t survivors = strike(faults);
   if (survivors <= 1) return 0;
   std::uint32_t worst = 0;
-  for (Node s = 0; s < n_; ++s) {
+  for (Node s = 0; s < index_->n_; ++s) {
     if (fault_stamp_[s] == epoch_) continue;
     bfs_from(s, nullptr);
-    for (Node t = 0; t < n_; ++t) {
+    for (Node t = 0; t < index_->n_; ++t) {
       if (t == s || fault_stamp_[t] == epoch_ || comp[t] != comp[s]) continue;
       if (seen_stamp_[t] != bfs_epoch_) return kUnreachable;
       worst = std::max(worst, dist_[t]);
@@ -188,11 +204,15 @@ std::uint32_t SurvivingRouteGraphEngine::componentwise_diameter(
   return worst;
 }
 
-Digraph SurvivingRouteGraphEngine::surviving_graph(
-    std::span<const Node> faults) {
+Digraph SrgScratch::surviving_graph(std::span<const Node> faults) {
   strike(faults);
-  Digraph r(n_);
-  for (Node v = 0; v < n_; ++v) {
+  return last_surviving_graph();
+}
+
+Digraph SrgScratch::last_surviving_graph() const {
+  FTR_EXPECTS_MSG(epoch_ != 0, "no fault set has been struck yet");
+  Digraph r(index_->n_);
+  for (Node v = 0; v < index_->n_; ++v) {
     if (fault_stamp_[v] == epoch_) r.remove_node(v);
   }
   for (const auto& [src, dst] : arcs_) r.add_arc(src, dst);

@@ -5,13 +5,27 @@
 // across thousands of fault sets against the SAME routing table (tolerance
 // checks, adversarial hill-climbing, recovery sweeps). The one-shot path in
 // fault/surviving.cpp rebuilds a Digraph (one heap vector per node) and
-// re-walks every route per fault set; this engine preprocesses the table
-// once into flat arrays and then answers each fault set from reusable,
-// epoch-stamped scratch buffers:
+// re-walks every route per fault set; this layer preprocesses the table
+// once and answers each fault set from reusable, epoch-stamped scratch
+// buffers.
 //
-//  * a node -> routes inverted index, so a fault set of size f kills its
-//    routes in O(sum over faults of routes-through-fault) instead of
-//    re-scanning every route node;
+// The split matters for the parallel sweep layer:
+//
+//  * SrgIndex is the immutable preprocessing — the route arena flattened
+//    into per-route node ranges plus a node -> routes inverted index. It is
+//    read-only after construction, so ONE index serves any number of
+//    concurrent workers.
+//  * SrgScratch is the per-thread mutable state — the epoch-stamped kill
+//    index, the scratch arc CSR, and the BFS queues. Each sweep worker owns
+//    one; evaluations are allocation-free after warm-up.
+//  * SurvivingRouteGraphEngine is the single-threaded facade (one shared
+//    index + one scratch) that all pre-existing call sites keep using; its
+//    index() handle is what parallel sweeps fan out to worker scratches.
+//
+// Per fault set:
+//  * a fault set of size f kills its routes in O(sum over faults of
+//    routes-through-fault) via the inverted index instead of re-scanning
+//    every route node;
 //  * one pass over the route list collects surviving arcs into a scratch
 //    CSR (counting sort by source), with per-pair dedup for multiroutes;
 //  * BFS runs over the scratch CSR with stamped distance arrays and a flat
@@ -24,6 +38,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -34,16 +49,45 @@
 
 namespace ftr {
 
-class SurvivingRouteGraphEngine {
+/// Immutable preprocessing of one routing table: flattened routes plus the
+/// node -> routes inverted index. Thread-safe to share by const reference
+/// across any number of SrgScratch workers.
+class SrgIndex {
  public:
-  explicit SurvivingRouteGraphEngine(const RoutingTable& table);
-  explicit SurvivingRouteGraphEngine(const MultiRouteTable& table);
+  explicit SrgIndex(const RoutingTable& table);
+  explicit SrgIndex(const MultiRouteTable& table);
 
   std::size_t num_nodes() const { return n_; }
   /// Directed routes preprocessed (multiroute tables count every parallel
   /// route; ordered pairs may share one arc).
   std::size_t num_routes() const { return route_src_.size(); }
   std::size_t num_pairs() const { return num_pairs_; }
+
+ private:
+  friend class SrgScratch;
+
+  void finalize_routes();
+
+  std::size_t n_ = 0;
+  std::vector<Node> route_nodes_;           // all route nodes, back to back
+  std::vector<std::uint32_t> route_off_;    // per route, offset into nodes
+  std::vector<Node> route_src_;
+  std::vector<Node> route_dst_;
+  std::vector<std::uint32_t> route_pair_;   // route -> ordered-pair id
+  std::size_t num_pairs_ = 0;
+  std::vector<std::uint32_t> node_route_off_;  // node -> routes through it
+  std::vector<std::uint32_t> node_route_ids_;
+};
+
+/// Per-worker mutable state for fault-set evaluation against a shared
+/// SrgIndex. NOT thread-safe itself — each thread owns one scratch; the
+/// index it references must outlive it.
+class SrgScratch {
+ public:
+  explicit SrgScratch(const SrgIndex& index);
+
+  const SrgIndex& index() const { return *index_; }
+  std::size_t num_nodes() const { return index_->num_nodes(); }
 
   struct Result {
     std::uint32_t diameter = 0;  // kUnreachable if some pair cannot route
@@ -69,8 +113,24 @@ class SurvivingRouteGraphEngine {
   /// need the full structure (property checks, delivery simulation).
   Digraph surviving_graph(std::span<const Node> faults);
 
+  /// Materializes the Digraph for the most recently struck fault set
+  /// without re-striking — for pipelines that already called evaluate() on
+  /// that set. At least one evaluation must have happened since
+  /// construction or reset().
+  Digraph last_surviving_graph() const;
+
+  /// Zeroes every stamp array and restarts both epoch counters. Evaluation
+  /// results never depend on it (the wrap paths below do the same lazily);
+  /// exposed so long-lived servers can re-zero scratch at a quiet moment
+  /// instead of inside a request.
+  void reset();
+
+  /// Test hook for the 2^32 epoch wraparound: plants both counters just
+  /// below `epoch` so a handful of evaluations crosses the wrap. Stamps are
+  /// re-zeroed, so behavior stays exactly as after reset().
+  void set_epochs_for_testing(std::uint32_t epoch);
+
  private:
-  void finalize_routes();
   // Stamps faults/killed routes and rebuilds the scratch arc CSR for this
   // fault set. Returns the number of survivors.
   std::uint32_t strike(std::span<const Node> faults);
@@ -78,19 +138,8 @@ class SurvivingRouteGraphEngine {
   // survivors and leaves dist/seen stamps for this bfs_epoch_.
   std::uint32_t bfs_from(Node s, std::uint32_t* reached_out);
 
-  std::size_t n_ = 0;
+  const SrgIndex* index_;
 
-  // --- immutable preprocessing ---------------------------------------------
-  std::vector<Node> route_nodes_;           // all route nodes, back to back
-  std::vector<std::uint32_t> route_off_;    // per route, offset into nodes
-  std::vector<Node> route_src_;
-  std::vector<Node> route_dst_;
-  std::vector<std::uint32_t> route_pair_;   // route -> ordered-pair id
-  std::size_t num_pairs_ = 0;
-  std::vector<std::uint32_t> node_route_off_;  // node -> routes through it
-  std::vector<std::uint32_t> node_route_ids_;
-
-  // --- per-fault-set scratch (epoch-stamped, allocation-free) --------------
   std::uint32_t epoch_ = 0;
   std::vector<std::uint32_t> fault_stamp_;
   std::vector<std::uint32_t> route_stamp_;
@@ -104,6 +153,49 @@ class SurvivingRouteGraphEngine {
   std::vector<std::uint32_t> seen_stamp_;
   std::vector<std::uint32_t> dist_;
   std::vector<Node> queue_;
+};
+
+/// Single-threaded batching facade: one shared, immutable SrgIndex plus one
+/// SrgScratch. Existing call sites use this directly; parallel sweeps grab
+/// index() and give each worker its own SrgScratch.
+class SurvivingRouteGraphEngine {
+ public:
+  explicit SurvivingRouteGraphEngine(const RoutingTable& table)
+      : index_(std::make_shared<const SrgIndex>(table)), scratch_(*index_) {}
+  explicit SurvivingRouteGraphEngine(const MultiRouteTable& table)
+      : index_(std::make_shared<const SrgIndex>(table)), scratch_(*index_) {}
+
+  using Result = SrgScratch::Result;
+
+  std::size_t num_nodes() const { return index_->num_nodes(); }
+  std::size_t num_routes() const { return index_->num_routes(); }
+  std::size_t num_pairs() const { return index_->num_pairs(); }
+
+  /// The shared preprocessing; hand this to parallel sweep workers (one
+  /// SrgScratch each) so one table preprocessing serves N threads.
+  const std::shared_ptr<const SrgIndex>& index() const { return index_; }
+
+  /// The facade's own scratch, for callers that interleave engine use with
+  /// scratch-level calls.
+  SrgScratch& scratch() { return scratch_; }
+
+  Result evaluate(std::span<const Node> faults) {
+    return scratch_.evaluate(faults);
+  }
+  std::uint32_t surviving_diameter(std::span<const Node> faults) {
+    return scratch_.surviving_diameter(faults);
+  }
+  std::uint32_t componentwise_diameter(std::span<const Node> faults,
+                                       std::span<const std::uint32_t> comp) {
+    return scratch_.componentwise_diameter(faults, comp);
+  }
+  Digraph surviving_graph(std::span<const Node> faults) {
+    return scratch_.surviving_graph(faults);
+  }
+
+ private:
+  std::shared_ptr<const SrgIndex> index_;
+  SrgScratch scratch_;
 };
 
 }  // namespace ftr

@@ -1,6 +1,7 @@
 #include "fault/tolerance_check.hpp"
 
 #include <sstream>
+#include <utility>
 
 #include "common/combinatorics.hpp"
 #include "common/contracts.hpp"
@@ -23,26 +24,33 @@ std::string ToleranceReport::summary() const {
   return os.str();
 }
 
-ToleranceReport check_tolerance_with(std::size_t n, const FaultEvaluator& eval,
+ToleranceReport check_tolerance_with(std::size_t n,
+                                     const FaultEvaluatorFactory& make_eval,
                                      std::uint32_t f,
-                                     std::uint32_t claimed_bound, Rng& rng,
+                                     std::uint32_t claimed_bound,
+                                     std::uint64_t seed,
                                      const ToleranceCheckOptions& options) {
   ToleranceReport report;
   report.claimed_bound = claimed_bound;
   report.faults = f;
+  const SearchExecution exec{options.threads};
 
   if (binomial(n, f) <= options.exhaustive_budget) {
-    const AdversaryResult r = exhaustive_worst_faults(n, f, eval);
+    const AdversaryResult r = exhaustive_worst_faults(n, f, make_eval, exec);
     report.worst_diameter = r.worst_diameter;
     report.worst_faults = r.worst_faults;
     report.fault_sets_checked = r.evaluations;
     report.exhaustive = true;
   } else {
-    AdversaryResult best =
-        sampled_worst_faults(n, f, options.samples, eval, rng);
+    // Independent stream roots for the two search phases, both derived from
+    // the one seed so the whole report is a pure function of it.
+    const std::uint64_t sampled_seed = Rng::stream(seed, 1)();
+    const std::uint64_t climb_seed = Rng::stream(seed, 2)();
+    AdversaryResult best = sampled_worst_faults(n, f, options.samples,
+                                                make_eval, sampled_seed, exec);
     AdversaryResult climbed = hillclimb_worst_faults(
-        n, f, eval, rng, options.hillclimb_restarts, options.hillclimb_steps,
-        options.seeds);
+        n, f, make_eval, climb_seed, exec, options.hillclimb_restarts,
+        options.hillclimb_steps, options.seeds);
     if (climbed.worst_diameter > best.worst_diameter) {
       best.worst_diameter = climbed.worst_diameter;
       best.worst_faults = std::move(climbed.worst_faults);
@@ -57,15 +65,40 @@ ToleranceReport check_tolerance_with(std::size_t n, const FaultEvaluator& eval,
   return report;
 }
 
+ToleranceReport check_tolerance_with(std::size_t n, const FaultEvaluator& eval,
+                                     std::uint32_t f,
+                                     std::uint32_t claimed_bound, Rng& rng,
+                                     const ToleranceCheckOptions& options) {
+  // A lone evaluator may own scratch, so never share it across workers.
+  ToleranceCheckOptions serial = options;
+  serial.threads = 1;
+  const FaultEvaluatorFactory make_eval = [&eval]() { return eval; };
+  return check_tolerance_with(n, make_eval, f, claimed_bound, rng(), serial);
+}
+
+namespace {
+
+// One shared preprocessing, one scratch per worker chunk: the canonical
+// parallel-sweep evaluator.
+template <typename TableT>
+FaultEvaluatorFactory engine_evaluator_factory(const TableT& table) {
+  auto index = std::make_shared<const SrgIndex>(table);
+  return [index]() {
+    auto scratch = std::make_shared<SrgScratch>(*index);
+    return [index, scratch](const std::vector<Node>& faults) {
+      return scratch->surviving_diameter(faults);
+    };
+  };
+}
+
+}  // namespace
+
 ToleranceReport check_tolerance(const RoutingTable& table, std::uint32_t f,
                                 std::uint32_t claimed_bound, Rng& rng,
                                 const ToleranceCheckOptions& options) {
-  // One engine per check: the preprocessing cost amortizes across the
+  // One index per check: the preprocessing cost amortizes across the
   // thousands of fault sets the adversary evaluates below.
-  SurvivingRouteGraphEngine engine(table);
-  const FaultEvaluator eval = [&engine](const std::vector<Node>& faults) {
-    return engine.surviving_diameter(faults);
-  };
+  const auto make_eval = engine_evaluator_factory(table);
   // Seed the hill-climber with route-load-targeted sets: knocking out the
   // busiest nodes first is the natural informed attack.
   ToleranceCheckOptions opts = options;
@@ -74,19 +107,16 @@ ToleranceReport check_tolerance(const RoutingTable& table, std::uint32_t f,
     std::vector<Node> top(ranked.begin(), ranked.begin() + f);
     opts.seeds.push_back(std::move(top));
   }
-  return check_tolerance_with(table.num_nodes(), eval, f, claimed_bound, rng,
-                              opts);
+  return check_tolerance_with(table.num_nodes(), make_eval, f, claimed_bound,
+                              rng(), opts);
 }
 
 ToleranceReport check_tolerance(const MultiRouteTable& table, std::uint32_t f,
                                 std::uint32_t claimed_bound, Rng& rng,
                                 const ToleranceCheckOptions& options) {
-  SurvivingRouteGraphEngine engine(table);
-  const FaultEvaluator eval = [&engine](const std::vector<Node>& faults) {
-    return engine.surviving_diameter(faults);
-  };
-  return check_tolerance_with(table.num_nodes(), eval, f, claimed_bound, rng,
-                              options);
+  const auto make_eval = engine_evaluator_factory(table);
+  return check_tolerance_with(table.num_nodes(), make_eval, f, claimed_bound,
+                              rng(), options);
 }
 
 }  // namespace ftr

@@ -3,6 +3,11 @@
 // measures the worst surviving diameter over fault sets of size <= f —
 // exhaustively when affordable, otherwise with sampling + targeted
 // hill-climbing — and reports claimed vs. measured.
+//
+// Checks fan their fault sets across ToleranceCheckOptions::threads workers
+// (one SrgScratch per worker over one shared SrgIndex); the report —
+// verdict, witness, evaluation count — is bit-identical for any thread
+// count.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +44,9 @@ struct ToleranceCheckOptions {
   std::size_t hillclimb_steps = 24;
   /// Extra seed sets (e.g. concentrator-targeted) for the hill-climber.
   std::vector<std::vector<Node>> seeds;
+  /// Worker threads for the fault sweep (0 = all hardware threads). The
+  /// report is identical for any value; only wall clock changes.
+  unsigned threads = 1;
 };
 
 /// Worst-case check for exactly f faults (the paper's bounds are monotone
@@ -51,10 +59,21 @@ ToleranceReport check_tolerance(const MultiRouteTable& table, std::uint32_t f,
                                 std::uint32_t claimed_bound, Rng& rng,
                                 const ToleranceCheckOptions& options = {});
 
-/// Generic version over an evaluator (used by both overloads above).
+/// Generic version over a single evaluator. The evaluator may own scratch
+/// state, so this path always runs serially (options.threads is ignored).
 ToleranceReport check_tolerance_with(std::size_t n, const FaultEvaluator& eval,
                                      std::uint32_t f,
                                      std::uint32_t claimed_bound, Rng& rng,
+                                     const ToleranceCheckOptions& options);
+
+/// Generic parallel version over an evaluator factory (one evaluator per
+/// worker chunk). All randomness derives from `seed` via counter-based
+/// streams, so the report is a pure function of its arguments.
+ToleranceReport check_tolerance_with(std::size_t n,
+                                     const FaultEvaluatorFactory& make_eval,
+                                     std::uint32_t f,
+                                     std::uint32_t claimed_bound,
+                                     std::uint64_t seed,
                                      const ToleranceCheckOptions& options);
 
 }  // namespace ftr

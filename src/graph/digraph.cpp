@@ -1,6 +1,7 @@
 #include "graph/digraph.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/contracts.hpp"
 
@@ -8,6 +9,57 @@ namespace ftr {
 
 Digraph::Digraph(std::size_t n)
     : out_(n), present_(n, 1), present_count_(n) {}
+
+Digraph::Digraph(const Digraph& other)
+    : out_(other.out_),
+      present_(other.present_),
+      present_count_(other.present_count_),
+      num_arcs_(other.num_arcs_) {
+  // predecessors() is documented concurrency-safe on a quiescent digraph,
+  // so another thread may be lazily building other's transpose right now —
+  // take its lock before touching the cache.
+  const std::lock_guard<std::mutex> lock(other.transpose_mutex_);
+  tin_offsets_ = other.tin_offsets_;
+  tin_targets_ = other.tin_targets_;
+  transpose_valid_.store(other.transpose_valid_.load());
+}
+
+Digraph::Digraph(Digraph&& other) noexcept
+    : out_(std::move(other.out_)),
+      present_(std::move(other.present_)),
+      present_count_(other.present_count_),
+      num_arcs_(other.num_arcs_),
+      tin_offsets_(std::move(other.tin_offsets_)),
+      tin_targets_(std::move(other.tin_targets_)),
+      transpose_valid_(other.transpose_valid_.load()) {
+  other.transpose_valid_.store(false);
+}
+
+Digraph& Digraph::operator=(const Digraph& other) {
+  if (this == &other) return *this;
+  out_ = other.out_;
+  present_ = other.present_;
+  present_count_ = other.present_count_;
+  num_arcs_ = other.num_arcs_;
+  const std::lock_guard<std::mutex> lock(other.transpose_mutex_);
+  tin_offsets_ = other.tin_offsets_;
+  tin_targets_ = other.tin_targets_;
+  transpose_valid_.store(other.transpose_valid_.load());
+  return *this;
+}
+
+Digraph& Digraph::operator=(Digraph&& other) noexcept {
+  if (this == &other) return *this;
+  out_ = std::move(other.out_);
+  present_ = std::move(other.present_);
+  present_count_ = other.present_count_;
+  num_arcs_ = other.num_arcs_;
+  tin_offsets_ = std::move(other.tin_offsets_);
+  tin_targets_ = std::move(other.tin_targets_);
+  transpose_valid_.store(other.transpose_valid_.load());
+  other.transpose_valid_.store(false);
+  return *this;
+}
 
 void Digraph::remove_node(Node u) {
   FTR_EXPECTS(u < out_.size());
@@ -33,7 +85,7 @@ bool Digraph::add_arc(Node u, Node v) {
   if (it != su.end() && *it == v) return false;
   su.insert(it, v);
   ++num_arcs_;
-  transpose_valid_ = false;
+  transpose_valid_.store(false, std::memory_order_relaxed);
   return true;
 }
 
@@ -49,7 +101,11 @@ std::span<const Node> Digraph::successors(Node u) const {
 }
 
 void Digraph::ensure_transpose() const {
-  if (transpose_valid_) return;
+  // Double-checked: the acquire load pairs with the release store below, so
+  // a reader that sees the flag also sees the finished arrays.
+  if (transpose_valid_.load(std::memory_order_acquire)) return;
+  const std::lock_guard<std::mutex> lock(transpose_mutex_);
+  if (transpose_valid_.load(std::memory_order_relaxed)) return;
   const std::size_t n = out_.size();
   tin_offsets_.assign(n + 1, 0);
   for (Node u = 0; u < n; ++u) {
@@ -63,7 +119,7 @@ void Digraph::ensure_transpose() const {
   for (Node u = 0; u < n; ++u) {
     for (Node v : out_[u]) tin_targets_[cursor[v]++] = u;
   }
-  transpose_valid_ = true;
+  transpose_valid_.store(true, std::memory_order_release);
 }
 
 std::span<const Node> Digraph::predecessors(Node u) const {

@@ -8,10 +8,15 @@
 // Backward traversals (the concentrator-relay "who reaches z" balls) use
 // predecessors(), backed by a CSR transpose that is built lazily on first
 // use and cached until the next mutation — callers no longer re-derive the
-// predecessor lists per query.
+// predecessor lists per query. The lazy build is double-checked-locked, so
+// concurrent predecessors() calls on a quiescent digraph (the parallel
+// sweep workers' access pattern) are safe; mutation remains single-threaded
+// like every other non-const method.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -26,6 +31,13 @@ class Digraph {
  public:
   Digraph() = default;
   explicit Digraph(std::size_t n);
+
+  // The transpose cache carries a mutex + atomic flag, so the special
+  // members are spelled out (copies share no cache state with the source).
+  Digraph(const Digraph& other);
+  Digraph(Digraph&& other) noexcept;
+  Digraph& operator=(const Digraph& other);
+  Digraph& operator=(Digraph&& other) noexcept;
 
   std::size_t num_nodes() const { return out_.size(); }
 
@@ -51,7 +63,8 @@ class Digraph {
   /// Sorted predecessor list of u (all v with arc v -> u), served from the
   /// cached transpose. The first call after a mutation rebuilds the
   /// transpose in O(n + arcs); subsequent calls are O(1). The span is valid
-  /// until the next add_arc.
+  /// until the next add_arc. Safe to call concurrently from many threads as
+  /// long as no thread is mutating the digraph.
   std::span<const Node> predecessors(Node u) const;
 
   /// All present node ids, ascending.
@@ -70,10 +83,13 @@ class Digraph {
   std::size_t present_count_ = 0;
   std::size_t num_arcs_ = 0;
 
-  // Cached CSR transpose; rebuilt lazily after mutations.
+  // Cached CSR transpose; rebuilt lazily after mutations. Guarded by
+  // transpose_mutex_ under double-checked locking so read-only concurrent
+  // use (parallel sweep workers probing predecessors()) is race-free.
   mutable std::vector<std::uint32_t> tin_offsets_;
   mutable std::vector<Node> tin_targets_;
-  mutable bool transpose_valid_ = false;
+  mutable std::atomic<bool> transpose_valid_{false};
+  mutable std::mutex transpose_mutex_;
 };
 
 }  // namespace ftr

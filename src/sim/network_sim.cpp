@@ -64,8 +64,14 @@ DeliveryStats measure_delivery(const RoutingTable& table,
                                SurvivingRouteGraphEngine& engine,
                                const std::vector<Node>& faults,
                                std::size_t sample_pairs, Rng& rng) {
-  FTR_EXPECTS(engine.num_nodes() == table.num_nodes());
-  const Digraph surviving = engine.surviving_graph(faults);
+  return measure_delivery(table, engine.scratch(), faults, sample_pairs, rng);
+}
+
+DeliveryStats measure_delivery(const RoutingTable& table, SrgScratch& scratch,
+                               const std::vector<Node>& faults,
+                               std::size_t sample_pairs, Rng& rng) {
+  FTR_EXPECTS(scratch.num_nodes() == table.num_nodes());
+  const Digraph surviving = scratch.surviving_graph(faults);
   return measure_delivery_on(table, surviving, sample_pairs, rng);
 }
 

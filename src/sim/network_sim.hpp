@@ -41,6 +41,12 @@ DeliveryStats measure_delivery(const RoutingTable& table,
                                const std::vector<Node>& faults,
                                std::size_t sample_pairs, Rng& rng);
 
+/// Scratch-level variant used by parallel sweep workers (the scratch must
+/// come from an index over `table`).
+DeliveryStats measure_delivery(const RoutingTable& table, SrgScratch& scratch,
+                               const std::vector<Node>& faults,
+                               std::size_t sample_pairs, Rng& rng);
+
 /// Core: measures delivery over an already-materialized surviving graph.
 DeliveryStats measure_delivery_on(const RoutingTable& table,
                                   const Digraph& surviving,

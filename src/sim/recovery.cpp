@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "common/parallel.hpp"
 #include "graph/bfs.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/subgraph.hpp"
@@ -14,13 +15,18 @@ ComponentwiseDiameter componentwise_surviving_diameter(
     const std::vector<Node>& faults) {
   FTR_EXPECTS(g.num_nodes() == table.num_nodes());
   SurvivingRouteGraphEngine engine(table);
-  return componentwise_surviving_diameter(g, engine, faults);
+  return componentwise_surviving_diameter(g, engine.scratch(), faults);
 }
 
 ComponentwiseDiameter componentwise_surviving_diameter(
     const Graph& g, SurvivingRouteGraphEngine& engine,
     const std::vector<Node>& faults) {
-  FTR_EXPECTS(g.num_nodes() == engine.num_nodes());
+  return componentwise_surviving_diameter(g, engine.scratch(), faults);
+}
+
+ComponentwiseDiameter componentwise_surviving_diameter(
+    const Graph& g, SrgScratch& scratch, const std::vector<Node>& faults) {
+  FTR_EXPECTS(g.num_nodes() == scratch.num_nodes());
   const Graph degraded = g.without_nodes(faults);
   const auto comp = connected_components(degraded);
 
@@ -43,7 +49,27 @@ ComponentwiseDiameter componentwise_surviving_diameter(
   out.num_components = static_cast<std::size_t>(
       std::unique(ids.begin(), ids.end()) - ids.begin());
 
-  out.worst = engine.componentwise_diameter(faults, comp);
+  out.worst = scratch.componentwise_diameter(faults, comp);
+  return out;
+}
+
+std::vector<ComponentwiseDiameter> componentwise_sweep(
+    const Graph& g, const SrgIndex& index,
+    const std::vector<std::vector<Node>>& fault_sets, unsigned threads) {
+  FTR_EXPECTS(g.num_nodes() == index.num_nodes());
+  std::vector<ComponentwiseDiameter> out(fault_sets.size());
+  parallel_for_chunks(
+      fault_sets.size(), threads, sweep_grain(fault_sets.size(), threads),
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        (void)chunk;
+        // One scratch per chunk: its O(n + routes) setup amortizes over the
+        // chunk's fault sets, and results land at their own indices, so the
+        // merge is the identity whatever the thread count.
+        SrgScratch scratch(index);
+        for (std::size_t i = begin; i < end; ++i) {
+          out[i] = componentwise_surviving_diameter(g, scratch, fault_sets[i]);
+        }
+      });
   return out;
 }
 

@@ -43,6 +43,19 @@ ComponentwiseDiameter componentwise_surviving_diameter(
     const Graph& g, SurvivingRouteGraphEngine& engine,
     const std::vector<Node>& faults);
 
+/// Scratch-level variant used by parallel sweep workers (the scratch must
+/// have been built from an index over the same table).
+ComponentwiseDiameter componentwise_surviving_diameter(
+    const Graph& g, SrgScratch& scratch, const std::vector<Node>& faults);
+
+/// The open-problem-3 metric for many fault sets against one shared table
+/// preprocessing, fanned across `threads` workers (0 = all hardware
+/// threads). The result is positionally aligned with `fault_sets` and
+/// bit-identical for any thread count.
+std::vector<ComponentwiseDiameter> componentwise_sweep(
+    const Graph& g, const SrgIndex& index,
+    const std::vector<std::vector<Node>>& fault_sets, unsigned threads = 1);
+
 struct RecoveryOutcome {
   bool survivors_connected = false;
   std::uint32_t degraded_connectivity = 0;  // kappa of the survivors' graph

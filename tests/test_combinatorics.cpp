@@ -5,6 +5,8 @@
 #include <limits>
 #include <set>
 
+#include "common/contracts.hpp"
+
 namespace ftr {
 namespace {
 
@@ -106,6 +108,37 @@ TEST(ForEachSubset, EarlyStop) {
       });
   EXPECT_FALSE(completed);
   EXPECT_EQ(count, 3);
+}
+
+TEST(SubsetAtRank, AgreesWithEnumerationOrder) {
+  for (const auto& [n, k] : {std::pair<std::size_t, std::size_t>{6, 2},
+                             {7, 3},
+                             {5, 0},
+                             {5, 5}}) {
+    SubsetEnumerator e(n, k);
+    for (std::uint64_t rank = 0; e.valid(); e.advance(), ++rank) {
+      EXPECT_EQ(subset_at_rank(n, k, rank), e.current())
+          << "n=" << n << " k=" << k << " rank=" << rank;
+    }
+  }
+}
+
+TEST(SubsetAtRank, RejectsOutOfRange) {
+  EXPECT_THROW(subset_at_rank(5, 2, binomial(5, 2)), ContractViolation);
+}
+
+TEST(SubsetEnumerator, StartsAtRank) {
+  // Seeding the enumerator mid-sequence continues exactly where a fresh
+  // scan would be — the property the chunked exhaustive adversary needs.
+  SubsetEnumerator reference(6, 3);
+  for (std::uint64_t rank = 0; reference.valid();
+       reference.advance(), ++rank) {
+    SubsetEnumerator seeded(6, 3, rank);
+    ASSERT_TRUE(seeded.valid());
+    EXPECT_EQ(seeded.current(), reference.current()) << "rank " << rank;
+  }
+  SubsetEnumerator past(6, 3, binomial(6, 3));
+  EXPECT_FALSE(past.valid());
 }
 
 TEST(ForEachSubsetOf, MapsUniverseValues) {

@@ -153,6 +153,63 @@ TEST(SrgEngine, ComponentwiseMatchesRecoveryMetric) {
   }
 }
 
+TEST(SrgEngine, SharedIndexServesManyScratches) {
+  // The tentpole contract: one immutable SrgIndex, N independent scratches,
+  // all observationally identical to the one-shot path.
+  const auto gg = torus_graph(5, 5);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  const SrgIndex index(kr.table);
+  SrgScratch a(index), b(index);
+  Rng rng(17);
+  const auto sets = random_fault_sets(25, 3, 12, rng);
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    // Interleave the scratches; epochs are per-scratch, so neither may
+    // perturb the other.
+    SrgScratch& scratch = (i % 2 == 0) ? a : b;
+    EXPECT_EQ(scratch.surviving_diameter(sets[i]),
+              surviving_diameter(kr.table, sets[i]))
+        << "set " << i;
+  }
+}
+
+TEST(SrgEngine, EpochWraparound) {
+  // Force both epoch counters across the 2^32 wrap and check the scratch
+  // keeps matching the one-shot path on every side of it. The torus kernel
+  // evaluation runs ~25 BFS epochs per fault set, so a handful of sets
+  // crosses the bfs wrap mid-evaluation too.
+  const auto gg = torus_graph(4, 4);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  SurvivingRouteGraphEngine engine(kr.table);
+  Rng rng(3);
+  const auto sets = random_fault_sets(16, 3, 10, rng);
+
+  engine.scratch().set_epochs_for_testing(~std::uint32_t{0} - 3);
+  for (const auto& faults : sets) {
+    EXPECT_EQ(engine.surviving_diameter(faults),
+              surviving_diameter(kr.table, faults));
+  }
+
+  // An explicit reset must be behavior-preserving as well.
+  engine.scratch().reset();
+  for (const auto& faults : sets) {
+    EXPECT_EQ(engine.surviving_diameter(faults),
+              surviving_diameter(kr.table, faults));
+  }
+}
+
+TEST(SrgEngine, EpochWraparoundOnSurvivingGraph) {
+  const auto gg = cycle_graph(8);
+  RoutingTable t(8, RoutingMode::kBidirectional);
+  install_edge_routes(t, gg.graph);
+  SurvivingRouteGraphEngine engine(t);
+  engine.scratch().set_epochs_for_testing(~std::uint32_t{0} - 1);
+  const std::vector<Node> faults{2, 5};
+  for (int round = 0; round < 4; ++round) {  // crosses the wrap mid-loop
+    expect_same_digraph(engine.surviving_graph(faults),
+                        surviving_graph(t, faults));
+  }
+}
+
 TEST(SrgEngine, CircularRoutingSweepAgainstOneShot) {
   const auto gg = torus_graph(5, 5);
   Rng rng(42);

@@ -2,13 +2,21 @@
 //
 //   ftroute gen <family> <args...>           > graph.ftg
 //   ftroute profile        < graph.ftg
-//   ftroute build [--seed S]                 < graph.ftg > table.ftt
+//   ftroute build [--seed S] [--certify] [--threads T]  < graph.ftg > table.ftt
 //   ftroute check <graph.ftg> <table.ftt> --faults F [--claimed D] [--seed S]
+//                 [--threads T]
+//   ftroute sweep <graph.ftg> <table.ftt> --faults F [--sets N] [--seed S]
+//                 [--threads T] [--delivery-pairs P]
 //   ftroute stretch <graph.ftg> <table.ftt>
+//
+// --threads fans the fault sweep across T workers (0 = all cores); every
+// command's stdout is bit-identical for any thread count (timings go to
+// stderr).
 //
 // Families for `gen`: cycle n | torus r c | grid r c | hypercube d | ccc d |
 //   wbf d | butterfly d | debruijn d | se d | petersen | dodecahedron |
 //   desargues | gp n k | gnp n p seed | rr n d seed
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -28,8 +36,11 @@ int usage() {
       "usage:\n"
       "  ftroute gen <family> <args...>                 (graph to stdout)\n"
       "  ftroute profile                                (graph on stdin)\n"
-      "  ftroute build [--seed S]                       (graph on stdin, table to stdout)\n"
-      "  ftroute check <graph> <table> --faults F [--claimed D] [--seed S]\n"
+      "  ftroute build [--seed S] [--certify] [--threads T]\n"
+      "                                                 (graph on stdin, table to stdout)\n"
+      "  ftroute check <graph> <table> --faults F [--claimed D] [--seed S] [--threads T]\n"
+      "  ftroute sweep <graph> <table> --faults F [--sets N] [--seed S] [--threads T]\n"
+      "                [--delivery-pairs P]\n"
       "  ftroute stretch <graph> <table>\n";
   return 2;
 }
@@ -106,9 +117,26 @@ std::uint64_t flag_value(const std::vector<std::string>& args,
   return fallback;
 }
 
+bool has_flag(const std::vector<std::string>& args, const std::string& name) {
+  return std::find(args.begin(), args.end(), name) != args.end();
+}
+
 int cmd_build(const std::vector<std::string>& args) {
   const Graph g = load_graph(std::cin);
   Rng rng(flag_value(args, "--seed", 42));
+  if (has_flag(args, "--certify")) {
+    ToleranceCheckOptions opts;
+    opts.threads = static_cast<unsigned>(flag_value(args, "--threads", 1));
+    const auto certified = build_certified_routing(g, std::nullopt, rng, opts);
+    const auto& planned = certified.routing;
+    std::cerr << "built " << construction_name(planned.plan.construction)
+              << " routing: (d <= " << planned.plan.guaranteed_diameter
+              << ", f <= " << planned.plan.tolerated_faults << "), "
+              << planned.table.num_routes() << " directed routes\n"
+              << "certificate: " << certified.certificate.summary() << '\n';
+    save_routing_table(planned.table, std::cout);
+    return certified.certificate.holds ? 0 : 1;
+  }
   const auto planned = build_planned_routing(g, std::nullopt, rng);
   std::cerr << "built " << construction_name(planned.plan.construction)
             << " routing: (d <= " << planned.plan.guaranteed_diameter
@@ -131,7 +159,9 @@ int cmd_check(const std::vector<std::string>& args) {
   const auto claimed =
       static_cast<std::uint32_t>(flag_value(args, "--claimed", 6));
   Rng rng(flag_value(args, "--seed", 7));
-  const auto report = check_tolerance(table, f, claimed, rng);
+  ToleranceCheckOptions opts;
+  opts.threads = static_cast<unsigned>(flag_value(args, "--threads", 1));
+  const auto report = check_tolerance(table, f, claimed, rng, opts);
   std::cout << report.summary() << '\n';
   if (!report.worst_faults.empty()) {
     std::cout << "worst fault set:";
@@ -139,6 +169,68 @@ int cmd_check(const std::vector<std::string>& args) {
     std::cout << '\n';
   }
   return report.holds ? 0 : 1;
+}
+
+int cmd_sweep(const std::vector<std::string>& args) {
+  std::ifstream gf(args.at(0)), tf(args.at(1));
+  if (!gf || !tf) {
+    std::cerr << "cannot open input files\n";
+    return 2;
+  }
+  const Graph g = load_graph(gf);
+  const RoutingTable table = load_routing_table(tf);
+  table.validate(g);
+  const auto f = static_cast<std::size_t>(flag_value(args, "--faults", 1));
+  const auto sets = static_cast<std::size_t>(flag_value(args, "--sets", 1000));
+  const std::uint64_t seed = flag_value(args, "--seed", 7);
+
+  FaultSweepOptions opts;
+  opts.threads = static_cast<unsigned>(flag_value(args, "--threads", 1));
+  opts.delivery_pairs =
+      static_cast<std::size_t>(flag_value(args, "--delivery-pairs", 0));
+  opts.seed = seed;
+
+  Rng rng(seed);
+  const auto fault_sets = random_fault_sets(g.num_nodes(), f, sets, rng);
+  const auto summary = sweep_fault_sets(table, fault_sets, opts);
+
+  Table t({"metric", "value"});
+  t.add_row({"fault sets", Table::cell(fault_sets.size())});
+  t.add_row({"faults per set", Table::cell(f)});
+  t.add_row({"disconnected sets", Table::cell(summary.disconnected)});
+  t.add_row({"worst diameter", summary.worst_diameter == kUnreachable
+                                   ? "disconnected"
+                                   : Table::cell(summary.worst_diameter)});
+  if (opts.delivery_pairs > 0) {
+    t.add_row({"pairs sampled", Table::cell(summary.pairs_sampled)});
+    t.add_row({"delivered", Table::cell(summary.delivered)});
+    t.add_row({"avg route hops", Table::cell(summary.avg_route_hops, 3)});
+    t.add_row({"max route hops", Table::cell(summary.max_route_hops)});
+    t.add_row({"max edge hops", Table::cell(summary.max_edge_hops)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\ndiameter histogram:\n";
+  for (std::uint32_t d = 0; d < summary.diameter_histogram.size(); ++d) {
+    if (summary.diameter_histogram[d] == 0) continue;
+    std::cout << "  d=" << d << ": " << summary.diameter_histogram[d] << '\n';
+  }
+  if (summary.disconnected > 0) {
+    std::cout << "  disconnected: " << summary.disconnected << '\n';
+  }
+  if (!fault_sets.empty()) {
+    std::cout << "worst fault set (#" << summary.worst_index << "):";
+    for (Node v : fault_sets[summary.worst_index]) std::cout << ' ' << v;
+    std::cout << '\n';
+  }
+
+  // Timing is scheduling-dependent, so it goes to stderr: stdout stays
+  // bit-identical for any --threads value.
+  std::cerr << "swept " << fault_sets.size() << " fault sets on "
+            << summary.threads_used << " thread(s): "
+            << static_cast<std::uint64_t>(summary.fault_sets_per_sec)
+            << " fault-sets/sec\n";
+  return 0;
 }
 
 int cmd_stretch(const std::vector<std::string>& args) {
@@ -173,6 +265,7 @@ int main(int argc, char** argv) {
     if (cmd == "profile") return cmd_profile();
     if (cmd == "build") return cmd_build(args);
     if (cmd == "check") return cmd_check(args);
+    if (cmd == "sweep") return cmd_sweep(args);
     if (cmd == "stretch") return cmd_stretch(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
