@@ -34,8 +34,15 @@ int main() {
     if (profile.kernel_applicable) {
       const auto plan = ftr::plan_routing(profile);
       construction = ftr::construction_name(plan.construction);
-      guarantee = "(" + std::to_string(plan.guaranteed_diameter) + ", " +
-                  std::to_string(plan.tolerated_faults) + ")";
+      // Built in a fresh buffer and move-assigned: sidesteps GCC 12's
+      // -Wrestrict false positive (PR 105329) on string reassignment.
+      std::string buf;
+      buf += '(';
+      buf += std::to_string(plan.guaranteed_diameter);
+      buf += ", ";
+      buf += std::to_string(plan.tolerated_faults);
+      buf += ')';
+      guarantee = std::move(buf);
     }
     table.add_row(
         {gg.name, ftr::Table::cell(profile.n), ftr::Table::cell(profile.m),

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <istream>
+#include <sstream>
+#include <utility>
 
 #include "common/contracts.hpp"
 #include "common/parallel.hpp"
@@ -10,81 +13,307 @@
 
 namespace ftr {
 
+// --- sources -----------------------------------------------------------------
+
+bool ExplicitListSource::next(std::vector<Node>& out) {
+  if (pos_ == sets_->size()) return false;
+  out = (*sets_)[pos_++];
+  return true;
+}
+
+bool SampledStreamSource::next(std::vector<Node>& out) {
+  if (pos_ == count_) return false;
+  Rng rng = Rng::stream(seed_, pos_++);
+  const auto sample = rng.sample(n_, f_);
+  out.assign(sample.begin(), sample.end());
+  return true;
+}
+
+ExhaustiveGraySource::ExhaustiveGraySource(std::size_t n, std::size_t f)
+    : enum_(n, f) {}
+
+bool ExhaustiveGraySource::next(std::vector<Node>& out) {
+  if (!enum_.valid()) return false;
+  if (!first_ && !enum_.advance()) return false;
+  first_ = false;
+  const auto& cur = enum_.current();
+  out.assign(cur.begin(), cur.end());
+  return true;
+}
+
+bool IstreamFaultSetSource::next(std::vector<Node>& out) {
+  while (std::getline(*in_, line_)) {
+    const auto hash = line_.find('#');
+    if (hash != std::string::npos) line_.resize(hash);
+    out.clear();
+    std::istringstream fields(line_);
+    unsigned long long id = 0;
+    while (fields >> id) {
+      FTR_EXPECTS_MSG(id < n_, "fault id " << id << " out of range (n = "
+                                           << n_ << ")");
+      out.push_back(static_cast<Node>(id));
+    }
+    FTR_EXPECTS_MSG(fields.eof(), "unparseable fault-set line: " << line_);
+    if (out.empty()) continue;  // blank or comment-only line
+    return true;
+  }
+  return false;
+}
+
+// --- streaming engine --------------------------------------------------------
+
+namespace {
+
+// Fold state the index-ordered reduce threads through absorb_record; the
+// long double hop sum keeps the mean exact enough to be reproducible.
+struct SweepReduceState {
+  bool have_worst = false;
+  long double route_hop_sum = 0.0L;
+};
+
+// Folds one record at its global input index. Identical to the pre-refactor
+// materialized reduce: first index attaining the max wins (kUnreachable
+// compares greater than every finite diameter, so disconnection needs no
+// special casing). `faults` may be null when the caller reconstructs the
+// worst set afterwards (the gray sweep unranks it from worst_index).
+void absorb_record(FaultSweepSummary& summary, SweepReduceState& st,
+                   std::uint64_t index, const FaultSweepRecord& rec,
+                   const std::vector<Node>* faults) {
+  if (rec.diameter == kUnreachable) {
+    ++summary.disconnected;
+  } else {
+    if (rec.diameter >= summary.diameter_histogram.size()) {
+      summary.diameter_histogram.resize(rec.diameter + 1, 0);
+    }
+    ++summary.diameter_histogram[rec.diameter];
+  }
+  if (!st.have_worst || rec.diameter > summary.worst_diameter) {
+    summary.worst_diameter = rec.diameter;
+    summary.worst_index = static_cast<std::size_t>(index);
+    if (faults != nullptr) summary.worst_faults = *faults;
+    st.have_worst = true;
+  }
+  summary.pairs_sampled += rec.delivery.pairs_sampled;
+  summary.delivered += rec.delivery.delivered;
+  st.route_hop_sum += static_cast<long double>(rec.delivery.avg_route_hops) *
+                      static_cast<long double>(rec.delivery.delivered);
+  summary.max_route_hops =
+      std::max(summary.max_route_hops, rec.delivery.max_route_hops);
+  summary.max_edge_hops =
+      std::max(summary.max_edge_hops, rec.delivery.max_edge_hops);
+}
+
+// One fault set through one worker scratch. The delivery stream is keyed by
+// the set's global index, so the record is a pure function of (table, set,
+// delivery_pairs, seed, index) — scheduling-proof.
+FaultSweepRecord evaluate_one(const RoutingTable& table, SrgScratch& scratch,
+                              const std::vector<Node>& faults,
+                              const FaultSweepOptions& options,
+                              std::uint64_t set_index) {
+  FaultSweepRecord rec;
+  const auto res = scratch.evaluate(faults);
+  rec.diameter = res.diameter;
+  rec.survivors = res.survivors;
+  rec.arcs = res.arcs;
+  if (options.delivery_pairs > 0) {
+    // The scratch is still struck from evaluate() above; materialize
+    // without a second strike.
+    Rng rng = Rng::stream(options.seed, set_index);
+    rec.delivery = measure_delivery_on(table, scratch.last_surviving_graph(),
+                                       options.delivery_pairs, rng);
+  }
+  return rec;
+}
+
+void finalize_summary(FaultSweepSummary& summary, const SweepReduceState& st,
+                      double seconds) {
+  if (summary.delivered > 0) {
+    summary.avg_route_hops = static_cast<double>(
+        st.route_hop_sum / static_cast<long double>(summary.delivered));
+  }
+  summary.seconds = seconds;
+  if (seconds > 0.0 && summary.total_sets > 0) {
+    summary.fault_sets_per_sec =
+        static_cast<double>(summary.total_sets) / seconds;
+  }
+}
+
+// Emits progress between batches (on the calling thread) whenever the
+// processed count crosses a multiple of progress_every.
+struct ProgressEmitter {
+  const FaultSweepOptions& options;
+  std::chrono::steady_clock::time_point t0;
+  std::uint64_t next_at;
+
+  explicit ProgressEmitter(const FaultSweepOptions& opts,
+                           std::chrono::steady_clock::time_point start)
+      : options(opts), t0(start), next_at(opts.progress_every) {}
+
+  void maybe_emit(const FaultSweepSummary& summary) {
+    if (options.progress_every == 0 || !options.on_progress) return;
+    if (summary.total_sets < next_at) return;
+    FaultSweepProgress p;
+    p.sets_done = summary.total_sets;
+    p.worst_diameter = summary.worst_diameter;
+    p.disconnected = summary.disconnected;
+    p.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t0)
+                    .count();
+    options.on_progress(p);
+    while (next_at <= summary.total_sets) next_at += options.progress_every;
+  }
+};
+
+// The batched streaming core. Reads batch_size * workers sets, fans the
+// batch across the workers (one chunk per worker, each owning an
+// SrgScratch), reduces the batch in input order, and reuses the buffers for
+// the next batch — memory is bounded by one batch regardless of stream
+// length. Per-record values are pure per-set functions and the reduce order
+// is the global input order, so the aggregates depend on neither the thread
+// count nor the batch size.
+FaultSweepSummary sweep_stream_impl(const RoutingTable& table,
+                                    const SrgIndex& index,
+                                    FaultSetSource& source,
+                                    const FaultSweepOptions& options,
+                                    std::vector<FaultSweepRecord>* per_set_out) {
+  FTR_EXPECTS(index.num_nodes() == table.num_nodes());
+  FaultSweepSummary summary;
+  const unsigned workers = resolve_threads(options.threads);
+  summary.threads_used = workers;
+  const std::size_t batch_size = std::max<std::size_t>(1, options.batch_size);
+  const std::size_t batch_items = batch_size * workers;
+
+  std::vector<std::vector<Node>> batch(batch_items);
+  std::vector<FaultSweepRecord> records(batch_items);
+  SweepReduceState st;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ProgressEmitter progress(options, t0);
+  for (;;) {
+    std::size_t filled = 0;
+    while (filled < batch_items && source.next(batch[filled])) ++filled;
+    if (filled == 0) break;
+    const std::uint64_t base = summary.total_sets;
+    parallel_for_chunks(
+        filled, workers, batch_size,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          (void)chunk;
+          SrgScratch scratch(index);
+          for (std::size_t i = begin; i < end; ++i) {
+            records[i] =
+                evaluate_one(table, scratch, batch[i], options, base + i);
+          }
+        });
+    for (std::size_t i = 0; i < filled; ++i) {
+      absorb_record(summary, st, base + i, records[i], &batch[i]);
+      if (per_set_out != nullptr) per_set_out->push_back(records[i]);
+    }
+    summary.total_sets += filled;
+    progress.maybe_emit(summary);
+    if (filled < batch_items) break;  // the stream ended mid-batch
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  finalize_summary(summary, st,
+                   std::chrono::duration<double>(t1 - t0).count());
+  return summary;
+}
+
+}  // namespace
+
+FaultSweepSummary sweep_fault_source(const RoutingTable& table,
+                                     const SrgIndex& index,
+                                     FaultSetSource& source,
+                                     const FaultSweepOptions& options) {
+  return sweep_stream_impl(table, index, source, options, nullptr);
+}
+
+FaultSweepSummary sweep_exhaustive_gray(const RoutingTable& table,
+                                        const SrgIndex& index, std::size_t f,
+                                        const FaultSweepOptions& options) {
+  FTR_EXPECTS(index.num_nodes() == table.num_nodes());
+  const std::size_t n = index.num_nodes();
+  FTR_EXPECTS(f <= n);
+  const std::uint64_t total = binomial(n, f);
+  FTR_EXPECTS_MSG(total != ~std::uint64_t{0},
+                  "C(" << n << "," << f << ") saturated; not enumerable");
+
+  FaultSweepSummary summary;
+  const unsigned workers = resolve_threads(options.threads);
+  summary.threads_used = workers;
+  const std::size_t batch_size = std::max<std::size_t>(1, options.batch_size);
+  const std::uint64_t batch_items =
+      static_cast<std::uint64_t>(batch_size) * workers;
+
+  std::vector<FaultSweepRecord> records(
+      static_cast<std::size_t>(std::min<std::uint64_t>(batch_items, total)));
+  SweepReduceState st;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ProgressEmitter progress(options, t0);
+  while (summary.total_sets < total) {
+    const std::uint64_t base = summary.total_sets;
+    const auto filled =
+        static_cast<std::size_t>(std::min<std::uint64_t>(batch_items,
+                                                         total - base));
+    parallel_for_chunks(
+        filled, workers, batch_size,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          (void)chunk;
+          SrgScratch scratch(index);
+          GraySubsetEnumerator e(n, f, base + begin);
+          std::vector<Node> faults(e.current().begin(), e.current().end());
+          scratch.begin_incremental(faults);
+          for (std::size_t r = begin; r < end; ++r) {
+            FaultSweepRecord& rec = records[r];
+            const auto res = scratch.evaluate_incremental();
+            rec.diameter = res.diameter;
+            rec.survivors = res.survivors;
+            rec.arcs = res.arcs;
+            rec.delivery = {};
+            if (options.delivery_pairs > 0) {
+              Rng rng = Rng::stream(options.seed, base + r);
+              rec.delivery = measure_delivery_on(
+                  table, scratch.incremental_surviving_graph(),
+                  options.delivery_pairs, rng);
+            }
+            if (r + 1 < end) {
+              e.advance();
+              const GrayTransition& t = e.last_transition();
+              scratch.unstrike(static_cast<Node>(t.out));
+              scratch.strike(static_cast<Node>(t.in));
+            }
+          }
+        });
+    for (std::size_t i = 0; i < filled; ++i) {
+      absorb_record(summary, st, base + i, records[i], nullptr);
+    }
+    summary.total_sets += filled;
+    progress.maybe_emit(summary);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  if (total > 0) {
+    // The worst set was never stored (constant memory); unrank it from the
+    // winning gray rank instead.
+    const auto worst =
+        gray_subset_at_rank(n, f, static_cast<std::uint64_t>(summary.worst_index));
+    summary.worst_faults.assign(worst.begin(), worst.end());
+  }
+  finalize_summary(summary, st,
+                   std::chrono::duration<double>(t1 - t0).count());
+  return summary;
+}
+
 FaultSweepSummary sweep_fault_sets(
     const RoutingTable& table, const SrgIndex& index,
     const std::vector<std::vector<Node>>& fault_sets,
     const FaultSweepOptions& options) {
-  FTR_EXPECTS(index.num_nodes() == table.num_nodes());
-  FaultSweepSummary summary;
-  summary.per_set.resize(fault_sets.size());
-  const std::size_t grain = sweep_grain(fault_sets.size(), options.threads);
-  summary.threads_used = workers_for(fault_sets.size(), options.threads, grain);
-
-  const auto t0 = std::chrono::steady_clock::now();
-  parallel_for_chunks(
-      fault_sets.size(), options.threads, grain,
-      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-        (void)chunk;
-        SrgScratch scratch(index);
-        for (std::size_t i = begin; i < end; ++i) {
-          FaultSweepRecord& rec = summary.per_set[i];
-          const auto res = scratch.evaluate(fault_sets[i]);
-          rec.diameter = res.diameter;
-          rec.survivors = res.survivors;
-          rec.arcs = res.arcs;
-          if (options.delivery_pairs > 0) {
-            // Per-set stream: the sampled pairs are a function of
-            // (seed, set index), not of scheduling. The scratch is still
-            // struck from evaluate() above, so skip the second strike.
-            Rng rng = Rng::stream(options.seed, i);
-            rec.delivery =
-                measure_delivery_on(table, scratch.last_surviving_graph(),
-                                    options.delivery_pairs, rng);
-          }
-        }
-      });
-  const auto t1 = std::chrono::steady_clock::now();
-
-  // Index-ordered reduce; every aggregate below is independent of how the
-  // records were produced.
-  bool have_worst = false;
-  long double route_hop_sum = 0.0L;
-  for (std::size_t i = 0; i < summary.per_set.size(); ++i) {
-    const FaultSweepRecord& rec = summary.per_set[i];
-    if (rec.diameter == kUnreachable) {
-      ++summary.disconnected;
-    } else {
-      if (rec.diameter >= summary.diameter_histogram.size()) {
-        summary.diameter_histogram.resize(rec.diameter + 1, 0);
-      }
-      ++summary.diameter_histogram[rec.diameter];
-    }
-    // kUnreachable compares greater than every finite diameter, so the
-    // "first index attaining the max" rule needs no special casing.
-    if (!have_worst || rec.diameter > summary.worst_diameter) {
-      summary.worst_diameter = rec.diameter;
-      summary.worst_index = i;
-      have_worst = true;
-    }
-    summary.pairs_sampled += rec.delivery.pairs_sampled;
-    summary.delivered += rec.delivery.delivered;
-    route_hop_sum += static_cast<long double>(rec.delivery.avg_route_hops) *
-                     static_cast<long double>(rec.delivery.delivered);
-    summary.max_route_hops =
-        std::max(summary.max_route_hops, rec.delivery.max_route_hops);
-    summary.max_edge_hops =
-        std::max(summary.max_edge_hops, rec.delivery.max_edge_hops);
-  }
-  if (summary.delivered > 0) {
-    summary.avg_route_hops = static_cast<double>(
-        route_hop_sum / static_cast<long double>(summary.delivered));
-  }
-
-  summary.seconds = std::chrono::duration<double>(t1 - t0).count();
-  if (summary.seconds > 0.0 && !fault_sets.empty()) {
-    summary.fault_sets_per_sec =
-        static_cast<double>(fault_sets.size()) / summary.seconds;
-  }
+  ExplicitListSource source(fault_sets);
+  std::vector<FaultSweepRecord> per_set;
+  per_set.reserve(fault_sets.size());
+  FaultSweepSummary summary =
+      sweep_stream_impl(table, index, source, options, &per_set);
+  summary.per_set = std::move(per_set);
   return summary;
 }
 

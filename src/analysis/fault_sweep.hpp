@@ -1,27 +1,136 @@
-// The fault-sweep pipeline: evaluate one routing table against a batch of
+// The fault-sweep pipeline: evaluate one routing table against a stream of
 // fault sets and aggregate what every experiment in this repo wants from
 // such a sweep — the surviving-diameter distribution, the worst witness,
 // and (optionally) per-set delivery measurements from the paper's cost
 // model. This is the library surface behind the CLI `sweep` verb and the
 // scenario benches.
 //
-// Execution fans fault sets across FaultSweepOptions::threads workers, each
+// The architecture is pull-based: a FaultSetSource yields fault sets one at
+// a time, and the sweep engine consumes it in bounded batches — one batch
+// of options.batch_size sets per worker is in flight at any moment, and the
+// aggregates (histogram, worst witness, delivery sums) are folded in input
+// order as each batch retires. Memory is therefore constant in the stream
+// length: a 10^7-set sweep materializes nothing beyond the reused batch
+// buffers. Sources exist for explicit lists, counter-seeded random streams,
+// the exhaustive revolving-door enumeration, and line-delimited text feeds
+// (the CLI's `sweep --stdin`).
+//
+// Execution fans each batch across FaultSweepOptions::threads workers, each
 // owning an SrgScratch over one shared SrgIndex. Per-set results land at
 // their input index and the aggregation is a single index-ordered pass, so
 // a sweep's output — every record, the histogram, the worst index — is
-// bit-identical for any thread count. Randomized delivery sampling draws
-// from Rng::stream(seed, set_index), never from a shared generator.
+// bit-identical for any thread count AND for any batch size. Randomized
+// delivery sampling draws from Rng::stream(seed, set_index), never from a
+// shared generator.
+//
+// sweep_exhaustive_gray is the fast path for "all C(n, f) fault sets": it
+// enumerates in revolving-door order and evaluates each set by an O(delta)
+// strike/unstrike against the incremental SRG kill index, instead of
+// rebuilding the index per set. Its output is bit-identical to streaming an
+// ExhaustiveGraySource through the generic engine (differentially tested).
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
 #include <vector>
 
+#include "common/combinatorics.hpp"
 #include "fault/srg_engine.hpp"
 #include "graph/graph.hpp"
 #include "routing/route_table.hpp"
 #include "sim/network_sim.hpp"
 
 namespace ftr {
+
+/// A pull-based stream of fault sets. next() overwrites `out` with the next
+/// set and returns true, or returns false when the stream is exhausted.
+/// Sources are single-pass and not thread-safe; the sweep engine consumes
+/// them from one thread and fans the batches out itself.
+class FaultSetSource {
+ public:
+  virtual ~FaultSetSource() = default;
+
+  /// Number of sets the source will produce, when known up front
+  /// (exhaustive, sampled, explicit lists); nullopt for unbounded feeds.
+  virtual std::optional<std::uint64_t> size() const { return std::nullopt; }
+
+  virtual bool next(std::vector<Node>& out) = 0;
+};
+
+/// Streams a materialized list (no copy; the list must outlive the source).
+class ExplicitListSource final : public FaultSetSource {
+ public:
+  explicit ExplicitListSource(const std::vector<std::vector<Node>>& sets)
+      : sets_(&sets) {}
+  std::optional<std::uint64_t> size() const override { return sets_->size(); }
+  bool next(std::vector<Node>& out) override;
+
+ private:
+  const std::vector<std::vector<Node>>* sets_;
+  std::size_t pos_ = 0;
+};
+
+/// `count` uniform random f-subsets of {0..n-1}; set i is drawn from
+/// Rng::stream(seed, i), so the stream is a pure function of (n, f, count,
+/// seed) — independent of batching, threading, and of how many sets were
+/// consumed before (unlike random_fault_sets, which advances one shared
+/// generator).
+class SampledStreamSource final : public FaultSetSource {
+ public:
+  SampledStreamSource(std::size_t n, std::size_t f, std::uint64_t count,
+                      std::uint64_t seed)
+      : n_(n), f_(f), count_(count), seed_(seed) {}
+  std::optional<std::uint64_t> size() const override { return count_; }
+  bool next(std::vector<Node>& out) override;
+
+ private:
+  std::size_t n_;
+  std::size_t f_;
+  std::uint64_t count_;
+  std::uint64_t seed_;
+  std::uint64_t pos_ = 0;
+};
+
+/// Every f-subset of {0..n-1} in revolving-door (Gray) order — the
+/// enumeration order sweep_exhaustive_gray uses, so the two paths are
+/// comparable set-for-set.
+class ExhaustiveGraySource final : public FaultSetSource {
+ public:
+  ExhaustiveGraySource(std::size_t n, std::size_t f);
+  std::optional<std::uint64_t> size() const override { return enum_.count(); }
+  bool next(std::vector<Node>& out) override;
+
+ private:
+  GraySubsetEnumerator enum_;
+  bool first_ = true;
+};
+
+/// Line-delimited text feed: one fault set per line as whitespace-separated
+/// node ids, blank lines and '#' comments skipped. Ids must be < n (checked
+/// per line; violations throw). An empty file yields an empty stream. This
+/// is the `ftroute sweep --stdin` reader.
+class IstreamFaultSetSource final : public FaultSetSource {
+ public:
+  IstreamFaultSetSource(std::istream& in, std::size_t n) : in_(&in), n_(n) {}
+  bool next(std::vector<Node>& out) override;
+
+ private:
+  std::istream* in_;
+  std::size_t n_;
+  std::string line_;  // reused line buffer
+};
+
+/// Progress snapshot handed to FaultSweepOptions::on_progress (aggregates
+/// so far; sets_done counts fully reduced sets).
+struct FaultSweepProgress {
+  std::uint64_t sets_done = 0;
+  std::uint32_t worst_diameter = 0;
+  std::uint64_t disconnected = 0;
+  double seconds = 0.0;
+};
 
 struct FaultSweepOptions {
   /// Worker threads (0 = all hardware threads). Results never depend on it.
@@ -31,6 +140,14 @@ struct FaultSweepOptions {
   std::size_t delivery_pairs = 0;
   /// Root seed for the per-set delivery sampling streams.
   std::uint64_t seed = 0;
+  /// Sets per worker per batch in the streaming engine. Results never
+  /// depend on it; only memory (one batch in flight) and scheduling do.
+  std::size_t batch_size = 1024;
+  /// Invoke on_progress roughly every this many sets (0 = never). Progress
+  /// is reported between batches, so the callback runs on the calling
+  /// thread and never races the workers.
+  std::uint64_t progress_every = 0;
+  std::function<void(const FaultSweepProgress&)> on_progress;
 };
 
 struct FaultSweepRecord {
@@ -41,18 +158,25 @@ struct FaultSweepRecord {
 };
 
 struct FaultSweepSummary {
-  /// One record per input fault set, positionally aligned.
+  /// One record per input fault set, positionally aligned. Only the
+  /// materialized sweep_fault_sets API fills this; the streaming entry
+  /// points leave it empty (constant memory).
   std::vector<FaultSweepRecord> per_set;
+
+  /// Sets processed (streaming sweeps have no per_set to count).
+  std::uint64_t total_sets = 0;
 
   /// diameter_histogram[d] = number of sets with finite surviving diameter
   /// d; disconnected sets are counted separately.
   std::vector<std::uint64_t> diameter_histogram;
   std::uint64_t disconnected = 0;
 
-  /// Worst surviving diameter over the batch (kUnreachable if any set
-  /// disconnects) and the first input index attaining it.
+  /// Worst surviving diameter over the stream (kUnreachable if any set
+  /// disconnects), the first input index attaining it, and that set's
+  /// contents (tracked incrementally — available even when per_set is not).
   std::uint32_t worst_diameter = 0;
   std::size_t worst_index = 0;
+  std::vector<Node> worst_faults;
 
   /// Delivery aggregates over all sampled pairs of all sets (zero when
   /// delivery_pairs == 0).
@@ -68,9 +192,27 @@ struct FaultSweepSummary {
   double fault_sets_per_sec = 0.0;
 };
 
-/// Sweeps `fault_sets` against a prebuilt index (which must come from
-/// `table`). The deterministic fields of the summary are a pure function of
-/// (table, fault_sets, options.delivery_pairs, options.seed).
+/// Streams `source` through the sweep at constant memory. The deterministic
+/// fields of the summary are a pure function of (table, the source's sets,
+/// options.delivery_pairs, options.seed) — identical to materializing the
+/// same sets and calling sweep_fault_sets, minus per_set.
+FaultSweepSummary sweep_fault_source(const RoutingTable& table,
+                                     const SrgIndex& index,
+                                     FaultSetSource& source,
+                                     const FaultSweepOptions& options = {});
+
+/// Exhaustive sweep over all C(n, f) fault sets in revolving-door order,
+/// evaluated incrementally: each worker chunk seeds the enumeration at its
+/// gray rank, strikes the first subset once, then applies one
+/// strike/unstrike pair per subsequent set. Aggregates are bit-identical to
+/// streaming an ExhaustiveGraySource through sweep_fault_source. Requires
+/// C(n, f) to be representable (no uint64 saturation).
+FaultSweepSummary sweep_exhaustive_gray(const RoutingTable& table,
+                                        const SrgIndex& index, std::size_t f,
+                                        const FaultSweepOptions& options = {});
+
+/// Materialized batch sweep (fills per_set). Built on the same streaming
+/// engine; kept as the ergonomic API for in-memory batches.
 FaultSweepSummary sweep_fault_sets(const RoutingTable& table,
                                    const SrgIndex& index,
                                    const std::vector<std::vector<Node>>& fault_sets,

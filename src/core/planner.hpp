@@ -69,7 +69,10 @@ struct CertifiedRouting {
 /// Profiles, plans, builds, and then certifies the built table with the
 /// tolerance sweep harness — the planner's end of the sweep pipeline. The
 /// check fans across check_options.threads workers; the certificate is
-/// bit-identical for any thread count.
+/// bit-identical for any thread count. When the fault budget allows
+/// exhausting f <= 3 the certification runs the revolving-door fast path
+/// (incremental strike/unstrike over the shared SRG index) instead of
+/// rebuilding the kill index per fault set.
 CertifiedRouting build_certified_routing(
     const Graph& g, std::optional<std::uint32_t> known_connectivity, Rng& rng,
     const ToleranceCheckOptions& check_options = {});

@@ -44,6 +44,45 @@ void note_stop(std::atomic<std::size_t>& first_stop, std::size_t chunk) {
   }
 }
 
+// The rank-chunked exhaustive scaffolding shared by the lexicographic and
+// gray ground-truth scans: chunk the rank space, run `scan(partial, begin,
+// end)` per chunk (the scan sets partial.stopped when it early-stops),
+// skip chunks past the first stopped one, and merge partials in rank order
+// with the serial early-stop semantics (everything after the first stopped
+// chunk is discarded, un-counted).
+template <typename ChunkScan>
+AdversaryResult chunked_rank_scan(std::size_t count, unsigned threads,
+                                  const ChunkScan& scan) {
+  const std::size_t grain = sweep_grain(count, threads);
+  const std::size_t chunks = num_chunks(count, grain);
+  std::vector<SearchPartial> partials(chunks);
+  std::atomic<std::size_t> first_stop{chunks};
+
+  parallel_for_chunks(
+      count, threads, grain,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        // A chunk past an already-stopped one will be discarded by the
+        // ordered merge; skipping it is a pure optimization.
+        if (chunk > first_stop.load(std::memory_order_relaxed)) return;
+        SearchPartial& p = partials[chunk];
+        scan(p, begin, end);
+        if (p.stopped) note_stop(first_stop, chunk);
+      });
+
+  AdversaryResult result;
+  result.exhaustive = true;
+  bool have = false;
+  for (auto& p : partials) {
+    const bool stopped = p.stopped;
+    absorb(result, have, std::move(p));
+    if (stopped) {
+      result.exhaustive = false;  // aborted early, like the serial scan
+      break;
+    }
+  }
+  return result;
+}
+
 }  // namespace
 
 AdversaryResult exhaustive_worst_faults(std::size_t n, std::size_t f,
@@ -79,19 +118,9 @@ AdversaryResult exhaustive_worst_faults(std::size_t n, std::size_t f,
   FTR_EXPECTS_MSG(total != ~std::uint64_t{0},
                   "C(" << n << "," << f << ") saturated; not enumerable");
   const auto count = static_cast<std::size_t>(total);
-  const unsigned threads = resolve_threads(exec.threads);
-  const std::size_t grain = sweep_grain(count, threads);
-  const std::size_t chunks = num_chunks(count, grain);
-  std::vector<SearchPartial> partials(chunks);
-  std::atomic<std::size_t> first_stop{chunks};
-
-  parallel_for_chunks(
-      count, threads, grain,
-      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-        // A chunk past an already-stopped one will be discarded by the
-        // ordered merge; skipping it is a pure optimization.
-        if (chunk > first_stop.load(std::memory_order_relaxed)) return;
-        SearchPartial& p = partials[chunk];
+  return chunked_rank_scan(
+      count, resolve_threads(exec.threads),
+      [&](SearchPartial& p, std::size_t begin, std::size_t end) {
         const FaultEvaluator eval = make_eval();
         SubsetEnumerator e(n, f, begin);
         std::vector<Node> faults(f);
@@ -109,24 +138,49 @@ AdversaryResult exhaustive_worst_faults(std::size_t n, std::size_t f,
           }
           if (stop_above != 0 && d > stop_above) {
             p.stopped = true;
-            note_stop(first_stop, chunk);
             break;
           }
         }
       });
+}
 
-  AdversaryResult result;
-  result.exhaustive = true;
-  bool have = false;
-  for (auto& p : partials) {
-    const bool stopped = p.stopped;
-    absorb(result, have, std::move(p));
-    if (stopped) {
-      result.exhaustive = false;  // aborted early, like the serial scan
-      break;
-    }
-  }
-  return result;
+AdversaryResult exhaustive_worst_faults_gray(const SrgIndex& index,
+                                             std::size_t f,
+                                             const SearchExecution& exec,
+                                             std::uint32_t stop_above) {
+  const std::size_t n = index.num_nodes();
+  FTR_EXPECTS(f <= n);
+  const std::uint64_t total = binomial(n, f);
+  FTR_EXPECTS_MSG(total != ~std::uint64_t{0},
+                  "C(" << n << "," << f << ") saturated; not enumerable");
+  const auto count = static_cast<std::size_t>(total);
+  return chunked_rank_scan(
+      count, resolve_threads(exec.threads),
+      [&](SearchPartial& p, std::size_t begin, std::size_t end) {
+        SrgScratch scratch(index);
+        GraySubsetEnumerator e(n, f, begin);
+        std::vector<Node> faults(e.current().begin(), e.current().end());
+        scratch.begin_incremental(faults);
+        for (std::size_t r = begin; r < end; ++r) {
+          const std::uint32_t d = scratch.evaluate_incremental().diameter;
+          ++p.evaluations;
+          if (!p.any || d > p.d) {
+            p.any = true;
+            p.d = d;
+            p.faults.assign(e.current().begin(), e.current().end());
+          }
+          if (stop_above != 0 && d > stop_above) {
+            p.stopped = true;
+            break;
+          }
+          if (r + 1 < end) {
+            e.advance();
+            const GrayTransition& t = e.last_transition();
+            scratch.unstrike(static_cast<Node>(t.out));
+            scratch.strike(static_cast<Node>(t.in));
+          }
+        }
+      });
 }
 
 AdversaryResult sampled_worst_faults(std::size_t n, std::size_t f,

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "fault/srg_engine.hpp"
 #include "graph/graph.hpp"
 
 namespace ftr {
@@ -67,6 +68,21 @@ AdversaryResult exhaustive_worst_faults(std::size_t n, std::size_t f,
                                         const FaultEvaluatorFactory& make_eval,
                                         const SearchExecution& exec,
                                         std::uint32_t stop_above = 0);
+
+/// Ground truth over an SrgIndex via the revolving-door fast path: fault
+/// sets are enumerated in Gray order and each worker applies one
+/// strike/unstrike delta per set against its incremental kill index instead
+/// of rebuilding it — the f <= 3 certification fast path behind
+/// check_tolerance/build_certified_routing. Same chunked merge discipline
+/// as the lexicographic factory form (rank-ordered chunks, first set
+/// reaching the max wins, everything after the first early-stopped chunk
+/// discarded), so the result is bit-identical for any thread count; the
+/// reported witness is the first maximum in GRAY order, which may be a
+/// different (equally worst) set than the lexicographic scan reports.
+AdversaryResult exhaustive_worst_faults_gray(const SrgIndex& index,
+                                             std::size_t f,
+                                             const SearchExecution& exec = {},
+                                             std::uint32_t stop_above = 0);
 
 /// Uniform random sampling of `samples` fault sets.
 AdversaryResult sampled_worst_faults(std::size_t n, std::size_t f,

@@ -16,6 +16,8 @@ SrgIndex::SrgIndex(const RoutingTable& table) : n_(table.num_nodes()) {
     route_src_.push_back(x);
     route_dst_.push_back(y);
     route_pair_.push_back(static_cast<std::uint32_t>(num_pairs_++));
+    pair_src_.push_back(x);
+    pair_dst_.push_back(y);
     route_nodes_.insert(route_nodes_.end(), path.begin(), path.end());
     route_off_.push_back(static_cast<std::uint32_t>(route_nodes_.size()));
   });
@@ -29,6 +31,8 @@ SrgIndex::SrgIndex(const MultiRouteTable& table) : n_(table.num_nodes()) {
   table.for_each_pair_view([this](Node x, Node y,
                                   const MultiRouteTable::RouteRange& routes) {
     const auto pair_id = static_cast<std::uint32_t>(num_pairs_++);
+    pair_src_.push_back(x);
+    pair_dst_.push_back(y);
     for (PathView path : routes) {
       route_src_.push_back(x);
       route_dst_.push_back(y);
@@ -42,6 +46,8 @@ SrgIndex::SrgIndex(const MultiRouteTable& table) : n_(table.num_nodes()) {
 
 void SrgIndex::finalize_routes() {
   const std::size_t num_routes = route_src_.size();
+  pair_route_count_.assign(num_pairs_, 0);
+  for (std::uint32_t pid : route_pair_) ++pair_route_count_[pid];
   // Inverted index: node -> ids of routes whose path contains it (endpoints
   // included, so an endpoint fault kills the route like any interior fault).
   node_route_off_.assign(n_ + 1, 0);
@@ -79,6 +85,7 @@ void SrgScratch::reset() {
   std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0);
   epoch_ = 0;
   bfs_epoch_ = 0;
+  inc_active_ = false;
 }
 
 void SrgScratch::set_epochs_for_testing(std::uint32_t epoch) {
@@ -182,8 +189,156 @@ SrgScratch::Result SrgScratch::evaluate(std::span<const Node> faults) {
   return res;
 }
 
+SrgScratch::Result SrgScratch::apply(std::span<const Node> faults) {
+  Result res;
+  res.survivors = strike(faults);
+  res.arcs = static_cast<std::uint32_t>(arcs_.size());
+  return res;
+}
+
 std::uint32_t SrgScratch::surviving_diameter(std::span<const Node> faults) {
   return evaluate(faults).diameter;
+}
+
+// --- incremental (Gray) mode -------------------------------------------------
+
+void SrgScratch::begin_incremental(std::span<const Node> faults) {
+  const SrgIndex& ix = *index_;
+  inc_active_ = true;
+  inc_fault_.assign(ix.n_, 0);
+  inc_route_kill_.assign(ix.route_src_.size(), 0);
+  inc_pair_live_ = ix.pair_route_count_;
+  inc_slot_.resize(ix.num_pairs_);
+  inc_adj_.resize(ix.n_);
+  for (auto& list : inc_adj_) list.clear();
+  for (std::uint32_t pid = 0; pid < ix.num_pairs_; ++pid) {
+    auto& list = inc_adj_[ix.pair_src_[pid]];
+    inc_slot_[pid] = static_cast<std::uint32_t>(list.size());
+    list.push_back({ix.pair_dst_[pid], pid});
+  }
+  inc_survivors_ = static_cast<std::uint32_t>(ix.n_);
+  inc_arcs_ = static_cast<std::uint32_t>(ix.num_pairs_);
+  for (Node f : faults) strike(f);
+}
+
+void SrgScratch::inc_add_arc(std::uint32_t pair) {
+  auto& list = inc_adj_[index_->pair_src_[pair]];
+  inc_slot_[pair] = static_cast<std::uint32_t>(list.size());
+  list.push_back({index_->pair_dst_[pair], pair});
+  ++inc_arcs_;
+}
+
+void SrgScratch::inc_remove_arc(std::uint32_t pair) {
+  auto& list = inc_adj_[index_->pair_src_[pair]];
+  const std::uint32_t slot = inc_slot_[pair];
+  list[slot] = list.back();
+  inc_slot_[list[slot].pair] = slot;
+  list.pop_back();
+  --inc_arcs_;
+}
+
+void SrgScratch::strike(Node v) {
+  const SrgIndex& ix = *index_;
+  FTR_EXPECTS_MSG(inc_active_, "begin_incremental() first");
+  FTR_EXPECTS_MSG(v < ix.n_, "fault " << v << " out of range");
+  FTR_EXPECTS_MSG(!inc_fault_[v], "node " << v << " already faulty");
+  inc_fault_[v] = 1;
+  --inc_survivors_;
+  for (std::uint32_t i = ix.node_route_off_[v]; i < ix.node_route_off_[v + 1];
+       ++i) {
+    const std::uint32_t r = ix.node_route_ids_[i];
+    if (inc_route_kill_[r]++ != 0) continue;  // already dead via another fault
+    const std::uint32_t pid = ix.route_pair_[r];
+    if (--inc_pair_live_[pid] == 0) inc_remove_arc(pid);
+  }
+}
+
+void SrgScratch::unstrike(Node v) {
+  const SrgIndex& ix = *index_;
+  FTR_EXPECTS_MSG(inc_active_, "begin_incremental() first");
+  FTR_EXPECTS_MSG(v < ix.n_, "fault " << v << " out of range");
+  FTR_EXPECTS_MSG(inc_fault_[v], "node " << v << " is not faulty");
+  inc_fault_[v] = 0;
+  ++inc_survivors_;
+  for (std::uint32_t i = ix.node_route_off_[v]; i < ix.node_route_off_[v + 1];
+       ++i) {
+    const std::uint32_t r = ix.node_route_ids_[i];
+    if (--inc_route_kill_[r] != 0) continue;  // still dead via another fault
+    const std::uint32_t pid = ix.route_pair_[r];
+    if (inc_pair_live_[pid]++ == 0) inc_add_arc(pid);
+  }
+}
+
+std::uint32_t SrgScratch::bfs_from_inc(Node s, std::uint32_t* reached_out) {
+  ++bfs_epoch_;
+  if (bfs_epoch_ == 0) {  // same wraparound discipline as bfs_from()
+    std::fill(seen_stamp_.begin(), seen_stamp_.end(), 0);
+    bfs_epoch_ = 1;
+  }
+  queue_.clear();
+  queue_.push_back(s);
+  seen_stamp_[s] = bfs_epoch_;
+  dist_[s] = 0;
+  std::uint32_t reached = 1;
+  std::uint32_t ecc = 0;
+  for (std::size_t qi = 0; qi < queue_.size(); ++qi) {
+    const Node u = queue_[qi];
+    const std::uint32_t du = dist_[u];
+    for (const IncArc& arc : inc_adj_[u]) {
+      const Node v = arc.dst;
+      if (seen_stamp_[v] == bfs_epoch_) continue;
+      seen_stamp_[v] = bfs_epoch_;
+      dist_[v] = du + 1;
+      ecc = du + 1;
+      ++reached;
+      queue_.push_back(v);
+    }
+  }
+  if (reached_out != nullptr) *reached_out = reached;
+  return ecc;
+}
+
+SrgScratch::Result SrgScratch::evaluate_incremental() {
+  FTR_EXPECTS_MSG(inc_active_, "begin_incremental() first");
+  Result res;
+  res.survivors = inc_survivors_;
+  res.arcs = inc_arcs_;
+  if (inc_survivors_ <= 1) return res;  // diameter 0 by convention
+  std::uint32_t diam = 0;
+  for (Node s = 0; s < index_->n_; ++s) {
+    if (inc_fault_[s]) continue;
+    std::uint32_t reached = 0;
+    const std::uint32_t ecc = bfs_from_inc(s, &reached);
+    if (reached < inc_survivors_) {
+      res.diameter = kUnreachable;
+      return res;
+    }
+    diam = std::max(diam, ecc);
+  }
+  res.diameter = diam;
+  return res;
+}
+
+Digraph SrgScratch::incremental_surviving_graph() const {
+  FTR_EXPECTS_MSG(inc_active_, "begin_incremental() first");
+  const SrgIndex& ix = *index_;
+  Digraph r(ix.n_);
+  for (Node v = 0; v < ix.n_; ++v) {
+    if (inc_fault_[v]) r.remove_node(v);
+  }
+  // Arcs in route-id order, one per pair at its FIRST live route — the
+  // exact insertion order strike()+last_surviving_graph() produces, so
+  // order-sensitive consumers see identical digraphs on both paths.
+  inc_emitted_.assign(ix.num_pairs_, 0);  // member buffer: no per-set alloc
+  const std::size_t num_routes = ix.route_src_.size();
+  for (std::uint32_t rt = 0; rt < num_routes; ++rt) {
+    if (inc_route_kill_[rt] != 0) continue;
+    const std::uint32_t pid = ix.route_pair_[rt];
+    if (inc_emitted_[pid]) continue;
+    inc_emitted_[pid] = 1;
+    r.add_arc(ix.route_src_[rt], ix.route_dst_[rt]);
+  }
+  return r;
 }
 
 std::uint32_t SrgScratch::componentwise_diameter(

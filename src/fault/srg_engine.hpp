@@ -31,6 +31,17 @@
 //  * BFS runs over the scratch CSR with stamped distance arrays and a flat
 //    queue — no allocation after the first evaluation.
 //
+// On top of the per-set full-rebuild path, SrgScratch has an INCREMENTAL
+// mode for enumerations that visit fault sets by one-element deltas (the
+// revolving-door exhaustive sweep): begin_incremental() seeds a fault set,
+// strike(v)/unstrike(v) apply a delta in O(routes through v) by maintaining
+// exact counts (per-route fault counts, per-pair live-route counts, a
+// per-source live-arc adjacency with O(1) insert/remove) instead of
+// re-deriving the kill index from scratch. evaluate_incremental() answers
+// the same Result a full-rebuild evaluate() would on the same fault set —
+// the differential tests in tests/test_srg_engine.cpp pin the two paths
+// together.
+//
 // Semantics match fault/surviving.cpp exactly: an arc x -> y survives iff
 // some route rho(x, y) avoids every fault (endpoints included), and the
 // diameter is the directed max over ordered survivor pairs (kUnreachable if
@@ -75,6 +86,9 @@ class SrgIndex {
   std::vector<Node> route_dst_;
   std::vector<std::uint32_t> route_pair_;   // route -> ordered-pair id
   std::size_t num_pairs_ = 0;
+  std::vector<Node> pair_src_;              // ordered-pair id -> endpoints
+  std::vector<Node> pair_dst_;
+  std::vector<std::uint32_t> pair_route_count_;  // routes per ordered pair
   std::vector<std::uint32_t> node_route_off_;  // node -> routes through it
   std::vector<std::uint32_t> node_route_ids_;
 };
@@ -99,6 +113,11 @@ class SrgScratch {
   /// ids must be < num_nodes() (duplicates are tolerated).
   Result evaluate(std::span<const Node> faults);
 
+  /// Strikes the fault set and reports survivors/arcs WITHOUT measuring the
+  /// diameter (left 0) — the kill-index application alone. Benchmarks use
+  /// this to time the phase the incremental mode replaces.
+  Result apply(std::span<const Node> faults);
+
   /// diam R(G, rho)/F — the batched counterpart of ftr::surviving_diameter.
   std::uint32_t surviving_diameter(std::span<const Node> faults);
 
@@ -118,6 +137,44 @@ class SrgScratch {
   /// that set. At least one evaluation must have happened since
   /// construction or reset().
   Digraph last_surviving_graph() const;
+
+  // --- incremental (Gray) mode ---------------------------------------------
+  // For enumerations that visit fault sets by one-element deltas. The mode
+  // keeps its own exact-count state, fully independent of the epoch-stamped
+  // full-rebuild path above: interleaving evaluate() calls neither corrupts
+  // nor is corrupted by it. All incremental state is (re)built by
+  // begin_incremental().
+
+  /// Enters incremental mode with `faults` as the current fault set
+  /// (ids < num_nodes(), duplicates rejected by contract). Cost is one
+  /// O(routes + pairs) re-initialization plus one strike per fault —
+  /// amortize it over a chunk of delta steps.
+  void begin_incremental(std::span<const Node> faults);
+
+  bool incremental_active() const { return inc_active_; }
+
+  /// Adds fault v to the current set in O(routes through v). v must not be
+  /// faulty already.
+  void strike(Node v);
+
+  /// Removes fault v from the current set in O(routes through v). v must be
+  /// faulty.
+  void unstrike(Node v);
+
+  /// Survivor / surviving-arc counts of the current incremental fault set,
+  /// maintained by the deltas (no recomputation).
+  std::uint32_t incremental_survivors() const { return inc_survivors_; }
+  std::uint32_t incremental_arcs() const { return inc_arcs_; }
+
+  /// Full Result (diameter via BFS over the maintained live arcs) for the
+  /// current incremental fault set. Identical to evaluate() on that set.
+  Result evaluate_incremental();
+
+  /// Materializes the surviving route graph of the current incremental
+  /// fault set, with arcs in the same canonical (route-id) order as
+  /// last_surviving_graph() — so downstream order-sensitive consumers
+  /// (delivery simulation) see bit-identical graphs on both paths.
+  Digraph incremental_surviving_graph() const;
 
   /// Zeroes every stamp array and restarts both epoch counters. Evaluation
   /// results never depend on it (the wrap paths below do the same lazily);
@@ -153,6 +210,27 @@ class SrgScratch {
   std::vector<std::uint32_t> seen_stamp_;
   std::vector<std::uint32_t> dist_;
   std::vector<Node> queue_;
+
+  // Incremental-mode state: exact counts plus a per-source live-arc
+  // adjacency. inc_slot_ records each live pair's position in its source
+  // list so removal is a swap-with-back.
+  void inc_add_arc(std::uint32_t pair);
+  void inc_remove_arc(std::uint32_t pair);
+  std::uint32_t bfs_from_inc(Node s, std::uint32_t* reached_out);
+
+  struct IncArc {
+    Node dst;
+    std::uint32_t pair;
+  };
+  bool inc_active_ = false;
+  std::vector<std::uint8_t> inc_fault_;        // node -> currently faulty?
+  std::vector<std::uint32_t> inc_route_kill_;  // route -> #faults on it
+  std::vector<std::uint32_t> inc_pair_live_;   // pair -> #live routes
+  std::vector<std::vector<IncArc>> inc_adj_;   // src -> live arcs
+  std::vector<std::uint32_t> inc_slot_;        // pair -> index in src list
+  mutable std::vector<std::uint8_t> inc_emitted_;  // materialization scratch
+  std::uint32_t inc_survivors_ = 0;
+  std::uint32_t inc_arcs_ = 0;
 };
 
 /// Single-threaded batching facade: one shared, immutable SrgIndex plus one

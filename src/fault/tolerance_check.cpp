@@ -1,5 +1,6 @@
 #include "fault/tolerance_check.hpp"
 
+#include <memory>
 #include <sstream>
 #include <utility>
 
@@ -80,9 +81,8 @@ namespace {
 
 // One shared preprocessing, one scratch per worker chunk: the canonical
 // parallel-sweep evaluator.
-template <typename TableT>
-FaultEvaluatorFactory engine_evaluator_factory(const TableT& table) {
-  auto index = std::make_shared<const SrgIndex>(table);
+FaultEvaluatorFactory engine_evaluator_factory(
+    const std::shared_ptr<const SrgIndex>& index) {
   return [index]() {
     auto scratch = std::make_shared<SrgScratch>(*index);
     return [index, scratch](const std::vector<Node>& faults) {
@@ -91,14 +91,47 @@ FaultEvaluatorFactory engine_evaluator_factory(const TableT& table) {
   };
 }
 
+// Exhaustive verification of small fault budgets goes through the
+// revolving-door fast path: Gray-order enumeration with O(delta)
+// strike/unstrike per set against the shared index. Beyond f = 3 the
+// one-element deltas no longer dominate the per-set cost, so the generic
+// chunked lexicographic scan keeps that territory.
+constexpr std::uint32_t kGrayFastPathMaxFaults = 3;
+
+// The table-level check: one SrgIndex per check (its cost amortizes across
+// the thousands of fault sets evaluated below), gray fast path when the
+// budget allows exhausting f <= 3, otherwise the sampled + hill-climbing
+// adversary via the evaluator factory.
+template <typename TableT>
+ToleranceReport check_tolerance_engine(const TableT& table, std::uint32_t f,
+                                       std::uint32_t claimed_bound,
+                                       std::uint64_t seed,
+                                       const ToleranceCheckOptions& options) {
+  const std::size_t n = table.num_nodes();
+  auto index = std::make_shared<const SrgIndex>(table);
+  if (f <= kGrayFastPathMaxFaults && f <= n &&
+      binomial(n, f) <= options.exhaustive_budget) {
+    ToleranceReport report;
+    report.claimed_bound = claimed_bound;
+    report.faults = f;
+    const AdversaryResult r = exhaustive_worst_faults_gray(
+        *index, f, SearchExecution{options.threads});
+    report.worst_diameter = r.worst_diameter;
+    report.worst_faults = r.worst_faults;
+    report.fault_sets_checked = r.evaluations;
+    report.exhaustive = true;
+    report.holds = report.worst_diameter <= claimed_bound;
+    return report;
+  }
+  return check_tolerance_with(n, engine_evaluator_factory(index), f,
+                              claimed_bound, seed, options);
+}
+
 }  // namespace
 
 ToleranceReport check_tolerance(const RoutingTable& table, std::uint32_t f,
                                 std::uint32_t claimed_bound, Rng& rng,
                                 const ToleranceCheckOptions& options) {
-  // One index per check: the preprocessing cost amortizes across the
-  // thousands of fault sets the adversary evaluates below.
-  const auto make_eval = engine_evaluator_factory(table);
   // Seed the hill-climber with route-load-targeted sets: knocking out the
   // busiest nodes first is the natural informed attack.
   ToleranceCheckOptions opts = options;
@@ -107,16 +140,13 @@ ToleranceReport check_tolerance(const RoutingTable& table, std::uint32_t f,
     std::vector<Node> top(ranked.begin(), ranked.begin() + f);
     opts.seeds.push_back(std::move(top));
   }
-  return check_tolerance_with(table.num_nodes(), make_eval, f, claimed_bound,
-                              rng(), opts);
+  return check_tolerance_engine(table, f, claimed_bound, rng(), opts);
 }
 
 ToleranceReport check_tolerance(const MultiRouteTable& table, std::uint32_t f,
                                 std::uint32_t claimed_bound, Rng& rng,
                                 const ToleranceCheckOptions& options) {
-  const auto make_eval = engine_evaluator_factory(table);
-  return check_tolerance_with(table.num_nodes(), make_eval, f, claimed_bound,
-                              rng(), options);
+  return check_tolerance_engine(table, f, claimed_bound, rng(), options);
 }
 
 }  // namespace ftr

@@ -7,7 +7,9 @@
 // Checks fan their fault sets across ToleranceCheckOptions::threads workers
 // (one SrgScratch per worker over one shared SrgIndex); the report —
 // verdict, witness, evaluation count — is bit-identical for any thread
-// count.
+// count. Exhaustive checks at f <= 3 take the revolving-door fast path
+// (Gray-order enumeration, O(delta) strike/unstrike per set), so the
+// reported witness is the first worst set in gray order.
 #pragma once
 
 #include <cstdint>

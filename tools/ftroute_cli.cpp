@@ -5,13 +5,20 @@
 //   ftroute build [--seed S] [--certify] [--threads T]  < graph.ftg > table.ftt
 //   ftroute check <graph.ftg> <table.ftt> --faults F [--claimed D] [--seed S]
 //                 [--threads T]
-//   ftroute sweep <graph.ftg> <table.ftt> --faults F [--sets N] [--seed S]
-//                 [--threads T] [--delivery-pairs P]
+//   ftroute sweep <graph.ftg> <table.ftt> (--faults F [--sets N] |
+//                 --faults F --exhaustive | --stdin) [--seed S] [--threads T]
+//                 [--delivery-pairs P] [--progress-every N] [--batch B]
 //   ftroute stretch <graph.ftg> <table.ftt>
 //
+// `sweep` is fully streaming: fault sets are pulled from a source (counter-
+// seeded random stream, the exhaustive revolving-door enumeration, or a
+// line-delimited stdin feed) and aggregated batch by batch, so 10^7-set
+// sweeps run at constant resident memory. --progress-every N emits running
+// aggregates to stderr every N sets.
+//
 // --threads fans the fault sweep across T workers (0 = all cores); every
-// command's stdout is bit-identical for any thread count (timings go to
-// stderr).
+// command's stdout is bit-identical for any thread count (timings and
+// progress go to stderr).
 //
 // Families for `gen`: cycle n | torus r c | grid r c | hypercube d | ccc d |
 //   wbf d | butterfly d | debruijn d | se d | petersen | dodecahedron |
@@ -39,8 +46,12 @@ int usage() {
       "  ftroute build [--seed S] [--certify] [--threads T]\n"
       "                                                 (graph on stdin, table to stdout)\n"
       "  ftroute check <graph> <table> --faults F [--claimed D] [--seed S] [--threads T]\n"
-      "  ftroute sweep <graph> <table> --faults F [--sets N] [--seed S] [--threads T]\n"
-      "                [--delivery-pairs P]\n"
+      "  ftroute sweep <graph> <table> (--faults F [--sets N] | --faults F --exhaustive |\n"
+      "                --stdin) [--seed S] [--threads T] [--delivery-pairs P]\n"
+      "                [--progress-every N] [--batch B]\n"
+      "       --stdin reads one fault set per line (whitespace-separated node ids,\n"
+      "       '#' comments); --exhaustive sweeps all C(n,F) sets (revolving-door\n"
+      "       incremental evaluation); both stream at constant memory\n"
       "  ftroute stretch <graph> <table>\n";
   return 2;
 }
@@ -181,22 +192,58 @@ int cmd_sweep(const std::vector<std::string>& args) {
   const RoutingTable table = load_routing_table(tf);
   table.validate(g);
   const auto f = static_cast<std::size_t>(flag_value(args, "--faults", 1));
-  const auto sets = static_cast<std::size_t>(flag_value(args, "--sets", 1000));
+  const auto sets = static_cast<std::uint64_t>(flag_value(args, "--sets", 1000));
   const std::uint64_t seed = flag_value(args, "--seed", 7);
+  const bool from_stdin = has_flag(args, "--stdin");
+  const bool exhaustive = has_flag(args, "--exhaustive");
+  if (from_stdin && exhaustive) {
+    std::cerr << "--stdin and --exhaustive are mutually exclusive\n";
+    return 2;
+  }
 
   FaultSweepOptions opts;
   opts.threads = static_cast<unsigned>(flag_value(args, "--threads", 1));
   opts.delivery_pairs =
       static_cast<std::size_t>(flag_value(args, "--delivery-pairs", 0));
   opts.seed = seed;
+  opts.batch_size = static_cast<std::size_t>(flag_value(args, "--batch", 1024));
+  opts.progress_every = flag_value(args, "--progress-every", 0);
+  if (opts.progress_every > 0) {
+    // Progress is telemetry: stderr only, so stdout keeps the bit-identical
+    // contract across threads/batches/progress settings.
+    opts.on_progress = [](const FaultSweepProgress& p) {
+      std::cerr << "  ... " << p.sets_done << " sets, worst=";
+      if (p.worst_diameter == kUnreachable) {
+        std::cerr << "disconnected";
+      } else {
+        std::cerr << p.worst_diameter;
+      }
+      std::cerr << ", disconnected=" << p.disconnected << ", "
+                << static_cast<std::uint64_t>(
+                       p.seconds > 0.0
+                           ? static_cast<double>(p.sets_done) / p.seconds
+                           : 0.0)
+                << " sets/sec\n";
+    };
+  }
 
-  Rng rng(seed);
-  const auto fault_sets = random_fault_sets(g.num_nodes(), f, sets, rng);
-  const auto summary = sweep_fault_sets(table, fault_sets, opts);
+  const SrgIndex index(table);
+  FaultSweepSummary summary;
+  if (exhaustive) {
+    summary = sweep_exhaustive_gray(table, index, f, opts);
+  } else if (from_stdin) {
+    IstreamFaultSetSource source(std::cin, g.num_nodes());
+    summary = sweep_fault_source(table, index, source, opts);
+  } else {
+    // Set i is a pure function of (seed, i): the stream is reproducible and
+    // never materialized, whatever --sets is.
+    SampledStreamSource source(g.num_nodes(), f, sets, seed);
+    summary = sweep_fault_source(table, index, source, opts);
+  }
 
   Table t({"metric", "value"});
-  t.add_row({"fault sets", Table::cell(fault_sets.size())});
-  t.add_row({"faults per set", Table::cell(f)});
+  t.add_row({"fault sets", Table::cell(summary.total_sets)});
+  if (!from_stdin) t.add_row({"faults per set", Table::cell(f)});
   t.add_row({"disconnected sets", Table::cell(summary.disconnected)});
   t.add_row({"worst diameter", summary.worst_diameter == kUnreachable
                                    ? "disconnected"
@@ -218,15 +265,15 @@ int cmd_sweep(const std::vector<std::string>& args) {
   if (summary.disconnected > 0) {
     std::cout << "  disconnected: " << summary.disconnected << '\n';
   }
-  if (!fault_sets.empty()) {
+  if (summary.total_sets > 0) {
     std::cout << "worst fault set (#" << summary.worst_index << "):";
-    for (Node v : fault_sets[summary.worst_index]) std::cout << ' ' << v;
+    for (Node v : summary.worst_faults) std::cout << ' ' << v;
     std::cout << '\n';
   }
 
   // Timing is scheduling-dependent, so it goes to stderr: stdout stays
   // bit-identical for any --threads value.
-  std::cerr << "swept " << fault_sets.size() << " fault sets on "
+  std::cerr << "swept " << summary.total_sets << " fault sets on "
             << summary.threads_used << " thread(s): "
             << static_cast<std::uint64_t>(summary.fault_sets_per_sec)
             << " fault-sets/sec\n";
