@@ -1,29 +1,72 @@
 #!/usr/bin/env bash
 # Runs the benchmark binaries and emits BENCH_<name>.json baselines for the
 # perf trajectory (google-benchmark JSON; items_per_second on the fault-sweep
-# benchmarks is fault-sets/sec; /threads:N case names carry the worker count
-# of the parallel sweep cases).
+# benchmarks is fault-sets/sec, on the registry benchmarks requests/sec;
+# /threads:N case names carry the worker count of the parallel sweep cases).
 #
 # Usage:
 #   bench/run_benches.sh [build-dir] [out-dir]
 #
 # Defaults: build-dir = ./build, out-dir = repo root. Pass a filter via
 # BENCH_FILTER to restrict which google-benchmark cases run (default runs
-# the surviving-diameter/fault-sweep throughput benches, which are the PR
-# acceptance metric; set BENCH_FILTER=. to run everything). Each JSON's
-# context block records host_cores next to google-benchmark's own num_cpus;
-# sweep worker counts are carried by the /threads:N case names.
+# the surviving-diameter/fault-sweep/registry throughput benches, which are
+# the PR acceptance metric; set BENCH_FILTER=. to run everything). Each
+# JSON's context block records host_cores next to google-benchmark's own
+# num_cpus, plus max_resident_bytes — the peak RSS of the bench process
+# (getrusage ru_maxrss of the child) — so memory-sensitive baselines like
+# the table-registry warm/cold cases are comparable across hosts. RSS
+# capture needs python3; without it the field is simply absent.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-.}"
-FILTER="${BENCH_FILTER:-surviving_diameter|fault_sweep|componentwise_sweep|gray_vs_rebuild}"
+FILTER="${BENCH_FILTER:-surviving_diameter|fault_sweep|componentwise_sweep|gray_vs_rebuild|table_registry}"
 HOST_CORES="$(nproc 2>/dev/null || echo 1)"
 mkdir -p "${OUT_DIR}"
 
 echo "host cores: ${HOST_CORES}"
 
-BENCHES=(bench_recovery bench_comparison)
+HAVE_PYTHON3=0
+if command -v python3 >/dev/null 2>&1; then
+  HAVE_PYTHON3=1
+else
+  echo "python3 not found; skipping max_resident_bytes capture" >&2
+fi
+
+# Runs the bench (stdout/stderr inherited) and writes the child's peak RSS
+# in bytes to $1. ru_maxrss is kilobytes on Linux but BYTES on macOS —
+# scale per platform so a mac-produced baseline isn't 1024x inflated.
+run_with_rss() {
+  local rss_file="$1"
+  shift
+  python3 - "${rss_file}" "$@" <<'PY'
+import resource, subprocess, sys
+rc = subprocess.call(sys.argv[2:])
+scale = 1 if sys.platform == "darwin" else 1024
+rss = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * scale
+with open(sys.argv[1], "w") as f:
+    f.write(str(rss))
+sys.exit(rc)
+PY
+}
+
+# Injects max_resident_bytes into the JSON's context block, next to
+# host_cores / num_cpus.
+inject_rss() {
+  local json="$1" rss="$2"
+  python3 - "${json}" "${rss}" <<'PY'
+import json, sys
+path, rss = sys.argv[1], int(sys.argv[2])
+with open(path) as f:
+    data = json.load(f)
+data.setdefault("context", {})["max_resident_bytes"] = rss
+with open(path, "w") as f:
+    json.dump(data, f, indent=2)
+    f.write("\n")
+PY
+}
+
+BENCHES=(bench_recovery bench_comparison bench_table_registry)
 
 for bench in "${BENCHES[@]}"; do
   bin="${BUILD_DIR}/${bench}"
@@ -33,13 +76,21 @@ for bench in "${BENCHES[@]}"; do
   fi
   out="${OUT_DIR}/BENCH_${bench#bench_}.json"
   echo "== ${bench} -> ${out}"
-  "${bin}" \
-    --benchmark_filter="${FILTER}" \
-    --benchmark_repetitions=3 \
-    --benchmark_report_aggregates_only=true \
-    --benchmark_format=console \
-    --benchmark_out="${out}" \
-    --benchmark_out_format=json
+  bench_cmd=("${bin}"
+    --benchmark_filter="${FILTER}"
+    --benchmark_repetitions=3
+    --benchmark_report_aggregates_only=true
+    --benchmark_format=console
+    --benchmark_out="${out}"
+    --benchmark_out_format=json)
+  if [[ "${HAVE_PYTHON3}" -eq 1 ]]; then
+    rss_file="$(mktemp)"
+    run_with_rss "${rss_file}" "${bench_cmd[@]}"
+    inject_rss "${out}" "$(cat "${rss_file}")"
+    rm -f "${rss_file}"
+  else
+    "${bench_cmd[@]}"
+  fi
 done
 
 echo "done; baselines:"

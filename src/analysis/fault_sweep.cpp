@@ -1,6 +1,7 @@
 #include "analysis/fault_sweep.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <istream>
 #include <sstream>
@@ -8,6 +9,7 @@
 
 #include "common/contracts.hpp"
 #include "common/parallel.hpp"
+#include "common/parse.hpp"
 #include "common/rng.hpp"
 #include "graph/bfs.hpp"
 
@@ -42,18 +44,27 @@ bool ExhaustiveGraySource::next(std::vector<Node>& out) {
 }
 
 bool IstreamFaultSetSource::next(std::vector<Node>& out) {
-  while (std::getline(*in_, line_)) {
-    const auto hash = line_.find('#');
-    if (hash != std::string::npos) line_.resize(hash);
+  while (next_data_line(*in_, line_, line_no_)) {
     out.clear();
     std::istringstream fields(line_);
-    unsigned long long id = 0;
-    while (fields >> id) {
-      FTR_EXPECTS_MSG(id < n_, "fault id " << id << " out of range (n = "
-                                           << n_ << ")");
-      out.push_back(static_cast<Node>(id));
+    std::string token;
+    while (fields >> token) {
+      // Tokens are validated as digit strings before parsing: istream
+      // extraction into an unsigned would silently wrap "-1" to 2^64-1, and
+      // would half-consume "12frog" — both classic silent-UB feeders.
+      const bool digits =
+          std::all_of(token.begin(), token.end(),
+                      [](unsigned char c) { return std::isdigit(c) != 0; });
+      FTR_EXPECTS_MSG(digits, "fault-set line " << line_no_
+                                                << ": non-numeric token '"
+                                                << token << "'");
+      const auto id = parse_u64(token);  // digit strings can still overflow
+      FTR_EXPECTS_MSG(id.has_value() && *id < n_,
+                      "fault-set line " << line_no_ << ": node id '" << token
+                                        << "' out of range (n = " << n_
+                                        << ")");
+      out.push_back(static_cast<Node>(*id));
     }
-    FTR_EXPECTS_MSG(fields.eof(), "unparseable fault-set line: " << line_);
     if (out.empty()) continue;  // blank or comment-only line
     return true;
   }

@@ -109,9 +109,12 @@ class ExhaustiveGraySource final : public FaultSetSource {
 };
 
 /// Line-delimited text feed: one fault set per line as whitespace-separated
-/// node ids, blank lines and '#' comments skipped. Ids must be < n (checked
-/// per line; violations throw). An empty file yields an empty stream. This
-/// is the `ftroute sweep --stdin` reader.
+/// node ids, blank lines and '#' comments skipped. Malformed lines —
+/// non-numeric tokens (a leading '-' included) or node ids >= n — throw
+/// ContractViolation naming the 1-based line number and the offending
+/// token, so a bad feed fails with a diagnosable error instead of silent
+/// misparsing. An empty file yields an empty stream. This is the
+/// `ftroute sweep --stdin` reader.
 class IstreamFaultSetSource final : public FaultSetSource {
  public:
   IstreamFaultSetSource(std::istream& in, std::size_t n) : in_(&in), n_(n) {}
@@ -120,7 +123,8 @@ class IstreamFaultSetSource final : public FaultSetSource {
  private:
   std::istream* in_;
   std::size_t n_;
-  std::string line_;  // reused line buffer
+  std::string line_;           // reused line buffer
+  std::size_t line_no_ = 0;    // 1-based, for error messages
 };
 
 /// Progress snapshot handed to FaultSweepOptions::on_progress (aggregates

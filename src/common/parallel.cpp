@@ -16,9 +16,13 @@ unsigned hardware_threads() {
   return n == 0 ? 1u : n;
 }
 
-unsigned resolve_threads(unsigned requested) {
-  if (requested == 0) return hardware_threads();
+unsigned resolve_threads(unsigned requested, unsigned hardware) {
+  if (requested == 0) return hardware == 0 ? 1u : hardware;
   return std::min(requested, 256u);
+}
+
+unsigned resolve_threads(unsigned requested) {
+  return resolve_threads(requested, std::thread::hardware_concurrency());
 }
 
 std::size_t num_chunks(std::size_t count, std::size_t grain) {

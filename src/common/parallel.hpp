@@ -39,6 +39,14 @@ unsigned hardware_threads();
 /// 256 to keep a typo'd request from fork-bombing the host).
 unsigned resolve_threads(unsigned requested);
 
+/// The pure mapping behind resolve_threads(requested), with the hardware
+/// report injected so every branch is unit-testable: `hardware` stands in
+/// for std::thread::hardware_concurrency(), whose 0 ("unknown") return
+/// falls back to 1 worker. Requests above the hardware count are honored
+/// as-is (deliberate: the determinism suites oversubscribe small hosts with
+/// threads=8 to vary scheduling) up to the 256 cap.
+unsigned resolve_threads(unsigned requested, unsigned hardware);
+
 /// Chunks [0, count) for the given grain (grain 0 = one chunk per item).
 std::size_t num_chunks(std::size_t count, std::size_t grain);
 

@@ -24,6 +24,7 @@
 #include "common/combinatorics.hpp"
 #include "common/contracts.hpp"
 #include "common/parallel.hpp"
+#include "common/parse.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "core/planner.hpp"
@@ -51,6 +52,8 @@
 #include "routing/serialization.hpp"
 #include "routing/tree_routing.hpp"
 #include "routing/tricircular.hpp"
+#include "serve/request_router.hpp"
+#include "serve/table_registry.hpp"
 #include "sim/broadcast.hpp"
 #include "sim/network_sim.hpp"
 #include "sim/recovery.hpp"

@@ -120,9 +120,14 @@ PlannedRouting build_planned_routing(
 CertifiedRouting build_certified_routing(
     const Graph& g, std::optional<std::uint32_t> known_connectivity, Rng& rng,
     const ToleranceCheckOptions& check_options) {
-  CertifiedRouting out{build_planned_routing(g, known_connectivity, rng), {}};
+  CertifiedRouting out{build_planned_routing(g, known_connectivity, rng), {},
+                       nullptr};
+  // One preprocessing serves the certification sweep AND whoever consumes
+  // the certified table afterwards (the registry's build-on-miss path).
+  out.index = std::make_shared<const SrgIndex>(out.routing.table);
   out.certificate =
-      check_tolerance(out.routing.table, out.routing.plan.tolerated_faults,
+      check_tolerance(out.routing.table, out.index,
+                      out.routing.plan.tolerated_faults,
                       out.routing.plan.guaranteed_diameter, rng, check_options);
   return out;
 }

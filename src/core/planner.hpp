@@ -10,12 +10,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "analysis/properties.hpp"
 #include "common/rng.hpp"
+#include "fault/srg_engine.hpp"
 #include "fault/tolerance_check.hpp"
 #include "graph/graph.hpp"
 #include "routing/route_table.hpp"
@@ -64,6 +66,10 @@ struct CertifiedRouting {
   /// construction (or the paper) is wrong — certification is the harness
   /// that would catch either.
   ToleranceReport certificate;
+  /// The SRG preprocessing built for the certification sweep, shared so
+  /// downstream consumers (the serving layer's table registry, follow-up
+  /// sweeps) reuse it instead of re-deriving the same index from the table.
+  std::shared_ptr<const SrgIndex> index;
 };
 
 /// Profiles, plans, builds, and then certifies the built table with the

@@ -65,6 +65,19 @@ void SrgIndex::finalize_routes() {
   }
 }
 
+std::size_t SrgIndex::memory_bytes() const {
+  return route_nodes_.capacity() * sizeof(Node) +
+         route_off_.capacity() * sizeof(std::uint32_t) +
+         route_src_.capacity() * sizeof(Node) +
+         route_dst_.capacity() * sizeof(Node) +
+         route_pair_.capacity() * sizeof(std::uint32_t) +
+         pair_src_.capacity() * sizeof(Node) +
+         pair_dst_.capacity() * sizeof(Node) +
+         pair_route_count_.capacity() * sizeof(std::uint32_t) +
+         node_route_off_.capacity() * sizeof(std::uint32_t) +
+         node_route_ids_.capacity() * sizeof(std::uint32_t);
+}
+
 SrgScratch::SrgScratch(const SrgIndex& index) : index_(&index) {
   const std::size_t n = index.n_;
   fault_stamp_.assign(n, 0);

@@ -74,6 +74,10 @@ class SrgIndex {
   std::size_t num_routes() const { return route_src_.size(); }
   std::size_t num_pairs() const { return num_pairs_; }
 
+  /// Heap footprint of the preprocessing arrays (capacities), for
+  /// byte-accounted caches like the serving layer's table registry.
+  std::size_t memory_bytes() const;
+
  private:
   friend class SrgScratch;
 

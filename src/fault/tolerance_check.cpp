@@ -98,17 +98,15 @@ FaultEvaluatorFactory engine_evaluator_factory(
 // chunked lexicographic scan keeps that territory.
 constexpr std::uint32_t kGrayFastPathMaxFaults = 3;
 
-// The table-level check: one SrgIndex per check (its cost amortizes across
-// the thousands of fault sets evaluated below), gray fast path when the
-// budget allows exhausting f <= 3, otherwise the sampled + hill-climbing
-// adversary via the evaluator factory.
-template <typename TableT>
-ToleranceReport check_tolerance_engine(const TableT& table, std::uint32_t f,
-                                       std::uint32_t claimed_bound,
-                                       std::uint64_t seed,
-                                       const ToleranceCheckOptions& options) {
-  const std::size_t n = table.num_nodes();
-  auto index = std::make_shared<const SrgIndex>(table);
+// The index-level check: gray fast path when the budget allows exhausting
+// f <= 3, otherwise the sampled + hill-climbing adversary via the evaluator
+// factory. The index is a handle so worker evaluators can co-own it.
+ToleranceReport check_tolerance_index(const std::shared_ptr<const SrgIndex>& index,
+                                      std::uint32_t f,
+                                      std::uint32_t claimed_bound,
+                                      std::uint64_t seed,
+                                      const ToleranceCheckOptions& options) {
+  const std::size_t n = index->num_nodes();
   if (f <= kGrayFastPathMaxFaults && f <= n &&
       binomial(n, f) <= options.exhaustive_budget) {
     ToleranceReport report;
@@ -127,26 +125,54 @@ ToleranceReport check_tolerance_engine(const TableT& table, std::uint32_t f,
                               claimed_bound, seed, options);
 }
 
-}  // namespace
-
-ToleranceReport check_tolerance(const RoutingTable& table, std::uint32_t f,
-                                std::uint32_t claimed_bound, Rng& rng,
-                                const ToleranceCheckOptions& options) {
-  // Seed the hill-climber with route-load-targeted sets: knocking out the
-  // busiest nodes first is the natural informed attack.
+// Route-load-targeted hill-climber seeds: knocking out the busiest nodes
+// first is the natural informed attack. Applied for single-route tables
+// only (matching the historical behavior of the table-level overloads).
+ToleranceCheckOptions with_route_load_seeds(const RoutingTable& table,
+                                            std::uint32_t f,
+                                            const ToleranceCheckOptions& options) {
   ToleranceCheckOptions opts = options;
   if (opts.seeds.empty() && f > 0 && f <= table.num_nodes()) {
     const auto ranked = nodes_by_route_load(table);
     std::vector<Node> top(ranked.begin(), ranked.begin() + f);
     opts.seeds.push_back(std::move(top));
   }
-  return check_tolerance_engine(table, f, claimed_bound, rng(), opts);
+  return opts;
+}
+
+}  // namespace
+
+ToleranceReport check_tolerance(const RoutingTable& table,
+                                const std::shared_ptr<const SrgIndex>& index,
+                                std::uint32_t f, std::uint32_t claimed_bound,
+                                Rng& rng, const ToleranceCheckOptions& options) {
+  FTR_EXPECTS(index != nullptr);
+  FTR_EXPECTS(index->num_nodes() == table.num_nodes());
+  return check_tolerance_index(index, f, claimed_bound, rng(),
+                               with_route_load_seeds(table, f, options));
+}
+
+ToleranceReport check_tolerance(const MultiRouteTable& table,
+                                const std::shared_ptr<const SrgIndex>& index,
+                                std::uint32_t f, std::uint32_t claimed_bound,
+                                Rng& rng, const ToleranceCheckOptions& options) {
+  FTR_EXPECTS(index != nullptr);
+  FTR_EXPECTS(index->num_nodes() == table.num_nodes());
+  return check_tolerance_index(index, f, claimed_bound, rng(), options);
+}
+
+ToleranceReport check_tolerance(const RoutingTable& table, std::uint32_t f,
+                                std::uint32_t claimed_bound, Rng& rng,
+                                const ToleranceCheckOptions& options) {
+  return check_tolerance(table, std::make_shared<const SrgIndex>(table), f,
+                         claimed_bound, rng, options);
 }
 
 ToleranceReport check_tolerance(const MultiRouteTable& table, std::uint32_t f,
                                 std::uint32_t claimed_bound, Rng& rng,
                                 const ToleranceCheckOptions& options) {
-  return check_tolerance_engine(table, f, claimed_bound, rng(), options);
+  return check_tolerance(table, std::make_shared<const SrgIndex>(table), f,
+                         claimed_bound, rng, options);
 }
 
 }  // namespace ftr

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,24 @@ ToleranceReport check_tolerance(const RoutingTable& table, std::uint32_t f,
 
 ToleranceReport check_tolerance(const MultiRouteTable& table, std::uint32_t f,
                                 std::uint32_t claimed_bound, Rng& rng,
+                                const ToleranceCheckOptions& options = {});
+
+/// Index-handle forms: run the same check against a PREBUILT shared
+/// preprocessing instead of constructing an SrgIndex per call. This is what
+/// the serving layer's table registry hands out, so repeated checks against
+/// the same table pay the preprocessing once. `index` must have been built
+/// from `table`; the report is bit-identical to the table-only overloads
+/// (which now delegate here after building a fresh index).
+ToleranceReport check_tolerance(const RoutingTable& table,
+                                const std::shared_ptr<const SrgIndex>& index,
+                                std::uint32_t f, std::uint32_t claimed_bound,
+                                Rng& rng,
+                                const ToleranceCheckOptions& options = {});
+
+ToleranceReport check_tolerance(const MultiRouteTable& table,
+                                const std::shared_ptr<const SrgIndex>& index,
+                                std::uint32_t f, std::uint32_t claimed_bound,
+                                Rng& rng,
                                 const ToleranceCheckOptions& options = {});
 
 /// Generic version over a single evaluator. The evaluator may own scratch

@@ -156,6 +156,14 @@ class Graph {
   /// Graphviz DOT rendering, handy when debugging routings on small graphs.
   std::string to_dot(const std::string& name = "G") const;
 
+  /// Heap footprint of the CSR arrays (capacity, not size — what the
+  /// allocator actually holds). Byte-accounted caches (the serving layer's
+  /// table registry) sum this into their residency budget.
+  std::size_t memory_bytes() const {
+    return offsets_.capacity() * sizeof(std::uint32_t) +
+           targets_.capacity() * sizeof(Node);
+  }
+
   bool operator==(const Graph& other) const {
     return offsets_ == other.offsets_ && targets_ == other.targets_;
   }

@@ -95,6 +95,14 @@ class RoutingTable {
   /// this to size its preprocessing buffers in one shot.
   std::size_t arena_size() const { return arena_.size(); }
 
+  /// Heap footprint of the arena, entry list, and slot index (capacities),
+  /// for byte-accounted caches like the serving layer's table registry.
+  std::size_t memory_bytes() const {
+    return arena_.capacity() * sizeof(Node) +
+           entries_.capacity() * sizeof(Entry) +
+           slots_.capacity() * sizeof(std::uint32_t);
+  }
+
  private:
   struct Entry {
     std::uint64_t key;

@@ -160,6 +160,39 @@ TEST(FaultSetSource, IstreamRejectsGarbageAndOutOfRangeIds) {
   }
 }
 
+TEST(FaultSetSource, IstreamErrorsNameTheLineAndToken) {
+  // Malformed feeds fail with the 1-based line number and the offending
+  // token — never a silent wrap or half-parsed line. Comment and blank
+  // lines count toward the numbering (they are real lines of the feed).
+  const auto expect_throw_mentioning = [](const std::string& text,
+                                          const std::string& line_tag,
+                                          const std::string& token) {
+    std::istringstream in(text);
+    IstreamFaultSetSource source(in, 10);
+    std::vector<Node> out;
+    for (;;) {
+      try {
+        if (!source.next(out)) {
+          FAIL() << "expected ContractViolation from: " << text;
+          return;
+        }
+      } catch (const ContractViolation& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find(line_tag), std::string::npos) << what;
+        EXPECT_NE(what.find(token), std::string::npos) << what;
+        return;
+      }
+    }
+  };
+  expect_throw_mentioning("1 2\n# comment\n\n4 frog\n", "line 4", "'frog'");
+  // A negative id is non-numeric, not a 2^64 wraparound.
+  expect_throw_mentioning("-1 3\n", "line 1", "'-1'");
+  expect_throw_mentioning("0 1\n3 99\n", "line 2", "'99'");
+  // Digits that overflow unsigned long long are out of range, not UB.
+  expect_throw_mentioning("123456789012345678901234567890\n", "line 1",
+                          "out of range");
+}
+
 // --- streaming engine vs materialized path ----------------------------------
 
 TEST(FaultStream, StreamingMatchesMaterializedAcrossThreadsAndBatches) {

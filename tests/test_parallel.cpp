@@ -24,6 +24,31 @@ TEST(Parallel, ResolveThreads) {
   EXPECT_EQ(resolve_threads(100000), 256u);  // fork-bomb guard
 }
 
+TEST(Parallel, ResolveThreadsPureMapping) {
+  // The injected-hardware seam pins every branch of the mapping, including
+  // the one a live host can't fake: hardware_concurrency() reporting 0
+  // ("unknown") must fall back to exactly 1 worker, never 0.
+  EXPECT_EQ(resolve_threads(0, 0), 1u);
+  EXPECT_EQ(resolve_threads(0, 1), 1u);
+  EXPECT_EQ(resolve_threads(0, 8), 8u);
+
+  // An explicit request is honored literally even ABOVE the hardware count:
+  // oversubscription is deliberate (the determinism suites run threads=8 on
+  // 1-core hosts to vary scheduling), and a known hardware count must not
+  // silently shrink it...
+  EXPECT_EQ(resolve_threads(8, 1), 8u);
+  EXPECT_EQ(resolve_threads(3, 2), 3u);
+
+  // ...up to the 256 cap, which binds regardless of the hardware report.
+  EXPECT_EQ(resolve_threads(256, 4), 256u);
+  EXPECT_EQ(resolve_threads(257, 4), 256u);
+  EXPECT_EQ(resolve_threads(100000, 0), 256u);
+
+  // The one-argument form is the same mapping over the live hardware count.
+  EXPECT_EQ(resolve_threads(5), resolve_threads(5, hardware_threads()));
+  EXPECT_EQ(resolve_threads(0), resolve_threads(0, hardware_threads()));
+}
+
 TEST(Parallel, NumChunks) {
   EXPECT_EQ(num_chunks(0, 4), 0u);
   EXPECT_EQ(num_chunks(10, 4), 3u);

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# End-to-end CLI smoke: gen | build | check | sweep --stdin | serve --stdin
+# piped on a small topology, asserting stdout is byte-identical across
+# --threads 1 and --threads 4 for every verb that fans out work. This is
+# the executable form of the repo's determinism contract — if a thread
+# count ever leaks into stdout, this script (and the CI job running it)
+# fails on the cmp.
+#
+# Usage: tools/cli_smoke.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+CLI="${BUILD_DIR}/ftroute_cli"
+if [[ ! -x "${CLI}" ]]; then
+  echo "error: ${CLI} not built" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+
+echo "== gen | build"
+"${CLI}" gen torus 5 5 > "${WORK}/graph.ftg"
+"${CLI}" build --seed 42 < "${WORK}/graph.ftg" \
+  > "${WORK}/table.ftt" 2> "${WORK}/build.log"
+
+# Line-delimited fault sets for the streaming sweep.
+printf '0 7\n3 11\n1 2 3\n24 12\n6\n' > "${WORK}/faults.txt"
+
+# Tables manifest + request stream for the serving layer. The certify
+# request carries explicit bounds because file-loaded tables have no
+# planner claims.
+printf 'table demo graph=%s routes=%s\n' \
+  "${WORK}/graph.ftg" "${WORK}/table.ftt" > "${WORK}/tables.txt"
+cat > "${WORK}/requests.txt" <<'EOF'
+# smoke request mix: every kind, one table
+check demo f=2 claimed=6 seed=5
+sweep demo f=2 sets=40 seed=9 pairs=3
+delivery demo faults=3,7 pairs=4 seed=11
+sweep demo f=2 exhaustive seed=1
+certify demo f=2 claimed=6 seed=13
+EOF
+
+for t in 1 4; do
+  echo "== check/sweep/serve at --threads ${t}"
+  "${CLI}" check "${WORK}/graph.ftg" "${WORK}/table.ftt" \
+    --faults 2 --claimed 6 --seed 7 --threads "${t}" \
+    > "${WORK}/check.${t}.out" 2> /dev/null
+  "${CLI}" sweep "${WORK}/graph.ftg" "${WORK}/table.ftt" \
+    --stdin --threads "${t}" --batch 3 < "${WORK}/faults.txt" \
+    > "${WORK}/sweep.${t}.out" 2> /dev/null
+  "${CLI}" serve --tables "${WORK}/tables.txt" --stdin \
+    --threads "${t}" --batch 2 < "${WORK}/requests.txt" \
+    > "${WORK}/serve.${t}.out" 2> /dev/null
+done
+
+echo "== comparing stdout across thread counts"
+cmp "${WORK}/check.1.out" "${WORK}/check.4.out"
+cmp "${WORK}/sweep.1.out" "${WORK}/sweep.4.out"
+cmp "${WORK}/serve.1.out" "${WORK}/serve.4.out"
+
+# The serve output must answer every request (no dropped/erroring lines).
+if [[ "$(wc -l < "${WORK}/serve.1.out")" -ne 5 ]]; then
+  echo "error: expected 5 response lines" >&2
+  cat "${WORK}/serve.1.out" >&2
+  exit 1
+fi
+if grep -q "error:" "${WORK}/serve.1.out"; then
+  echo "error: serve answered with an error response" >&2
+  cat "${WORK}/serve.1.out" >&2
+  exit 1
+fi
+
+echo "cli smoke OK"

@@ -8,6 +8,9 @@
 //   ftroute sweep <graph.ftg> <table.ftt> (--faults F [--sets N] |
 //                 --faults F --exhaustive | --stdin) [--seed S] [--threads T]
 //                 [--delivery-pairs P] [--progress-every N] [--batch B]
+//   ftroute serve --tables MANIFEST (--requests FILE | --stdin)
+//                 [--max-resident-bytes B] [--threads T] [--batch B]
+//                 [--progress-every N]
 //   ftroute stretch <graph.ftg> <table.ftt>
 //
 // `sweep` is fully streaming: fault sets are pulled from a source (counter-
@@ -16,9 +19,15 @@
 // sweeps run at constant resident memory. --progress-every N emits running
 // aggregates to stderr every N sets.
 //
-// --threads fans the fault sweep across T workers (0 = all cores); every
-// command's stdout is bit-identical for any thread count (timings and
-// progress go to stderr).
+// `serve` runs the multi-table request router: the manifest defines named
+// tables (built on miss, LRU-evicted past --max-resident-bytes), and each
+// request line (`check|sweep|delivery|certify <table> key=value...`) is
+// answered with one response line in request order. See
+// src/serve/request_router.hpp for the grammar.
+//
+// --threads fans the fault sweep / request batches across T workers (0 =
+// all cores); every command's stdout is bit-identical for any thread count
+// (timings and progress go to stderr).
 //
 // Families for `gen`: cycle n | torus r c | grid r c | hypercube d | ccc d |
 //   wbf d | butterfly d | debruijn d | se d | petersen | dodecahedron |
@@ -27,6 +36,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -52,6 +62,12 @@ int usage() {
       "       --stdin reads one fault set per line (whitespace-separated node ids,\n"
       "       '#' comments); --exhaustive sweeps all C(n,F) sets (revolving-door\n"
       "       incremental evaluation); both stream at constant memory\n"
+      "  ftroute serve --tables MANIFEST (--requests FILE | --stdin)\n"
+      "                [--max-resident-bytes B] [--threads T] [--batch B]\n"
+      "                [--progress-every N]\n"
+      "       manifest lines: table <name> graph=<file> [routes=<file>] [seed=S]\n"
+      "       request lines:  check|sweep|delivery|certify <table> [key=value...]\n"
+      "       one response line per request, in request order\n"
       "  ftroute stretch <graph> <table>\n";
   return 2;
 }
@@ -59,7 +75,14 @@ int usage() {
 GeneratedGraph generate(const std::vector<std::string>& args) {
   const auto& family = args.at(0);
   auto num = [&](std::size_t i) {
-    return static_cast<std::size_t>(std::stoull(args.at(i)));
+    // Strict like the flag parsing below: stoull would wrap "gen cycle -1"
+    // into an 18-quintillion-node request instead of an error.
+    const auto v = parse_u64(args.at(i));
+    if (!v.has_value()) {
+      throw std::runtime_error("bad " + family + " argument '" + args.at(i) +
+                               "'");
+    }
+    return static_cast<std::size_t>(*v);
   };
   if (family == "cycle") return cycle_graph(num(1));
   if (family == "torus") return torus_graph(num(1), num(2));
@@ -122,14 +145,49 @@ int cmd_profile() {
 
 std::uint64_t flag_value(const std::vector<std::string>& args,
                          const std::string& name, std::uint64_t fallback) {
-  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
-    if (args[i] == name) return std::stoull(args[i + 1]);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != name) continue;
+    if (i + 1 >= args.size()) {
+      throw std::runtime_error("missing value for " + name);
+    }
+    // Strict parse (shared with the request/manifest readers): stoull
+    // would wrap "--max-resident-bytes -1" to 2^64-1 (an accidentally
+    // unlimited budget) and truncate "12frog" to 12.
+    const auto v = parse_u64(args[i + 1]);
+    if (!v.has_value()) {
+      throw std::runtime_error("bad value '" + args[i + 1] + "' for " + name);
+    }
+    return *v;
   }
   return fallback;
 }
 
+// 32-bit flags (--threads, --faults, --claimed) are range-checked before
+// narrowing: '--threads 4294967296' must be rejected, not silently wrap to
+// 0 ("all cores").
+std::uint32_t flag_value_u32(const std::vector<std::string>& args,
+                             const std::string& name, std::uint32_t fallback) {
+  const std::uint64_t v = flag_value(args, name, fallback);
+  if (v > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::runtime_error("value too large for " + name);
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
 bool has_flag(const std::vector<std::string>& args, const std::string& name) {
   return std::find(args.begin(), args.end(), name) != args.end();
+}
+
+std::string flag_string(const std::vector<std::string>& args,
+                        const std::string& name, const std::string& fallback) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != name) continue;
+    if (i + 1 >= args.size()) {
+      throw std::runtime_error("missing value for " + name);
+    }
+    return args[i + 1];
+  }
+  return fallback;
 }
 
 int cmd_build(const std::vector<std::string>& args) {
@@ -137,7 +195,7 @@ int cmd_build(const std::vector<std::string>& args) {
   Rng rng(flag_value(args, "--seed", 42));
   if (has_flag(args, "--certify")) {
     ToleranceCheckOptions opts;
-    opts.threads = static_cast<unsigned>(flag_value(args, "--threads", 1));
+    opts.threads = flag_value_u32(args, "--threads", 1);
     const auto certified = build_certified_routing(g, std::nullopt, rng, opts);
     const auto& planned = certified.routing;
     std::cerr << "built " << construction_name(planned.plan.construction)
@@ -166,12 +224,11 @@ int cmd_check(const std::vector<std::string>& args) {
   const Graph g = load_graph(gf);
   const RoutingTable table = load_routing_table(tf);
   table.validate(g);
-  const auto f = static_cast<std::uint32_t>(flag_value(args, "--faults", 1));
-  const auto claimed =
-      static_cast<std::uint32_t>(flag_value(args, "--claimed", 6));
+  const auto f = flag_value_u32(args, "--faults", 1);
+  const auto claimed = flag_value_u32(args, "--claimed", 6);
   Rng rng(flag_value(args, "--seed", 7));
   ToleranceCheckOptions opts;
-  opts.threads = static_cast<unsigned>(flag_value(args, "--threads", 1));
+  opts.threads = flag_value_u32(args, "--threads", 1);
   const auto report = check_tolerance(table, f, claimed, rng, opts);
   std::cout << report.summary() << '\n';
   if (!report.worst_faults.empty()) {
@@ -202,7 +259,7 @@ int cmd_sweep(const std::vector<std::string>& args) {
   }
 
   FaultSweepOptions opts;
-  opts.threads = static_cast<unsigned>(flag_value(args, "--threads", 1));
+  opts.threads = flag_value_u32(args, "--threads", 1);
   opts.delivery_pairs =
       static_cast<std::size_t>(flag_value(args, "--delivery-pairs", 0));
   opts.seed = seed;
@@ -280,6 +337,89 @@ int cmd_sweep(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_serve(const std::vector<std::string>& args) {
+  const std::string tables_path = flag_string(args, "--tables", "");
+  if (tables_path.empty()) {
+    std::cerr << "serve needs --tables MANIFEST\n";
+    return 2;
+  }
+  const std::string requests_path = flag_string(args, "--requests", "");
+  const bool from_stdin = has_flag(args, "--stdin");
+  if (requests_path.empty() == !from_stdin) {
+    std::cerr << "serve needs exactly one of --requests FILE or --stdin\n";
+    return 2;
+  }
+
+  TableRegistryOptions ropts;
+  ropts.max_resident_bytes =
+      static_cast<std::size_t>(flag_value(args, "--max-resident-bytes", 0));
+  TableRegistry registry(ropts);
+  {
+    std::ifstream mf(tables_path);
+    if (!mf) {
+      std::cerr << "cannot open tables manifest " << tables_path << '\n';
+      return 2;
+    }
+    const auto defined = load_table_manifest(mf, registry);
+    std::cerr << "registry: " << defined << " table(s) defined";
+    if (ropts.max_resident_bytes > 0) {
+      std::cerr << ", budget " << ropts.max_resident_bytes << " bytes";
+    }
+    std::cerr << '\n';
+  }
+
+  ServeOptions sopts;
+  sopts.threads = flag_value_u32(args, "--threads", 1);
+  sopts.batch_size = static_cast<std::size_t>(flag_value(args, "--batch", 64));
+  sopts.progress_every = flag_value(args, "--progress-every", 0);
+  if (sopts.progress_every > 0) {
+    // Progress is telemetry: stderr only, so stdout keeps the bit-identical
+    // contract across threads/batches/progress settings.
+    sopts.on_progress = [](const ServeProgress& p) {
+      std::cerr << "  ... " << p.requests_done << " requests, "
+                << static_cast<std::uint64_t>(
+                       p.seconds > 0.0
+                           ? static_cast<double>(p.requests_done) / p.seconds
+                           : 0.0)
+                << " req/sec; registry hits=" << p.registry.hits
+                << " builds=" << p.registry.builds
+                << " evictions=" << p.registry.evictions
+                << " resident_bytes=" << p.registry.resident_bytes << '\n';
+    };
+  }
+
+  ServeSummary summary;
+  if (from_stdin) {
+    IstreamRequestSource source(std::cin);
+    summary = serve_requests(registry, source, std::cout, sopts);
+  } else {
+    std::ifstream rf(requests_path);
+    if (!rf) {
+      std::cerr << "cannot open requests file " << requests_path << '\n';
+      return 2;
+    }
+    IstreamRequestSource source(rf);
+    summary = serve_requests(registry, source, std::cout, sopts);
+  }
+
+  // Timing and registry churn are scheduling/budget-dependent, so they go
+  // to stderr: stdout stays bit-identical for any --threads/--batch value.
+  std::cerr << "served " << summary.requests << " request(s) ("
+            << summary.checks << " check, " << summary.sweeps << " sweep, "
+            << summary.deliveries << " delivery, " << summary.certifies
+            << " certify, " << summary.errors << " error) on "
+            << summary.threads_used << " thread(s): "
+            << static_cast<std::uint64_t>(summary.requests_per_sec)
+            << " req/sec\n"
+            << "registry: hits=" << summary.registry.hits
+            << " misses=" << summary.registry.misses
+            << " builds=" << summary.registry.builds
+            << " evictions=" << summary.registry.evictions
+            << " resident=" << summary.registry.resident_tables << " table(s), "
+            << summary.registry.resident_bytes << " bytes\n";
+  return summary.errors == 0 ? 0 : 1;
+}
+
 int cmd_stretch(const std::vector<std::string>& args) {
   std::ifstream gf(args.at(0)), tf(args.at(1));
   if (!gf || !tf) {
@@ -313,6 +453,7 @@ int main(int argc, char** argv) {
     if (cmd == "build") return cmd_build(args);
     if (cmd == "check") return cmd_check(args);
     if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "stretch") return cmd_stretch(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
