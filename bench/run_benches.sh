@@ -20,7 +20,7 @@ set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-.}"
-FILTER="${BENCH_FILTER:-surviving_diameter|fault_sweep|componentwise_sweep|gray_vs_rebuild|table_registry}"
+FILTER="${BENCH_FILTER:-surviving_diameter|fault_sweep|componentwise_sweep|gray_vs_rebuild|table_registry|parallel_executor}"
 HOST_CORES="$(nproc 2>/dev/null || echo 1)"
 mkdir -p "${OUT_DIR}"
 
@@ -66,7 +66,7 @@ with open(path, "w") as f:
 PY
 }
 
-BENCHES=(bench_recovery bench_comparison bench_table_registry)
+BENCHES=(bench_recovery bench_comparison bench_table_registry bench_parallel_executor)
 
 for bench in "${BENCHES[@]}"; do
   bin="${BUILD_DIR}/${bench}"
@@ -75,6 +75,11 @@ for bench in "${BENCHES[@]}"; do
     continue
   fi
   out="${OUT_DIR}/BENCH_${bench#bench_}.json"
+  if [[ "${bench}" == "bench_parallel_executor" ]]; then
+    # Short name for the baseline the perf trajectory tracks
+    # (cursor-vs-stealing on uniform/skewed chunk costs).
+    out="${OUT_DIR}/BENCH_parallel.json"
+  fi
   echo "== ${bench} -> ${out}"
   bench_cmd=("${bin}"
     --benchmark_filter="${FILTER}"
@@ -83,6 +88,17 @@ for bench in "${BENCHES[@]}"; do
     --benchmark_format=console
     --benchmark_out="${out}"
     --benchmark_out_format=json)
+  # The executor bench is an A/B comparison, so interleave its repetitions
+  # randomly and take more of them: sequential case order would fold slow
+  # machine drift (cgroup throttling, frequency scaling — easily 2x on
+  # shared containers) into whichever scheduler happens to run last. The
+  # later --benchmark_repetitions wins. (Appended conditionally rather than
+  # via an empty-by-default array: bash 3.2 under `set -u` rejects
+  # expanding an empty array, and macOS still ships 3.2.)
+  if [[ "${bench}" == "bench_parallel_executor" ]]; then
+    bench_cmd+=(--benchmark_enable_random_interleaving=true
+      --benchmark_repetitions=9)
+  fi
   if [[ "${HAVE_PYTHON3}" -eq 1 ]]; then
     rss_file="$(mktemp)"
     run_with_rss "${rss_file}" "${bench_cmd[@]}"

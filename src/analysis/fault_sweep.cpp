@@ -1,7 +1,6 @@
 #include "analysis/fault_sweep.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <chrono>
 #include <istream>
 #include <sstream>
@@ -49,20 +48,15 @@ bool IstreamFaultSetSource::next(std::vector<Node>& out) {
     std::istringstream fields(line_);
     std::string token;
     while (fields >> token) {
-      // Tokens are validated as digit strings before parsing: istream
-      // extraction into an unsigned would silently wrap "-1" to 2^64-1, and
-      // would half-consume "12frog" — both classic silent-UB feeders.
-      const bool digits =
-          std::all_of(token.begin(), token.end(),
-                      [](unsigned char c) { return std::isdigit(c) != 0; });
-      FTR_EXPECTS_MSG(digits, "fault-set line " << line_no_
-                                                << ": non-numeric token '"
-                                                << token << "'");
-      const auto id = parse_u64(token);  // digit strings can still overflow
+      // parse_u64 is the strict parse (istream extraction into an unsigned
+      // would silently wrap "-1" to 2^64-1 and half-consume "12frog"): it
+      // rejects signs, non-digit trailers, and uint64 overflow, so this one
+      // check covers every bad-token shape with a line-numbered message.
+      const auto id = parse_u64(token);
       FTR_EXPECTS_MSG(id.has_value() && *id < n_,
                       "fault-set line " << line_no_ << ": node id '" << token
-                                        << "' out of range (n = " << n_
-                                        << ")");
+                                        << "' non-numeric or out of range (n = "
+                                        << n_ << ")");
       out.push_back(static_cast<Node>(*id));
     }
     if (out.empty()) continue;  // blank or comment-only line
@@ -170,6 +164,7 @@ struct ProgressEmitter {
     p.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                               t0)
                     .count();
+    p.executor = summary.executor;
     options.on_progress(p);
     while (next_at <= summary.total_sets) next_at += options.progress_every;
   }
@@ -205,6 +200,7 @@ FaultSweepSummary sweep_stream_impl(const RoutingTable& table,
     while (filled < batch_items && source.next(batch[filled])) ++filled;
     if (filled == 0) break;
     const std::uint64_t base = summary.total_sets;
+    ExecutorStats batch_stats;
     parallel_for_chunks(
         filled, workers, batch_size,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
@@ -214,7 +210,9 @@ FaultSweepSummary sweep_stream_impl(const RoutingTable& table,
             records[i] =
                 evaluate_one(table, scratch, batch[i], options, base + i);
           }
-        });
+        },
+        &batch_stats);
+    summary.executor.accumulate(batch_stats);
     for (std::size_t i = 0; i < filled; ++i) {
       absorb_record(summary, st, base + i, records[i], &batch[i]);
       if (per_set_out != nullptr) per_set_out->push_back(records[i]);
@@ -266,6 +264,7 @@ FaultSweepSummary sweep_exhaustive_gray(const RoutingTable& table,
     const auto filled =
         static_cast<std::size_t>(std::min<std::uint64_t>(batch_items,
                                                          total - base));
+    ExecutorStats batch_stats;
     parallel_for_chunks(
         filled, workers, batch_size,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
@@ -294,7 +293,9 @@ FaultSweepSummary sweep_exhaustive_gray(const RoutingTable& table,
               scratch.strike(static_cast<Node>(t.in));
             }
           }
-        });
+        },
+        &batch_stats);
+    summary.executor.accumulate(batch_stats);
     for (std::size_t i = 0; i < filled; ++i) {
       absorb_record(summary, st, base + i, records[i], nullptr);
     }

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/combinatorics.hpp"
+#include "common/parallel.hpp"
 #include "fault/srg_engine.hpp"
 #include "graph/graph.hpp"
 #include "routing/route_table.hpp"
@@ -134,6 +135,9 @@ struct FaultSweepProgress {
   std::uint32_t worst_diameter = 0;
   std::uint64_t disconnected = 0;
   double seconds = 0.0;
+  /// Work-stealing telemetry accumulated over the batches so far
+  /// (scheduling-dependent — stderr probes only, never results).
+  ExecutorStats executor;
 };
 
 struct FaultSweepOptions {
@@ -194,6 +198,8 @@ struct FaultSweepSummary {
   unsigned threads_used = 1;
   double seconds = 0.0;
   double fault_sets_per_sec = 0.0;
+  /// Work-stealing executor counters accumulated over all batches.
+  ExecutorStats executor;
 };
 
 /// Streams `source` through the sweep at constant memory. The deterministic

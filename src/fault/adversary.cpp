@@ -46,10 +46,10 @@ void note_stop(std::atomic<std::size_t>& first_stop, std::size_t chunk) {
 
 // The rank-chunked exhaustive scaffolding shared by the lexicographic and
 // gray ground-truth scans: chunk the rank space, run `scan(partial, begin,
-// end)` per chunk (the scan sets partial.stopped when it early-stops),
-// skip chunks past the first stopped one, and merge partials in rank order
-// with the serial early-stop semantics (everything after the first stopped
-// chunk is discarded, un-counted).
+// end, aborted)` per chunk (the scan sets partial.stopped when it
+// early-stops), skip or mid-chunk-abort chunks past the first stopped one,
+// and merge partials in rank order with the serial early-stop semantics
+// (everything after the first stopped chunk is discarded, un-counted).
 template <typename ChunkScan>
 AdversaryResult chunked_rank_scan(std::size_t count, unsigned threads,
                                   const ChunkScan& scan) {
@@ -58,18 +58,27 @@ AdversaryResult chunked_rank_scan(std::size_t count, unsigned threads,
   std::vector<SearchPartial> partials(chunks);
   std::atomic<std::size_t> first_stop{chunks};
 
+  AdversaryResult result;
   parallel_for_chunks(
       count, threads, grain,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         // A chunk past an already-stopped one will be discarded by the
-        // ordered merge; skipping it is a pure optimization.
-        if (chunk > first_stop.load(std::memory_order_relaxed)) return;
+        // ordered merge, so skipping — or, via `aborted`, bailing out
+        // mid-scan once a LOWER chunk stops — is a pure optimization. The
+        // per-rank poll matters under the work-stealing executor: workers
+        // start deep in their own partitions rather than in ascending
+        // chunk order, so without it a low-rank stop would be discovered
+        // only after every in-flight high chunk ground to completion.
+        const auto aborted = [&] {
+          return chunk > first_stop.load(std::memory_order_relaxed);
+        };
+        if (aborted()) return;
         SearchPartial& p = partials[chunk];
-        scan(p, begin, end);
+        scan(p, begin, end, aborted);
         if (p.stopped) note_stop(first_stop, chunk);
-      });
+      },
+      &result.executor);
 
-  AdversaryResult result;
   result.exhaustive = true;
   bool have = false;
   for (auto& p : partials) {
@@ -120,11 +129,15 @@ AdversaryResult exhaustive_worst_faults(std::size_t n, std::size_t f,
   const auto count = static_cast<std::size_t>(total);
   return chunked_rank_scan(
       count, resolve_threads(exec.threads),
-      [&](SearchPartial& p, std::size_t begin, std::size_t end) {
+      [&](SearchPartial& p, std::size_t begin, std::size_t end,
+          const auto& aborted) {
         const FaultEvaluator eval = make_eval();
         SubsetEnumerator e(n, f, begin);
         std::vector<Node> faults(f);
         for (std::size_t r = begin; r < end && e.valid(); ++r, e.advance()) {
+          // A lower chunk stopped: this partial is merge-dead, drop it now
+          // (one relaxed load per rank, dwarfed by the evaluation).
+          if (aborted()) return;
           const auto& subset = e.current();
           for (std::size_t i = 0; i < f; ++i) {
             faults[i] = static_cast<Node>(subset[i]);
@@ -156,12 +169,15 @@ AdversaryResult exhaustive_worst_faults_gray(const SrgIndex& index,
   const auto count = static_cast<std::size_t>(total);
   return chunked_rank_scan(
       count, resolve_threads(exec.threads),
-      [&](SearchPartial& p, std::size_t begin, std::size_t end) {
+      [&](SearchPartial& p, std::size_t begin, std::size_t end,
+          const auto& aborted) {
         SrgScratch scratch(index);
         GraySubsetEnumerator e(n, f, begin);
         std::vector<Node> faults(e.current().begin(), e.current().end());
         scratch.begin_incremental(faults);
         for (std::size_t r = begin; r < end; ++r) {
+          // A lower chunk stopped: this partial is merge-dead, drop it now.
+          if (aborted()) return;
           const std::uint32_t d = scratch.evaluate_incremental().diameter;
           ++p.evaluations;
           if (!p.any || d > p.d) {
@@ -282,6 +298,7 @@ AdversaryResult sampled_worst_faults(std::size_t n, std::size_t f,
   const std::size_t chunks = num_chunks(samples, grain);
   std::vector<SearchPartial> partials(chunks);
 
+  AdversaryResult result;
   parallel_for_chunks(
       samples, threads, grain,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
@@ -300,9 +317,9 @@ AdversaryResult sampled_worst_faults(std::size_t n, std::size_t f,
             p.faults = std::move(faults);
           }
         }
-      });
+      },
+      &result.executor);
 
-  AdversaryResult result;
   bool have = false;
   for (auto& p : partials) absorb(result, have, std::move(p));
   return result;
@@ -353,7 +370,8 @@ AdversaryResult hillclimb_worst_faults(std::size_t n, std::size_t f,
           p.stopped = true;
           note_stop(first_stop, chunk);
         }
-      });
+      },
+      &result.executor);
 
   bool have = false;
   for (auto& p : partials) {

@@ -24,6 +24,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "fault/srg_engine.hpp"
 #include "graph/graph.hpp"
@@ -50,6 +51,10 @@ struct AdversaryResult {
   std::uint32_t worst_diameter = 0;
   std::uint64_t evaluations = 0;
   bool exhaustive = false;
+  /// Executor telemetry from the factory-form searchers (zeros on the
+  /// serial forms). Scheduling-dependent — unlike every field above, this
+  /// is NOT bit-identical across runs; it exists for stderr probes.
+  ExecutorStats executor;
 };
 
 /// Ground truth: evaluates every f-subset of {0..n-1}. `stop_above`, if

@@ -340,7 +340,8 @@ struct ServeProgressEmitter {
                        std::chrono::steady_clock::time_point start)
       : options(opts), t0(start), next_at(opts.progress_every) {}
 
-  void maybe_emit(std::uint64_t requests_done, const TableRegistry& registry) {
+  void maybe_emit(std::uint64_t requests_done, const TableRegistry& registry,
+                  const ExecutorStats& executor) {
     if (options.progress_every == 0 || !options.on_progress) return;
     if (requests_done < next_at) return;
     ServeProgress p;
@@ -349,6 +350,7 @@ struct ServeProgressEmitter {
                                               t0)
                     .count();
     p.registry = registry.stats();
+    p.executor = executor;
     options.on_progress(p);
     while (next_at <= requests_done) next_at += options.progress_every;
   }
@@ -448,6 +450,7 @@ ServeSummary serve_requests(TableRegistry& registry, RequestSource& source,
       }
     }
 
+    ExecutorStats window_stats;
     parallel_for_chunks(
         order.size(), workers, batch_size,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
@@ -469,7 +472,9 @@ ServeSummary serve_requests(TableRegistry& registry, RequestSource& source,
               failed[i] = 1;
             }
           }
-        });
+        },
+        &window_stats);
+    summary.executor.accumulate(window_stats);
 
     for (std::size_t i = 0; i < window.size(); ++i) {
       out << '#' << (base + i) << ' ' << responses[i] << '\n';
@@ -493,7 +498,7 @@ ServeSummary serve_requests(TableRegistry& registry, RequestSource& source,
       }
     }
     summary.requests += window.size();
-    progress.maybe_emit(summary.requests, registry);
+    progress.maybe_emit(summary.requests, registry, summary.executor);
     if (window.size() < window_cap) break;  // the stream ended mid-window
   }
 

@@ -49,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "fault/srg_engine.hpp"
 #include "serve/table_registry.hpp"
 
@@ -120,6 +121,9 @@ struct ServeProgress {
   std::uint64_t requests_done = 0;
   double seconds = 0.0;
   TableRegistryStats registry;
+  /// Work-stealing telemetry accumulated over the windows so far
+  /// (scheduling-dependent — stderr probes only, never responses).
+  ExecutorStats executor;
 };
 
 struct ServeOptions {
@@ -147,6 +151,8 @@ struct ServeSummary {
   unsigned threads_used = 1;
   double seconds = 0.0;
   double requests_per_sec = 0.0;
+  /// Work-stealing executor counters accumulated over all windows.
+  ExecutorStats executor;
 };
 
 /// Serves `source` to exhaustion, writing one response line per request to

@@ -55,7 +55,8 @@ ComponentwiseDiameter componentwise_surviving_diameter(
 
 std::vector<ComponentwiseDiameter> componentwise_sweep(
     const Graph& g, const SrgIndex& index,
-    const std::vector<std::vector<Node>>& fault_sets, unsigned threads) {
+    const std::vector<std::vector<Node>>& fault_sets, unsigned threads,
+    ExecutorStats* stats) {
   FTR_EXPECTS(g.num_nodes() == index.num_nodes());
   std::vector<ComponentwiseDiameter> out(fault_sets.size());
   parallel_for_chunks(
@@ -69,7 +70,8 @@ std::vector<ComponentwiseDiameter> componentwise_sweep(
         for (std::size_t i = begin; i < end; ++i) {
           out[i] = componentwise_surviving_diameter(g, scratch, fault_sets[i]);
         }
-      });
+      },
+      stats);
   return out;
 }
 

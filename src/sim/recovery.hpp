@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/planner.hpp"
 #include "fault/srg_engine.hpp"
@@ -51,10 +52,12 @@ ComponentwiseDiameter componentwise_surviving_diameter(
 /// The open-problem-3 metric for many fault sets against one shared table
 /// preprocessing, fanned across `threads` workers (0 = all hardware
 /// threads). The result is positionally aligned with `fault_sets` and
-/// bit-identical for any thread count.
+/// bit-identical for any thread count. `stats`, when non-null, receives the
+/// executor's work-stealing telemetry (scheduling-dependent — probes only).
 std::vector<ComponentwiseDiameter> componentwise_sweep(
     const Graph& g, const SrgIndex& index,
-    const std::vector<std::vector<Node>>& fault_sets, unsigned threads = 1);
+    const std::vector<std::vector<Node>>& fault_sets, unsigned threads = 1,
+    ExecutorStats* stats = nullptr);
 
 struct RecoveryOutcome {
   bool survivors_connected = false;

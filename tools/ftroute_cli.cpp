@@ -178,6 +178,16 @@ bool has_flag(const std::vector<std::string>& args, const std::string& name) {
   return std::find(args.begin(), args.end(), name) != args.end();
 }
 
+// Stderr rendering of the work-stealing probe, shared by the sweep/serve
+// progress lines and their closing summaries (telemetry only — it never
+// touches stdout, which stays bit-identical across --threads/--batch).
+std::string executor_stats_str(const ExecutorStats& e) {
+  return "local=" + std::to_string(e.chunks_local) +
+         " stolen=" + std::to_string(e.chunks_stolen) +
+         " steals=" + std::to_string(e.steals) +
+         " steal_attempts=" + std::to_string(e.steal_attempts);
+}
+
 std::string flag_string(const std::vector<std::string>& args,
                         const std::string& name, const std::string& fallback) {
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -280,7 +290,8 @@ int cmd_sweep(const std::vector<std::string>& args) {
                        p.seconds > 0.0
                            ? static_cast<double>(p.sets_done) / p.seconds
                            : 0.0)
-                << " sets/sec\n";
+                << " sets/sec; executor " << executor_stats_str(p.executor)
+                << '\n';
     };
   }
 
@@ -328,12 +339,13 @@ int cmd_sweep(const std::vector<std::string>& args) {
     std::cout << '\n';
   }
 
-  // Timing is scheduling-dependent, so it goes to stderr: stdout stays
-  // bit-identical for any --threads value.
+  // Timing and executor telemetry are scheduling-dependent, so they go to
+  // stderr: stdout stays bit-identical for any --threads value.
   std::cerr << "swept " << summary.total_sets << " fault sets on "
             << summary.threads_used << " thread(s): "
             << static_cast<std::uint64_t>(summary.fault_sets_per_sec)
-            << " fault-sets/sec\n";
+            << " fault-sets/sec\n"
+            << "executor: " << executor_stats_str(summary.executor) << '\n';
   return 0;
 }
 
@@ -384,7 +396,8 @@ int cmd_serve(const std::vector<std::string>& args) {
                 << " req/sec; registry hits=" << p.registry.hits
                 << " builds=" << p.registry.builds
                 << " evictions=" << p.registry.evictions
-                << " resident_bytes=" << p.registry.resident_bytes << '\n';
+                << " resident_bytes=" << p.registry.resident_bytes
+                << "; executor " << executor_stats_str(p.executor) << '\n';
     };
   }
 
@@ -416,7 +429,8 @@ int cmd_serve(const std::vector<std::string>& args) {
             << " builds=" << summary.registry.builds
             << " evictions=" << summary.registry.evictions
             << " resident=" << summary.registry.resident_tables << " table(s), "
-            << summary.registry.resident_bytes << " bytes\n";
+            << summary.registry.resident_bytes << " bytes\n"
+            << "executor: " << executor_stats_str(summary.executor) << '\n';
   return summary.errors == 0 ? 0 : 1;
 }
 
