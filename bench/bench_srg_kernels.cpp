@@ -1,0 +1,191 @@
+// Experiment E24: SRG evaluation at memory speed. The three evaluation
+// kernels (fault/srg_engine.hpp) on the exhaustive Gray certification
+// workload — the f <= 3 fast path behind check_tolerance and the CLI's
+// `sweep --exhaustive`:
+//   * scalar — queue BFS + O(delta) strike/unstrike (the previous engine,
+//     kept as the differential oracle);
+//   * bitset — word-packed frontier/visited bitmaps with a direction-
+//     optimizing top-down/bottom-up switch;
+//   * packed — 64 Gray-adjacent fault sets evaluated per pass, one uint64
+//     lane-set per route/pair/node (route liveness, arc counts, and
+//     reachability as AND/OR/popcount).
+// The headline acceptance metric lives in BENCH_srg_kernels.json:
+// bench_srg_kernels_exhaustive/kernel:2 (packed) must show >= 5x the
+// items_per_second of /kernel:0 (scalar) on the exhaustive f=2 kernel/torus
+// sweep. All kernels produce bit-identical sweeps (tests/test_srg_kernels
+// pins that); only throughput may differ. Single-threaded and CPU-time
+// based, so the ratios are meaningful on the 1-core CI runner.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/ftroute.hpp"
+
+namespace {
+
+using namespace ftr;
+
+SrgKernel kernel_from_range(std::int64_t r) {
+  switch (r) {
+    case 0: return SrgKernel::kScalar;
+    case 1: return SrgKernel::kBitset;
+    default: return SrgKernel::kPacked;
+  }
+}
+
+// Wall-clock overview across kernels and fault budgets, plus the cross-
+// kernel checksum that makes the speedups honest: every kernel must report
+// the same worst diameter, histogram mass, and disconnect count.
+void table_kernel_throughput() {
+  std::cout << "-- Exhaustive Gray sweep throughput by kernel --\n";
+  Table table({"graph", "f", "sets", "scalar sets/s", "bitset sets/s",
+               "packed sets/s", "bitset/scalar", "packed/scalar"});
+  using clock = std::chrono::steady_clock;
+  struct Entry {
+    std::string graph;
+    Graph g;
+    RoutingTable rt;
+  };
+  std::vector<Entry> entries;
+  {
+    const auto gg = torus_graph(6, 6);
+    entries.push_back({gg.name, gg.graph,
+                       build_kernel_routing(gg.graph, 3).table});
+  }
+  {
+    const auto gg = cube_connected_cycles(4);
+    entries.push_back({gg.name, gg.graph,
+                       build_kernel_routing(gg.graph, 2).table});
+  }
+  for (const auto& e : entries) {
+    const SrgIndex index(e.rt);
+    for (std::size_t f : {2u, 3u}) {
+      const auto count = binomial(e.g.num_nodes(), f);
+      double rate[3] = {0, 0, 0};
+      std::uint32_t worst[3] = {0, 0, 0};
+      std::uint64_t disconnected[3] = {0, 0, 0};
+      for (int k = 0; k < 3; ++k) {
+        FaultSweepOptions opts;
+        opts.kernel = kernel_from_range(k);
+        const auto t0 = clock::now();
+        const auto summary = sweep_exhaustive_gray(e.rt, index, f, opts);
+        const auto t1 = clock::now();
+        const double secs =
+            std::chrono::duration<double>(t1 - t0).count();
+        rate[k] = secs > 0 ? static_cast<double>(summary.total_sets) / secs
+                           : 0.0;
+        worst[k] = summary.worst_diameter;
+        disconnected[k] = summary.disconnected;
+      }
+      FTR_ASSERT_MSG(worst[0] == worst[1] && worst[1] == worst[2] &&
+                         disconnected[0] == disconnected[1] &&
+                         disconnected[1] == disconnected[2],
+                     "kernels disagree on the exhaustive sweep");
+      table.add_row({e.graph, Table::cell(f), Table::cell(count),
+                     Table::cell(rate[0], 0), Table::cell(rate[1], 0),
+                     Table::cell(rate[2], 0),
+                     Table::cell(rate[1] / rate[0], 1),
+                     Table::cell(rate[2] / rate[0], 1)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "(same sweeps, same answers — the ratio columns are pure"
+            << " kernel speedup; timings here are one-shot, the registered"
+            << " benchmarks below are the recorded numbers)\n\n";
+}
+
+// THE acceptance benchmark: exhaustive f=2 sweep of the kernel/torus table,
+// one registered case per kernel. items_per_second is fault-sets/sec;
+// /kernel:2 (packed) vs /kernel:0 (scalar) is the >= 5x claim.
+void bench_srg_kernels_exhaustive(benchmark::State& state) {
+  const auto gg = torus_graph(6, 6);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  const SrgIndex index(kr.table);
+  const auto count = binomial(gg.graph.num_nodes(), 2);
+  FaultSweepOptions opts;
+  opts.kernel = kernel_from_range(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sweep_exhaustive_gray(kr.table, index, 2, opts));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * count));
+  state.SetLabel(srg_kernel_name(opts.kernel));
+}
+BENCHMARK(bench_srg_kernels_exhaustive)
+    ->ArgName("kernel")
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2);
+
+// The f=3 budget (7140 sets): deeper Gray blocks amortize the packed
+// kernel's per-block setup better, so this is its best case on 36 nodes.
+void bench_srg_kernels_exhaustive_f3(benchmark::State& state) {
+  const auto gg = torus_graph(6, 6);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  const SrgIndex index(kr.table);
+  const auto count = binomial(gg.graph.num_nodes(), 3);
+  FaultSweepOptions opts;
+  opts.kernel = kernel_from_range(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sweep_exhaustive_gray(kr.table, index, 3, opts));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * count));
+  state.SetLabel(srg_kernel_name(opts.kernel));
+}
+BENCHMARK(bench_srg_kernels_exhaustive_f3)
+    ->ArgName("kernel")
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2);
+
+// Streamed (non-Gray) sweeps cannot use the packed kernel; what they get
+// from the refactor is the bitset BFS. Scalar vs bitset on the sampled
+// stream the CLI's default `sweep` runs.
+void bench_srg_kernels_stream(benchmark::State& state) {
+  const auto gg = torus_graph(6, 6);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  const SrgIndex index(kr.table);
+  constexpr std::uint64_t kSets = 512;
+  FaultSweepOptions opts;
+  opts.kernel = kernel_from_range(state.range(0));
+  for (auto _ : state) {
+    SampledStreamSource source(gg.graph.num_nodes(), 3, kSets, 7);
+    benchmark::DoNotOptimize(
+        sweep_fault_source(kr.table, index, source, opts));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kSets));
+  state.SetLabel(srg_kernel_name(opts.kernel));
+}
+BENCHMARK(bench_srg_kernels_stream)->ArgName("kernel")->Arg(0)->Arg(1);
+
+// Single-set evaluation latency (the serving layer's per-request shape):
+// one evaluate() against reused scratch, scalar vs bitset.
+void bench_srg_kernels_single_set(benchmark::State& state) {
+  const auto gg = torus_graph(6, 6);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  const SrgIndex index(kr.table);
+  SrgScratch scratch(index);
+  scratch.set_kernel(kernel_from_range(state.range(0)));
+  Rng rng(9);
+  const auto sets = random_fault_sets(gg.graph.num_nodes(), 3, 64, rng);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scratch.evaluate(sets[i++ % sets.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel(srg_kernel_name(scratch.kernel()));
+}
+BENCHMARK(bench_srg_kernels_single_set)->ArgName("kernel")->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ftr::bench::banner("E24", "SRG evaluation kernels",
+                     "bitset BFS + 64-sets-per-word packed Gray evaluation");
+  table_kernel_throughput();
+  return ftr::bench::run_registered_benchmarks(argc, argv);
+}

@@ -20,7 +20,7 @@ set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-.}"
-FILTER="${BENCH_FILTER:-surviving_diameter|fault_sweep|componentwise_sweep|gray_vs_rebuild|table_registry|parallel_executor}"
+FILTER="${BENCH_FILTER:-surviving_diameter|fault_sweep|componentwise_sweep|gray_vs_rebuild|srg_kernels|table_registry|parallel_executor}"
 HOST_CORES="$(nproc 2>/dev/null || echo 1)"
 mkdir -p "${OUT_DIR}"
 
@@ -66,7 +66,8 @@ with open(path, "w") as f:
 PY
 }
 
-BENCHES=(bench_recovery bench_comparison bench_table_registry bench_parallel_executor)
+BENCHES=(bench_recovery bench_comparison bench_srg_kernels bench_table_registry bench_parallel_executor)
+WRITTEN_JSONS=()
 
 for bench in "${BENCHES[@]}"; do
   bin="${BUILD_DIR}/${bench}"
@@ -107,7 +108,32 @@ for bench in "${BENCHES[@]}"; do
   else
     "${bench_cmd[@]}"
   fi
+  WRITTEN_JSONS+=("${out}")
 done
+
+# A filter alternative that matches nothing is a silently skipped
+# acceptance metric (a typo'd BENCH_FILTER, or a renamed benchmark, would
+# otherwise just drop its baseline from the JSONs). Check post hoc against
+# the names the runs actually recorded — cheaper than --benchmark_list_tests,
+# which would execute every binary's expensive table preamble a second time.
+if [[ "${#WRITTEN_JSONS[@]}" -gt 0 ]]; then
+  IFS='|' read -r -a FILTER_ALTS <<< "${FILTER}"
+  for alt in "${FILTER_ALTS[@]}"; do
+    [[ -z "${alt}" ]] && continue
+    matched=0
+    for json in "${WRITTEN_JSONS[@]}"; do
+      if grep -E -- '"name": "' "${json}" | grep -E -q -- "${alt}"; then
+        matched=1
+        break
+      fi
+    done
+    if [[ "${matched}" -eq 0 ]]; then
+      echo "error: BENCH_FILTER alternative '${alt}' matched no benchmark" >&2
+      echo "       in: ${WRITTEN_JSONS[*]}" >&2
+      exit 1
+    fi
+  done
+fi
 
 echo "done; baselines:"
 ls -1 "${OUT_DIR}"/BENCH_*.json

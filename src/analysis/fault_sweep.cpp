@@ -206,6 +206,7 @@ FaultSweepSummary sweep_stream_impl(const RoutingTable& table,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
           (void)chunk;
           SrgScratch scratch(index);
+          scratch.set_kernel(options.kernel);
           for (std::size_t i = begin; i < end; ++i) {
             records[i] =
                 evaluate_one(table, scratch, batch[i], options, base + i);
@@ -265,12 +266,34 @@ FaultSweepSummary sweep_exhaustive_gray(const RoutingTable& table,
         static_cast<std::size_t>(std::min<std::uint64_t>(batch_items,
                                                          total - base));
     ExecutorStats batch_stats;
+    // Packed evaluates 64 Gray-adjacent sets per bit-parallel pass, but
+    // cannot materialize per-set surviving graphs — delivery sampling
+    // degrades it to the incremental (bitset) path.
+    const bool packed = (options.kernel == SrgKernel::kAuto ||
+                         options.kernel == SrgKernel::kPacked) &&
+                        options.delivery_pairs == 0;
     parallel_for_chunks(
         filled, workers, batch_size,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
           (void)chunk;
           SrgScratch scratch(index);
+          scratch.set_kernel(options.kernel);
           GraySubsetEnumerator e(n, f, base + begin);
+          if (packed) {
+            SrgScratch::Result res[64];
+            std::size_t r = begin;
+            while (r < end) {
+              const std::size_t cnt = std::min<std::size_t>(64, end - r);
+              scratch.evaluate_gray_block(e, cnt, res);
+              for (std::size_t i = 0; i < cnt; ++i) {
+                records[r + i] = {res[i].diameter, res[i].survivors,
+                                  res[i].arcs, {}};
+              }
+              r += cnt;
+              if (r < end) e.advance();
+            }
+            return;
+          }
           std::vector<Node> faults(e.current().begin(), e.current().end());
           scratch.begin_incremental(faults);
           for (std::size_t r = begin; r < end; ++r) {

@@ -156,6 +156,12 @@ struct FaultSweepOptions {
   /// thread and never races the workers.
   std::uint64_t progress_every = 0;
   std::function<void(const FaultSweepProgress&)> on_progress;
+  /// Evaluation kernel (see fault/srg_engine.hpp). Results never depend on
+  /// it. kAuto runs streamed sets on the bitset kernel and exhaustive Gray
+  /// sweeps on the packed one; packed requires Gray adjacency, so for
+  /// streamed sources — and for exhaustive sweeps that must materialize
+  /// per-set graphs (delivery_pairs > 0) — kPacked degrades to bitset.
+  SrgKernel kernel = SrgKernel::kAuto;
 };
 
 struct FaultSweepRecord {

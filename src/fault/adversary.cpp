@@ -167,11 +167,58 @@ AdversaryResult exhaustive_worst_faults_gray(const SrgIndex& index,
   FTR_EXPECTS_MSG(total != ~std::uint64_t{0},
                   "C(" << n << "," << f << ") saturated; not enumerable");
   const auto count = static_cast<std::size_t>(total);
+  const bool packed = exec.kernel == SrgKernel::kAuto ||
+                      exec.kernel == SrgKernel::kPacked;
+  if (packed) {
+    // 64 Gray-adjacent sets per bit-parallel pass. The lanes of each block
+    // are consumed in rank order, so the running best, the evaluation
+    // count, and the early-stop point are exactly the serial scan's; the
+    // witness is unranked from the winning rank at chunk end (sorted
+    // ascending, like the enumerator's current()). aborted() is polled per
+    // block instead of per rank — a pure optimization either way, since the
+    // ordered merge discards aborted partials.
+    return chunked_rank_scan(
+        count, resolve_threads(exec.threads),
+        [&](SearchPartial& p, std::size_t begin, std::size_t end,
+            const auto& aborted) {
+          SrgScratch scratch(index);
+          GraySubsetEnumerator e(n, f, begin);
+          SrgScratch::Result res[64];
+          std::uint64_t best_rank = begin;
+          std::size_t r = begin;
+          while (r < end) {
+            if (aborted()) return;
+            const std::size_t cnt = std::min<std::size_t>(64, end - r);
+            scratch.evaluate_gray_block(e, cnt, res);
+            for (std::size_t i = 0; i < cnt; ++i) {
+              const std::uint32_t d = res[i].diameter;
+              ++p.evaluations;
+              if (!p.any || d > p.d) {
+                p.any = true;
+                p.d = d;
+                best_rank = r + i;
+              }
+              if (stop_above != 0 && d > stop_above) {
+                p.stopped = true;
+                break;
+              }
+            }
+            if (p.stopped) break;
+            r += cnt;
+            if (r < end) e.advance();
+          }
+          if (p.any) {
+            const auto worst = gray_subset_at_rank(n, f, best_rank);
+            p.faults.assign(worst.begin(), worst.end());
+          }
+        });
+  }
   return chunked_rank_scan(
       count, resolve_threads(exec.threads),
       [&](SearchPartial& p, std::size_t begin, std::size_t end,
           const auto& aborted) {
         SrgScratch scratch(index);
+        scratch.set_kernel(exec.kernel);
         GraySubsetEnumerator e(n, f, begin);
         std::vector<Node> faults(e.current().begin(), e.current().end());
         scratch.begin_incremental(faults);

@@ -44,6 +44,11 @@ struct SearchExecution {
   /// Worker threads to fan chunks across; 0 = all hardware threads. Results
   /// never depend on this value.
   unsigned threads = 1;
+  /// Evaluation kernel for the searchers that own their scratches
+  /// (exhaustive_worst_faults_gray). Results never depend on it; kAuto runs
+  /// the Gray scan packed (64 sets per bit-parallel pass). Factory-form
+  /// searchers bake the kernel into their evaluators instead.
+  SrgKernel kernel = SrgKernel::kAuto;
 };
 
 struct AdversaryResult {

@@ -1,11 +1,41 @@
 #include "fault/srg_engine.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 
 #include "common/contracts.hpp"
 #include "graph/bfs.hpp"
 
 namespace ftr {
+
+namespace {
+constexpr std::size_t kLaneBits = 64;
+
+std::size_t bit_words(std::size_t n) { return (n + kLaneBits - 1) / kLaneBits; }
+}  // namespace
+
+const char* srg_kernel_name(SrgKernel kernel) {
+  switch (kernel) {
+    case SrgKernel::kAuto:
+      return "auto";
+    case SrgKernel::kScalar:
+      return "scalar";
+    case SrgKernel::kBitset:
+      return "bitset";
+    case SrgKernel::kPacked:
+      return "packed";
+  }
+  return "auto";
+}
+
+std::optional<SrgKernel> parse_srg_kernel(std::string_view name) {
+  if (name == "auto") return SrgKernel::kAuto;
+  if (name == "scalar") return SrgKernel::kScalar;
+  if (name == "bitset") return SrgKernel::kBitset;
+  if (name == "packed") return SrgKernel::kPacked;
+  return std::nullopt;
+}
 
 SrgIndex::SrgIndex(const RoutingTable& table) : n_(table.num_nodes()) {
   route_nodes_.reserve(table.arena_size());
@@ -63,6 +93,28 @@ void SrgIndex::finalize_routes() {
       node_route_ids_[cursor[route_nodes_[i]]++] = r;
     }
   }
+
+  // Packed-kernel support: pair -> contiguous route-id range. Both table
+  // constructors emit a pair's routes back to back, which the kill-mask AND
+  // in evaluate_gray_block() relies on — assert rather than assume.
+  pair_route_off_.assign(num_pairs_ + 1, 0);
+  for (std::size_t p = 0; p < num_pairs_; ++p) {
+    pair_route_off_[p + 1] = pair_route_off_[p] + pair_route_count_[p];
+  }
+  for (std::uint32_t r = 0; r < num_routes; ++r) {
+    const std::uint32_t pid = route_pair_[r];
+    FTR_ASSERT(r >= pair_route_off_[pid] && r < pair_route_off_[pid + 1]);
+  }
+  // Ordered pairs grouped by source node (counting sort): the adjacency the
+  // lane-parallel BFS walks.
+  src_pair_off_.assign(n_ + 1, 0);
+  for (Node s : pair_src_) ++src_pair_off_[s + 1];
+  for (std::size_t i = 1; i <= n_; ++i) src_pair_off_[i] += src_pair_off_[i - 1];
+  src_pair_ids_.resize(num_pairs_);
+  cursor.assign(src_pair_off_.begin(), src_pair_off_.end() - 1);
+  for (std::uint32_t pid = 0; pid < num_pairs_; ++pid) {
+    src_pair_ids_[cursor[pair_src_[pid]]++] = pid;
+  }
 }
 
 std::size_t SrgIndex::memory_bytes() const {
@@ -75,7 +127,10 @@ std::size_t SrgIndex::memory_bytes() const {
          pair_dst_.capacity() * sizeof(Node) +
          pair_route_count_.capacity() * sizeof(std::uint32_t) +
          node_route_off_.capacity() * sizeof(std::uint32_t) +
-         node_route_ids_.capacity() * sizeof(std::uint32_t);
+         node_route_ids_.capacity() * sizeof(std::uint32_t) +
+         pair_route_off_.capacity() * sizeof(std::uint32_t) +
+         src_pair_off_.capacity() * sizeof(std::uint32_t) +
+         src_pair_ids_.capacity() * sizeof(std::uint32_t);
 }
 
 SrgScratch::SrgScratch(const SrgIndex& index) : index_(&index) {
@@ -89,6 +144,10 @@ SrgScratch::SrgScratch(const SrgIndex& index) : index_(&index) {
   dist_.assign(n, 0);
   queue_.reserve(n);
   arcs_.reserve(index.num_pairs_);
+  words_ = bit_words(n);
+  visited_bits_.assign(words_, 0);
+  frontier_bits_.assign(words_, 0);
+  next_bits_.assign(words_, 0);
 }
 
 void SrgScratch::reset() {
@@ -99,6 +158,8 @@ void SrgScratch::reset() {
   epoch_ = 0;
   bfs_epoch_ = 0;
   inc_active_ = false;
+  inc_bits_active_ = false;
+  bits_valid_ = false;
 }
 
 void SrgScratch::set_epochs_for_testing(std::uint32_t epoch) {
@@ -149,6 +210,7 @@ std::uint32_t SrgScratch::strike(std::span<const Node> faults) {
   arc_tgt_.resize(arcs_.size());
   std::copy(arc_off_.begin(), arc_off_.end() - 1, arc_cursor_.begin());
   for (const auto& [src, dst] : arcs_) arc_tgt_[arc_cursor_[src]++] = dst;
+  bits_valid_ = false;  // bitset view of this set is rebuilt on demand
   return survivors;
 }
 
@@ -181,12 +243,144 @@ std::uint32_t SrgScratch::bfs_from(Node s, std::uint32_t* reached_out) {
   return ecc;
 }
 
+void SrgScratch::ensure_bits() {
+  if (bits_valid_) return;
+  const SrgIndex& ix = *index_;
+  const std::size_t n = ix.n_;
+  if (succ_bits_.empty()) {
+    succ_bits_.resize(n * words_);
+    pred_bits_.resize(n * words_);
+    alive_bits_.resize(words_);
+  }
+  std::fill(succ_bits_.begin(), succ_bits_.end(), 0);
+  std::fill(pred_bits_.begin(), pred_bits_.end(), 0);
+  std::fill(alive_bits_.begin(), alive_bits_.end(), 0);
+  for (Node v = 0; v < n; ++v) {
+    if (fault_stamp_[v] != epoch_) {
+      alive_bits_[v >> 6] |= std::uint64_t{1} << (v & 63);
+    }
+  }
+  for (const auto& [src, dst] : arcs_) {
+    succ_bits_[src * words_ + (dst >> 6)] |= std::uint64_t{1} << (dst & 63);
+    pred_bits_[dst * words_ + (src >> 6)] |= std::uint64_t{1} << (src & 63);
+  }
+  bits_valid_ = true;
+}
+
+std::uint32_t SrgScratch::bfs_from_bits(const std::uint64_t* succ,
+                                        const std::uint64_t* pred,
+                                        const std::uint64_t* alive,
+                                        std::uint32_t survivors, Node s,
+                                        std::uint32_t* reached_out,
+                                        bool fill_dist) {
+  const std::size_t W = words_;
+  std::fill_n(visited_bits_.data(), W, 0);
+  std::fill_n(frontier_bits_.data(), W, 0);
+  const std::uint64_t sbit = std::uint64_t{1} << (s & 63);
+  visited_bits_[s >> 6] = sbit;
+  frontier_bits_[s >> 6] = sbit;
+  if (fill_dist) dist_[s] = 0;
+  std::uint32_t reached = 1;
+  std::uint32_t ecc = 0;
+  std::uint32_t level = 0;
+  std::uint32_t frontier_count = 1;
+  while (frontier_count > 0 && reached < survivors) {
+    ++level;
+    const std::uint32_t unvisited = survivors - reached;
+    // Direction switch on frontier density: top-down ORs one succ row per
+    // frontier node; bottom-up probes each unvisited survivor's pred row
+    // against the frontier (with early exit), which wins once the frontier
+    // is a sizable fraction of what is left — the common regime here, since
+    // surviving route graphs are near-complete. The reached SET is
+    // direction-invariant, so the choice never changes any result.
+    const bool bottom_up =
+        static_cast<std::uint64_t>(frontier_count) * 4 >= unvisited;
+    if (bottom_up) {
+      for (std::size_t w = 0; w < W; ++w) {
+        std::uint64_t cand = alive[w] & ~visited_bits_[w];
+        std::uint64_t add = 0;
+        while (cand != 0) {
+          const int b = std::countr_zero(cand);
+          cand &= cand - 1;
+          const std::uint64_t* row = pred + (w * kLaneBits + b) * W;
+          for (std::size_t ww = 0; ww < W; ++ww) {
+            if ((row[ww] & frontier_bits_[ww]) != 0) {
+              add |= std::uint64_t{1} << b;
+              break;
+            }
+          }
+        }
+        next_bits_[w] = add;
+      }
+    } else {
+      std::fill_n(next_bits_.data(), W, 0);
+      for (std::size_t w = 0; w < W; ++w) {
+        std::uint64_t fm = frontier_bits_[w];
+        while (fm != 0) {
+          const int b = std::countr_zero(fm);
+          fm &= fm - 1;
+          const std::uint64_t* row = succ + (w * kLaneBits + b) * W;
+          for (std::size_t ww = 0; ww < W; ++ww) next_bits_[ww] |= row[ww];
+        }
+      }
+      for (std::size_t w = 0; w < W; ++w) next_bits_[w] &= ~visited_bits_[w];
+    }
+    std::uint32_t grew = 0;
+    for (std::size_t w = 0; w < W; ++w) {
+      visited_bits_[w] |= next_bits_[w];
+      grew += static_cast<std::uint32_t>(std::popcount(next_bits_[w]));
+    }
+    if (grew == 0) break;
+    reached += grew;
+    ecc = level;
+    if (fill_dist) {
+      for (std::size_t w = 0; w < W; ++w) {
+        std::uint64_t m = next_bits_[w];
+        while (m != 0) {
+          const int b = std::countr_zero(m);
+          m &= m - 1;
+          dist_[w * kLaneBits + b] = level;
+        }
+      }
+    }
+    frontier_bits_.swap(next_bits_);
+    frontier_count = grew;
+  }
+  if (reached_out != nullptr) *reached_out = reached;
+  return ecc;
+}
+
+template <typename FaultyFn>
+std::uint32_t SrgScratch::bitset_diameter(const std::uint64_t* succ,
+                                          const std::uint64_t* pred,
+                                          const std::uint64_t* alive,
+                                          std::uint32_t survivors,
+                                          FaultyFn&& faulty) {
+  std::uint32_t diam = 0;
+  for (Node s = 0; s < index_->n_; ++s) {
+    if (faulty(s)) continue;
+    std::uint32_t reached = 0;
+    const std::uint32_t ecc =
+        bfs_from_bits(succ, pred, alive, survivors, s, &reached, false);
+    if (reached < survivors) return kUnreachable;
+    diam = std::max(diam, ecc);
+  }
+  return diam;
+}
+
 SrgScratch::Result SrgScratch::evaluate(std::span<const Node> faults) {
   const std::uint32_t survivors = strike(faults);
   Result res;
   res.survivors = survivors;
   res.arcs = static_cast<std::uint32_t>(arcs_.size());
   if (survivors <= 1) return res;  // diameter 0 by convention
+  if (single_set_kernel() == SrgKernel::kBitset) {
+    ensure_bits();
+    res.diameter = bitset_diameter(
+        succ_bits_.data(), pred_bits_.data(), alive_bits_.data(), survivors,
+        [this](Node v) { return fault_stamp_[v] == epoch_; });
+    return res;
+  }
   std::uint32_t diam = 0;
   for (Node s = 0; s < index_->n_; ++s) {
     if (fault_stamp_[s] == epoch_) continue;
@@ -231,23 +425,59 @@ void SrgScratch::begin_incremental(std::span<const Node> faults) {
   }
   inc_survivors_ = static_cast<std::uint32_t>(ix.n_);
   inc_arcs_ = static_cast<std::uint32_t>(ix.num_pairs_);
+  // Latch "maintain bitmaps?" for this incremental session: a scalar-only
+  // walk must not pay the O(n^2 / 8) mirror, and strike()/unstrike() need
+  // one consistent answer for its whole lifetime.
+  inc_bits_active_ = (kernel_ != SrgKernel::kScalar);
+  if (inc_bits_active_) {
+    inc_succ_bits_.assign(ix.n_ * words_, 0);
+    inc_pred_bits_.assign(ix.n_ * words_, 0);
+    inc_alive_bits_.assign(words_, 0);
+    for (Node v = 0; v < ix.n_; ++v) {
+      inc_alive_bits_[v >> 6] |= std::uint64_t{1} << (v & 63);
+    }
+    for (std::uint32_t pid = 0; pid < ix.num_pairs_; ++pid) {
+      const Node src = ix.pair_src_[pid];
+      const Node dst = ix.pair_dst_[pid];
+      inc_succ_bits_[src * words_ + (dst >> 6)] |= std::uint64_t{1}
+                                                   << (dst & 63);
+      inc_pred_bits_[dst * words_ + (src >> 6)] |= std::uint64_t{1}
+                                                   << (src & 63);
+    }
+  }
   for (Node f : faults) strike(f);
 }
 
 void SrgScratch::inc_add_arc(std::uint32_t pair) {
-  auto& list = inc_adj_[index_->pair_src_[pair]];
+  const Node src = index_->pair_src_[pair];
+  const Node dst = index_->pair_dst_[pair];
+  auto& list = inc_adj_[src];
   inc_slot_[pair] = static_cast<std::uint32_t>(list.size());
-  list.push_back({index_->pair_dst_[pair], pair});
+  list.push_back({dst, pair});
   ++inc_arcs_;
+  if (inc_bits_active_) {
+    // Ordered pairs are unique, so arc <-> pair is one-to-one and the bit
+    // flip cannot clobber another pair's arc.
+    inc_succ_bits_[src * words_ + (dst >> 6)] |= std::uint64_t{1} << (dst & 63);
+    inc_pred_bits_[dst * words_ + (src >> 6)] |= std::uint64_t{1} << (src & 63);
+  }
 }
 
 void SrgScratch::inc_remove_arc(std::uint32_t pair) {
-  auto& list = inc_adj_[index_->pair_src_[pair]];
+  const Node src = index_->pair_src_[pair];
+  const Node dst = index_->pair_dst_[pair];
+  auto& list = inc_adj_[src];
   const std::uint32_t slot = inc_slot_[pair];
   list[slot] = list.back();
   inc_slot_[list[slot].pair] = slot;
   list.pop_back();
   --inc_arcs_;
+  if (inc_bits_active_) {
+    inc_succ_bits_[src * words_ + (dst >> 6)] &=
+        ~(std::uint64_t{1} << (dst & 63));
+    inc_pred_bits_[dst * words_ + (src >> 6)] &=
+        ~(std::uint64_t{1} << (src & 63));
+  }
 }
 
 void SrgScratch::strike(Node v) {
@@ -257,6 +487,9 @@ void SrgScratch::strike(Node v) {
   FTR_EXPECTS_MSG(!inc_fault_[v], "node " << v << " already faulty");
   inc_fault_[v] = 1;
   --inc_survivors_;
+  if (inc_bits_active_) {
+    inc_alive_bits_[v >> 6] &= ~(std::uint64_t{1} << (v & 63));
+  }
   for (std::uint32_t i = ix.node_route_off_[v]; i < ix.node_route_off_[v + 1];
        ++i) {
     const std::uint32_t r = ix.node_route_ids_[i];
@@ -273,6 +506,9 @@ void SrgScratch::unstrike(Node v) {
   FTR_EXPECTS_MSG(inc_fault_[v], "node " << v << " is not faulty");
   inc_fault_[v] = 0;
   ++inc_survivors_;
+  if (inc_bits_active_) {
+    inc_alive_bits_[v >> 6] |= std::uint64_t{1} << (v & 63);
+  }
   for (std::uint32_t i = ix.node_route_off_[v]; i < ix.node_route_off_[v + 1];
        ++i) {
     const std::uint32_t r = ix.node_route_ids_[i];
@@ -317,6 +553,12 @@ SrgScratch::Result SrgScratch::evaluate_incremental() {
   res.survivors = inc_survivors_;
   res.arcs = inc_arcs_;
   if (inc_survivors_ <= 1) return res;  // diameter 0 by convention
+  if (inc_bits_active_ && single_set_kernel() == SrgKernel::kBitset) {
+    res.diameter = bitset_diameter(
+        inc_succ_bits_.data(), inc_pred_bits_.data(), inc_alive_bits_.data(),
+        inc_survivors_, [this](Node v) { return inc_fault_[v] != 0; });
+    return res;
+  }
   std::uint32_t diam = 0;
   for (Node s = 0; s < index_->n_; ++s) {
     if (inc_fault_[s]) continue;
@@ -354,12 +596,208 @@ Digraph SrgScratch::incremental_surviving_graph() const {
   return r;
 }
 
+// --- packed 64-way Gray mode -------------------------------------------------
+
+void SrgScratch::ensure_packed_state() {
+  if (!lane_node_mask_.empty()) return;
+  const SrgIndex& ix = *index_;
+  lane_node_mask_.assign(ix.n_, 0);
+  route_kill_mask_.assign(ix.route_src_.size(), 0);
+  pair_dead_mask_.assign(ix.num_pairs_, 0);
+  pair_dirty_.assign(ix.num_pairs_, 0);
+  pk_visited_.assign(ix.n_, 0);
+  pk_new_.assign(ix.n_, 0);
+  pk_next_mask_.assign(ix.n_, 0);
+  pk_frontier_.reserve(ix.n_);
+  pk_next_.reserve(ix.n_);
+}
+
+void SrgScratch::evaluate_gray_block(GraySubsetEnumerator& e,
+                                     std::size_t count, Result* out) {
+  FTR_EXPECTS(count >= 1 && count <= kLaneBits);
+  FTR_EXPECTS_MSG(e.valid(), "enumerator exhausted before the block");
+  ensure_packed_state();
+  const SrgIndex& ix = *index_;
+  const std::size_t n = ix.n_;
+  const std::uint64_t full_mask =
+      count == kLaneBits ? ~std::uint64_t{0}
+                         : (std::uint64_t{1} << count) - 1;
+
+  // (a) Lane membership: walk the count-1 revolving-door transitions once,
+  // accumulating per-node masks of the lanes in which the node is faulty.
+  const auto& first = e.current();
+  const std::size_t f = first.size();
+  pk_members_.assign(first.begin(), first.end());
+  lane_touched_.clear();
+  for (std::size_t lane = 0; lane < count; ++lane) {
+    if (lane > 0) {
+      const bool ok = e.advance();
+      FTR_EXPECTS_MSG(ok, "enumeration ended inside a packed block");
+      const GrayTransition& t = e.last_transition();
+      for (Node& m : pk_members_) {
+        if (m == static_cast<Node>(t.out)) {
+          m = static_cast<Node>(t.in);
+          break;
+        }
+      }
+    }
+    const std::uint64_t bit = std::uint64_t{1} << lane;
+    for (Node v : pk_members_) {
+      FTR_EXPECTS_MSG(v < n, "fault " << v << " out of range");
+      if (lane_node_mask_[v] == 0) lane_touched_.push_back(v);
+      lane_node_mask_[v] |= bit;
+    }
+  }
+
+  // (b) Route kill masks via the inverted index: a route is dead in every
+  // lane where some node on it is faulty.
+  pk_dirty_routes_.clear();
+  for (Node v : lane_touched_) {
+    const std::uint64_t m = lane_node_mask_[v];
+    for (std::uint32_t i = ix.node_route_off_[v]; i < ix.node_route_off_[v + 1];
+         ++i) {
+      const std::uint32_t r = ix.node_route_ids_[i];
+      if (route_kill_mask_[r] == 0) pk_dirty_routes_.push_back(r);
+      route_kill_mask_[r] |= m;
+    }
+  }
+
+  // (c) Pair dead masks: a pair is dead in the lanes where ALL of its
+  // routes are killed — an AND over its contiguous route range. Untouched
+  // pairs keep mask 0 (live in every lane).
+  pk_dirty_pairs_.clear();
+  std::array<std::uint32_t, kLaneBits> dead_pairs{};
+  for (std::uint32_t r : pk_dirty_routes_) {
+    const std::uint32_t pid = ix.route_pair_[r];
+    if (pair_dirty_[pid] != 0) continue;
+    pair_dirty_[pid] = 1;
+    pk_dirty_pairs_.push_back(pid);
+    std::uint64_t dead = ~std::uint64_t{0};
+    for (std::uint32_t rr = ix.pair_route_off_[pid];
+         rr < ix.pair_route_off_[pid + 1] && dead != 0; ++rr) {
+      dead &= route_kill_mask_[rr];
+    }
+    pair_dead_mask_[pid] = dead;
+    std::uint64_t m = dead & full_mask;
+    while (m != 0) {
+      ++dead_pairs[static_cast<std::size_t>(std::countr_zero(m))];
+      m &= m - 1;
+    }
+  }
+
+  // (d) Lane-parallel BFS: one uint64_t of lanes per node. A lane drops out
+  // of `active` once some source fails to reach every survivor in it (its
+  // diameter is then kUnreachable, matching the scalar early return).
+  const auto survivors = static_cast<std::uint32_t>(n - f);
+  std::array<std::uint32_t, kLaneBits> ecc{};
+  std::array<std::uint32_t, kLaneBits> diam{};
+  std::uint64_t disconnected = 0;
+  if (survivors >= 2) {
+    for (Node s = 0; s < n; ++s) {
+      const std::uint64_t active =
+          full_mask & ~lane_node_mask_[s] & ~disconnected;
+      if (active == 0) continue;
+      std::fill(pk_visited_.begin(), pk_visited_.end(), 0);
+      ecc.fill(0);
+      pk_visited_[s] = active;
+      pk_new_[s] = active;
+      pk_frontier_.clear();
+      pk_frontier_.push_back(s);
+      std::uint32_t level = 0;
+      while (!pk_frontier_.empty()) {
+        ++level;
+        pk_next_.clear();
+        for (Node u : pk_frontier_) {
+          const std::uint64_t fm = pk_new_[u];
+          for (std::uint32_t k = ix.src_pair_off_[u];
+               k < ix.src_pair_off_[u + 1]; ++k) {
+            const std::uint32_t pid = ix.src_pair_ids_[k];
+            const Node v = ix.pair_dst_[pid];
+            const std::uint64_t m =
+                fm & ~pair_dead_mask_[pid] & ~pk_visited_[v];
+            if (m == 0) continue;
+            if (pk_next_mask_[v] == 0) pk_next_.push_back(v);
+            pk_next_mask_[v] |= m;
+          }
+        }
+        for (Node u : pk_frontier_) pk_new_[u] = 0;
+        std::uint64_t grew = 0;
+        for (Node v : pk_next_) {
+          const std::uint64_t m = pk_next_mask_[v];
+          pk_next_mask_[v] = 0;
+          pk_new_[v] = m;
+          pk_visited_[v] |= m;
+          grew |= m;
+        }
+        pk_frontier_.swap(pk_next_);
+        while (grew != 0) {
+          ecc[static_cast<std::size_t>(std::countr_zero(grew))] = level;
+          grew &= grew - 1;
+        }
+      }
+      // A lane reached every survivor iff every node is visited-or-faulty.
+      std::uint64_t ok = active;
+      for (Node v = 0; v < n && ok != 0; ++v) {
+        ok &= pk_visited_[v] | lane_node_mask_[v];
+      }
+      disconnected |= active & ~ok;
+      std::uint64_t fin = active & ok;
+      while (fin != 0) {
+        const auto j = static_cast<std::size_t>(std::countr_zero(fin));
+        fin &= fin - 1;
+        diam[j] = std::max(diam[j], ecc[j]);
+      }
+      if (disconnected == full_mask) break;
+    }
+  }
+
+  for (std::size_t lane = 0; lane < count; ++lane) {
+    out[lane].survivors = survivors;
+    out[lane].arcs = static_cast<std::uint32_t>(ix.num_pairs_) -
+                     dead_pairs[lane];
+    out[lane].diameter =
+        survivors <= 1 ? 0
+        : (disconnected >> lane) & 1 ? kUnreachable
+                                     : diam[lane];
+  }
+
+  // Sparse cleanup: only the lanes' footprint was written.
+  for (Node v : lane_touched_) lane_node_mask_[v] = 0;
+  lane_touched_.clear();
+  for (std::uint32_t r : pk_dirty_routes_) route_kill_mask_[r] = 0;
+  pk_dirty_routes_.clear();
+  for (std::uint32_t pid : pk_dirty_pairs_) {
+    pair_dead_mask_[pid] = 0;
+    pair_dirty_[pid] = 0;
+  }
+  pk_dirty_pairs_.clear();
+}
+
 std::uint32_t SrgScratch::componentwise_diameter(
     std::span<const Node> faults, std::span<const std::uint32_t> comp) {
   FTR_EXPECTS(comp.size() == index_->n_);
   const std::uint32_t survivors = strike(faults);
   if (survivors <= 1) return 0;
   std::uint32_t worst = 0;
+  if (single_set_kernel() == SrgKernel::kBitset) {
+    // Same per-source scan, reachability answered from the visited bitmap
+    // and distances from the per-level dist_ fill (BFS levels are unique,
+    // so dist_ is kernel-invariant).
+    ensure_bits();
+    for (Node s = 0; s < index_->n_; ++s) {
+      if (fault_stamp_[s] == epoch_) continue;
+      bfs_from_bits(succ_bits_.data(), pred_bits_.data(), alive_bits_.data(),
+                    survivors, s, nullptr, /*fill_dist=*/true);
+      for (Node t = 0; t < index_->n_; ++t) {
+        if (t == s || fault_stamp_[t] == epoch_ || comp[t] != comp[s]) continue;
+        if ((visited_bits_[t >> 6] & (std::uint64_t{1} << (t & 63))) == 0) {
+          return kUnreachable;
+        }
+        worst = std::max(worst, dist_[t]);
+      }
+    }
+    return worst;
+  }
   for (Node s = 0; s < index_->n_; ++s) {
     if (fault_stamp_[s] == epoch_) continue;
     bfs_from(s, nullptr);

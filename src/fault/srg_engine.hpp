@@ -46,19 +46,59 @@
 // some route rho(x, y) avoids every fault (endpoints included), and the
 // diameter is the directed max over ordered survivor pairs (kUnreachable if
 // any pair cannot route, 0 when fewer than two survivors remain).
+//
+// EVALUATION KERNELS. The diameter BFS dominates every evaluation (the
+// surviving route graph is near-complete — one arc per ordered pair with a
+// live route — so each BFS touches ~n^2 arcs), and SrgScratch offers three
+// interchangeable kernels for it, selected via set_kernel():
+//
+//  * kScalar — the original stamped-queue BFS over the scratch CSR. Kept as
+//    the differential oracle every other kernel is tested against.
+//  * kBitset — word-packed frontier/visited bitmaps with a
+//    direction-optimizing (top-down/bottom-up) switch driven by frontier
+//    density. The surviving route graphs are dense-frontier for most of
+//    each BFS, exactly the regime where bottom-up's "scan unvisited nodes,
+//    test predecessor rows" wins. On the incremental path the adjacency
+//    bitmaps are maintained O(delta) by strike()/unstrike().
+//  * kPacked — evaluate_gray_block(): 64 adjacent revolving-door fault sets
+//    evaluated against one uint64_t lane-set at a time. Per-route kill
+//    masks, per-pair dead masks, and a lane-parallel BFS turn route
+//    liveness, arc counts, and reachability into AND/OR/popcount over
+//    words. Packed applies ONLY to Gray-adjacent streams (the exhaustive
+//    sweeps); for single-set evaluation it degrades to kBitset.
+//  * kAuto (default) — bitset for single sets; consumers that enumerate in
+//    Gray order (sweep_exhaustive_gray, exhaustive_worst_faults_gray) pick
+//    packed when no per-set materialization is needed.
+//
+// All kernels produce bit-identical Results for every fault set — pinned by
+// the differential suite in tests/test_srg_kernels.cpp — so kernel choice,
+// like thread count and batch size, never leaks into any output.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
+#include <string_view>
 #include <vector>
 
+#include "common/combinatorics.hpp"
 #include "graph/digraph.hpp"
 #include "graph/graph.hpp"
 #include "routing/multi_route_table.hpp"
 #include "routing/route_table.hpp"
 
 namespace ftr {
+
+/// BFS kernel selection for SRG evaluation. Every kernel returns
+/// bit-identical results; only throughput differs. See the header comment.
+enum class SrgKernel : std::uint8_t { kAuto, kScalar, kBitset, kPacked };
+
+/// "auto" / "scalar" / "bitset" / "packed".
+const char* srg_kernel_name(SrgKernel kernel);
+
+/// Inverse of srg_kernel_name; nullopt on unknown names.
+std::optional<SrgKernel> parse_srg_kernel(std::string_view name);
 
 /// Immutable preprocessing of one routing table: flattened routes plus the
 /// node -> routes inverted index. Thread-safe to share by const reference
@@ -95,6 +135,16 @@ class SrgIndex {
   std::vector<std::uint32_t> pair_route_count_;  // routes per ordered pair
   std::vector<std::uint32_t> node_route_off_;  // node -> routes through it
   std::vector<std::uint32_t> node_route_ids_;
+
+  // Packed-kernel support. Routes of one ordered pair occupy a contiguous
+  // route-id range (both table constructors emit them that way; finalize
+  // asserts it), so a pair's routes are [pair_route_off_[p],
+  // pair_route_off_[p + 1]). src_pair_* lists the ordered pairs by source
+  // node — the adjacency the lane-parallel BFS walks, since in packed mode
+  // "arc" and "pair with a live route" coincide.
+  std::vector<std::uint32_t> pair_route_off_;  // pair -> first route id
+  std::vector<std::uint32_t> src_pair_off_;    // node -> pairs sourced at it
+  std::vector<std::uint32_t> src_pair_ids_;
 };
 
 /// Per-worker mutable state for fault-set evaluation against a shared
@@ -106,6 +156,16 @@ class SrgScratch {
 
   const SrgIndex& index() const { return *index_; }
   std::size_t num_nodes() const { return index_->num_nodes(); }
+
+  /// Selects the BFS kernel for evaluate()/evaluate_incremental()/
+  /// componentwise_diameter(). kAuto and kPacked run single-set evaluations
+  /// on the bitset kernel (packed only applies to evaluate_gray_block()).
+  /// Takes effect immediately on the full-rebuild path; the incremental
+  /// path latches "maintain bitmaps?" at begin_incremental(), so switching
+  /// scalar -> bitset mid-walk keeps evaluating scalar until the next
+  /// begin_incremental() (results are identical either way).
+  void set_kernel(SrgKernel kernel) { kernel_ = kernel; }
+  SrgKernel kernel() const { return kernel_; }
 
   struct Result {
     std::uint32_t diameter = 0;  // kUnreachable if some pair cannot route
@@ -180,6 +240,19 @@ class SrgScratch {
   /// (delivery simulation) see bit-identical graphs on both paths.
   Digraph incremental_surviving_graph() const;
 
+  // --- packed 64-way Gray mode ---------------------------------------------
+
+  /// Evaluates `count` (1..64) CONSECUTIVE revolving-door fault sets in one
+  /// bit-parallel pass: out[i] is exactly what evaluate() would return on
+  /// the i-th set. The enumerator must be positioned on the first set of
+  /// the block over this index's node universe; the call advances it by
+  /// count - 1 steps (so the caller advances once more between blocks).
+  /// Independent of both the epoch-stamped and the incremental state —
+  /// interleaving is safe. Runs the packed kernel regardless of
+  /// set_kernel(); callers gate on it.
+  void evaluate_gray_block(GraySubsetEnumerator& e, std::size_t count,
+                           Result* out);
+
   /// Zeroes every stamp array and restarts both epoch counters. Evaluation
   /// results never depend on it (the wrap paths below do the same lazily);
   /// exposed so long-lived servers can re-zero scratch at a quiet moment
@@ -199,7 +272,35 @@ class SrgScratch {
   // survivors and leaves dist/seen stamps for this bfs_epoch_.
   std::uint32_t bfs_from(Node s, std::uint32_t* reached_out);
 
+  // The kernel single-set evaluations actually run (kAuto/kPacked -> bitset).
+  SrgKernel single_set_kernel() const {
+    return kernel_ == SrgKernel::kScalar ? SrgKernel::kScalar
+                                         : SrgKernel::kBitset;
+  }
+  // (Re)builds succ/pred/alive bitmaps from the current epoch's arcs_ —
+  // the bitset kernel's view of the full-rebuild path. Lazy and gated on
+  // the kernel so the scalar oracle never pays for it.
+  void ensure_bits();
+  // Direction-optimizing bitset BFS over the given n*words_ succ/pred rows
+  // and alive mask. Returns the eccentricity among reached survivors,
+  // stores the reached count, and leaves visited_bits_ (and dist_, when
+  // fill_dist) describing the traversal.
+  std::uint32_t bfs_from_bits(const std::uint64_t* succ,
+                              const std::uint64_t* pred,
+                              const std::uint64_t* alive,
+                              std::uint32_t survivors, Node s,
+                              std::uint32_t* reached_out, bool fill_dist);
+  // Shared diameter loop over all surviving sources for the bitset kernel;
+  // `faulty(v)` must match the path's notion of "currently faulty".
+  template <typename FaultyFn>
+  std::uint32_t bitset_diameter(const std::uint64_t* succ,
+                                const std::uint64_t* pred,
+                                const std::uint64_t* alive,
+                                std::uint32_t survivors, FaultyFn&& faulty);
+  void ensure_packed_state();
+
   const SrgIndex* index_;
+  SrgKernel kernel_ = SrgKernel::kAuto;
 
   std::uint32_t epoch_ = 0;
   std::vector<std::uint32_t> fault_stamp_;
@@ -214,6 +315,38 @@ class SrgScratch {
   std::vector<std::uint32_t> seen_stamp_;
   std::vector<std::uint32_t> dist_;
   std::vector<Node> queue_;
+
+  // Bitset-kernel state. words_ = ceil(n / 64); succ/pred rows are n *
+  // words_ bitmaps. The full-rebuild bitmaps (succ_bits_ etc.) are rebuilt
+  // lazily per strike; the inc_* bitmaps mirror the incremental adjacency
+  // and are maintained O(delta) when inc_bits_active_.
+  std::size_t words_ = 0;
+  bool bits_valid_ = false;
+  std::vector<std::uint64_t> succ_bits_;      // n * words_ (lazy)
+  std::vector<std::uint64_t> pred_bits_;      // n * words_ (lazy)
+  std::vector<std::uint64_t> alive_bits_;     // words_
+  bool inc_bits_active_ = false;
+  std::vector<std::uint64_t> inc_succ_bits_;  // n * words_
+  std::vector<std::uint64_t> inc_pred_bits_;  // n * words_
+  std::vector<std::uint64_t> inc_alive_bits_;
+  std::vector<std::uint64_t> visited_bits_;   // words_, per BFS
+  std::vector<std::uint64_t> frontier_bits_;  // words_
+  std::vector<std::uint64_t> next_bits_;      // words_
+
+  // Packed-kernel state (lazy; one uint64_t of lanes per node/route/pair).
+  std::vector<std::uint64_t> lane_node_mask_;  // node -> lanes where faulty
+  std::vector<Node> lane_touched_;
+  std::vector<std::uint64_t> route_kill_mask_;  // route -> lanes killed
+  std::vector<std::uint32_t> pk_dirty_routes_;
+  std::vector<std::uint64_t> pair_dead_mask_;  // pair -> lanes with 0 routes
+  std::vector<std::uint8_t> pair_dirty_;
+  std::vector<std::uint32_t> pk_dirty_pairs_;
+  std::vector<std::uint64_t> pk_visited_;   // node -> lanes reached
+  std::vector<std::uint64_t> pk_new_;       // node -> lanes newly reached
+  std::vector<std::uint64_t> pk_next_mask_;
+  std::vector<Node> pk_frontier_;
+  std::vector<Node> pk_next_;
+  std::vector<Node> pk_members_;  // current fault set during the lane walk
 
   // Incremental-mode state: exact counts plus a per-source live-arc
   // adjacency. inc_slot_ records each live pair's position in its source

@@ -34,7 +34,7 @@ ToleranceReport check_tolerance_with(std::size_t n,
   ToleranceReport report;
   report.claimed_bound = claimed_bound;
   report.faults = f;
-  const SearchExecution exec{options.threads};
+  const SearchExecution exec{options.threads, options.kernel};
 
   if (binomial(n, f) <= options.exhaustive_budget) {
     const AdversaryResult r = exhaustive_worst_faults(n, f, make_eval, exec);
@@ -82,9 +82,10 @@ namespace {
 // One shared preprocessing, one scratch per worker chunk: the canonical
 // parallel-sweep evaluator.
 FaultEvaluatorFactory engine_evaluator_factory(
-    const std::shared_ptr<const SrgIndex>& index) {
-  return [index]() {
+    const std::shared_ptr<const SrgIndex>& index, SrgKernel kernel) {
+  return [index, kernel]() {
     auto scratch = std::make_shared<SrgScratch>(*index);
+    scratch->set_kernel(kernel);
     return [index, scratch](const std::vector<Node>& faults) {
       return scratch->surviving_diameter(faults);
     };
@@ -113,7 +114,7 @@ ToleranceReport check_tolerance_index(const std::shared_ptr<const SrgIndex>& ind
     report.claimed_bound = claimed_bound;
     report.faults = f;
     const AdversaryResult r = exhaustive_worst_faults_gray(
-        *index, f, SearchExecution{options.threads});
+        *index, f, SearchExecution{options.threads, options.kernel});
     report.worst_diameter = r.worst_diameter;
     report.worst_faults = r.worst_faults;
     report.fault_sets_checked = r.evaluations;
@@ -121,8 +122,8 @@ ToleranceReport check_tolerance_index(const std::shared_ptr<const SrgIndex>& ind
     report.holds = report.worst_diameter <= claimed_bound;
     return report;
   }
-  return check_tolerance_with(n, engine_evaluator_factory(index), f,
-                              claimed_bound, seed, options);
+  return check_tolerance_with(n, engine_evaluator_factory(index, options.kernel),
+                              f, claimed_bound, seed, options);
 }
 
 // Route-load-targeted hill-climber seeds: knocking out the busiest nodes

@@ -50,6 +50,10 @@ struct ToleranceCheckOptions {
   /// Worker threads for the fault sweep (0 = all hardware threads). The
   /// report is identical for any value; only wall clock changes.
   unsigned threads = 1;
+  /// Evaluation kernel (see fault/srg_engine.hpp). The report is identical
+  /// for any value; kAuto runs the f <= 3 exhaustive fast path packed and
+  /// the sampled/hill-climbing evaluators on the bitset kernel.
+  SrgKernel kernel = SrgKernel::kAuto;
 };
 
 /// Worst-case check for exactly f faults (the paper's bounds are monotone

@@ -206,7 +206,8 @@ bool ExplicitRequestSource::next(ServeRequest& out) {
 
 std::string execute_request(const ServeRequest& request,
                             const ServedTable& table,
-                            std::optional<SrgScratch>& scratch) {
+                            std::optional<SrgScratch>& scratch,
+                            SrgKernel kernel) {
   const std::size_t n = table.graph.num_nodes();
   std::ostringstream os;
   os << request_kind_name(request.kind) << ' ' << table.name;
@@ -239,6 +240,7 @@ std::string execute_request(const ServeRequest& request,
       // workers from spawning nested pools.)
       ToleranceCheckOptions opts;
       opts.threads = 1;
+      opts.kernel = kernel;
       // Pre-seed the hill-climber from the entry's cached route-load
       // ranking — the same top-f set check_tolerance would otherwise
       // re-rank the whole table to derive, once per request.
@@ -272,6 +274,7 @@ std::string execute_request(const ServeRequest& request,
       opts.threads = 1;
       opts.seed = request.seed;
       opts.delivery_pairs = request.pairs;
+      opts.kernel = kernel;
       FaultSweepSummary summary;
       if (request.exhaustive) {
         summary =
@@ -309,6 +312,7 @@ std::string execute_request(const ServeRequest& request,
       if (!scratch.has_value() || &scratch->index() != table.index.get()) {
         scratch.emplace(*table.index);
       }
+      scratch->set_kernel(kernel);
       const auto res = scratch->evaluate(request.fault_list);
       Rng rng(request.seed);
       const auto delivery = measure_delivery_on(
@@ -462,7 +466,8 @@ ServeSummary serve_requests(TableRegistry& registry, RequestSource& source,
             const std::size_t i = order[k];
             const ServedTable& entry = *table_of[i];
             try {
-              responses[i] = execute_request(window[i], entry, scratch);
+              responses[i] =
+                  execute_request(window[i], entry, scratch, options.kernel);
             } catch (const std::exception& e) {
               // A request-level failure (bad ids, missing claims) is itself
               // a deterministic function of (request, table): answer it

@@ -136,6 +136,9 @@ struct ServeOptions {
   /// Invoke on_progress roughly every this many requests (0 = never).
   std::uint64_t progress_every = 0;
   std::function<void(const ServeProgress&)> on_progress;
+  /// Evaluation kernel for every request kernel in this serving run (see
+  /// fault/srg_engine.hpp). Responses never depend on it.
+  SrgKernel kernel = SrgKernel::kAuto;
 };
 
 struct ServeSummary {
@@ -174,6 +177,7 @@ ServeSummary serve_requests(TableRegistry& registry, RequestSource& source,
 /// requests (the router turns that into an error response).
 std::string execute_request(const ServeRequest& request,
                             const ServedTable& table,
-                            std::optional<SrgScratch>& scratch);
+                            std::optional<SrgScratch>& scratch,
+                            SrgKernel kernel = SrgKernel::kAuto);
 
 }  // namespace ftr

@@ -56,7 +56,7 @@ ComponentwiseDiameter componentwise_surviving_diameter(
 std::vector<ComponentwiseDiameter> componentwise_sweep(
     const Graph& g, const SrgIndex& index,
     const std::vector<std::vector<Node>>& fault_sets, unsigned threads,
-    ExecutorStats* stats) {
+    ExecutorStats* stats, SrgKernel kernel) {
   FTR_EXPECTS(g.num_nodes() == index.num_nodes());
   std::vector<ComponentwiseDiameter> out(fault_sets.size());
   parallel_for_chunks(
@@ -67,6 +67,7 @@ std::vector<ComponentwiseDiameter> componentwise_sweep(
         // chunk's fault sets, and results land at their own indices, so the
         // merge is the identity whatever the thread count.
         SrgScratch scratch(index);
+        scratch.set_kernel(kernel);
         for (std::size_t i = begin; i < end; ++i) {
           out[i] = componentwise_surviving_diameter(g, scratch, fault_sets[i]);
         }

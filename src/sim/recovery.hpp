@@ -57,7 +57,7 @@ ComponentwiseDiameter componentwise_surviving_diameter(
 std::vector<ComponentwiseDiameter> componentwise_sweep(
     const Graph& g, const SrgIndex& index,
     const std::vector<std::vector<Node>>& fault_sets, unsigned threads = 1,
-    ExecutorStats* stats = nullptr);
+    ExecutorStats* stats = nullptr, SrgKernel kernel = SrgKernel::kAuto);
 
 struct RecoveryOutcome {
   bool survivors_connected = false;

@@ -178,24 +178,31 @@ TEST(SrgEngine, EpochWraparound) {
   // Force both epoch counters across the 2^32 wrap and check the scratch
   // keeps matching the one-shot path on every side of it. The torus kernel
   // evaluation runs ~25 BFS epochs per fault set, so a handful of sets
-  // crosses the bfs wrap mid-evaluation too.
+  // crosses the bfs wrap mid-evaluation too. Both stamped kernels are
+  // pinned explicitly: scalar exercises the bfs_epoch_ wrap, bitset the
+  // fault/route/pair stamp wrap (its BFS is stamp-free).
   const auto gg = torus_graph(4, 4);
   const auto kr = build_kernel_routing(gg.graph, 3);
   SurvivingRouteGraphEngine engine(kr.table);
   Rng rng(3);
   const auto sets = random_fault_sets(16, 3, 10, rng);
 
-  engine.scratch().set_epochs_for_testing(~std::uint32_t{0} - 3);
-  for (const auto& faults : sets) {
-    EXPECT_EQ(engine.surviving_diameter(faults),
-              surviving_diameter(kr.table, faults));
-  }
+  for (const SrgKernel kernel : {SrgKernel::kScalar, SrgKernel::kBitset}) {
+    engine.scratch().set_epochs_for_testing(~std::uint32_t{0} - 3);
+    engine.scratch().set_kernel(kernel);
+    for (const auto& faults : sets) {
+      EXPECT_EQ(engine.surviving_diameter(faults),
+                surviving_diameter(kr.table, faults))
+          << srg_kernel_name(kernel);
+    }
 
-  // An explicit reset must be behavior-preserving as well.
-  engine.scratch().reset();
-  for (const auto& faults : sets) {
-    EXPECT_EQ(engine.surviving_diameter(faults),
-              surviving_diameter(kr.table, faults));
+    // An explicit reset must be behavior-preserving as well.
+    engine.scratch().reset();
+    for (const auto& faults : sets) {
+      EXPECT_EQ(engine.surviving_diameter(faults),
+                surviving_diameter(kr.table, faults))
+          << srg_kernel_name(kernel);
+    }
   }
 }
 
@@ -336,6 +343,37 @@ TEST(SrgEngine, IncrementalSurvivesInterleavedFullEvaluations) {
     expect_same_result(scratch.evaluate(other), reference.evaluate(other));
     // ...leaves the incremental fault set's answers untouched.
     expect_same_result(scratch.evaluate_incremental(), inc_expected);
+  }
+}
+
+// Regression: bfs_from_inc has its own bfs_epoch_ wraparound reset, but
+// only the rebuild path's wrap used to be tested. Plant the counters just
+// below the 2^32 wrap BEFORE entering incremental mode (the test hook
+// resets the scratch, which leaves incremental mode), pin the scalar
+// kernel so the stamped incremental BFS actually runs (the default would
+// route to the stamp-free bitset BFS), and walk a Gray enumeration whose
+// first evaluation already crosses the wrap mid-set. The rebuild oracle
+// scratch rides its default kernel, so this doubles as a scalar-vs-bitset
+// differential across the wrap.
+TEST(SrgEngine, IncrementalEpochWraparound) {
+  const auto gg = torus_graph(4, 4);
+  const auto kr = build_kernel_routing(gg.graph, 2);
+  const SrgIndex index(kr.table);
+  SrgScratch inc(index);
+  SrgScratch rebuild(index);
+
+  inc.set_epochs_for_testing(~std::uint32_t{0} - 3);
+  inc.set_kernel(SrgKernel::kScalar);
+
+  GraySubsetEnumerator e(gg.graph.num_nodes(), 2);
+  std::vector<Node> faults(e.current().begin(), e.current().end());
+  inc.begin_incremental(faults);
+  for (int step = 0; step < 40; ++step) {
+    faults.assign(e.current().begin(), e.current().end());
+    expect_same_result(inc.evaluate_incremental(), rebuild.evaluate(faults));
+    ASSERT_TRUE(e.advance());
+    inc.unstrike(static_cast<Node>(e.last_transition().out));
+    inc.strike(static_cast<Node>(e.last_transition().in));
   }
 }
 

@@ -1,0 +1,476 @@
+// Differential suite for the SRG evaluation kernels (fault/srg_engine.hpp):
+// scalar (the oracle), bitset (word-packed BFS), and packed (64 Gray-
+// adjacent fault sets per uint64 lane-set). The contract under test is
+// bit-identity: every consumer — exhaustive Gray sweeps, streamed sweeps,
+// the adversary's Gray scan, tolerance checks, componentwise recovery —
+// must produce byte-for-byte equal results for every kernel, every thread
+// count in {1, 2, 8}, and every source kind, including evaluation counts,
+// early-stop behavior, and the reported witnesses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/fault_sweep.hpp"
+#include "analysis/neighborhood.hpp"
+#include "common/combinatorics.hpp"
+#include "common/rng.hpp"
+#include "fault/adversary.hpp"
+#include "fault/fault_gen.hpp"
+#include "fault/surviving.hpp"
+#include "fault/tolerance_check.hpp"
+#include "gen/generators.hpp"
+#include "graph/bfs.hpp"
+#include "routing/circular.hpp"
+#include "routing/kernel.hpp"
+#include "routing/route_table.hpp"
+#include "routing/tricircular.hpp"
+#include "sim/recovery.hpp"
+
+namespace ftr {
+namespace {
+
+constexpr unsigned kThreadCounts[] = {1, 2, 8};
+constexpr SrgKernel kAllKernels[] = {SrgKernel::kScalar, SrgKernel::kBitset,
+                                     SrgKernel::kPacked, SrgKernel::kAuto};
+
+struct NamedTable {
+  std::string name;
+  Graph g;
+  RoutingTable table;
+  std::size_t f;  // fault budget for the exhaustive sweeps below
+};
+
+// Kernel, circular, and tri-circular constructions plus a hypercube —
+// different route shapes (trees, concentrator stars, long ring chords) so
+// the kernels see varied SRG densities and kill-index fan-outs.
+std::vector<NamedTable> construction_tables() {
+  std::vector<NamedTable> out;
+  Rng rng(555);
+  {
+    const auto gg = torus_graph(5, 5);
+    out.push_back(
+        {"kernel/torus", gg.graph, build_kernel_routing(gg.graph, 3).table, 2});
+    const auto m = neighborhood_set_of_size(gg.graph, 5, rng, 32);
+    out.push_back({"circular/torus", gg.graph,
+                   build_circular_routing(gg.graph, 3, m).table, 2});
+  }
+  {
+    const auto gg = cycle_graph(48);
+    const auto m = neighborhood_set_of_size(gg.graph, 15, rng, 32);
+    out.push_back({"tricircular/cycle", gg.graph,
+                   build_tricircular_routing(gg.graph, 1, m,
+                                             TriCircularVariant::kFull)
+                       .table,
+                   1});
+  }
+  {
+    const auto gg = hypercube(4);
+    out.push_back({"kernel/hypercube", gg.graph,
+                   build_kernel_routing(gg.graph, 3).table, 2});
+  }
+  return out;
+}
+
+// Streaming-summary comparator: everything deterministic (per_set is empty
+// on the streaming entry points, so record equality is covered by the
+// worst-witness fields plus the histogram, which accounts for every set).
+void expect_same_summary(const FaultSweepSummary& a,
+                         const FaultSweepSummary& b) {
+  EXPECT_EQ(a.total_sets, b.total_sets);
+  EXPECT_EQ(a.diameter_histogram, b.diameter_histogram);
+  EXPECT_EQ(a.disconnected, b.disconnected);
+  EXPECT_EQ(a.worst_diameter, b.worst_diameter);
+  EXPECT_EQ(a.worst_index, b.worst_index);
+  EXPECT_EQ(a.worst_faults, b.worst_faults);
+  EXPECT_EQ(a.pairs_sampled, b.pairs_sampled);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.avg_route_hops, b.avg_route_hops);
+  EXPECT_EQ(a.max_route_hops, b.max_route_hops);
+  EXPECT_EQ(a.max_edge_hops, b.max_edge_hops);
+}
+
+TEST(SrgKernels, ParseAndNameRoundTrip) {
+  for (const SrgKernel k : kAllKernels) {
+    const auto parsed = parse_srg_kernel(srg_kernel_name(k));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(parse_srg_kernel("frog").has_value());
+  EXPECT_FALSE(parse_srg_kernel("").has_value());
+}
+
+TEST(SrgKernels, ExhaustiveGrayAllKernelsIdentical) {
+  for (const auto& entry : construction_tables()) {
+    const SrgIndex index(entry.table);
+    FaultSweepOptions base_opts;
+    base_opts.threads = 1;
+    base_opts.kernel = SrgKernel::kScalar;
+    const auto base =
+        sweep_exhaustive_gray(entry.table, index, entry.f, base_opts);
+    ASSERT_EQ(base.total_sets,
+              binomial(entry.g.num_nodes(), entry.f));
+
+    for (const SrgKernel kernel : kAllKernels) {
+      for (unsigned threads : kThreadCounts) {
+        FaultSweepOptions opts;
+        opts.threads = threads;
+        opts.kernel = kernel;
+        SCOPED_TRACE(entry.name + " kernel=" + srg_kernel_name(kernel) +
+                     " threads=" + std::to_string(threads));
+        expect_same_summary(
+            base, sweep_exhaustive_gray(entry.table, index, entry.f, opts));
+      }
+    }
+  }
+}
+
+// Odd batch sizes shift every chunk boundary, so packed blocks straddle
+// batches and end in partial (< 64 lane) tails everywhere.
+TEST(SrgKernels, ExhaustiveGrayBatchSizeInvariant) {
+  const auto gg = torus_graph(5, 5);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  const SrgIndex index(kr.table);
+  FaultSweepOptions base_opts;
+  base_opts.kernel = SrgKernel::kScalar;
+  const auto base = sweep_exhaustive_gray(kr.table, index, 2, base_opts);
+  for (const std::size_t batch : {1u, 7u, 64u, 301u}) {
+    for (const SrgKernel kernel : {SrgKernel::kBitset, SrgKernel::kPacked}) {
+      FaultSweepOptions opts;
+      opts.threads = 2;
+      opts.batch_size = batch;
+      opts.kernel = kernel;
+      SCOPED_TRACE("batch=" + std::to_string(batch) + " kernel=" +
+                   srg_kernel_name(kernel));
+      expect_same_summary(base,
+                          sweep_exhaustive_gray(kr.table, index, 2, opts));
+    }
+  }
+}
+
+// Delivery measurement needs per-set materialized graphs, which the packed
+// kernel cannot provide: requesting kPacked with delivery_pairs > 0 must
+// quietly ride the bitset path and still match the scalar oracle exactly
+// (including the randomized per-pair delivery statistics).
+TEST(SrgKernels, ExhaustiveGrayDeliveryFallsBackFromPacked) {
+  const auto gg = torus_graph(5, 5);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  const SrgIndex index(kr.table);
+  FaultSweepOptions base_opts;
+  base_opts.kernel = SrgKernel::kScalar;
+  base_opts.delivery_pairs = 4;
+  base_opts.seed = 99;
+  const auto base = sweep_exhaustive_gray(kr.table, index, 2, base_opts);
+  EXPECT_GT(base.pairs_sampled, 0u);
+  for (const SrgKernel kernel : {SrgKernel::kPacked, SrgKernel::kAuto}) {
+    FaultSweepOptions opts = base_opts;
+    opts.kernel = kernel;
+    opts.threads = 2;
+    SCOPED_TRACE(srg_kernel_name(kernel));
+    expect_same_summary(base, sweep_exhaustive_gray(kr.table, index, 2, opts));
+  }
+}
+
+// The gray fast path must also be indistinguishable from streaming the same
+// enumeration through the generic engine, for every kernel.
+TEST(SrgKernels, ExhaustiveGraySourceMatchesFastPath) {
+  const auto gg = torus_graph(5, 5);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  const SrgIndex index(kr.table);
+  FaultSweepOptions base_opts;
+  base_opts.kernel = SrgKernel::kScalar;
+  const auto base = sweep_exhaustive_gray(kr.table, index, 2, base_opts);
+  for (const SrgKernel kernel : kAllKernels) {
+    FaultSweepOptions opts;
+    opts.kernel = kernel;
+    opts.threads = 2;
+    ExhaustiveGraySource source(gg.graph.num_nodes(), 2);
+    SCOPED_TRACE(srg_kernel_name(kernel));
+    expect_same_summary(base,
+                        sweep_fault_source(kr.table, index, source, opts));
+  }
+}
+
+TEST(SrgKernels, SampledStreamAllKernelsIdentical) {
+  for (const auto& entry : construction_tables()) {
+    const SrgIndex index(entry.table);
+    FaultSweepOptions base_opts;
+    base_opts.threads = 1;
+    base_opts.kernel = SrgKernel::kScalar;
+    base_opts.delivery_pairs = 4;  // delivery rides every kernel here
+    base_opts.seed = 4242;
+    SampledStreamSource base_source(entry.g.num_nodes(), entry.f + 1, 60,
+                                    4242);
+    const auto base =
+        sweep_fault_source(entry.table, index, base_source, base_opts);
+
+    for (const SrgKernel kernel : kAllKernels) {
+      for (unsigned threads : kThreadCounts) {
+        FaultSweepOptions opts = base_opts;
+        opts.threads = threads;
+        opts.kernel = kernel;
+        SampledStreamSource source(entry.g.num_nodes(), entry.f + 1, 60,
+                                   4242);
+        SCOPED_TRACE(entry.name + " kernel=" + srg_kernel_name(kernel) +
+                     " threads=" + std::to_string(threads));
+        expect_same_summary(
+            base, sweep_fault_source(entry.table, index, source, opts));
+      }
+    }
+  }
+}
+
+TEST(SrgKernels, StdinSourceAllKernelsIdentical) {
+  const auto gg = torus_graph(5, 5);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  const SrgIndex index(kr.table);
+  const std::string feed =
+      "# hand-written fault sets\n"
+      "0 1 2\n"
+      "\n"
+      "24\n"
+      "3 17\n"
+      "5 6 7 8 9 10\n"
+      "12 18 24\n";
+
+  FaultSweepOptions base_opts;
+  base_opts.kernel = SrgKernel::kScalar;
+  std::istringstream base_in(feed);
+  IstreamFaultSetSource base_source(base_in, gg.graph.num_nodes());
+  const auto base =
+      sweep_fault_source(kr.table, index, base_source, base_opts);
+  ASSERT_EQ(base.total_sets, 5u);
+
+  for (const SrgKernel kernel : kAllKernels) {
+    for (unsigned threads : kThreadCounts) {
+      FaultSweepOptions opts;
+      opts.threads = threads;
+      opts.kernel = kernel;
+      std::istringstream in(feed);
+      IstreamFaultSetSource source(in, gg.graph.num_nodes());
+      SCOPED_TRACE(std::string(srg_kernel_name(kernel)) + " threads=" +
+                   std::to_string(threads));
+      expect_same_summary(base,
+                          sweep_fault_source(kr.table, index, source, opts));
+    }
+  }
+}
+
+TEST(SrgKernels, AdversaryGrayScanIdenticalAcrossKernels) {
+  for (const auto& entry : construction_tables()) {
+    const SrgIndex index(entry.table);
+    const auto base = exhaustive_worst_faults_gray(
+        index, entry.f, SearchExecution{1, SrgKernel::kScalar});
+    EXPECT_TRUE(base.exhaustive);
+    for (const SrgKernel kernel : kAllKernels) {
+      for (unsigned threads : kThreadCounts) {
+        const auto got = exhaustive_worst_faults_gray(
+            index, entry.f, SearchExecution{threads, kernel});
+        SCOPED_TRACE(entry.name + " kernel=" + srg_kernel_name(kernel) +
+                     " threads=" + std::to_string(threads));
+        EXPECT_EQ(base.worst_diameter, got.worst_diameter);
+        EXPECT_EQ(base.worst_faults, got.worst_faults);
+        EXPECT_EQ(base.evaluations, got.evaluations);
+        EXPECT_EQ(base.exhaustive, got.exhaustive);
+      }
+    }
+  }
+}
+
+// Early stop must abort after the SAME evaluation for every kernel: the
+// packed scan consumes its 64 lanes in rank order and counts each set
+// before testing the threshold, exactly like the one-at-a-time loops.
+TEST(SrgKernels, AdversaryGrayEarlyStopIdenticalAcrossKernels) {
+  // Cycle with edge routes only: two adjacent faults leave a long path
+  // (finite d up to 9), two non-adjacent ones split the ring (kUnreachable)
+  // — either way the scan hits a set exceeding 6 and must stop there.
+  const auto gg = cycle_graph(12);
+  RoutingTable t(12, RoutingMode::kBidirectional);
+  install_edge_routes(t, gg.graph);
+  const SrgIndex index(t);
+  const auto base = exhaustive_worst_faults_gray(
+      index, 2, SearchExecution{1, SrgKernel::kScalar}, /*stop_above=*/6);
+  ASSERT_GT(base.worst_diameter, 6u);
+  ASSERT_LT(base.evaluations, binomial(12, 2));  // the stop actually fired
+  for (const SrgKernel kernel : kAllKernels) {
+    for (unsigned threads : kThreadCounts) {
+      const auto got = exhaustive_worst_faults_gray(
+          index, 2, SearchExecution{threads, kernel}, /*stop_above=*/6);
+      SCOPED_TRACE(std::string(srg_kernel_name(kernel)) + " threads=" +
+                   std::to_string(threads));
+      EXPECT_EQ(base.worst_diameter, got.worst_diameter);
+      EXPECT_EQ(base.worst_faults, got.worst_faults);
+      EXPECT_EQ(base.evaluations, got.evaluations);
+    }
+  }
+}
+
+TEST(SrgKernels, ToleranceCheckIdenticalAcrossKernels) {
+  const auto gg = torus_graph(5, 5);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+
+  // Gray fast path (f = 2 fits the exhaustive budget)...
+  {
+    ToleranceCheckOptions base_opts;
+    base_opts.kernel = SrgKernel::kScalar;
+    Rng base_rng(7);
+    const auto base = check_tolerance(kr.table, 2, 10, base_rng, base_opts);
+    EXPECT_TRUE(base.exhaustive);
+    for (const SrgKernel kernel : kAllKernels) {
+      for (unsigned threads : kThreadCounts) {
+        ToleranceCheckOptions opts;
+        opts.threads = threads;
+        opts.kernel = kernel;
+        Rng rng(7);
+        const auto got = check_tolerance(kr.table, 2, 10, rng, opts);
+        SCOPED_TRACE(std::string(srg_kernel_name(kernel)) + " threads=" +
+                     std::to_string(threads));
+        EXPECT_EQ(base.summary(), got.summary());
+        EXPECT_EQ(base.worst_faults, got.worst_faults);
+        EXPECT_EQ(base.fault_sets_checked, got.fault_sets_checked);
+      }
+    }
+  }
+
+  // ...and the sampled + hill-climbing path (budget forced below C(25, 2)),
+  // which bakes the kernel into the factory-minted evaluators.
+  {
+    ToleranceCheckOptions base_opts;
+    base_opts.kernel = SrgKernel::kScalar;
+    base_opts.exhaustive_budget = 50;
+    base_opts.samples = 40;
+    Rng base_rng(7);
+    const auto base = check_tolerance(kr.table, 2, 10, base_rng, base_opts);
+    EXPECT_FALSE(base.exhaustive);
+    for (const SrgKernel kernel : kAllKernels) {
+      for (unsigned threads : kThreadCounts) {
+        ToleranceCheckOptions opts = base_opts;
+        opts.threads = threads;
+        opts.kernel = kernel;
+        Rng rng(7);
+        const auto got = check_tolerance(kr.table, 2, 10, rng, opts);
+        SCOPED_TRACE(std::string(srg_kernel_name(kernel)) + " threads=" +
+                     std::to_string(threads));
+        EXPECT_EQ(base.summary(), got.summary());
+        EXPECT_EQ(base.worst_faults, got.worst_faults);
+      }
+    }
+  }
+}
+
+TEST(SrgKernels, SingleSetBitsetMatchesOneShotOracle) {
+  const auto gg = torus_graph(5, 5);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  const SrgIndex index(kr.table);
+  SrgScratch scalar(index), bitset(index);
+  scalar.set_kernel(SrgKernel::kScalar);
+  bitset.set_kernel(SrgKernel::kBitset);
+
+  Rng rng(31);
+  for (std::size_t f : {0u, 1u, 3u, 6u, 12u, 22u}) {
+    const auto sets = random_fault_sets(gg.graph.num_nodes(), f, 6, rng);
+    for (const auto& faults : sets) {
+      const auto a = scalar.evaluate(faults);
+      const auto b = bitset.evaluate(faults);
+      EXPECT_EQ(a.diameter, b.diameter) << "f=" << f;
+      EXPECT_EQ(a.survivors, b.survivors);
+      EXPECT_EQ(a.arcs, b.arcs);
+      EXPECT_EQ(b.diameter, surviving_diameter(kr.table, faults));
+    }
+  }
+  // Duplicate fault ids collapse identically on both paths.
+  const std::vector<Node> dup{2, 2, 5};
+  EXPECT_EQ(scalar.surviving_diameter(dup), bitset.surviving_diameter(dup));
+}
+
+TEST(SrgKernels, ComponentwiseSweepIdenticalAcrossKernels) {
+  const auto gg = torus_graph(5, 5);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  const SrgIndex index(kr.table);
+  Rng rng(515);
+  const auto sets = random_fault_sets(gg.graph.num_nodes(), 5, 12, rng);
+  const auto base =
+      componentwise_sweep(gg.graph, index, sets, 1, nullptr, SrgKernel::kScalar);
+  for (const SrgKernel kernel : kAllKernels) {
+    for (unsigned threads : kThreadCounts) {
+      const auto got =
+          componentwise_sweep(gg.graph, index, sets, threads, nullptr, kernel);
+      ASSERT_EQ(base.size(), got.size());
+      for (std::size_t i = 0; i < base.size(); ++i) {
+        SCOPED_TRACE(std::string(srg_kernel_name(kernel)) + " threads=" +
+                     std::to_string(threads) + " set " + std::to_string(i));
+        EXPECT_EQ(base[i].worst, got[i].worst);
+        EXPECT_EQ(base[i].num_components, got[i].num_components);
+        EXPECT_EQ(base[i].survivors, got[i].survivors);
+      }
+    }
+  }
+}
+
+// Direct block-kernel contract: evaluate_gray_block's 64 lanes must agree
+// lane-for-lane with per-set evaluate() at the matching gray ranks, for
+// partial tail blocks and for every block size, on a table where many sets
+// disconnect (the ring) — the disconnect bit and the early lane-drop are
+// the subtle parts.
+TEST(SrgKernels, PackedBlockMatchesPerSetEvaluate) {
+  const auto gg = cycle_graph(10);
+  RoutingTable t(10, RoutingMode::kBidirectional);
+  install_edge_routes(t, gg.graph);
+  const SrgIndex index(t);
+  SrgScratch packed(index), rebuild(index);
+
+  for (const std::size_t block : {1u, 7u, 33u, 64u}) {
+    GraySubsetEnumerator e(10, 2);
+    const std::uint64_t total = e.count();
+    std::uint64_t rank = 0;
+    SrgScratch::Result out[64];
+    while (rank < total) {
+      const std::size_t cnt =
+          static_cast<std::size_t>(std::min<std::uint64_t>(block, total - rank));
+      packed.evaluate_gray_block(e, cnt, out);
+      for (std::size_t i = 0; i < cnt; ++i) {
+        const auto set64 = gray_subset_at_rank(10, 2, rank + i);
+        const std::vector<Node> faults(set64.begin(), set64.end());
+        const auto expect = rebuild.evaluate(faults);
+        SCOPED_TRACE("block=" + std::to_string(block) + " rank=" +
+                     std::to_string(rank + i));
+        EXPECT_EQ(expect.diameter, out[i].diameter);
+        EXPECT_EQ(expect.survivors, out[i].survivors);
+        EXPECT_EQ(expect.arcs, out[i].arcs);
+      }
+      rank += cnt;
+      if (rank < total) {
+        ASSERT_TRUE(e.advance());
+      }
+    }
+  }
+}
+
+// Survivor counts of 1 and 0 pin diameter to 0 by definition; the packed
+// kernel must get that from its lane masks, not from a BFS.
+TEST(SrgKernels, PackedBlockFewSurvivors) {
+  RoutingTable t(3, RoutingMode::kBidirectional);
+  t.set_route({0, 1});
+  t.set_route({1, 2});
+  t.set_route({0, 1, 2});
+  const SrgIndex index(t);
+  SrgScratch packed(index), rebuild(index);
+
+  GraySubsetEnumerator e(3, 2);  // 3 sets, every one leaves 1 survivor
+  SrgScratch::Result out[64];
+  packed.evaluate_gray_block(e, 3, out);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto set64 = gray_subset_at_rank(3, 2, i);
+    const std::vector<Node> faults(set64.begin(), set64.end());
+    const auto expect = rebuild.evaluate(faults);
+    EXPECT_EQ(expect.diameter, out[i].diameter);
+    EXPECT_EQ(out[i].diameter, 0u);
+    EXPECT_EQ(expect.survivors, out[i].survivors);
+    EXPECT_EQ(expect.arcs, out[i].arcs);
+  }
+}
+
+}  // namespace
+}  // namespace ftr

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end CLI smoke: gen | build | check | sweep --stdin | serve --stdin
 # piped on a small topology, asserting stdout is byte-identical across
-# --threads 1 and --threads 4 for every verb that fans out work. This is
-# the executable form of the repo's determinism contract — if a thread
-# count ever leaks into stdout, this script (and the CI job running it)
-# fails on the cmp.
+# --threads 1 and --threads 4 for every verb that fans out work, and
+# across every --kernel choice on the exhaustive sweep. This is the
+# executable form of the repo's determinism contract — if a thread count
+# or kernel choice ever leaks into stdout, this script (and the CI job
+# running it) fails on the cmp.
 #
 # Usage: tools/cli_smoke.sh [build-dir]   (default: ./build)
 set -euo pipefail
@@ -58,6 +59,22 @@ echo "== comparing stdout across thread counts"
 cmp "${WORK}/check.1.out" "${WORK}/check.4.out"
 cmp "${WORK}/sweep.1.out" "${WORK}/sweep.4.out"
 cmp "${WORK}/serve.1.out" "${WORK}/serve.4.out"
+
+# Evaluation kernels: the exhaustive sweep and the check must print the
+# same bytes whichever kernel evaluates them (scalar is the oracle).
+echo "== comparing stdout across --kernel choices"
+for k in auto scalar bitset packed; do
+  "${CLI}" sweep "${WORK}/graph.ftg" "${WORK}/table.ftt" \
+    --faults 2 --exhaustive --threads 2 --kernel "${k}" \
+    > "${WORK}/xsweep.${k}.out" 2> /dev/null
+  "${CLI}" check "${WORK}/graph.ftg" "${WORK}/table.ftt" \
+    --faults 2 --claimed 6 --seed 7 --kernel "${k}" \
+    > "${WORK}/xcheck.${k}.out" 2> /dev/null
+done
+for k in scalar bitset packed; do
+  cmp "${WORK}/xsweep.auto.out" "${WORK}/xsweep.${k}.out"
+  cmp "${WORK}/xcheck.auto.out" "${WORK}/xcheck.${k}.out"
+done
 
 # The serve output must answer every request (no dropped/erroring lines).
 if [[ "$(wc -l < "${WORK}/serve.1.out")" -ne 5 ]]; then

@@ -2,15 +2,17 @@
 //
 //   ftroute gen <family> <args...>           > graph.ftg
 //   ftroute profile        < graph.ftg
-//   ftroute build [--seed S] [--certify] [--threads T]  < graph.ftg > table.ftt
+//   ftroute build [--seed S] [--certify] [--threads T] [--kernel K]
+//                                                       < graph.ftg > table.ftt
 //   ftroute check <graph.ftg> <table.ftt> --faults F [--claimed D] [--seed S]
-//                 [--threads T]
+//                 [--threads T] [--kernel K]
 //   ftroute sweep <graph.ftg> <table.ftt> (--faults F [--sets N] |
 //                 --faults F --exhaustive | --stdin) [--seed S] [--threads T]
 //                 [--delivery-pairs P] [--progress-every N] [--batch B]
+//                 [--kernel K]
 //   ftroute serve --tables MANIFEST (--requests FILE | --stdin)
 //                 [--max-resident-bytes B] [--threads T] [--batch B]
-//                 [--progress-every N]
+//                 [--progress-every N] [--kernel K]
 //   ftroute stretch <graph.ftg> <table.ftt>
 //
 // `sweep` is fully streaming: fault sets are pulled from a source (counter-
@@ -28,6 +30,11 @@
 // --threads fans the fault sweep / request batches across T workers (0 =
 // all cores); every command's stdout is bit-identical for any thread count
 // (timings and progress go to stderr).
+//
+// --kernel K picks the SRG evaluation kernel: auto (default), scalar,
+// bitset, or packed (64 Gray-adjacent fault sets per word — exhaustive
+// sweeps only; degrades to bitset elsewhere). Stdout is bit-identical
+// across kernels; only throughput changes.
 //
 // Families for `gen`: cycle n | torus r c | grid r c | hypercube d | ccc d |
 //   wbf d | butterfly d | debruijn d | se d | petersen | dodecahedron |
@@ -53,18 +60,21 @@ int usage() {
       "usage:\n"
       "  ftroute gen <family> <args...>                 (graph to stdout)\n"
       "  ftroute profile                                (graph on stdin)\n"
-      "  ftroute build [--seed S] [--certify] [--threads T]\n"
+      "  ftroute build [--seed S] [--certify] [--threads T] [--kernel K]\n"
       "                                                 (graph on stdin, table to stdout)\n"
       "  ftroute check <graph> <table> --faults F [--claimed D] [--seed S] [--threads T]\n"
+      "                [--kernel K]\n"
       "  ftroute sweep <graph> <table> (--faults F [--sets N] | --faults F --exhaustive |\n"
       "                --stdin) [--seed S] [--threads T] [--delivery-pairs P]\n"
-      "                [--progress-every N] [--batch B]\n"
+      "                [--progress-every N] [--batch B] [--kernel K]\n"
       "       --stdin reads one fault set per line (whitespace-separated node ids,\n"
       "       '#' comments); --exhaustive sweeps all C(n,F) sets (revolving-door\n"
       "       incremental evaluation); both stream at constant memory\n"
       "  ftroute serve --tables MANIFEST (--requests FILE | --stdin)\n"
       "                [--max-resident-bytes B] [--threads T] [--batch B]\n"
-      "                [--progress-every N]\n"
+      "                [--progress-every N] [--kernel K]\n"
+      "       --kernel K: auto | scalar | bitset | packed (stdout is identical\n"
+      "       across kernels; packed applies to exhaustive Gray sweeps)\n"
       "       manifest lines: table <name> graph=<file> [routes=<file>] [seed=S]\n"
       "       request lines:  check|sweep|delivery|certify <table> [key=value...]\n"
       "       one response line per request, in request order\n"
@@ -200,12 +210,25 @@ std::string flag_string(const std::vector<std::string>& args,
   return fallback;
 }
 
+// --kernel picks the SRG evaluation kernel (see fault/srg_engine.hpp).
+// Stdout is bit-identical across kernels; only throughput changes.
+SrgKernel flag_kernel(const std::vector<std::string>& args) {
+  const std::string k = flag_string(args, "--kernel", "auto");
+  const auto parsed = parse_srg_kernel(k);
+  if (!parsed.has_value()) {
+    throw std::runtime_error("bad value '" + k +
+                             "' for --kernel (auto|scalar|bitset|packed)");
+  }
+  return *parsed;
+}
+
 int cmd_build(const std::vector<std::string>& args) {
   const Graph g = load_graph(std::cin);
   Rng rng(flag_value(args, "--seed", 42));
   if (has_flag(args, "--certify")) {
     ToleranceCheckOptions opts;
     opts.threads = flag_value_u32(args, "--threads", 1);
+    opts.kernel = flag_kernel(args);
     const auto certified = build_certified_routing(g, std::nullopt, rng, opts);
     const auto& planned = certified.routing;
     std::cerr << "built " << construction_name(planned.plan.construction)
@@ -239,6 +262,7 @@ int cmd_check(const std::vector<std::string>& args) {
   Rng rng(flag_value(args, "--seed", 7));
   ToleranceCheckOptions opts;
   opts.threads = flag_value_u32(args, "--threads", 1);
+  opts.kernel = flag_kernel(args);
   const auto report = check_tolerance(table, f, claimed, rng, opts);
   std::cout << report.summary() << '\n';
   if (!report.worst_faults.empty()) {
@@ -270,6 +294,7 @@ int cmd_sweep(const std::vector<std::string>& args) {
 
   FaultSweepOptions opts;
   opts.threads = flag_value_u32(args, "--threads", 1);
+  opts.kernel = flag_kernel(args);
   opts.delivery_pairs =
       static_cast<std::size_t>(flag_value(args, "--delivery-pairs", 0));
   opts.seed = seed;
@@ -382,6 +407,7 @@ int cmd_serve(const std::vector<std::string>& args) {
 
   ServeOptions sopts;
   sopts.threads = flag_value_u32(args, "--threads", 1);
+  sopts.kernel = flag_kernel(args);
   sopts.batch_size = static_cast<std::size_t>(flag_value(args, "--batch", 64));
   sopts.progress_every = flag_value(args, "--progress-every", 0);
   if (sopts.progress_every > 0) {
