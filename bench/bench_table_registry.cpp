@@ -13,14 +13,19 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/rng.hpp"
 #include "fault/srg_engine.hpp"
 #include "gen/generators.hpp"
+#include "graph/graph_io.hpp"
 #include "routing/kernel.hpp"
+#include "routing/serialization.hpp"
 #include "serve/table_registry.hpp"
 
 namespace {
@@ -130,6 +135,84 @@ void BM_table_registry_acquire_miss(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_table_registry_acquire_miss)->UseRealTime();
+
+// --- cold-acquire datapoints: what a binary snapshot is worth ---------------
+// Same topology and planner materials three ways: rebuild via the planner
+// on every miss (the file-spec cold path snapshots exist to replace), load
+// a binary snapshot with a bulk read, and load it zero-copy via mmap. All
+// three run under a byte budget of 1 so every acquire is a miss; the
+// ratio planner_rebuild : snapshot_* is the tentpole's headline number.
+
+struct SnapshotBenchFiles {
+  std::string graph_path;
+  std::string snap_path;
+};
+
+const SnapshotBenchFiles& snapshot_bench_files() {
+  static const SnapshotBenchFiles files = [] {
+    const auto dir = std::filesystem::temp_directory_path();
+    SnapshotBenchFiles f;
+    f.graph_path = (dir / "ftroute_bench_registry.ftg").string();
+    f.snap_path = (dir / "ftroute_bench_registry.snap").string();
+    const auto gg = torus_graph(8, 8);
+    {
+      std::ofstream os(f.graph_path);
+      save_graph(gg.graph, os);
+    }
+    Rng rng(42);  // the TableSpec default seed: identical planner output
+    auto planned = build_planned_routing(gg.graph, std::nullopt, rng);
+    save_table_snapshot_file(make_table_snapshot(gg.graph,
+                                                 std::move(planned.table),
+                                                 planned.plan),
+                             f.snap_path);
+    return f;
+  }();
+  return files;
+}
+
+void run_cold_acquire(benchmark::State& state, const TableSpec& spec) {
+  TableRegistryOptions options;
+  options.max_resident_bytes = 1;
+  TableRegistry registry(options);
+  // Two names, same spec, alternating acquires: under a budget that fits
+  // one table, each acquire evicts the other name (the entry being
+  // acquired itself always survives), so EVERY acquire is a genuine miss.
+  registry.define("a", spec);
+  registry.define("b", spec);
+  std::uint64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.acquire(round % 2 == 0 ? "a" : "b"));
+    ++round;
+  }
+  const auto stats = registry.stats();
+  state.counters["builds"] = static_cast<double>(stats.builds);
+  state.counters["snapshot_loads"] =
+      static_cast<double>(stats.snapshot_loads);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_table_registry_cold_planner_rebuild(benchmark::State& state) {
+  TableSpec spec;
+  spec.graph_file = snapshot_bench_files().graph_path;
+  run_cold_acquire(state, spec);
+}
+BENCHMARK(BM_table_registry_cold_planner_rebuild)->UseRealTime();
+
+void BM_table_registry_cold_snapshot_bulk(benchmark::State& state) {
+  TableSpec spec;
+  spec.snapshot_file = snapshot_bench_files().snap_path;
+  spec.snapshot_mode = SnapshotLoadMode::kBulkRead;
+  run_cold_acquire(state, spec);
+}
+BENCHMARK(BM_table_registry_cold_snapshot_bulk)->UseRealTime();
+
+void BM_table_registry_cold_snapshot_mmap(benchmark::State& state) {
+  TableSpec spec;
+  spec.snapshot_file = snapshot_bench_files().snap_path;
+  spec.snapshot_mode = SnapshotLoadMode::kMmap;
+  run_cold_acquire(state, spec);
+}
+BENCHMARK(BM_table_registry_cold_snapshot_mmap)->UseRealTime();
 
 }  // namespace
 

@@ -1,0 +1,186 @@
+// FlatArray<T>: a contiguous POD array that either OWNS its storage (a
+// std::vector, the normal case for structures built in process) or ALIASES a
+// read-only region owned by someone else (a mmap'd snapshot file), behind
+// one vector-ish interface.
+//
+// This is the span/owner seam the binary-snapshot loader needs: Graph,
+// RoutingTable, and SrgIndex keep their hot arrays in FlatArrays, so the
+// zero-copy load path can point them straight into a mapped file while every
+// reader — including the SRG kernels — sees plain `data()[i]` indexing with
+// no per-access branch (the data pointer is cached and kept in sync by the
+// mutating calls).
+//
+// Mutation is detach-on-write: any mutating call on an aliased array first
+// copies the aliased bytes into an owned vector (ensure_owned), so a
+// snapshot-backed RoutingTable that someone calls set_route() on silently
+// becomes a private copy instead of scribbling on (or faulting over) the
+// mapping. The shared owner handle keeps the mapped region alive for as
+// long as any array aliases it — structures loaded from one file can be
+// moved around independently without lifetime coordination.
+//
+// memory_bytes() is what byte-accounted caches charge: allocator footprint
+// (capacity) when owned, mapped footprint (size) when aliased — a mapped
+// table still occupies address space and page cache, so the registry budget
+// accounts it like resident heap.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace ftr {
+
+template <typename T>
+class FlatArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "FlatArray aliases raw file bytes; T must be trivially "
+                "copyable");
+
+ public:
+  FlatArray() = default;
+  explicit FlatArray(std::vector<T> v) : vec_(std::move(v)) { refresh(); }
+
+  // Value semantics with the cached data pointer re-anchored: a copied
+  // owned array must point at ITS vector's buffer, not the source's.
+  // Aliased arrays copy the alias (both share the owner).
+  FlatArray(const FlatArray& other)
+      : vec_(other.vec_), owner_(other.owner_) {
+    if (owner_) {
+      data_ = other.data_;
+      size_ = other.size_;
+    } else {
+      refresh();
+    }
+  }
+  FlatArray(FlatArray&& other) noexcept
+      : vec_(std::move(other.vec_)),
+        data_(other.data_),
+        size_(other.size_),
+        owner_(std::move(other.owner_)) {
+    if (!owner_) refresh();  // moved vector keeps its buffer, but be exact
+    other.vec_.clear();
+    other.owner_.reset();
+    other.refresh();
+  }
+  FlatArray& operator=(const FlatArray& other) {
+    if (this == &other) return *this;
+    vec_ = other.vec_;
+    owner_ = other.owner_;
+    if (owner_) {
+      data_ = other.data_;
+      size_ = other.size_;
+    } else {
+      refresh();
+    }
+    return *this;
+  }
+  FlatArray& operator=(FlatArray&& other) noexcept {
+    if (this == &other) return *this;
+    vec_ = std::move(other.vec_);
+    owner_ = std::move(other.owner_);
+    if (owner_) {
+      data_ = other.data_;
+      size_ = other.size_;
+    } else {
+      refresh();
+    }
+    other.vec_.clear();
+    other.owner_.reset();
+    other.refresh();
+    return *this;
+  }
+
+  /// An array aliasing `[data, data + size)`; `owner` is held for the
+  /// array's lifetime (the mmap'd file the bytes live in).
+  static FlatArray aliased(const T* data, std::size_t size,
+                           std::shared_ptr<const void> owner) {
+    FlatArray a;
+    a.owner_ = std::move(owner);
+    a.data_ = data;
+    a.size_ = size;
+    return a;
+  }
+
+  /// True while the array aliases external storage (no mutation yet).
+  bool aliased_view() const { return owner_ != nullptr; }
+
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  /// Mutable access detaches from an aliased region (copy-on-write).
+  T& operator[](std::size_t i) {
+    ensure_owned();
+    return vec_[i];
+  }
+
+  void push_back(const T& v) {
+    ensure_owned();
+    vec_.push_back(v);
+    refresh();
+  }
+  void reserve(std::size_t n) {
+    ensure_owned();
+    vec_.reserve(n);
+    refresh();
+  }
+  void resize(std::size_t n) {
+    ensure_owned();
+    vec_.resize(n);
+    refresh();
+  }
+  void assign(std::size_t n, const T& v) {
+    owner_.reset();
+    vec_.assign(n, v);
+    refresh();
+  }
+  template <typename It>
+  void append(It first, It last) {
+    ensure_owned();
+    vec_.insert(vec_.end(), first, last);
+    refresh();
+  }
+  void clear() {
+    owner_.reset();
+    vec_.clear();
+    refresh();
+  }
+
+  /// Bytes charged to byte-accounted caches: allocator capacity when owned,
+  /// mapped extent when aliased (address space + page cache are real).
+  std::size_t memory_bytes() const {
+    return (owner_ ? size_ : vec_.capacity()) * sizeof(T);
+  }
+
+  friend bool operator==(const FlatArray& a, const FlatArray& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+
+ private:
+  void refresh() {
+    data_ = vec_.data();
+    size_ = vec_.size();
+  }
+  void ensure_owned() {
+    if (!owner_) return;
+    vec_.assign(data_, data_ + size_);
+    owner_.reset();
+    refresh();
+  }
+
+  std::vector<T> vec_;
+  const T* data_ = nullptr;  // always valid: vec_.data() or the alias
+  std::size_t size_ = 0;
+  std::shared_ptr<const void> owner_;
+};
+
+}  // namespace ftr

@@ -1,0 +1,48 @@
+#include "common/mapped_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/contracts.hpp"
+
+namespace ftr {
+
+std::shared_ptr<const MappedFile> MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  FTR_EXPECTS_MSG(fd >= 0, "cannot open '" << path << "' for mapping: "
+                                           << std::strerror(errno));
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    FTR_EXPECTS_MSG(false, "cannot stat '" << path
+                                           << "': " << std::strerror(err));
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  const std::byte* data = nullptr;
+  if (size > 0) {
+    void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapped == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      FTR_EXPECTS_MSG(false, "cannot mmap '" << path
+                                             << "': " << std::strerror(err));
+    }
+    data = static_cast<const std::byte*>(mapped);
+  }
+  ::close(fd);  // the mapping outlives the descriptor
+  return std::shared_ptr<const MappedFile>(new MappedFile(data, size, path));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+}
+
+}  // namespace ftr

@@ -1,0 +1,37 @@
+// Read-only memory-mapped file, the owner behind zero-copy snapshot loads.
+// The mapping is shared-ownership: FlatArrays alias ranges of it and hold
+// the shared_ptr, so the region stays mapped until the last aliasing array
+// (or structure moved out of a loaded snapshot) is gone.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace ftr {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Throws ContractViolation naming the path if the
+  /// file cannot be opened, stat'd, or mapped. Zero-length files map to an
+  /// empty region (data() == nullptr, size() == 0).
+  static std::shared_ptr<const MappedFile> open(const std::string& path);
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  MappedFile(const std::byte* data, std::size_t size, std::string path)
+      : data_(data), size_(size), path_(std::move(path)) {}
+
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace ftr

@@ -48,7 +48,7 @@ SrgIndex::SrgIndex(const RoutingTable& table) : n_(table.num_nodes()) {
     route_pair_.push_back(static_cast<std::uint32_t>(num_pairs_++));
     pair_src_.push_back(x);
     pair_dst_.push_back(y);
-    route_nodes_.insert(route_nodes_.end(), path.begin(), path.end());
+    route_nodes_.append(path.begin(), path.end());
     route_off_.push_back(static_cast<std::uint32_t>(route_nodes_.size()));
   });
   finalize_routes();
@@ -67,7 +67,7 @@ SrgIndex::SrgIndex(const MultiRouteTable& table) : n_(table.num_nodes()) {
       route_src_.push_back(x);
       route_dst_.push_back(y);
       route_pair_.push_back(pair_id);
-      route_nodes_.insert(route_nodes_.end(), path.begin(), path.end());
+      route_nodes_.append(path.begin(), path.end());
       route_off_.push_back(static_cast<std::uint32_t>(route_nodes_.size()));
     }
   });
@@ -118,19 +118,14 @@ void SrgIndex::finalize_routes() {
 }
 
 std::size_t SrgIndex::memory_bytes() const {
-  return route_nodes_.capacity() * sizeof(Node) +
-         route_off_.capacity() * sizeof(std::uint32_t) +
-         route_src_.capacity() * sizeof(Node) +
-         route_dst_.capacity() * sizeof(Node) +
-         route_pair_.capacity() * sizeof(std::uint32_t) +
-         pair_src_.capacity() * sizeof(Node) +
-         pair_dst_.capacity() * sizeof(Node) +
-         pair_route_count_.capacity() * sizeof(std::uint32_t) +
-         node_route_off_.capacity() * sizeof(std::uint32_t) +
-         node_route_ids_.capacity() * sizeof(std::uint32_t) +
-         pair_route_off_.capacity() * sizeof(std::uint32_t) +
-         src_pair_off_.capacity() * sizeof(std::uint32_t) +
-         src_pair_ids_.capacity() * sizeof(std::uint32_t);
+  // Allocator capacity when owned, mapped extent when snapshot-backed.
+  return route_nodes_.memory_bytes() + route_off_.memory_bytes() +
+         route_src_.memory_bytes() + route_dst_.memory_bytes() +
+         route_pair_.memory_bytes() + pair_src_.memory_bytes() +
+         pair_dst_.memory_bytes() + pair_route_count_.memory_bytes() +
+         node_route_off_.memory_bytes() + node_route_ids_.memory_bytes() +
+         pair_route_off_.memory_bytes() + src_pair_off_.memory_bytes() +
+         src_pair_ids_.memory_bytes();
 }
 
 SrgScratch::SrgScratch(const SrgIndex& index) : index_(&index) {
@@ -414,7 +409,8 @@ void SrgScratch::begin_incremental(std::span<const Node> faults) {
   inc_active_ = true;
   inc_fault_.assign(ix.n_, 0);
   inc_route_kill_.assign(ix.route_src_.size(), 0);
-  inc_pair_live_ = ix.pair_route_count_;
+  inc_pair_live_.assign(ix.pair_route_count_.begin(),
+                        ix.pair_route_count_.end());
   inc_slot_.resize(ix.num_pairs_);
   inc_adj_.resize(ix.n_);
   for (auto& list : inc_adj_) list.clear();

@@ -83,6 +83,7 @@
 #include <vector>
 
 #include "common/combinatorics.hpp"
+#include "common/flat_array.hpp"
 #include "graph/digraph.hpp"
 #include "graph/graph.hpp"
 #include "routing/multi_route_table.hpp"
@@ -120,21 +121,27 @@ class SrgIndex {
 
  private:
   friend class SrgScratch;
+  friend struct SnapshotAccess;  // binary snapshot save/load (serialization)
+
+  SrgIndex() = default;  // snapshot loads fill the arrays directly
 
   void finalize_routes();
 
+  // All flat arrays: owned vectors when built from a table, aliases into a
+  // mapped snapshot on the zero-copy load path (the index never mutates
+  // after construction either way).
   std::size_t n_ = 0;
-  std::vector<Node> route_nodes_;           // all route nodes, back to back
-  std::vector<std::uint32_t> route_off_;    // per route, offset into nodes
-  std::vector<Node> route_src_;
-  std::vector<Node> route_dst_;
-  std::vector<std::uint32_t> route_pair_;   // route -> ordered-pair id
+  FlatArray<Node> route_nodes_;           // all route nodes, back to back
+  FlatArray<std::uint32_t> route_off_;    // per route, offset into nodes
+  FlatArray<Node> route_src_;
+  FlatArray<Node> route_dst_;
+  FlatArray<std::uint32_t> route_pair_;   // route -> ordered-pair id
   std::size_t num_pairs_ = 0;
-  std::vector<Node> pair_src_;              // ordered-pair id -> endpoints
-  std::vector<Node> pair_dst_;
-  std::vector<std::uint32_t> pair_route_count_;  // routes per ordered pair
-  std::vector<std::uint32_t> node_route_off_;  // node -> routes through it
-  std::vector<std::uint32_t> node_route_ids_;
+  FlatArray<Node> pair_src_;              // ordered-pair id -> endpoints
+  FlatArray<Node> pair_dst_;
+  FlatArray<std::uint32_t> pair_route_count_;  // routes per ordered pair
+  FlatArray<std::uint32_t> node_route_off_;  // node -> routes through it
+  FlatArray<std::uint32_t> node_route_ids_;
 
   // Packed-kernel support. Routes of one ordered pair occupy a contiguous
   // route-id range (both table constructors emit them that way; finalize
@@ -142,9 +149,9 @@ class SrgIndex {
   // pair_route_off_[p + 1]). src_pair_* lists the ordered pairs by source
   // node — the adjacency the lane-parallel BFS walks, since in packed mode
   // "arc" and "pair with a live route" coincide.
-  std::vector<std::uint32_t> pair_route_off_;  // pair -> first route id
-  std::vector<std::uint32_t> src_pair_off_;    // node -> pairs sourced at it
-  std::vector<std::uint32_t> src_pair_ids_;
+  FlatArray<std::uint32_t> pair_route_off_;  // pair -> first route id
+  FlatArray<std::uint32_t> src_pair_off_;    // node -> pairs sourced at it
+  FlatArray<std::uint32_t> src_pair_ids_;
 };
 
 /// Per-worker mutable state for fault-set evaluation against a shared

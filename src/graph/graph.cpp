@@ -8,7 +8,8 @@
 
 namespace ftr {
 
-Graph::Graph(std::size_t n) : offsets_(n + 1, 0) {}
+Graph::Graph(std::size_t n)
+    : offsets_(std::vector<std::uint32_t>(n + 1, 0)) {}
 
 Graph::Graph(std::vector<std::uint32_t> offsets, std::vector<Node> targets,
              std::size_t num_edges)

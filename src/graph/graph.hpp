@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "common/flat_array.hpp"
+
 namespace ftr {
 
 using Node = std::uint32_t;
@@ -156,12 +158,11 @@ class Graph {
   /// Graphviz DOT rendering, handy when debugging routings on small graphs.
   std::string to_dot(const std::string& name = "G") const;
 
-  /// Heap footprint of the CSR arrays (capacity, not size — what the
-  /// allocator actually holds). Byte-accounted caches (the serving layer's
-  /// table registry) sum this into their residency budget.
+  /// Footprint of the CSR arrays: allocator capacity when owned, mapped
+  /// extent when snapshot-backed. Byte-accounted caches (the serving
+  /// layer's table registry) sum this into their residency budget.
   std::size_t memory_bytes() const {
-    return offsets_.capacity() * sizeof(std::uint32_t) +
-           targets_.capacity() * sizeof(Node);
+    return offsets_.memory_bytes() + targets_.memory_bytes();
   }
 
   bool operator==(const Graph& other) const {
@@ -170,11 +171,14 @@ class Graph {
 
  private:
   friend class GraphBuilder;
+  friend struct SnapshotAccess;  // binary snapshot save/load (serialization)
   Graph(std::vector<std::uint32_t> offsets, std::vector<Node> targets,
         std::size_t num_edges);
 
-  std::vector<std::uint32_t> offsets_;  // n+1 row offsets into targets_
-  std::vector<Node> targets_;           // concatenated sorted neighbor rows
+  // CSR arrays: owned vectors normally, aliases into a mapped snapshot on
+  // the zero-copy load path (Graph is immutable either way).
+  FlatArray<std::uint32_t> offsets_;  // n+1 row offsets into targets_
+  FlatArray<Node> targets_;           // concatenated sorted neighbor rows
   std::size_t num_edges_ = 0;
 };
 

@@ -63,9 +63,9 @@ void RoutingTable::assign(std::uint64_t k, const Path& p, bool rev) {
   }
   const auto offset = static_cast<std::uint32_t>(arena_.size());
   if (rev) {
-    arena_.insert(arena_.end(), p.rbegin(), p.rend());
+    arena_.append(p.rbegin(), p.rend());
   } else {
-    arena_.insert(arena_.end(), p.begin(), p.end());
+    arena_.append(p.begin(), p.end());
   }
   insert_entry(k, offset, static_cast<std::uint32_t>(p.size()));
 }

@@ -26,6 +26,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/flat_array.hpp"
 #include "graph/graph.hpp"
 
 namespace ftr {
@@ -95,12 +96,12 @@ class RoutingTable {
   /// this to size its preprocessing buffers in one shot.
   std::size_t arena_size() const { return arena_.size(); }
 
-  /// Heap footprint of the arena, entry list, and slot index (capacities),
-  /// for byte-accounted caches like the serving layer's table registry.
+  /// Footprint of the arena, entry list, and slot index — allocator
+  /// capacity when owned, mapped extent when snapshot-backed — for
+  /// byte-accounted caches like the serving layer's table registry.
   std::size_t memory_bytes() const {
-    return arena_.capacity() * sizeof(Node) +
-           entries_.capacity() * sizeof(Entry) +
-           slots_.capacity() * sizeof(std::uint32_t);
+    return arena_.memory_bytes() + entries_.memory_bytes() +
+           slots_.memory_bytes();
   }
 
  private:
@@ -123,11 +124,16 @@ class RoutingTable {
     return {arena_.data() + e.offset, e.len};
   }
 
+  friend struct SnapshotAccess;  // binary snapshot save/load (serialization)
+
   std::size_t n_;
   RoutingMode mode_;
-  std::vector<Node> arena_;            // all route nodes, back to back
-  std::vector<Entry> entries_;         // insertion order
-  std::vector<std::uint32_t> slots_;   // open-addressed index into entries_
+  // Owned vectors normally; aliases into a mapped snapshot on the zero-copy
+  // load path. Mutation (set_route on a snapshot-backed table) detaches to
+  // a private owned copy — see common/flat_array.hpp.
+  FlatArray<Node> arena_;            // all route nodes, back to back
+  FlatArray<Entry> entries_;         // insertion order
+  FlatArray<std::uint32_t> slots_;   // open-addressed index into entries_
 };
 
 /// Installs a direct-edge route for every edge of g (Components KERNEL 2,

@@ -1,11 +1,18 @@
 #include "routing/serialization.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
 #include <ostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/contracts.hpp"
+#include "common/mapped_file.hpp"
+#include "common/parse.hpp"
+#include "fault/fault_gen.hpp"
 
 namespace ftr {
 
@@ -32,6 +39,46 @@ std::string routing_table_to_string(const RoutingTable& table) {
   return os.str();
 }
 
+namespace {
+
+// A route line holds only node ids after the tag, and every token must
+// parse strictly (parse_u64): a word, stray punctuation, or an overflowing
+// numeral means the file is damaged, not that the route simply ended. The
+// old loader stopped at the first token operator>> choked on — and stream
+// extraction "succeeds" past an overflow at end-of-line — so corrupted
+// tables loaded as shorter, valid-looking ones.
+Path parse_route_line(const std::string& line, std::size_t n) {
+  std::istringstream ls(line);
+  std::string tag;
+  ls >> tag;
+  FTR_EXPECTS_MSG(tag == "route", "unexpected line: '" << line << "'");
+  Path path;
+  std::string tok;
+  while (ls >> tok) {
+    const auto v = parse_u64(tok);
+    FTR_EXPECTS_MSG(v.has_value(), "bad token '" << tok << "' in route line: '"
+                                                 << line << "'");
+    FTR_EXPECTS_MSG(*v < n,
+                    "node " << *v << " out of range in '" << line << "'");
+    path.push_back(static_cast<Node>(*v));
+  }
+  FTR_EXPECTS_MSG(path.size() >= 2, "truncated route: '" << line << "'");
+  return path;
+}
+
+// Everything after the `end` terminator must be blank or comment; data
+// lines there mean a concatenation or truncation accident, and accepting
+// them would silently drop routes.
+void expect_nothing_after_end(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    FTR_EXPECTS_MSG(false, "trailing garbage after 'end': '" << line << "'");
+  }
+}
+
+}  // namespace
+
 RoutingTable load_routing_table(std::istream& is) {
   std::string line;
   // Header (skipping blank/comment lines).
@@ -47,6 +94,9 @@ RoutingTable load_routing_table(std::istream& is) {
     FTR_EXPECTS_MSG(mode_str == "bidirectional" || mode_str == "unidirectional",
                     "bad mode '" << mode_str << "'");
     FTR_EXPECTS_MSG(n >= 2, "table needs at least 2 nodes");
+    std::string extra;
+    FTR_EXPECTS_MSG(!(ls >> extra),
+                    "trailing garbage in header: '" << line << "'");
     have_header = true;
     break;
   }
@@ -62,21 +112,10 @@ RoutingTable load_routing_table(std::istream& is) {
       saw_end = true;
       break;
     }
-    std::istringstream ls(line);
-    std::string tag;
-    ls >> tag;
-    FTR_EXPECTS_MSG(tag == "route", "unexpected line: '" << line << "'");
-    Path path;
-    std::uint64_t v;
-    while (ls >> v) {
-      FTR_EXPECTS_MSG(v < n, "node " << v << " out of range in '" << line
-                                     << "'");
-      path.push_back(static_cast<Node>(v));
-    }
-    FTR_EXPECTS_MSG(path.size() >= 2, "truncated route: '" << line << "'");
-    table.set_route(path);
+    table.set_route(parse_route_line(line, n));
   }
   FTR_EXPECTS_MSG(saw_end, "missing 'end' terminator");
+  expect_nothing_after_end(is);
   return table;
 }
 
@@ -127,6 +166,9 @@ MultiRouteTable load_multi_route_table(std::istream& is) {
     FTR_EXPECTS_MSG(mode_str == "bidirectional" || mode_str == "unidirectional",
                     "bad mode '" << mode_str << "'");
     FTR_EXPECTS_MSG(n >= 2, "table needs at least 2 nodes");
+    std::string extra;
+    FTR_EXPECTS_MSG(!(ls >> extra),
+                    "trailing garbage in header: '" << line << "'");
     have_header = true;
     break;
   }
@@ -140,27 +182,843 @@ MultiRouteTable load_multi_route_table(std::istream& is) {
       saw_end = true;
       break;
     }
-    std::istringstream ls(line);
-    std::string tag;
-    ls >> tag;
-    FTR_EXPECTS_MSG(tag == "route", "unexpected line: '" << line << "'");
-    Path path;
-    std::uint64_t v;
-    while (ls >> v) {
-      FTR_EXPECTS_MSG(v < n, "node " << v << " out of range in '" << line
-                                     << "'");
-      path.push_back(static_cast<Node>(v));
-    }
-    FTR_EXPECTS_MSG(path.size() >= 2, "truncated route: '" << line << "'");
-    table.add_route(path);
+    table.add_route(parse_route_line(line, n));
   }
   FTR_EXPECTS_MSG(saw_end, "missing 'end' terminator");
+  expect_nothing_after_end(is);
   return table;
 }
 
 MultiRouteTable multi_route_table_from_string(const std::string& text) {
   std::istringstream is(text);
   return load_multi_route_table(is);
+}
+
+// --- binary table snapshots --------------------------------------------------
+
+// Private-member bridge between the snapshot container and the structures it
+// persists. Befriended by Graph, RoutingTable, and SrgIndex so the loader
+// can place FlatArrays (owned or mapped aliases) directly into them without
+// widening any public API.
+struct SnapshotAccess {
+  using Entry = RoutingTable::Entry;
+
+  static const FlatArray<std::uint32_t>& graph_offsets(const Graph& g) {
+    return g.offsets_;
+  }
+  static const FlatArray<Node>& graph_targets(const Graph& g) {
+    return g.targets_;
+  }
+  static Graph make_graph(FlatArray<std::uint32_t> offsets,
+                          FlatArray<Node> targets, std::size_t num_edges) {
+    Graph g;
+    g.offsets_ = std::move(offsets);
+    g.targets_ = std::move(targets);
+    g.num_edges_ = num_edges;
+    return g;
+  }
+
+  static const FlatArray<Node>& table_arena(const RoutingTable& t) {
+    return t.arena_;
+  }
+  static const FlatArray<Entry>& table_entries(const RoutingTable& t) {
+    return t.entries_;
+  }
+  static const FlatArray<std::uint32_t>& table_slots(const RoutingTable& t) {
+    return t.slots_;
+  }
+  static constexpr std::uint32_t no_entry() { return RoutingTable::kNoEntry; }
+  static RoutingTable make_table(std::size_t n, RoutingMode mode,
+                                 FlatArray<Node> arena,
+                                 FlatArray<Entry> entries,
+                                 FlatArray<std::uint32_t> slots) {
+    RoutingTable t;
+    t.n_ = n;
+    t.mode_ = mode;
+    t.arena_ = std::move(arena);
+    t.entries_ = std::move(entries);
+    t.slots_ = std::move(slots);
+    return t;
+  }
+
+  static const SrgIndex& index(const SrgIndex& ix) { return ix; }
+  static std::shared_ptr<const SrgIndex> make_index(
+      std::size_t n, std::size_t num_pairs, FlatArray<Node> route_nodes,
+      FlatArray<std::uint32_t> route_off, FlatArray<Node> route_src,
+      FlatArray<Node> route_dst, FlatArray<std::uint32_t> route_pair,
+      FlatArray<Node> pair_src, FlatArray<Node> pair_dst,
+      FlatArray<std::uint32_t> pair_route_count,
+      FlatArray<std::uint32_t> node_route_off,
+      FlatArray<std::uint32_t> node_route_ids,
+      FlatArray<std::uint32_t> pair_route_off,
+      FlatArray<std::uint32_t> src_pair_off,
+      FlatArray<std::uint32_t> src_pair_ids) {
+    std::shared_ptr<SrgIndex> ix(new SrgIndex());
+    ix->n_ = n;
+    ix->num_pairs_ = num_pairs;
+    ix->route_nodes_ = std::move(route_nodes);
+    ix->route_off_ = std::move(route_off);
+    ix->route_src_ = std::move(route_src);
+    ix->route_dst_ = std::move(route_dst);
+    ix->route_pair_ = std::move(route_pair);
+    ix->pair_src_ = std::move(pair_src);
+    ix->pair_dst_ = std::move(pair_dst);
+    ix->pair_route_count_ = std::move(pair_route_count);
+    ix->node_route_off_ = std::move(node_route_off);
+    ix->node_route_ids_ = std::move(node_route_ids);
+    ix->pair_route_off_ = std::move(pair_route_off);
+    ix->src_pair_off_ = std::move(src_pair_off);
+    ix->src_pair_ids_ = std::move(src_pair_ids);
+    return ix;
+  }
+
+  static const FlatArray<Node>& srg_route_nodes(const SrgIndex& ix) {
+    return ix.route_nodes_;
+  }
+  static const FlatArray<std::uint32_t>& srg_route_off(const SrgIndex& ix) {
+    return ix.route_off_;
+  }
+  static const FlatArray<Node>& srg_route_src(const SrgIndex& ix) {
+    return ix.route_src_;
+  }
+  static const FlatArray<Node>& srg_route_dst(const SrgIndex& ix) {
+    return ix.route_dst_;
+  }
+  static const FlatArray<std::uint32_t>& srg_route_pair(const SrgIndex& ix) {
+    return ix.route_pair_;
+  }
+  static const FlatArray<Node>& srg_pair_src(const SrgIndex& ix) {
+    return ix.pair_src_;
+  }
+  static const FlatArray<Node>& srg_pair_dst(const SrgIndex& ix) {
+    return ix.pair_dst_;
+  }
+  static const FlatArray<std::uint32_t>& srg_pair_route_count(
+      const SrgIndex& ix) {
+    return ix.pair_route_count_;
+  }
+  static const FlatArray<std::uint32_t>& srg_node_route_off(
+      const SrgIndex& ix) {
+    return ix.node_route_off_;
+  }
+  static const FlatArray<std::uint32_t>& srg_node_route_ids(
+      const SrgIndex& ix) {
+    return ix.node_route_ids_;
+  }
+  static const FlatArray<std::uint32_t>& srg_pair_route_off(
+      const SrgIndex& ix) {
+    return ix.pair_route_off_;
+  }
+  static const FlatArray<std::uint32_t>& srg_src_pair_off(const SrgIndex& ix) {
+    return ix.src_pair_off_;
+  }
+  static const FlatArray<std::uint32_t>& srg_src_pair_ids(const SrgIndex& ix) {
+    return ix.src_pair_ids_;
+  }
+};
+
+namespace {
+
+using TableEntry = SnapshotAccess::Entry;
+
+// The entry section is the Entry structs verbatim; the on-disk format is
+// pinned to this exact layout.
+static_assert(sizeof(TableEntry) == 16, "snapshot format pins Entry layout");
+static_assert(std::is_trivially_copyable_v<TableEntry>);
+static_assert(std::is_standard_layout_v<TableEntry>);
+
+constexpr char kSnapMagic[8] = {'F', 'T', 'R', 'S', 'N', 'A', 'P', '\0'};
+constexpr std::uint32_t kSnapVersion = 1;
+constexpr std::uint32_t kSnapEndianTag = 0x01020304u;
+constexpr std::uint64_t kHeaderBytes = 48;
+constexpr std::uint64_t kDirEntryBytes = 32;
+constexpr std::uint64_t kSectionAlign = 16;
+constexpr std::uint32_t kMaxSections = 64;
+
+// Fixed-width scalar block; everything not naturally an array rides here.
+struct SnapshotMeta {
+  std::uint64_t graph_num_nodes;
+  std::uint64_t graph_num_edges;
+  std::uint64_t table_num_nodes;
+  std::uint32_t table_mode;
+  std::uint32_t plan_construction;
+  std::uint32_t plan_guaranteed_diameter;
+  std::uint32_t plan_tolerated_faults;
+  std::uint64_t srg_num_nodes;
+  std::uint64_t srg_num_pairs;
+};
+static_assert(sizeof(SnapshotMeta) == 56, "meta block layout is pinned");
+static_assert(std::is_trivially_copyable_v<SnapshotMeta>);
+
+// Canonical section order. A v1 file contains exactly these, in this order.
+constexpr const char* kSectionOrder[] = {
+    "meta",   "plan",   "goff",   "gtgt",   "tarena", "tentry", "tslots",
+    "snodes", "soff",   "ssrc",   "sdst",   "srpair", "spsrc",  "spdst",
+    "sprcnt", "snroff", "snrids", "sproff", "sspoff", "sspids", "rank"};
+constexpr std::size_t kNumSections = std::size(kSectionOrder);
+
+// FNV-1a folded over 64-bit little-endian words (zero-padded tail, length
+// mixed in last) — 8 bytes per multiply instead of 1, since checksum speed
+// is on the snapshot-load critical path.
+std::uint64_t checksum_bytes(const unsigned char* p, std::uint64_t n) {
+  constexpr std::uint64_t kOffset = 14695981039346656037ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = kOffset;
+  std::uint64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = (h ^ w) * kPrime;
+  }
+  if (i < n) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, p + i, n - i);
+    h = (h ^ w) * kPrime;
+  }
+  return (h ^ n) * kPrime;
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+void put_u32(unsigned char* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+void put_u64(unsigned char* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+
+void expect_little_endian_host() {
+  FTR_EXPECTS_MSG(std::endian::native == std::endian::little,
+                  "snapshot files are little-endian; this host is not");
+}
+
+std::uint64_t align_up(std::uint64_t v, std::uint64_t a) {
+  return (v + a - 1) / a * a;
+}
+
+struct RawSection {
+  std::string tag;
+  const unsigned char* data = nullptr;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t checksum = 0;
+};
+
+// Header + directory validation shared by both load paths and the directory
+// introspection entry point. Validation order is deliberate: magic /
+// version / endianness first, then structural header fields, then PER-ENTRY
+// tag and bounds checks (so a corrupted section length is reported as that
+// section's error), then the directory checksum, then — when asked — every
+// payload checksum. Throws ContractViolation naming the file and, where one
+// exists, the offending section.
+std::vector<RawSection> validate_container(const std::string& path,
+                                           const unsigned char* base,
+                                           std::uint64_t size,
+                                           bool verify_payload_checksums) {
+  FTR_EXPECTS_MSG(size >= kHeaderBytes,
+                  "snapshot '" << path << "': truncated — " << size
+                               << " bytes is smaller than the "
+                               << kHeaderBytes << "-byte header");
+  FTR_EXPECTS_MSG(std::memcmp(base, kSnapMagic, sizeof(kSnapMagic)) == 0,
+                  "snapshot '" << path
+                               << "': not a ftroute snapshot (bad magic)");
+  const std::uint32_t version = get_u32(base + 8);
+  FTR_EXPECTS_MSG(version == kSnapVersion,
+                  "snapshot '" << path << "': format version " << version
+                               << " unsupported (this build reads v"
+                               << kSnapVersion << ")");
+  FTR_EXPECTS_MSG(get_u32(base + 12) == kSnapEndianTag,
+                  "snapshot '" << path << "': endianness mismatch");
+  const std::uint32_t count = get_u32(base + 16);
+  FTR_EXPECTS_MSG(count >= 1 && count <= kMaxSections,
+                  "snapshot '" << path << "': implausible section count "
+                               << count);
+  const std::uint64_t recorded_size = get_u64(base + 24);
+  FTR_EXPECTS_MSG(recorded_size == size,
+                  "snapshot '" << path << "': truncated or padded — header"
+                               << " records " << recorded_size
+                               << " bytes, file has " << size);
+  const std::uint64_t dir_bytes = count * kDirEntryBytes;
+  FTR_EXPECTS_MSG(kHeaderBytes + dir_bytes <= size,
+                  "snapshot '" << path
+                               << "': truncated inside the directory");
+
+  const unsigned char* dir = base + kHeaderBytes;
+  std::vector<RawSection> sections(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const unsigned char* e = dir + i * kDirEntryBytes;
+    FTR_EXPECTS_MSG(e[7] == 0 && e[0] != 0,
+                    "snapshot '" << path << "': directory entry " << i
+                                 << " has a malformed tag");
+    RawSection& s = sections[i];
+    s.tag = reinterpret_cast<const char*>(e);
+    s.data = nullptr;  // set below once bounds are known good
+    s.offset = get_u64(e + 8);
+    s.length = get_u64(e + 16);
+    s.checksum = get_u64(e + 24);
+    FTR_EXPECTS_MSG(s.offset % kSectionAlign == 0,
+                    "snapshot '" << path << "' section '" << s.tag
+                                 << "': misaligned offset " << s.offset);
+    FTR_EXPECTS_MSG(
+        s.offset >= kHeaderBytes + dir_bytes && s.offset <= size,
+        "snapshot '" << path << "' section '" << s.tag << "': offset "
+                     << s.offset << " out of bounds (file has " << size
+                     << " bytes)");
+    FTR_EXPECTS_MSG(s.length <= size - s.offset,
+                    "snapshot '" << path << "' section '" << s.tag
+                                 << "': length " << s.length
+                                 << " overflows the file (offset " << s.offset
+                                 << ", file " << size << " bytes)");
+    s.data = base + s.offset;
+  }
+  const std::uint64_t dir_sum = checksum_bytes(dir, dir_bytes);
+  FTR_EXPECTS_MSG(dir_sum == get_u64(base + 32),
+                  "snapshot '" << path << "': directory checksum mismatch");
+  if (verify_payload_checksums) {
+    for (const RawSection& s : sections) {
+      const std::uint64_t sum = checksum_bytes(base + s.offset, s.length);
+      FTR_EXPECTS_MSG(sum == s.checksum,
+                      "snapshot '" << path << "' section '" << s.tag
+                                   << "': checksum mismatch (stored "
+                                   << s.checksum << ", computed " << sum
+                                   << ")");
+    }
+  }
+  return sections;
+}
+
+// Section payload -> FlatArray: an owned copy on the bulk path (no owner
+// handle), an alias into the mapping on the zero-copy path. Payload offsets
+// are 16-byte aligned and both backing stores are at-least-16-aligned, so
+// the aliased pointer is always suitably aligned for T.
+template <typename T>
+FlatArray<T> take_array(const std::string& path, const RawSection& s,
+                        const std::shared_ptr<const void>& owner) {
+  FTR_EXPECTS_MSG(s.length % sizeof(T) == 0,
+                  "snapshot '" << path << "' section '" << s.tag
+                               << "': length " << s.length
+                               << " is not a multiple of the element size "
+                               << sizeof(T));
+  const std::size_t count = s.length / sizeof(T);
+  const T* src = reinterpret_cast<const T*>(s.data);
+  if (!owner || count == 0) {
+    return FlatArray<T>(std::vector<T>(src, src + count));
+  }
+  return FlatArray<T>::aliased(src, count, owner);
+}
+
+// Bounds / monotonicity / id-range validation of everything the sections
+// claim, run on BOTH load paths before any loaded structure escapes. The
+// checksums catch storage corruption; these checks keep a crafted or buggy
+// file from producing out-of-bounds indexing (or a non-terminating hash
+// probe) at serve time. Cost is one linear pass per array — still far from
+// the planner rebuild this load path replaces.
+#define FTR_SNAP_CHECK(cond, tag, msg)                                   \
+  FTR_EXPECTS_MSG(cond, "snapshot '" << path << "' section '" << (tag)  \
+                                     << "': " << msg)
+
+void validate_structure(
+    const std::string& path, const SnapshotMeta& meta,
+    const FlatArray<std::uint32_t>& goff, const FlatArray<Node>& gtgt,
+    const FlatArray<Node>& arena, const FlatArray<TableEntry>& entries,
+    const FlatArray<std::uint32_t>& slots, const FlatArray<Node>& snodes,
+    const FlatArray<std::uint32_t>& soff, const FlatArray<Node>& ssrc,
+    const FlatArray<Node>& sdst, const FlatArray<std::uint32_t>& srpair,
+    const FlatArray<Node>& spsrc, const FlatArray<Node>& spdst,
+    const FlatArray<std::uint32_t>& sprcnt,
+    const FlatArray<std::uint32_t>& snroff,
+    const FlatArray<std::uint32_t>& snrids,
+    const FlatArray<std::uint32_t>& sproff,
+    const FlatArray<std::uint32_t>& sspoff,
+    const FlatArray<std::uint32_t>& sspids, const FlatArray<Node>& rank) {
+  const std::uint64_t n = meta.table_num_nodes;
+  FTR_SNAP_CHECK(n >= 2 && n <= (std::uint64_t{1} << 31), "meta",
+                 "implausible node count " << n);
+  FTR_SNAP_CHECK(meta.graph_num_nodes == n, "meta",
+                 "graph covers " << meta.graph_num_nodes
+                                 << " nodes but the table covers " << n);
+  FTR_SNAP_CHECK(meta.srg_num_nodes == n, "meta",
+                 "SRG index covers " << meta.srg_num_nodes
+                                     << " nodes but the table covers " << n);
+  FTR_SNAP_CHECK(meta.table_mode <= 1, "meta",
+                 "unknown routing mode " << meta.table_mode);
+  FTR_SNAP_CHECK(
+      meta.plan_construction <=
+          static_cast<std::uint32_t>(Construction::kKernel),
+      "meta", "unknown plan construction " << meta.plan_construction);
+
+  // Graph CSR.
+  FTR_SNAP_CHECK(goff.size() == n + 1, "goff",
+                 "expected " << n + 1 << " row offsets, found "
+                             << goff.size());
+  FTR_SNAP_CHECK(goff[0] == 0, "goff", "first row offset is not 0");
+  for (std::size_t i = 0; i + 1 < goff.size(); ++i) {
+    FTR_SNAP_CHECK(goff[i] <= goff[i + 1], "goff",
+                   "row offsets not monotone at node " << i);
+  }
+  FTR_SNAP_CHECK(goff.back() == gtgt.size(), "goff",
+                 "row offsets end at " << goff.back() << " but 'gtgt' holds "
+                                       << gtgt.size() << " targets");
+  FTR_SNAP_CHECK(meta.graph_num_edges * 2 == gtgt.size(), "meta",
+                 "edge count " << meta.graph_num_edges
+                               << " disagrees with the target array");
+  for (std::size_t i = 0; i < gtgt.size(); ++i) {
+    FTR_SNAP_CHECK(gtgt[i] < n, "gtgt",
+                   "target " << gtgt[i] << " out of range at index " << i);
+  }
+
+  // Routing table.
+  for (std::size_t i = 0; i < arena.size(); ++i) {
+    FTR_SNAP_CHECK(arena[i] < n, "tarena",
+                   "node " << arena[i] << " out of range at index " << i);
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const TableEntry& e = entries[i];
+    FTR_SNAP_CHECK(e.key < n * n, "tentry",
+                   "entry " << i << " keys a pair outside the node universe");
+    const Node x = static_cast<Node>(e.key / n);
+    const Node y = static_cast<Node>(e.key % n);
+    FTR_SNAP_CHECK(x != y, "tentry", "entry " << i << " routes a node to "
+                                              << "itself");
+    FTR_SNAP_CHECK(e.len >= 2, "tentry",
+                   "entry " << i << " holds a route of " << e.len
+                            << " node(s); routes need at least 2");
+    FTR_SNAP_CHECK(std::uint64_t{e.offset} + e.len <= arena.size(), "tentry",
+                   "entry " << i << " overruns the route arena");
+    FTR_SNAP_CHECK(arena[e.offset] == x && arena[e.offset + e.len - 1] == y,
+                   "tentry",
+                   "entry " << i << " path endpoints disagree with its key");
+  }
+  if (entries.empty()) {
+    // An empty table may carry an empty slot index.
+  } else {
+    FTR_SNAP_CHECK(!slots.empty() && (slots.size() & (slots.size() - 1)) == 0,
+                   "tslots", "slot count " << slots.size()
+                                           << " is not a power of two");
+    FTR_SNAP_CHECK(entries.size() * 2 <= slots.size(), "tslots",
+                   "load factor above 1/2 (" << entries.size()
+                                             << " entries in "
+                                             << slots.size() << " slots)");
+  }
+  std::size_t used_slots = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i] == SnapshotAccess::no_entry()) continue;
+    ++used_slots;
+    FTR_SNAP_CHECK(slots[i] < entries.size(), "tslots",
+                   "slot " << i << " points past the entry list");
+  }
+  FTR_SNAP_CHECK(used_slots == entries.size(), "tslots",
+                 "slot index holds " << used_slots << " entries, entry list "
+                                     << entries.size());
+
+  // SRG index.
+  const std::uint64_t pairs = meta.srg_num_pairs;
+  const std::size_t routes = ssrc.size();
+  FTR_SNAP_CHECK(pairs <= n * n, "meta", "implausible pair count " << pairs);
+  FTR_SNAP_CHECK(soff.size() == routes + 1, "soff",
+                 "expected " << routes + 1 << " route offsets, found "
+                             << soff.size());
+  FTR_SNAP_CHECK(soff[0] == 0, "soff", "first route offset is not 0");
+  for (std::size_t r = 0; r < routes; ++r) {
+    FTR_SNAP_CHECK(soff[r] <= soff[r + 1], "soff",
+                   "route offsets not monotone at route " << r);
+    FTR_SNAP_CHECK(soff[r + 1] - soff[r] >= 2, "soff",
+                   "route " << r << " spans fewer than 2 nodes");
+  }
+  FTR_SNAP_CHECK(soff.back() == snodes.size(), "soff",
+                 "route offsets end at " << soff.back()
+                                         << " but 'snodes' holds "
+                                         << snodes.size() << " nodes");
+  for (std::size_t i = 0; i < snodes.size(); ++i) {
+    FTR_SNAP_CHECK(snodes[i] < n, "snodes",
+                   "node " << snodes[i] << " out of range at index " << i);
+  }
+  FTR_SNAP_CHECK(sdst.size() == routes, "sdst",
+                 "expected " << routes << " destinations, found "
+                             << sdst.size());
+  FTR_SNAP_CHECK(srpair.size() == routes, "srpair",
+                 "expected " << routes << " pair ids, found "
+                             << srpair.size());
+  for (std::size_t r = 0; r < routes; ++r) {
+    FTR_SNAP_CHECK(ssrc[r] < n, "ssrc", "source out of range at route " << r);
+    FTR_SNAP_CHECK(sdst[r] < n, "sdst",
+                   "destination out of range at route " << r);
+    FTR_SNAP_CHECK(srpair[r] < pairs, "srpair",
+                   "pair id out of range at route " << r);
+    FTR_SNAP_CHECK(
+        snodes[soff[r]] == ssrc[r] && snodes[soff[r + 1] - 1] == sdst[r],
+        "snodes", "route " << r << " endpoints disagree with ssrc/sdst");
+  }
+  FTR_SNAP_CHECK(spsrc.size() == pairs && spdst.size() == pairs &&
+                     sprcnt.size() == pairs,
+                 "spsrc", "pair arrays disagree with the pair count "
+                              << pairs);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    FTR_SNAP_CHECK(spsrc[p] < n, "spsrc", "source out of range at pair " << p);
+    FTR_SNAP_CHECK(spdst[p] < n, "spdst",
+                   "destination out of range at pair " << p);
+  }
+  FTR_SNAP_CHECK(snroff.size() == n + 1, "snroff",
+                 "expected " << n + 1 << " node offsets, found "
+                             << snroff.size());
+  FTR_SNAP_CHECK(snroff[0] == 0, "snroff", "first node offset is not 0");
+  for (std::size_t i = 0; i + 1 < snroff.size(); ++i) {
+    FTR_SNAP_CHECK(snroff[i] <= snroff[i + 1], "snroff",
+                   "node offsets not monotone at node " << i);
+  }
+  FTR_SNAP_CHECK(snroff.back() == snrids.size(), "snroff",
+                 "node offsets end at " << snroff.back()
+                                        << " but 'snrids' holds "
+                                        << snrids.size() << " route ids");
+  for (std::size_t i = 0; i < snrids.size(); ++i) {
+    FTR_SNAP_CHECK(snrids[i] < routes, "snrids",
+                   "route id out of range at index " << i);
+  }
+  // Pair -> contiguous route range (the packed kernel's licence).
+  FTR_SNAP_CHECK(sproff.size() == pairs + 1, "sproff",
+                 "expected " << pairs + 1 << " pair offsets, found "
+                             << sproff.size());
+  FTR_SNAP_CHECK(sproff[0] == 0, "sproff", "first pair offset is not 0");
+  for (std::size_t p = 0; p < pairs; ++p) {
+    FTR_SNAP_CHECK(sproff[p] <= sproff[p + 1], "sproff",
+                   "pair offsets not monotone at pair " << p);
+    FTR_SNAP_CHECK(sproff[p + 1] - sproff[p] == sprcnt[p], "sprcnt",
+                   "route count disagrees with 'sproff' at pair " << p);
+    for (std::uint32_t r = sproff[p]; r < sproff[p + 1]; ++r) {
+      FTR_SNAP_CHECK(srpair[r] == p, "sproff",
+                     "route " << r << " is outside its pair's range");
+    }
+  }
+  FTR_SNAP_CHECK(sproff.back() == routes, "sproff",
+                 "pair offsets end at " << sproff.back() << " but there are "
+                                        << routes << " routes");
+  FTR_SNAP_CHECK(sspoff.size() == n + 1, "sspoff",
+                 "expected " << n + 1 << " source offsets, found "
+                             << sspoff.size());
+  FTR_SNAP_CHECK(sspoff[0] == 0, "sspoff", "first source offset is not 0");
+  for (std::size_t i = 0; i + 1 < sspoff.size(); ++i) {
+    FTR_SNAP_CHECK(sspoff[i] <= sspoff[i + 1], "sspoff",
+                   "source offsets not monotone at node " << i);
+  }
+  FTR_SNAP_CHECK(sspoff.back() == sspids.size(), "sspoff",
+                 "source offsets end at " << sspoff.back()
+                                          << " but 'sspids' holds "
+                                          << sspids.size() << " pair ids");
+  FTR_SNAP_CHECK(sspids.size() == pairs, "sspids",
+                 "expected one listing per pair (" << pairs << "), found "
+                                                   << sspids.size());
+  for (std::size_t u = 0; u + 1 < sspoff.size(); ++u) {
+    for (std::uint32_t i = sspoff[u]; i < sspoff[u + 1]; ++i) {
+      FTR_SNAP_CHECK(sspids[i] < pairs, "sspids",
+                     "pair id out of range at index " << i);
+      FTR_SNAP_CHECK(spsrc[sspids[i]] == u, "sspids",
+                     "pair " << sspids[i] << " listed under node " << u
+                             << " but sourced elsewhere");
+    }
+  }
+
+  // Route-load ranking.
+  FTR_SNAP_CHECK(rank.size() == n, "rank",
+                 "expected " << n << " ranked nodes, found " << rank.size());
+  for (std::size_t i = 0; i < rank.size(); ++i) {
+    FTR_SNAP_CHECK(rank[i] < n, "rank",
+                   "node " << rank[i] << " out of range at index " << i);
+  }
+}
+
+#undef FTR_SNAP_CHECK
+
+}  // namespace
+
+TableSnapshot make_table_snapshot(Graph graph, RoutingTable table,
+                                  Plan plan) {
+  FTR_EXPECTS_MSG(graph.num_nodes() == table.num_nodes(),
+                  "snapshot materials disagree: graph covers "
+                      << graph.num_nodes() << " nodes, table covers "
+                      << table.num_nodes());
+  TableSnapshot snap;
+  snap.index = std::make_shared<const SrgIndex>(table);
+  snap.route_load_ranking = nodes_by_route_load(table);
+  snap.graph = std::move(graph);
+  snap.table = std::move(table);
+  snap.plan = std::move(plan);
+  return snap;
+}
+
+void save_table_snapshot(const TableSnapshot& snapshot, std::ostream& os) {
+  expect_little_endian_host();
+  FTR_EXPECTS_MSG(snapshot.index != nullptr,
+                  "snapshot has no SrgIndex (use make_table_snapshot)");
+  const Graph& g = snapshot.graph;
+  const RoutingTable& t = snapshot.table;
+  const SrgIndex& ix = *snapshot.index;
+  FTR_EXPECTS_MSG(
+      g.num_nodes() == t.num_nodes() && ix.num_nodes() == t.num_nodes(),
+      "snapshot materials disagree on the node count");
+  FTR_EXPECTS_MSG(snapshot.route_load_ranking.size() == t.num_nodes(),
+                  "route-load ranking must rank every node");
+
+  SnapshotMeta meta{};
+  meta.graph_num_nodes = g.num_nodes();
+  meta.graph_num_edges = g.num_edges();
+  meta.table_num_nodes = t.num_nodes();
+  meta.table_mode = static_cast<std::uint32_t>(t.mode());
+  meta.plan_construction =
+      static_cast<std::uint32_t>(snapshot.plan.construction);
+  meta.plan_guaranteed_diameter = snapshot.plan.guaranteed_diameter;
+  meta.plan_tolerated_faults = snapshot.plan.tolerated_faults;
+  meta.srg_num_nodes = ix.num_nodes();
+  meta.srg_num_pairs = ix.num_pairs();
+
+  struct SectionOut {
+    const char* tag;
+    const unsigned char* data;
+    std::uint64_t length;
+  };
+  std::vector<SectionOut> sections;
+  sections.reserve(kNumSections);
+  auto add = [&](const char* tag, const void* data, std::uint64_t bytes) {
+    sections.push_back(
+        {tag, static_cast<const unsigned char*>(data), bytes});
+  };
+  auto add_arr = [&](const char* tag, const auto& arr) {
+    add(tag, arr.data(), arr.size() * sizeof(*arr.data()));
+  };
+  add("meta", &meta, sizeof(meta));
+  add("plan", snapshot.plan.rationale.data(),
+      snapshot.plan.rationale.size());
+  add_arr("goff", SnapshotAccess::graph_offsets(g));
+  add_arr("gtgt", SnapshotAccess::graph_targets(g));
+  add_arr("tarena", SnapshotAccess::table_arena(t));
+  add_arr("tentry", SnapshotAccess::table_entries(t));
+  add_arr("tslots", SnapshotAccess::table_slots(t));
+  add_arr("snodes", SnapshotAccess::srg_route_nodes(ix));
+  add_arr("soff", SnapshotAccess::srg_route_off(ix));
+  add_arr("ssrc", SnapshotAccess::srg_route_src(ix));
+  add_arr("sdst", SnapshotAccess::srg_route_dst(ix));
+  add_arr("srpair", SnapshotAccess::srg_route_pair(ix));
+  add_arr("spsrc", SnapshotAccess::srg_pair_src(ix));
+  add_arr("spdst", SnapshotAccess::srg_pair_dst(ix));
+  add_arr("sprcnt", SnapshotAccess::srg_pair_route_count(ix));
+  add_arr("snroff", SnapshotAccess::srg_node_route_off(ix));
+  add_arr("snrids", SnapshotAccess::srg_node_route_ids(ix));
+  add_arr("sproff", SnapshotAccess::srg_pair_route_off(ix));
+  add_arr("sspoff", SnapshotAccess::srg_src_pair_off(ix));
+  add_arr("sspids", SnapshotAccess::srg_src_pair_ids(ix));
+  add_arr("rank", snapshot.route_load_ranking);
+  FTR_ASSERT(sections.size() == kNumSections);
+
+  const std::uint64_t dir_bytes = sections.size() * kDirEntryBytes;
+  std::vector<std::uint64_t> offsets(sections.size());
+  std::uint64_t cursor = kHeaderBytes + dir_bytes;
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    cursor = align_up(cursor, kSectionAlign);
+    offsets[i] = cursor;
+    cursor += sections[i].length;
+  }
+  const std::uint64_t file_size = cursor;
+
+  std::vector<unsigned char> dir(dir_bytes, 0);
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    unsigned char* e = dir.data() + i * kDirEntryBytes;
+    const std::size_t tag_len = std::strlen(sections[i].tag);
+    FTR_ASSERT(tag_len >= 1 && tag_len <= 7);
+    std::memcpy(e, sections[i].tag, tag_len);
+    put_u64(e + 8, offsets[i]);
+    put_u64(e + 16, sections[i].length);
+    put_u64(e + 24, checksum_bytes(sections[i].data, sections[i].length));
+  }
+
+  unsigned char header[kHeaderBytes] = {};
+  std::memcpy(header, kSnapMagic, sizeof(kSnapMagic));
+  put_u32(header + 8, kSnapVersion);
+  put_u32(header + 12, kSnapEndianTag);
+  put_u32(header + 16, static_cast<std::uint32_t>(sections.size()));
+  put_u64(header + 24, file_size);
+  put_u64(header + 32, checksum_bytes(dir.data(), dir.size()));
+
+  os.write(reinterpret_cast<const char*>(header), sizeof(header));
+  os.write(reinterpret_cast<const char*>(dir.data()),
+           static_cast<std::streamsize>(dir.size()));
+  static constexpr char kPad[kSectionAlign] = {};
+  std::uint64_t written = kHeaderBytes + dir_bytes;
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    os.write(kPad, static_cast<std::streamsize>(offsets[i] - written));
+    if (sections[i].length != 0) {
+      os.write(reinterpret_cast<const char*>(sections[i].data),
+               static_cast<std::streamsize>(sections[i].length));
+    }
+    written = offsets[i] + sections[i].length;
+  }
+  FTR_EXPECTS_MSG(os.good(), "snapshot write failed");
+}
+
+void save_table_snapshot_file(const TableSnapshot& snapshot,
+                              const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  FTR_EXPECTS_MSG(os, "cannot open snapshot '" << path << "' for writing");
+  save_table_snapshot(snapshot, os);
+  os.flush();
+  FTR_EXPECTS_MSG(os.good(), "snapshot write to '" << path << "' failed");
+}
+
+const char* snapshot_load_mode_name(SnapshotLoadMode mode) {
+  return mode == SnapshotLoadMode::kBulkRead ? "bulk" : "mmap";
+}
+
+std::optional<SnapshotLoadMode> parse_snapshot_load_mode(
+    std::string_view name) {
+  if (name == "bulk") return SnapshotLoadMode::kBulkRead;
+  if (name == "mmap") return SnapshotLoadMode::kMmap;
+  return std::nullopt;
+}
+
+namespace {
+
+std::vector<unsigned char> read_whole_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  FTR_EXPECTS_MSG(is, "cannot open snapshot '" << path << "' for reading");
+  is.seekg(0, std::ios::end);
+  const std::streamoff end = is.tellg();
+  FTR_EXPECTS_MSG(end >= 0, "cannot size snapshot '" << path << "'");
+  std::vector<unsigned char> buf(static_cast<std::size_t>(end));
+  is.seekg(0, std::ios::beg);
+  if (!buf.empty()) {
+    is.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+  }
+  FTR_EXPECTS_MSG(is.gcount() == end,
+                  "short read from snapshot '" << path << "'");
+  return buf;
+}
+
+}  // namespace
+
+TableSnapshot load_table_snapshot_file(const std::string& path,
+                                       SnapshotLoadMode mode) {
+  expect_little_endian_host();
+
+  // Backing store: a private mapping on the zero-copy path (also the owner
+  // handle every aliased array holds), a heap buffer on the bulk path (it
+  // dies with this frame — every array copies out of it).
+  std::shared_ptr<const MappedFile> map;
+  std::vector<unsigned char> buf;
+  const unsigned char* base = nullptr;
+  std::uint64_t size = 0;
+  if (mode == SnapshotLoadMode::kMmap) {
+    map = MappedFile::open(path);
+    base = reinterpret_cast<const unsigned char*>(map->data());
+    size = map->size();
+  } else {
+    buf = read_whole_file(path);
+    base = buf.data();
+    size = buf.size();
+  }
+
+  const std::vector<RawSection> secs =
+      validate_container(path, base, size, /*verify_payload_checksums=*/true);
+  FTR_EXPECTS_MSG(secs.size() == kNumSections,
+                  "snapshot '" << path << "': expected " << kNumSections
+                               << " sections, found " << secs.size());
+  for (std::size_t i = 0; i < kNumSections; ++i) {
+    FTR_EXPECTS_MSG(secs[i].tag == kSectionOrder[i],
+                    "snapshot '" << path << "': section " << i << " is '"
+                                 << secs[i].tag << "', expected '"
+                                 << kSectionOrder[i] << "'");
+  }
+  auto sec = [&](const char* tag) -> const RawSection& {
+    const auto it =
+        std::find(kSectionOrder, kSectionOrder + kNumSections,
+                  std::string_view(tag));
+    return secs[static_cast<std::size_t>(it - kSectionOrder)];
+  };
+
+  const RawSection& meta_sec = sec("meta");
+  FTR_EXPECTS_MSG(meta_sec.length == sizeof(SnapshotMeta),
+                  "snapshot '" << path << "' section 'meta': expected "
+                               << sizeof(SnapshotMeta) << " bytes, found "
+                               << meta_sec.length);
+  SnapshotMeta meta;
+  std::memcpy(&meta, meta_sec.data, sizeof(meta));
+
+  const std::shared_ptr<const void> owner =
+      mode == SnapshotLoadMode::kMmap ? map : nullptr;
+  auto goff = take_array<std::uint32_t>(path, sec("goff"), owner);
+  auto gtgt = take_array<Node>(path, sec("gtgt"), owner);
+  auto arena = take_array<Node>(path, sec("tarena"), owner);
+  auto entries = take_array<TableEntry>(path, sec("tentry"), owner);
+  auto slots = take_array<std::uint32_t>(path, sec("tslots"), owner);
+  auto snodes = take_array<Node>(path, sec("snodes"), owner);
+  auto soff = take_array<std::uint32_t>(path, sec("soff"), owner);
+  auto ssrc = take_array<Node>(path, sec("ssrc"), owner);
+  auto sdst = take_array<Node>(path, sec("sdst"), owner);
+  auto srpair = take_array<std::uint32_t>(path, sec("srpair"), owner);
+  auto spsrc = take_array<Node>(path, sec("spsrc"), owner);
+  auto spdst = take_array<Node>(path, sec("spdst"), owner);
+  auto sprcnt = take_array<std::uint32_t>(path, sec("sprcnt"), owner);
+  auto snroff = take_array<std::uint32_t>(path, sec("snroff"), owner);
+  auto snrids = take_array<std::uint32_t>(path, sec("snrids"), owner);
+  auto sproff = take_array<std::uint32_t>(path, sec("sproff"), owner);
+  auto sspoff = take_array<std::uint32_t>(path, sec("sspoff"), owner);
+  auto sspids = take_array<std::uint32_t>(path, sec("sspids"), owner);
+  auto rank = take_array<Node>(path, sec("rank"), owner);
+
+  validate_structure(path, meta, goff, gtgt, arena, entries, slots, snodes,
+                     soff, ssrc, sdst, srpair, spsrc, spdst, sprcnt, snroff,
+                     snrids, sproff, sspoff, sspids, rank);
+
+  TableSnapshot snap;
+  snap.graph = SnapshotAccess::make_graph(
+      std::move(goff), std::move(gtgt),
+      static_cast<std::size_t>(meta.graph_num_edges));
+  snap.table = SnapshotAccess::make_table(
+      static_cast<std::size_t>(meta.table_num_nodes),
+      static_cast<RoutingMode>(meta.table_mode), std::move(arena),
+      std::move(entries), std::move(slots));
+  snap.index = SnapshotAccess::make_index(
+      static_cast<std::size_t>(meta.srg_num_nodes),
+      static_cast<std::size_t>(meta.srg_num_pairs), std::move(snodes),
+      std::move(soff), std::move(ssrc), std::move(sdst), std::move(srpair),
+      std::move(spsrc), std::move(spdst), std::move(sprcnt),
+      std::move(snroff), std::move(snrids), std::move(sproff),
+      std::move(sspoff), std::move(sspids));
+  snap.plan.construction =
+      static_cast<Construction>(meta.plan_construction);
+  snap.plan.guaranteed_diameter = meta.plan_guaranteed_diameter;
+  snap.plan.tolerated_faults = meta.plan_tolerated_faults;
+  const RawSection& plan_sec = sec("plan");
+  snap.plan.rationale.assign(
+      reinterpret_cast<const char*>(plan_sec.data),
+      static_cast<std::size_t>(plan_sec.length));
+  snap.route_load_ranking.assign(rank.begin(), rank.end());
+  return snap;
+}
+
+bool is_snapshot_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  char magic[sizeof(kSnapMagic)];
+  is.read(magic, sizeof(magic));
+  return is.gcount() == sizeof(magic) &&
+         std::memcmp(magic, kSnapMagic, sizeof(magic)) == 0;
+}
+
+SnapshotInfo read_snapshot_directory(const std::string& path) {
+  const std::vector<unsigned char> buf = read_whole_file(path);
+  const std::vector<RawSection> secs = validate_container(
+      path, buf.data(), buf.size(), /*verify_payload_checksums=*/false);
+  SnapshotInfo info;
+  info.version = get_u32(buf.data() + 8);
+  info.file_size = buf.size();
+  info.sections.reserve(secs.size());
+  for (const RawSection& s : secs) {
+    info.sections.push_back({s.tag, s.offset, s.length, s.checksum});
+  }
+  return info;
 }
 
 }  // namespace ftr

@@ -1,8 +1,16 @@
 // Route-table persistence. The paper's deployment model computes routing
-// tables once, offline, and distributes them; this module provides the
-// stable text format for that hand-off.
+// tables once, offline, and distributes them; this module provides both
+// hand-off formats:
 //
-// Format (line-oriented, '#' comments allowed):
+//  * the stable TEXT formats below (human-readable, diff-able, the
+//    portability oracle), and
+//  * the versioned, checksummed BINARY SNAPSHOT — a complete ServedTable
+//    payload ({Graph CSR, RoutingTable arena + flat index, SrgIndex
+//    preprocessing, Plan, route-load ranking}) in one sectioned container
+//    that a serving replica loads at memory speed (bulk read) or aliases
+//    in place (zero-copy mmap) instead of re-running the planner.
+//
+// Text format (line-oriented, '#' comments allowed):
 //   ftroute-table v1 <num_nodes> <bidirectional|unidirectional>
 //   route <n0> <n1> ... <nk>          # one per stored ordered pair
 //   end
@@ -12,11 +20,36 @@
 //   ftroute-multitable v1 <num_nodes> <cap> <bidirectional|unidirectional>
 // and the same route lines (each stored path emitted once; bidirectional
 // tables emit the direction whose source is smaller, ties by the path).
+// Loaders are strict: trailing garbage after `end`, non-numeric junk inside
+// a route line, and routes with fewer than 2 nodes are all rejected loudly.
+//
+// Binary snapshot container (all fields little-endian, fixed width):
+//   header   — magic "FTRSNAP\0", format version, endian tag, section
+//              count, total file size, directory checksum
+//   directory — one {tag[8], offset, length, checksum} entry per section;
+//              payload offsets are 16-byte aligned so a mmap'd file can be
+//              aliased in place by any section's element type
+//   sections — the flat POD arrays of every structure, one section each,
+//              plus a fixed-width meta block and the plan rationale text
+// Versioning policy: accept-same, refuse-forward — a v1 reader loads
+// exactly v1 files and rejects anything newer with a ContractViolation
+// naming the file. Every load validates the directory and per-section
+// checksums plus the structural invariants (offsets monotone, ids in
+// range) before any loaded state escapes, on BOTH load paths; a corrupted
+// file never yields a partially-valid table.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "core/planner.hpp"
+#include "fault/srg_engine.hpp"
+#include "graph/graph.hpp"
 #include "routing/multi_route_table.hpp"
 #include "routing/route_table.hpp"
 
@@ -39,5 +72,71 @@ void save_multi_route_table(const MultiRouteTable& table, std::ostream& os);
 std::string multi_route_table_to_string(const MultiRouteTable& table);
 MultiRouteTable load_multi_route_table(std::istream& is);
 MultiRouteTable multi_route_table_from_string(const std::string& text);
+
+// --- binary table snapshots --------------------------------------------------
+
+/// Everything a ServedTable holds except its name/generation: the payload a
+/// snapshot file carries, so a registry cold miss is a load, not a rebuild.
+struct TableSnapshot {
+  Graph graph;
+  RoutingTable table;
+  std::shared_ptr<const SrgIndex> index;
+  Plan plan;  // rationale travels too; {0, 0} claims for file-loaded tables
+  std::vector<Node> route_load_ranking;  // busiest-first hill-climber seed
+};
+
+/// Derives the precomputed members (SrgIndex, route-load ranking) from the
+/// materials. graph/table node counts must match; `plan` is stored as-is.
+TableSnapshot make_table_snapshot(Graph graph, RoutingTable table,
+                                  Plan plan = {});
+
+/// Writes the sectioned binary container. The stream must be binary-mode.
+void save_table_snapshot(const TableSnapshot& snapshot, std::ostream& os);
+void save_table_snapshot_file(const TableSnapshot& snapshot,
+                              const std::string& path);
+
+enum class SnapshotLoadMode : std::uint8_t {
+  /// Validate checksums, then copy every section into owning vectors — the
+  /// portable oracle; the file can be deleted afterwards.
+  kBulkRead,
+  /// Validate checksums against the mapping, then alias the flat arrays in
+  /// place: no copies, and the mapping stays alive (shared ownership) for
+  /// as long as any loaded structure does. memory_bytes() of the loaded
+  /// structures reports the mapped extent, so byte-accounted caches charge
+  /// mapped tables like resident ones.
+  kMmap,
+};
+
+const char* snapshot_load_mode_name(SnapshotLoadMode mode);
+std::optional<SnapshotLoadMode> parse_snapshot_load_mode(
+    std::string_view name);
+
+/// Loads a snapshot file. Throws ContractViolation naming the file (and the
+/// offending section, where one exists) on wrong magic, future format
+/// version, truncation, checksum mismatch, or structural corruption —
+/// partially-valid state never escapes. Both modes return bit-identical
+/// structures; only storage ownership differs.
+TableSnapshot load_table_snapshot_file(
+    const std::string& path, SnapshotLoadMode mode = SnapshotLoadMode::kMmap);
+
+/// True if the file starts with the snapshot magic — the sniff the CLI uses
+/// to accept a snapshot anywhere a graph/table file is read.
+bool is_snapshot_file(const std::string& path);
+
+/// Directory introspection (tests, tooling): section tags with their file
+/// ranges and recorded checksums, in directory order. Validates the header
+/// but not the section payloads.
+struct SnapshotSectionInfo {
+  std::string tag;
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t checksum = 0;
+};
+struct SnapshotInfo {
+  std::uint32_t version = 0;
+  std::uint64_t file_size = 0;
+  std::vector<SnapshotSectionInfo> sections;
+};
+SnapshotInfo read_snapshot_directory(const std::string& path);
 
 }  // namespace ftr

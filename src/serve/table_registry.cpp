@@ -19,8 +19,14 @@ TableRegistry::TableRegistry(TableRegistryOptions options)
 
 void TableRegistry::define(const std::string& name, TableSpec spec) {
   FTR_EXPECTS_MSG(!name.empty(), "table name must be non-empty");
-  FTR_EXPECTS_MSG(!spec.graph_file.empty(),
-                  "table '" << name << "': spec needs a graph file");
+  FTR_EXPECTS_MSG(!spec.graph_file.empty() || !spec.snapshot_file.empty(),
+                  "table '" << name
+                            << "': spec needs a graph file or a snapshot");
+  FTR_EXPECTS_MSG(
+      spec.snapshot_file.empty() ||
+          (spec.graph_file.empty() && spec.table_file.empty()),
+      "table '" << name
+                << "': snapshot is exclusive with graph/routes files");
   const std::lock_guard<std::mutex> lock(mutex_);
   drop_resident_locked(name, /*count_eviction=*/false);
   auto& provider = providers_[name];  // keeps next_generation on redefine
@@ -84,10 +90,23 @@ TableHandle TableRegistry::materialize_locked(const std::string& name,
                                               Provider& provider) {
   auto entry = std::make_shared<ServedTable>();
   entry->name = name;
+  const bool from_snapshot =
+      !provider.prebuilt && !provider.spec.snapshot_file.empty();
   if (provider.prebuilt) {
     entry->graph = *provider.graph;
     entry->table = *provider.table;
     entry->plan = provider.plan;
+  } else if (from_snapshot) {
+    // The snapshot carries the whole precomputed payload — the load (which
+    // validates checksums and structure, throwing before any state escapes)
+    // replaces the planner/SrgIndex work below.
+    TableSnapshot snap = load_table_snapshot_file(
+        provider.spec.snapshot_file, provider.spec.snapshot_mode);
+    entry->graph = std::move(snap.graph);
+    entry->table = std::move(snap.table);
+    entry->index = std::move(snap.index);
+    entry->plan = std::move(snap.plan);
+    entry->route_load_ranking = std::move(snap.route_load_ranking);
   } else {
     std::ifstream gf(provider.spec.graph_file);
     FTR_EXPECTS_MSG(gf, "table '" << name << "': cannot open graph file '"
@@ -106,15 +125,21 @@ TableHandle TableRegistry::materialize_locked(const std::string& name,
       entry->plan = planned.plan;
     }
   }
-  entry->index = std::make_shared<const SrgIndex>(entry->table);
-  entry->route_load_ranking = nodes_by_route_load(entry->table);
+  if (!from_snapshot) {
+    entry->index = std::make_shared<const SrgIndex>(entry->table);
+    entry->route_load_ranking = nodes_by_route_load(entry->table);
+  }
   entry->memory_bytes = entry->graph.memory_bytes() +
                         entry->table.memory_bytes() +
                         entry->index->memory_bytes() +
                         entry->route_load_ranking.capacity() * sizeof(Node);
-  // Everything that can throw is behind us: commit the build and the
-  // generation only for entries that actually materialized.
-  ++stats_.builds;
+  // Everything that can throw is behind us: commit the build (or snapshot
+  // load) and the generation only for entries that actually materialized.
+  if (from_snapshot) {
+    ++stats_.snapshot_loads;
+  } else {
+    ++stats_.builds;
+  }
   entry->generation = provider.next_generation++;
   return entry;
 }
@@ -188,6 +213,8 @@ std::size_t load_table_manifest(std::istream& in, TableRegistry& registry) {
     FTR_EXPECTS_MSG(fields >> name,
                     "manifest line " << line_no << ": missing table name");
     TableSpec spec;
+    bool saw_seed = false;
+    bool saw_load_mode = false;
     std::string token;
     while (fields >> token) {
       const auto eq = token.find('=');
@@ -207,15 +234,36 @@ std::size_t load_table_manifest(std::istream& in, TableRegistry& registry) {
                                                            << ": bad seed '"
                                                            << value << "'");
         spec.build_seed = *seed;
+        saw_seed = true;
+      } else if (key == "snapshot") {
+        spec.snapshot_file = value;
+      } else if (key == "snapshot_load") {
+        const auto load_mode = parse_snapshot_load_mode(value);
+        FTR_EXPECTS_MSG(load_mode.has_value(),
+                        "manifest line " << line_no << ": bad snapshot_load '"
+                                         << value << "' (bulk|mmap)");
+        spec.snapshot_mode = *load_mode;
+        saw_load_mode = true;
       } else {
         FTR_EXPECTS_MSG(false, "manifest line " << line_no
                                                 << ": unknown key '" << key
                                                 << "'");
       }
     }
-    FTR_EXPECTS_MSG(!spec.graph_file.empty(),
+    FTR_EXPECTS_MSG(!spec.graph_file.empty() || !spec.snapshot_file.empty(),
                     "manifest line " << line_no << ": table '" << name
-                                     << "' needs graph=<file>");
+                                     << "' needs graph=<file> or "
+                                     << "snapshot=<file>");
+    FTR_EXPECTS_MSG(spec.snapshot_file.empty() ||
+                        (spec.graph_file.empty() && spec.table_file.empty() &&
+                         !saw_seed),
+                    "manifest line "
+                        << line_no << ": table '" << name
+                        << "': snapshot= is exclusive with "
+                        << "graph=/routes=/seed=");
+    FTR_EXPECTS_MSG(!saw_load_mode || !spec.snapshot_file.empty(),
+                    "manifest line " << line_no << ": table '" << name
+                                     << "': snapshot_load= needs snapshot=");
     // A duplicate name in one manifest is almost certainly a copy-paste
     // typo; silently letting the last definition win would strand every
     // request aimed at the lost spec on 'unknown table'. (Programmatic

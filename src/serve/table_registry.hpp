@@ -14,9 +14,16 @@
 //  * build-on-miss: a name is DEFINED up front (by manifest spec or by
 //    prebuilt materials) and MATERIALIZED lazily on first acquire — file
 //    specs load the graph, then load the routing table or build one via the
-//    planner, then construct the SrgIndex; every materialization bumps
+//    planner, then construct the SrgIndex; every such materialization bumps
 //    stats().builds, which is the preprocessing-count probe the warm-vs-cold
 //    bench and tests assert on;
+//  * snapshot-on-miss: a spec may instead name a binary snapshot
+//    (snapshot=<file> in the manifest) — the complete precomputed payload,
+//    SrgIndex and route-load ranking included — which materializes by
+//    loading (bulk read or zero-copy mmap), bumping stats().snapshot_loads
+//    instead of builds. Served responses are bit-identical to the
+//    build-on-miss path for the same materials; only the cold-acquire cost
+//    changes;
 //  * residency is byte-accounted against max_resident_bytes (0 = unlimited)
 //    using the memory_bytes() probes of Graph / RoutingTable / SrgIndex, and
 //    evicted in LRU order — acquire() touches, eviction walks from the cold
@@ -47,6 +54,7 @@
 #include "fault/srg_engine.hpp"
 #include "graph/graph.hpp"
 #include "routing/route_table.hpp"
+#include "routing/serialization.hpp"
 
 namespace ftr {
 
@@ -75,13 +83,21 @@ struct ServedTable {
 /// Cheap shared-ownership handle; keeps the entry alive past eviction.
 using TableHandle = std::shared_ptr<const ServedTable>;
 
-/// File-backed recipe for materializing a table on miss.
+/// File-backed recipe for materializing a table on miss. Exactly one of
+/// graph_file / snapshot_file must be set: the first materializes by
+/// loading/building (text graph + optional text routes, planner otherwise),
+/// the second by loading a binary snapshot (which already carries the
+/// graph, table, SrgIndex, plan, and ranking).
 struct TableSpec {
   std::string graph_file;
   /// Empty = build the routing via the planner instead of loading one.
   std::string table_file;
   /// Planner seed when table_file is empty.
   std::uint64_t build_seed = 42;
+  /// Binary snapshot to materialize from (exclusive with the fields above).
+  std::string snapshot_file;
+  /// How to load snapshot_file: zero-copy mmap (default) or bulk read.
+  SnapshotLoadMode snapshot_mode = SnapshotLoadMode::kMmap;
 };
 
 struct TableRegistryOptions {
@@ -93,7 +109,8 @@ struct TableRegistryOptions {
 struct TableRegistryStats {
   std::uint64_t hits = 0;        // acquire() found the entry resident
   std::uint64_t misses = 0;      // acquire() had to materialize
-  std::uint64_t builds = 0;      // materializations (== SrgIndex constructions)
+  std::uint64_t builds = 0;      // materializations that constructed SrgIndex
+  std::uint64_t snapshot_loads = 0;  // materializations from a binary snapshot
   std::uint64_t evictions = 0;   // entries dropped for the byte budget
   std::size_t resident_bytes = 0;
   std::size_t resident_tables = 0;
@@ -168,9 +185,12 @@ class TableRegistry {
 /// Parses a tables manifest into `registry` and returns how many tables it
 /// defined. Line-oriented, '#' comments and blank lines skipped:
 ///   table <name> graph=<file> [routes=<file>] [seed=<S>]
+///   table <name> snapshot=<file> [snapshot_load=bulk|mmap]
 /// Without routes=, the table is built by the planner on first acquire
-/// (seeded by seed=, default 42). Malformed lines throw ContractViolation
-/// naming the 1-based line number.
+/// (seeded by seed=, default 42). snapshot= materializes from a binary
+/// snapshot instead and is mutually exclusive with graph=/routes=/seed=;
+/// snapshot_load= picks the load path (default mmap). Malformed lines throw
+/// ContractViolation naming the 1-based line number.
 std::size_t load_table_manifest(std::istream& in, TableRegistry& registry);
 
 }  // namespace ftr

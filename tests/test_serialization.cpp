@@ -161,6 +161,81 @@ TEST(MultiSerialization, RejectsBadHeader) {
   EXPECT_THROW(multi_route_table_from_string(""), ContractViolation);
 }
 
+// --- strictness regressions: damaged files fail loudly ----------------------
+// The loaders used to stop a route at the first token operator>> choked on
+// (words, punctuation, OVERFLOWING numerals) and to ignore everything after
+// 'end' — corrupted or concatenated files loaded as shorter, valid-looking
+// tables. These pin the strict behavior.
+
+TEST(Serialization, RejectsGarbageTokenInRouteLine) {
+  EXPECT_THROW(routing_table_from_string(
+                   "ftroute-table v1 4 bidirectional\nroute 0 1 frog\nend\n"),
+               ContractViolation);
+  EXPECT_THROW(routing_table_from_string(
+                   "ftroute-table v1 4 bidirectional\nroute 0 1 2x\nend\n"),
+               ContractViolation);
+  // A signed token must read as damage, never wrap around.
+  EXPECT_THROW(routing_table_from_string(
+                   "ftroute-table v1 4 bidirectional\nroute 0 -1\nend\n"),
+               ContractViolation);
+}
+
+TEST(Serialization, RejectsOverflowingNumeralInRouteLine) {
+  // Stream extraction "succeeds" past an overflow at end-of-line; the
+  // strict parser must not let this load as the shorter route {0, 1}.
+  try {
+    (void)routing_table_from_string(
+        "ftroute-table v1 4 bidirectional\n"
+        "route 0 1 99999999999999999999999999\nend\n");
+    FAIL() << "overflowing numeral was swallowed";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("bad token"), std::string::npos);
+  }
+}
+
+TEST(Serialization, RejectsTrailingGarbageAfterEnd) {
+  EXPECT_THROW(
+      routing_table_from_string("ftroute-table v1 4 bidirectional\n"
+                                "route 0 1\nend\nroute 2 3\n"),
+      ContractViolation);
+  // Blank lines and comments after 'end' remain fine.
+  EXPECT_NO_THROW(
+      routing_table_from_string("ftroute-table v1 4 bidirectional\n"
+                                "route 0 1\nend\n\n# trailing comment\n"));
+}
+
+TEST(Serialization, RejectsTrailingGarbageInHeader) {
+  EXPECT_THROW(routing_table_from_string(
+                   "ftroute-table v1 4 bidirectional extra\nend\n"),
+               ContractViolation);
+}
+
+TEST(MultiSerialization, RejectsGarbageTokenInRouteLine) {
+  EXPECT_THROW(
+      multi_route_table_from_string("ftroute-multitable v1 4 2 bidirectional\n"
+                                    "route 0 1 frog\nend\n"),
+      ContractViolation);
+  EXPECT_THROW(
+      multi_route_table_from_string("ftroute-multitable v1 4 2 bidirectional\n"
+                                    "route 0 1 99999999999999999999999999\n"
+                                    "end\n"),
+      ContractViolation);
+}
+
+TEST(MultiSerialization, RejectsTrailingGarbage) {
+  EXPECT_THROW(
+      multi_route_table_from_string("ftroute-multitable v1 4 2 bidirectional\n"
+                                    "route 0 1\nend\nroute 2 3\n"),
+      ContractViolation);
+  EXPECT_THROW(
+      multi_route_table_from_string(
+          "ftroute-multitable v1 4 2 bidirectional extra\nend\n"),
+      ContractViolation);
+  EXPECT_NO_THROW(
+      multi_route_table_from_string("ftroute-multitable v1 4 2 bidirectional\n"
+                                    "route 0 1\nend\n# comment\n"));
+}
+
 TEST(Serialization, BidirectionalStoresEachPairOnce) {
   RoutingTable t(4, RoutingMode::kBidirectional);
   t.set_route({0, 1, 2});

@@ -1,0 +1,461 @@
+// Binary table snapshots: round-trip fidelity on both load paths (bulk
+// read and zero-copy mmap), the full negative-path matrix (truncation,
+// bit flips, wrong magic, future version, section-length overflow — every
+// failure a ContractViolation naming the file and, where one exists, the
+// offending section), registry snapshot-on-miss, and the serve
+// differential (snapshot-backed output bit-identical to build-on-miss).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "fault/srg_engine.hpp"
+#include "gen/generators.hpp"
+#include "graph/graph_io.hpp"
+#include "routing/kernel.hpp"
+#include "routing/serialization.hpp"
+#include "serve/request_router.hpp"
+#include "serve/table_registry.hpp"
+
+namespace ftr {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+// The shared fixture materials: a torus kernel routing with a plan whose
+// every field is non-default, so round-trip comparisons can't pass by
+// accident of zero-initialization.
+TableSnapshot test_snapshot() {
+  const auto gg = torus_graph(4, 4);
+  auto table = build_kernel_routing(gg.graph, 2).table;
+  Plan plan;
+  plan.construction = Construction::kKernel;
+  plan.guaranteed_diameter = 9;
+  plan.tolerated_faults = 2;
+  plan.rationale = "test fixture: torus kernel routing";
+  return make_table_snapshot(gg.graph, std::move(table), plan);
+}
+
+std::string write_test_snapshot(const std::string& name) {
+  const std::string path = temp_path(name);
+  save_table_snapshot_file(test_snapshot(), path);
+  return path;
+}
+
+std::string graph_text(const Graph& g) {
+  std::ostringstream os;
+  save_graph(g, os);
+  return os.str();
+}
+
+// Functional SRG equality: same shape and identical evaluations over a
+// spread of fault sets (diameter, survivor count, surviving arcs).
+void expect_index_equivalent(const SrgIndex& a, const SrgIndex& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_routes(), b.num_routes());
+  ASSERT_EQ(a.num_pairs(), b.num_pairs());
+  SrgScratch sa(a);
+  SrgScratch sb(b);
+  const std::vector<std::vector<Node>> fault_sets = {
+      {}, {0}, {5}, {3, 11}, {1, 6, 12}, {0, 7, 8, 15}};
+  for (const auto& faults : fault_sets) {
+    const auto ra = sa.evaluate(faults);
+    const auto rb = sb.evaluate(faults);
+    EXPECT_EQ(ra.diameter, rb.diameter);
+    EXPECT_EQ(ra.survivors, rb.survivors);
+    EXPECT_EQ(ra.arcs, rb.arcs);
+  }
+}
+
+void expect_round_trip(const TableSnapshot& orig, const TableSnapshot& got) {
+  EXPECT_EQ(graph_text(got.graph), graph_text(orig.graph));
+  EXPECT_EQ(routing_table_to_string(got.table),
+            routing_table_to_string(orig.table));
+  EXPECT_EQ(got.plan.construction, orig.plan.construction);
+  EXPECT_EQ(got.plan.guaranteed_diameter, orig.plan.guaranteed_diameter);
+  EXPECT_EQ(got.plan.tolerated_faults, orig.plan.tolerated_faults);
+  EXPECT_EQ(got.plan.rationale, orig.plan.rationale);
+  EXPECT_EQ(got.route_load_ranking, orig.route_load_ranking);
+  ASSERT_NE(got.index, nullptr);
+  expect_index_equivalent(*orig.index, *got.index);
+}
+
+TEST(Snapshot, RoundTripBulkRead) {
+  const auto orig = test_snapshot();
+  const std::string path = temp_path("roundtrip_bulk.snap");
+  save_table_snapshot_file(orig, path);
+  const auto got = load_table_snapshot_file(path, SnapshotLoadMode::kBulkRead);
+  expect_round_trip(orig, got);
+}
+
+TEST(Snapshot, RoundTripMmap) {
+  const auto orig = test_snapshot();
+  const std::string path = temp_path("roundtrip_mmap.snap");
+  save_table_snapshot_file(orig, path);
+  const auto got = load_table_snapshot_file(path, SnapshotLoadMode::kMmap);
+  expect_round_trip(orig, got);
+  // The mapped structures account real bytes, so byte-budgeted caches
+  // charge mapped tables like resident ones.
+  EXPECT_GT(got.graph.memory_bytes(), 0u);
+  EXPECT_GT(got.table.memory_bytes(), 0u);
+  EXPECT_GT(got.index->memory_bytes(), 0u);
+}
+
+TEST(Snapshot, MmapTableSurvivesFileOutliving) {
+  // The mapping is shared-ownership: structures moved out of the load
+  // result keep it alive with no load-scope lifetime coupling.
+  const std::string path = write_test_snapshot("mmap_lifetime.snap");
+  RoutingTable table = [&] {
+    auto snap = load_table_snapshot_file(path, SnapshotLoadMode::kMmap);
+    return std::move(snap.table);  // snapshot (and its owner handle) dies
+  }();
+  bool found = false;
+  for (Node x = 0; x < table.num_nodes() && !found; ++x) {
+    for (Node y = 0; y < table.num_nodes() && !found; ++y) {
+      if (x == y || !table.has_route(x, y)) continue;
+      const auto view = table.route(x, y);
+      EXPECT_GE(view.size(), 2u);
+      EXPECT_EQ(view.front(), x);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Snapshot, DirectoryIntrospection) {
+  const std::string path = write_test_snapshot("introspect.snap");
+  const auto info = read_snapshot_directory(path);
+  EXPECT_EQ(info.version, 1u);
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  EXPECT_EQ(info.file_size, static_cast<std::uint64_t>(f.tellg()));
+  ASSERT_GE(info.sections.size(), 3u);
+  EXPECT_EQ(info.sections.front().tag, "meta");
+  for (const auto& s : info.sections) {
+    EXPECT_EQ(s.offset % 16, 0u) << s.tag;
+    EXPECT_LE(s.offset + s.length, info.file_size) << s.tag;
+  }
+}
+
+TEST(Snapshot, SniffsSnapshotFiles) {
+  const std::string path = write_test_snapshot("sniff.snap");
+  EXPECT_TRUE(is_snapshot_file(path));
+  const std::string text = temp_path("sniff.ftg");
+  std::ofstream(text) << "ftroute-graph v1 not a snapshot\n";
+  EXPECT_FALSE(is_snapshot_file(text));
+  EXPECT_FALSE(is_snapshot_file(temp_path("sniff_missing.snap")));
+}
+
+// --- negative paths ---------------------------------------------------------
+
+// Overwrites `count` bytes at `offset` with `byte`.
+void patch_file(const std::string& path, std::uint64_t offset,
+                unsigned char byte, std::size_t count = 1) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f) << path;
+  f.seekp(static_cast<std::streamoff>(offset));
+  for (std::size_t i = 0; i < count; ++i) {
+    f.put(static_cast<char>(byte));
+  }
+  ASSERT_TRUE(f.good());
+}
+
+void truncate_file(const std::string& path, std::uint64_t keep) {
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ASSERT_GT(bytes.size(), keep);
+  bytes.resize(keep);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// Both load modes must reject the file with a message naming it and
+// containing `expect`.
+void expect_load_rejects(const std::string& path, const std::string& expect) {
+  for (const auto mode :
+       {SnapshotLoadMode::kBulkRead, SnapshotLoadMode::kMmap}) {
+    try {
+      (void)load_table_snapshot_file(path, mode);
+      FAIL() << "load (" << snapshot_load_mode_name(mode)
+             << ") accepted a corrupted snapshot";
+    } catch (const ContractViolation& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find(path), std::string::npos) << msg;
+      EXPECT_NE(msg.find(expect), std::string::npos) << msg;
+    }
+  }
+}
+
+TEST(Snapshot, RejectsWrongMagic) {
+  const std::string path = write_test_snapshot("bad_magic.snap");
+  patch_file(path, 0, 'X');
+  expect_load_rejects(path, "bad magic");
+}
+
+TEST(Snapshot, RejectsNonSnapshotFile) {
+  const std::string path = temp_path("not_a_snapshot.snap");
+  std::ofstream(path, std::ios::binary)
+      << "this is long enough to clear the header-size check but is text "
+         "all the way down, nothing like a snapshot container";
+  expect_load_rejects(path, "bad magic");
+}
+
+TEST(Snapshot, RejectsFutureFormatVersion) {
+  const std::string path = write_test_snapshot("future_version.snap");
+  patch_file(path, 8, 2);  // version field: u32 at byte 8
+  expect_load_rejects(path, "format version 2 unsupported");
+}
+
+TEST(Snapshot, RejectsTruncationBelowHeader) {
+  const std::string path = write_test_snapshot("trunc_header.snap");
+  truncate_file(path, 20);
+  expect_load_rejects(path, "truncated");
+}
+
+TEST(Snapshot, RejectsTruncationMidFile) {
+  const std::string path = write_test_snapshot("trunc_mid.snap");
+  const auto info = read_snapshot_directory(path);
+  truncate_file(path, info.file_size - 100);
+  expect_load_rejects(path, "truncated");
+}
+
+TEST(Snapshot, RejectsBitFlippedSectionNamingIt) {
+  // Flip one byte inside a payload section located via the directory; the
+  // error must name that section, not just fail vaguely.
+  const std::string path = write_test_snapshot("bitflip.snap");
+  const auto info = read_snapshot_directory(path);
+  const SnapshotSectionInfo* target = nullptr;
+  for (const auto& s : info.sections) {
+    if (s.tag == "tarena") target = &s;
+  }
+  ASSERT_NE(target, nullptr);
+  ASSERT_GT(target->length, 0u);
+  std::ifstream in(path, std::ios::binary);
+  in.seekg(static_cast<std::streamoff>(target->offset));
+  const unsigned char original = static_cast<unsigned char>(in.get());
+  in.close();
+  patch_file(path, target->offset, original ^ 0x40u);
+  expect_load_rejects(path, "section 'tarena': checksum mismatch");
+}
+
+TEST(Snapshot, RejectsSectionLengthOverflowNamingIt) {
+  // Blow up a directory entry's length field (u64 at entry offset + 16).
+  // The per-entry bounds check runs BEFORE the directory checksum
+  // comparison precisely so this reports the poisoned section by name.
+  const std::string path = write_test_snapshot("len_overflow.snap");
+  patch_file(path, /*header*/ 48 + /*entry 4 = tarena*/ 4 * 32 + 16, 0xff,
+             8);
+  expect_load_rejects(path, "section 'tarena': length");
+}
+
+TEST(Snapshot, RejectsDirectoryTampering) {
+  // A subtler directory edit (bump a stored checksum) that keeps all
+  // bounds plausible must still die on the directory checksum.
+  const std::string path = write_test_snapshot("dir_tamper.snap");
+  patch_file(path, 48 + 2 * 32 + 24, 0x5a);
+  expect_load_rejects(path, "directory checksum mismatch");
+}
+
+TEST(Snapshot, RejectsStructuralCorruptionUnderValidChecksums) {
+  // A hostile WRITER (not storage rot): craft a file whose checksums are
+  // all honest but whose payload breaks a structural invariant. Flip a
+  // graph CSR offset to be non-monotone, then re-checksum section and
+  // directory so only structural validation can catch it.
+  const std::string path = write_test_snapshot("crafted.snap");
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  const auto info = read_snapshot_directory(path);
+  const SnapshotSectionInfo* goff = nullptr;
+  std::size_t goff_index = 0;
+  for (std::size_t i = 0; i < info.sections.size(); ++i) {
+    if (info.sections[i].tag == "goff") {
+      goff = &info.sections[i];
+      goff_index = i;
+    }
+  }
+  ASSERT_NE(goff, nullptr);
+  ASSERT_GE(goff->length, 8u);
+  // offsets_[1] (u32 at +4): 0xffffffff breaks monotonicity and bounds.
+  bytes[goff->offset + 4] = static_cast<char>(0xff);
+  bytes[goff->offset + 5] = static_cast<char>(0xff);
+  bytes[goff->offset + 6] = static_cast<char>(0xff);
+  bytes[goff->offset + 7] = static_cast<char>(0xff);
+  // Recompute the section checksum exactly as the writer does: FNV-1a over
+  // 64-bit LE words, zero-padded tail, length mixed last.
+  const auto checksum = [&](std::uint64_t off, std::uint64_t n) {
+    std::uint64_t h = 14695981039346656037ull;
+    constexpr std::uint64_t kPrime = 1099511628211ull;
+    std::uint64_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      std::uint64_t w = 0;
+      std::memcpy(&w, bytes.data() + off + i, 8);
+      h = (h ^ w) * kPrime;
+    }
+    if (i < n) {
+      std::uint64_t w = 0;
+      std::memcpy(&w, bytes.data() + off + i, n - i);
+      h = (h ^ w) * kPrime;
+    }
+    return (h ^ n) * kPrime;
+  };
+  const std::uint64_t entry_off = 48 + goff_index * 32;
+  const std::uint64_t section_sum = checksum(goff->offset, goff->length);
+  std::memcpy(bytes.data() + entry_off + 24, &section_sum, 8);
+  const std::uint64_t dir_sum = checksum(48, info.sections.size() * 32);
+  std::memcpy(bytes.data() + 32, &dir_sum, 8);
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  expect_load_rejects(path, "section 'goff'");
+}
+
+// --- registry + serving integration -----------------------------------------
+
+TEST(Snapshot, RegistryMaterializesFromSnapshotOnMiss) {
+  const std::string path = write_test_snapshot("registry.snap");
+  TableRegistry registry;
+  TableSpec spec;
+  spec.snapshot_file = path;
+  registry.define("t", spec);
+
+  const auto handle = registry.acquire("t");
+  EXPECT_EQ(registry.stats().snapshot_loads, 1u);
+  EXPECT_EQ(registry.stats().builds, 0u);
+  EXPECT_EQ(registry.stats().misses, 1u);
+  EXPECT_EQ(handle->generation, 1u);
+  EXPECT_GT(handle->memory_bytes, 0u);
+  ASSERT_NE(handle->index, nullptr);
+  EXPECT_EQ(handle->plan.guaranteed_diameter, 9u);
+  EXPECT_EQ(handle->route_load_ranking.size(), handle->graph.num_nodes());
+
+  // Warm acquire hits; eviction + re-acquire loads the snapshot again.
+  (void)registry.acquire("t");
+  EXPECT_EQ(registry.stats().hits, 1u);
+  registry.evict_all();
+  const auto again = registry.acquire("t");
+  EXPECT_EQ(again->generation, 2u);
+  EXPECT_EQ(registry.stats().snapshot_loads, 2u);
+  EXPECT_EQ(registry.stats().builds, 0u);
+}
+
+TEST(Snapshot, RegistryRejectsSnapshotCombinedWithGraph) {
+  TableRegistry registry;
+  TableSpec spec;
+  spec.snapshot_file = "x.snap";
+  spec.graph_file = "x.ftg";
+  EXPECT_THROW(registry.define("t", spec), ContractViolation);
+}
+
+TEST(Snapshot, ManifestSnapshotKeys) {
+  const std::string path = write_test_snapshot("manifest.snap");
+  TableRegistry registry;
+  std::istringstream manifest("table a snapshot=" + path +
+                              " snapshot_load=bulk\n"
+                              "table b snapshot=" +
+                              path + "\n");
+  EXPECT_EQ(load_table_manifest(manifest, registry), 2u);
+  (void)registry.acquire("a");
+  (void)registry.acquire("b");
+  EXPECT_EQ(registry.stats().snapshot_loads, 2u);
+
+  TableRegistry bad;
+  std::istringstream conflict("table c snapshot=x.snap graph=x.ftg\n");
+  try {
+    load_table_manifest(conflict, bad);
+    FAIL() << "manifest accepted snapshot= alongside graph=";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("exclusive"), std::string::npos);
+  }
+
+  TableRegistry bad2;
+  std::istringstream stray("table d graph=x.ftg snapshot_load=mmap\n");
+  EXPECT_THROW(load_table_manifest(stray, bad2), ContractViolation);
+}
+
+TEST(Snapshot, CorruptSnapshotNeverPoisonsRegistry) {
+  const std::string path = write_test_snapshot("poison.snap");
+  patch_file(path, 8, 7);  // future version
+  TableRegistry registry;
+  TableSpec spec;
+  spec.snapshot_file = path;
+  registry.define("t", spec);
+  EXPECT_THROW((void)registry.acquire("t"), ContractViolation);
+  // Nothing escaped: no resident entry, no counted materialization, and
+  // fixing the file makes the same definition work.
+  EXPECT_FALSE(registry.resident("t"));
+  EXPECT_EQ(registry.stats().snapshot_loads, 0u);
+  EXPECT_EQ(registry.stats().resident_bytes, 0u);
+  save_table_snapshot_file(test_snapshot(), path);
+  const auto handle = registry.acquire("t");
+  EXPECT_EQ(handle->generation, 1u);
+  EXPECT_EQ(registry.stats().snapshot_loads, 1u);
+}
+
+// The tentpole's correctness bar: served responses are a pure function of
+// the table's CONTENTS — a snapshot-backed table answers every request
+// byte-identically to the build-on-miss table it was dumped from, on both
+// load paths and at any thread count.
+TEST(Snapshot, ServeOutputBitIdenticalToBuildOnMiss) {
+  const auto gg = torus_graph(4, 4);
+  auto built = build_kernel_routing(gg.graph, 2);
+
+  const std::string graph_path = temp_path("serve_diff.ftg");
+  const std::string table_path = temp_path("serve_diff.ftt");
+  {
+    std::ofstream gf(graph_path);
+    save_graph(gg.graph, gf);
+    std::ofstream tf(table_path);
+    save_routing_table(built.table, tf);
+  }
+  const std::string snap_path = temp_path("serve_diff.snap");
+  save_table_snapshot_file(make_table_snapshot(gg.graph, built.table),
+                           snap_path);
+
+  const std::string requests =
+      "check t f=1 claimed=9 seed=3\n"
+      "sweep t f=2 sets=40 seed=11\n"
+      "delivery t faults=1,6 pairs=5 seed=2\n"
+      "check t f=2 claimed=9 seed=5\n";
+
+  const auto serve_with = [&](const TableSpec& spec, unsigned threads) {
+    TableRegistry registry;
+    registry.define("t", spec);
+    std::istringstream in(requests);
+    IstreamRequestSource source(in);
+    std::ostringstream out;
+    ServeOptions options;
+    options.threads = threads;
+    const auto summary = serve_requests(registry, source, out, options);
+    EXPECT_EQ(summary.errors, 0u);
+    return out.str();
+  };
+
+  TableSpec build_spec;
+  build_spec.graph_file = graph_path;
+  build_spec.table_file = table_path;
+  const std::string oracle = serve_with(build_spec, 1);
+  ASSERT_FALSE(oracle.empty());
+
+  for (const auto mode :
+       {SnapshotLoadMode::kBulkRead, SnapshotLoadMode::kMmap}) {
+    TableSpec snap_spec;
+    snap_spec.snapshot_file = snap_path;
+    snap_spec.snapshot_mode = mode;
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      EXPECT_EQ(serve_with(snap_spec, threads), oracle)
+          << snapshot_load_mode_name(mode) << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftr

@@ -88,4 +88,65 @@ if grep -q "error:" "${WORK}/serve.1.out"; then
   exit 1
 fi
 
+# Binary snapshot round trip: dump the graph+routes into a snapshot, serve
+# from a snapshot= manifest (both load paths), and demand stdout identical
+# to the build-on-miss serve above — the snapshot is a cold-path
+# accelerator, never a behavior change. Snapshots are also accepted
+# anywhere a graph/table file is read (check/sweep sniff the magic).
+echo "== snapshot round trip"
+"${CLI}" snapshot --graph "${WORK}/graph.ftg" --routes "${WORK}/table.ftt" \
+  --out "${WORK}/table.snap" 2> /dev/null
+for m in mmap bulk; do
+  printf 'table demo snapshot=%s snapshot_load=%s\n' \
+    "${WORK}/table.snap" "${m}" > "${WORK}/tables.snap.txt"
+  for t in 1 4; do
+    "${CLI}" serve --tables "${WORK}/tables.snap.txt" --stdin \
+      --threads "${t}" --batch 2 < "${WORK}/requests.txt" \
+      > "${WORK}/serve.snap.${m}.${t}.out" 2> /dev/null
+    cmp "${WORK}/serve.1.out" "${WORK}/serve.snap.${m}.${t}.out"
+  done
+done
+
+echo "== snapshot accepted by check/sweep"
+"${CLI}" check "${WORK}/table.snap" "${WORK}/table.snap" \
+  --faults 2 --claimed 6 --seed 7 > "${WORK}/check.snap.out" 2> /dev/null
+cmp "${WORK}/check.1.out" "${WORK}/check.snap.out"
+"${CLI}" sweep "${WORK}/table.snap" "${WORK}/table.snap" \
+  --stdin --threads 2 --batch 3 < "${WORK}/faults.txt" \
+  > "${WORK}/sweep.snap.out" 2> /dev/null
+cmp "${WORK}/sweep.1.out" "${WORK}/sweep.snap.out"
+
+# Planner-built snapshots (no routes file) must serve like seed-built
+# manifests: same planner seed, same table, same bytes.
+echo "== planner-built snapshot vs seed-built manifest"
+"${CLI}" snapshot --graph "${WORK}/graph.ftg" --seed 42 \
+  --out "${WORK}/planned.snap" 2> /dev/null
+printf 'table demo graph=%s seed=42\n' "${WORK}/graph.ftg" \
+  > "${WORK}/tables.seed.txt"
+printf 'table demo snapshot=%s\n' "${WORK}/planned.snap" \
+  > "${WORK}/tables.planned.txt"
+"${CLI}" serve --tables "${WORK}/tables.seed.txt" --stdin --threads 2 \
+  < "${WORK}/requests.txt" > "${WORK}/serve.seed.out" 2> /dev/null
+"${CLI}" serve --tables "${WORK}/tables.planned.txt" --stdin --threads 2 \
+  < "${WORK}/requests.txt" > "${WORK}/serve.planned.out" 2> /dev/null
+cmp "${WORK}/serve.seed.out" "${WORK}/serve.planned.out"
+
+# A corrupted snapshot must fail loudly, naming the file — never serve.
+echo "== corrupted snapshot fails loudly"
+cp "${WORK}/table.snap" "${WORK}/corrupt.snap"
+printf '\xff' | dd of="${WORK}/corrupt.snap" bs=1 seek=200 count=1 \
+  conv=notrunc status=none
+printf 'table demo snapshot=%s\n' "${WORK}/corrupt.snap" \
+  > "${WORK}/tables.corrupt.txt"
+if "${CLI}" serve --tables "${WORK}/tables.corrupt.txt" --stdin \
+    < "${WORK}/requests.txt" > "${WORK}/corrupt.out" 2> /dev/null; then
+  echo "error: serve accepted a corrupted snapshot" >&2
+  exit 1
+fi
+if ! grep -q "corrupt.snap" "${WORK}/corrupt.out"; then
+  echo "error: corruption failure does not name the snapshot file" >&2
+  cat "${WORK}/corrupt.out" >&2
+  exit 1
+fi
+
 echo "cli smoke OK"

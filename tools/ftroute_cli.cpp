@@ -14,6 +14,15 @@
 //                 [--max-resident-bytes B] [--threads T] [--batch B]
 //                 [--progress-every N] [--kernel K]
 //   ftroute stretch <graph.ftg> <table.ftt>
+//   ftroute snapshot --graph graph.ftg (--routes table.ftt | [--seed S])
+//                    --out table.snap
+//
+// `snapshot` writes the versioned, checksummed binary snapshot (graph +
+// routing table + SRG preprocessing + plan + route-load ranking) that the
+// serving registry loads cold at memory speed (manifest `snapshot=<file>`,
+// optionally `snapshot_load=bulk|mmap`). Every <graph>/<table> file
+// argument of check/sweep/stretch also accepts a snapshot file — sniffed
+// by magic, no flag needed.
 //
 // `sweep` is fully streaming: fault sets are pulled from a source (counter-
 // seeded random stream, the exhaustive revolving-door enumeration, or a
@@ -50,6 +59,7 @@
 #include "analysis/stretch.hpp"
 #include "core/ftroute.hpp"
 #include "graph/graph_io.hpp"
+#include "routing/serialization.hpp"
 
 namespace {
 
@@ -76,9 +86,13 @@ int usage() {
       "       --kernel K: auto | scalar | bitset | packed (stdout is identical\n"
       "       across kernels; packed applies to exhaustive Gray sweeps)\n"
       "       manifest lines: table <name> graph=<file> [routes=<file>] [seed=S]\n"
+      "                       table <name> snapshot=<file> [snapshot_load=bulk|mmap]\n"
       "       request lines:  check|sweep|delivery|certify <table> [key=value...]\n"
       "       one response line per request, in request order\n"
-      "  ftroute stretch <graph> <table>\n";
+      "  ftroute stretch <graph> <table>\n"
+      "  ftroute snapshot --graph FILE (--routes FILE | [--seed S]) --out FILE\n"
+      "       writes the binary table snapshot (graph+table+SRG index+plan);\n"
+      "       <graph>/<table> args of check/sweep/stretch accept snapshots too\n";
   return 2;
 }
 
@@ -222,6 +236,41 @@ SrgKernel flag_kernel(const std::vector<std::string>& args) {
   return *parsed;
 }
 
+// The <graph>/<table> file arguments accept either the text formats or a
+// binary snapshot (sniffed by magic). A snapshot passed as both arguments
+// is loaded once.
+Graph load_graph_arg(const std::string& path) {
+  if (is_snapshot_file(path)) {
+    return std::move(load_table_snapshot_file(path).graph);
+  }
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open graph file '" + path + "'");
+  return load_graph(f);
+}
+
+RoutingTable load_table_arg(const std::string& path) {
+  if (is_snapshot_file(path)) {
+    return std::move(load_table_snapshot_file(path).table);
+  }
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open table file '" + path + "'");
+  return load_routing_table(f);
+}
+
+struct GraphTableArgs {
+  Graph graph;
+  RoutingTable table;
+};
+
+GraphTableArgs load_graph_table_args(const std::string& graph_path,
+                                     const std::string& table_path) {
+  if (graph_path == table_path && is_snapshot_file(graph_path)) {
+    TableSnapshot snap = load_table_snapshot_file(graph_path);
+    return {std::move(snap.graph), std::move(snap.table)};
+  }
+  return {load_graph_arg(graph_path), load_table_arg(table_path)};
+}
+
 int cmd_build(const std::vector<std::string>& args) {
   const Graph g = load_graph(std::cin);
   Rng rng(flag_value(args, "--seed", 42));
@@ -249,13 +298,7 @@ int cmd_build(const std::vector<std::string>& args) {
 }
 
 int cmd_check(const std::vector<std::string>& args) {
-  std::ifstream gf(args.at(0)), tf(args.at(1));
-  if (!gf || !tf) {
-    std::cerr << "cannot open input files\n";
-    return 2;
-  }
-  const Graph g = load_graph(gf);
-  const RoutingTable table = load_routing_table(tf);
+  auto [g, table] = load_graph_table_args(args.at(0), args.at(1));
   table.validate(g);
   const auto f = flag_value_u32(args, "--faults", 1);
   const auto claimed = flag_value_u32(args, "--claimed", 6);
@@ -274,13 +317,7 @@ int cmd_check(const std::vector<std::string>& args) {
 }
 
 int cmd_sweep(const std::vector<std::string>& args) {
-  std::ifstream gf(args.at(0)), tf(args.at(1));
-  if (!gf || !tf) {
-    std::cerr << "cannot open input files\n";
-    return 2;
-  }
-  const Graph g = load_graph(gf);
-  const RoutingTable table = load_routing_table(tf);
+  auto [g, table] = load_graph_table_args(args.at(0), args.at(1));
   table.validate(g);
   const auto f = static_cast<std::size_t>(flag_value(args, "--faults", 1));
   const auto sets = static_cast<std::uint64_t>(flag_value(args, "--sets", 1000));
@@ -421,6 +458,7 @@ int cmd_serve(const std::vector<std::string>& args) {
                            : 0.0)
                 << " req/sec; registry hits=" << p.registry.hits
                 << " builds=" << p.registry.builds
+                << " snapshot_loads=" << p.registry.snapshot_loads
                 << " evictions=" << p.registry.evictions
                 << " resident_bytes=" << p.registry.resident_bytes
                 << "; executor " << executor_stats_str(p.executor) << '\n';
@@ -453,6 +491,7 @@ int cmd_serve(const std::vector<std::string>& args) {
             << "registry: hits=" << summary.registry.hits
             << " misses=" << summary.registry.misses
             << " builds=" << summary.registry.builds
+            << " snapshot_loads=" << summary.registry.snapshot_loads
             << " evictions=" << summary.registry.evictions
             << " resident=" << summary.registry.resident_tables << " table(s), "
             << summary.registry.resident_bytes << " bytes\n"
@@ -461,13 +500,7 @@ int cmd_serve(const std::vector<std::string>& args) {
 }
 
 int cmd_stretch(const std::vector<std::string>& args) {
-  std::ifstream gf(args.at(0)), tf(args.at(1));
-  if (!gf || !tf) {
-    std::cerr << "cannot open input files\n";
-    return 2;
-  }
-  const Graph g = load_graph(gf);
-  const RoutingTable table = load_routing_table(tf);
+  auto [g, table] = load_graph_table_args(args.at(0), args.at(1));
   const auto s = measure_stretch(g, table);
   Table t({"metric", "value"});
   t.add_row({"routes", Table::cell(s.routes)});
@@ -477,6 +510,44 @@ int cmd_stretch(const std::vector<std::string>& args) {
   t.add_row({"max route hops", Table::cell(s.max_route_hops)});
   t.add_row({"max detour (hops)", Table::cell(s.max_detour)});
   t.print(std::cout);
+  return 0;
+}
+
+int cmd_snapshot(const std::vector<std::string>& args) {
+  const std::string graph_path = flag_string(args, "--graph", "");
+  const std::string out_path = flag_string(args, "--out", "");
+  const std::string routes_path = flag_string(args, "--routes", "");
+  if (graph_path.empty() || out_path.empty()) {
+    std::cerr << "snapshot needs --graph FILE and --out FILE\n";
+    return 2;
+  }
+  if (!routes_path.empty() && has_flag(args, "--seed")) {
+    std::cerr << "--routes and --seed are mutually exclusive\n";
+    return 2;
+  }
+  Graph g = load_graph_arg(graph_path);
+  RoutingTable table;
+  Plan plan;
+  if (!routes_path.empty()) {
+    table = load_table_arg(routes_path);
+  } else {
+    Rng rng(flag_value(args, "--seed", 42));
+    auto planned = build_planned_routing(g, std::nullopt, rng);
+    table = std::move(planned.table);
+    plan = std::move(planned.plan);
+  }
+  // Validate once at snapshot time — the whole point is that loads never
+  // pay this again (they only re-check checksums and structural bounds).
+  table.validate(g);
+  const TableSnapshot snap =
+      make_table_snapshot(std::move(g), std::move(table), std::move(plan));
+  save_table_snapshot_file(snap, out_path);
+  const auto info = read_snapshot_directory(out_path);
+  std::cerr << "snapshot " << out_path << ": " << snap.table.num_nodes()
+            << " nodes, " << snap.table.num_routes() << " directed routes, "
+            << snap.index->num_pairs() << " pairs, "
+            << info.sections.size() << " sections, " << info.file_size
+            << " bytes\n";
   return 0;
 }
 
@@ -495,6 +566,7 @@ int main(int argc, char** argv) {
     if (cmd == "sweep") return cmd_sweep(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "stretch") return cmd_stretch(args);
+    if (cmd == "snapshot") return cmd_snapshot(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
