@@ -1,0 +1,109 @@
+// Distributed sweep overhead: the coordinator/worker fan-out vs the
+// in-process engine on the same exhaustive f=2 torus workload. Three
+// shapes:
+//   dist_sweep_inproc      — sweep_exhaustive_gray, the baseline;
+//   dist_sweep_warm/N      — a pre-forked N-worker pool per iteration
+//                            (the steady-state cost: framing, pipes, and
+//                            the coordinator loop — what --workers adds to
+//                            a long-lived sweep service);
+//   dist_sweep_cold/N      — pool construction inside the timing loop
+//                            (adds snapshot serialization + fork + the
+//                            children's snapshot loads — what a one-shot
+//                            CLI invocation pays).
+// items_per_second is fault sets per wall-clock second (UseRealTime). On a
+// 1-core container the multi-worker cases cannot scale by construction —
+// they measure coordination overhead only; the acceptance number is the
+// warm 1-worker case staying within ~15% of inproc (see README bench
+// notes).
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bench_util.hpp"
+#include "dist/coordinator.hpp"
+#include "gen/generators.hpp"
+#include "routing/kernel.hpp"
+#include "routing/serialization.hpp"
+
+namespace {
+
+using namespace ftr;
+
+constexpr std::size_t kRows = 12, kCols = 12;  // n = 144, C(144, 2) = 10296
+constexpr std::size_t kFaults = 2;
+
+const TableSnapshot& workload() {
+  static const TableSnapshot snap = [] {
+    const auto gg = torus_graph(kRows, kCols);
+    auto kr = build_kernel_routing(gg.graph, 1);
+    return make_table_snapshot(gg.graph, std::move(kr.table));
+  }();
+  return snap;
+}
+
+void bm_dist_sweep_inproc(benchmark::State& state) {
+  const TableSnapshot& snap = workload();
+  std::uint64_t sets = 0;
+  for (auto _ : state) {
+    const auto summary =
+        sweep_exhaustive_gray(snap.table, *snap.index, kFaults);
+    benchmark::DoNotOptimize(summary.worst_diameter);
+    sets = summary.total_sets;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sets) *
+                          state.iterations());
+  state.counters["fault_sets"] = static_cast<double>(sets);
+}
+BENCHMARK(bm_dist_sweep_inproc)->Name("dist_sweep_inproc")->UseRealTime();
+
+void bm_dist_sweep_warm(benchmark::State& state) {
+  const TableSnapshot& snap = workload();
+  DistPoolOptions opts;
+  opts.workers = static_cast<unsigned>(state.range(0));
+  DistSweepPool pool(snap, "", opts);
+  std::uint64_t sets = 0;
+  for (auto _ : state) {
+    const SweepPartial p = pool.sweep_exhaustive(kFaults, {});
+    benchmark::DoNotOptimize(p.worst_diameter);
+    sets = p.sets;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sets) *
+                          state.iterations());
+  state.counters["fault_sets"] = static_cast<double>(sets);
+}
+BENCHMARK(bm_dist_sweep_warm)
+    ->Name("dist_sweep_warm/workers")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime();
+
+void bm_dist_sweep_cold(benchmark::State& state) {
+  const TableSnapshot& snap = workload();
+  DistPoolOptions opts;
+  opts.workers = static_cast<unsigned>(state.range(0));
+  std::uint64_t sets = 0;
+  for (auto _ : state) {
+    DistSweepPool pool(snap, "", opts);
+    const SweepPartial p = pool.sweep_exhaustive(kFaults, {});
+    benchmark::DoNotOptimize(p.worst_diameter);
+    sets = p.sets;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(sets) *
+                          state.iterations());
+  state.counters["fault_sets"] = static_cast<double>(sets);
+}
+BENCHMARK(bm_dist_sweep_cold)
+    ->Name("dist_sweep_cold/workers")
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ftr::bench::banner("dist-sweep", "coordinator/worker fan-out overhead",
+                     "exhaustive f=2 sweep, torus 12x12");
+  return ftr::bench::run_registered_benchmarks(argc, argv);
+}

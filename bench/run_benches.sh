@@ -20,7 +20,7 @@ set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-.}"
-FILTER="${BENCH_FILTER:-surviving_diameter|fault_sweep|componentwise_sweep|gray_vs_rebuild|srg_kernels|table_registry|parallel_executor}"
+FILTER="${BENCH_FILTER:-surviving_diameter|fault_sweep|componentwise_sweep|gray_vs_rebuild|srg_kernels|table_registry|parallel_executor|dist_sweep}"
 HOST_CORES="$(nproc 2>/dev/null || echo 1)"
 mkdir -p "${OUT_DIR}"
 
@@ -66,7 +66,7 @@ with open(path, "w") as f:
 PY
 }
 
-BENCHES=(bench_recovery bench_comparison bench_srg_kernels bench_table_registry bench_parallel_executor)
+BENCHES=(bench_recovery bench_comparison bench_srg_kernels bench_table_registry bench_parallel_executor bench_dist_sweep)
 WRITTEN_JSONS=()
 
 for bench in "${BENCHES[@]}"; do
@@ -80,6 +80,9 @@ for bench in "${BENCHES[@]}"; do
     # Short name for the baseline the perf trajectory tracks
     # (cursor-vs-stealing on uniform/skewed chunk costs).
     out="${OUT_DIR}/BENCH_parallel.json"
+  elif [[ "${bench}" == "bench_dist_sweep" ]]; then
+    # Short name for the multi-process fan-out overhead baseline.
+    out="${OUT_DIR}/BENCH_dist.json"
   fi
   echo "== ${bench} -> ${out}"
   bench_cmd=("${bin}"

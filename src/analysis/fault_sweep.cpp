@@ -23,7 +23,7 @@ bool ExplicitListSource::next(std::vector<Node>& out) {
 }
 
 bool SampledStreamSource::next(std::vector<Node>& out) {
-  if (pos_ == count_) return false;
+  if (pos_ == end_) return false;
   Rng rng = Rng::stream(seed_, pos_++);
   const auto sample = rng.sample(n_, f_);
   out.assign(sample.begin(), sample.end());
@@ -65,52 +65,94 @@ bool IstreamFaultSetSource::next(std::vector<Node>& out) {
   return false;
 }
 
+// --- merge authority ---------------------------------------------------------
+
+void absorb_sweep_record(SweepPartial& partial, std::uint64_t index,
+                         const FaultSweepRecord& rec,
+                         const std::vector<Node>* faults) {
+  ++partial.sets;
+  if (rec.diameter == kUnreachable) {
+    ++partial.disconnected;
+  } else {
+    if (rec.diameter >= partial.diameter_histogram.size()) {
+      partial.diameter_histogram.resize(rec.diameter + 1, 0);
+    }
+    ++partial.diameter_histogram[rec.diameter];
+  }
+  // First index attaining the max wins: strictly-greater replaces, equal
+  // keeps the incumbent (which has the smaller index under in-order folds).
+  // kUnreachable compares greater than every finite diameter, so
+  // disconnection needs no special casing.
+  if (!partial.have_worst || rec.diameter > partial.worst_diameter) {
+    partial.worst_diameter = rec.diameter;
+    partial.worst_index = index;
+    partial.worst_faults.clear();
+    if (faults != nullptr) partial.worst_faults = *faults;
+    partial.have_worst = true;
+  }
+  partial.pairs_sampled += rec.delivery.pairs_sampled;
+  partial.delivered += rec.delivery.delivered;
+  partial.route_hops_total += rec.delivery.route_hops_total;
+  partial.max_route_hops =
+      std::max(partial.max_route_hops, rec.delivery.max_route_hops);
+  partial.max_edge_hops =
+      std::max(partial.max_edge_hops, rec.delivery.max_edge_hops);
+}
+
+void merge_sweep_partials(SweepPartial& into, const SweepPartial& next) {
+  into.sets += next.sets;
+  if (next.diameter_histogram.size() > into.diameter_histogram.size()) {
+    into.diameter_histogram.resize(next.diameter_histogram.size(), 0);
+  }
+  for (std::size_t d = 0; d < next.diameter_histogram.size(); ++d) {
+    into.diameter_histogram[d] += next.diameter_histogram[d];
+  }
+  into.disconnected += next.disconnected;
+  // `next` covers later indices, so on equal diameters the incumbent (the
+  // earlier index) must survive — same strictly-greater rule as the
+  // per-record fold.
+  if (next.have_worst &&
+      (!into.have_worst || next.worst_diameter > into.worst_diameter)) {
+    into.worst_diameter = next.worst_diameter;
+    into.worst_index = next.worst_index;
+    into.worst_faults = next.worst_faults;
+    into.have_worst = true;
+  }
+  into.pairs_sampled += next.pairs_sampled;
+  into.delivered += next.delivered;
+  into.route_hops_total += next.route_hops_total;
+  into.max_route_hops = std::max(into.max_route_hops, next.max_route_hops);
+  into.max_edge_hops = std::max(into.max_edge_hops, next.max_edge_hops);
+}
+
+FaultSweepSummary summarize_sweep_partial(const SweepPartial& partial) {
+  FaultSweepSummary summary;
+  summary.total_sets = partial.sets;
+  summary.diameter_histogram = partial.diameter_histogram;
+  summary.disconnected = partial.disconnected;
+  summary.worst_diameter = partial.worst_diameter;
+  summary.worst_index = static_cast<std::size_t>(partial.worst_index);
+  summary.worst_faults = partial.worst_faults;
+  summary.pairs_sampled = partial.pairs_sampled;
+  summary.delivered = partial.delivered;
+  if (partial.delivered > 0) {
+    summary.avg_route_hops = static_cast<double>(partial.route_hops_total) /
+                             static_cast<double>(partial.delivered);
+  }
+  summary.max_route_hops = partial.max_route_hops;
+  summary.max_edge_hops = partial.max_edge_hops;
+  return summary;
+}
+
 // --- streaming engine --------------------------------------------------------
 
 namespace {
 
-// Fold state the index-ordered reduce threads through absorb_record; the
-// long double hop sum keeps the mean exact enough to be reproducible.
-struct SweepReduceState {
-  bool have_worst = false;
-  long double route_hop_sum = 0.0L;
-};
-
-// Folds one record at its global input index. Identical to the pre-refactor
-// materialized reduce: first index attaining the max wins (kUnreachable
-// compares greater than every finite diameter, so disconnection needs no
-// special casing). `faults` may be null when the caller reconstructs the
-// worst set afterwards (the gray sweep unranks it from worst_index).
-void absorb_record(FaultSweepSummary& summary, SweepReduceState& st,
-                   std::uint64_t index, const FaultSweepRecord& rec,
-                   const std::vector<Node>* faults) {
-  if (rec.diameter == kUnreachable) {
-    ++summary.disconnected;
-  } else {
-    if (rec.diameter >= summary.diameter_histogram.size()) {
-      summary.diameter_histogram.resize(rec.diameter + 1, 0);
-    }
-    ++summary.diameter_histogram[rec.diameter];
-  }
-  if (!st.have_worst || rec.diameter > summary.worst_diameter) {
-    summary.worst_diameter = rec.diameter;
-    summary.worst_index = static_cast<std::size_t>(index);
-    if (faults != nullptr) summary.worst_faults = *faults;
-    st.have_worst = true;
-  }
-  summary.pairs_sampled += rec.delivery.pairs_sampled;
-  summary.delivered += rec.delivery.delivered;
-  st.route_hop_sum += static_cast<long double>(rec.delivery.avg_route_hops) *
-                      static_cast<long double>(rec.delivery.delivered);
-  summary.max_route_hops =
-      std::max(summary.max_route_hops, rec.delivery.max_route_hops);
-  summary.max_edge_hops =
-      std::max(summary.max_edge_hops, rec.delivery.max_edge_hops);
-}
-
 // One fault set through one worker scratch. The delivery stream is keyed by
 // the set's global index, so the record is a pure function of (table, set,
-// delivery_pairs, seed, index) — scheduling-proof.
+// delivery_pairs, seed, index) — scheduling-proof AND partition-proof: a
+// remote worker handed index i reproduces the exact record the local sweep
+// would have produced at i.
 FaultSweepRecord evaluate_one(const RoutingTable& table, SrgScratch& scratch,
                               const std::vector<Node>& faults,
                               const FaultSweepOptions& options,
@@ -130,19 +172,6 @@ FaultSweepRecord evaluate_one(const RoutingTable& table, SrgScratch& scratch,
   return rec;
 }
 
-void finalize_summary(FaultSweepSummary& summary, const SweepReduceState& st,
-                      double seconds) {
-  if (summary.delivered > 0) {
-    summary.avg_route_hops = static_cast<double>(
-        st.route_hop_sum / static_cast<long double>(summary.delivered));
-  }
-  summary.seconds = seconds;
-  if (seconds > 0.0 && summary.total_sets > 0) {
-    summary.fault_sets_per_sec =
-        static_cast<double>(summary.total_sets) / seconds;
-  }
-}
-
 // Emits progress between batches (on the calling thread) whenever the
 // processed count crosses a multiple of progress_every.
 struct ProgressEmitter {
@@ -154,19 +183,19 @@ struct ProgressEmitter {
                            std::chrono::steady_clock::time_point start)
       : options(opts), t0(start), next_at(opts.progress_every) {}
 
-  void maybe_emit(const FaultSweepSummary& summary) {
+  void maybe_emit(const SweepPartial& partial, const ExecutorStats& executor) {
     if (options.progress_every == 0 || !options.on_progress) return;
-    if (summary.total_sets < next_at) return;
+    if (partial.sets < next_at) return;
     FaultSweepProgress p;
-    p.sets_done = summary.total_sets;
-    p.worst_diameter = summary.worst_diameter;
-    p.disconnected = summary.disconnected;
+    p.sets_done = partial.sets;
+    p.worst_diameter = partial.worst_diameter;
+    p.disconnected = partial.disconnected;
     p.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                               t0)
                     .count();
-    p.executor = summary.executor;
+    p.executor = executor;
     options.on_progress(p);
-    while (next_at <= summary.total_sets) next_at += options.progress_every;
+    while (next_at <= partial.sets) next_at += options.progress_every;
   }
 };
 
@@ -175,23 +204,23 @@ struct ProgressEmitter {
 // SrgScratch), reduces the batch in input order, and reuses the buffers for
 // the next batch — memory is bounded by one batch regardless of stream
 // length. Per-record values are pure per-set functions and the reduce order
-// is the global input order, so the aggregates depend on neither the thread
+// is the global input order, so the partial depends on neither the thread
 // count nor the batch size.
-FaultSweepSummary sweep_stream_impl(const RoutingTable& table,
-                                    const SrgIndex& index,
-                                    FaultSetSource& source,
-                                    const FaultSweepOptions& options,
-                                    std::vector<FaultSweepRecord>* per_set_out) {
+SweepPartial stream_partial_impl(const RoutingTable& table,
+                                 const SrgIndex& index, FaultSetSource& source,
+                                 std::uint64_t base_index,
+                                 const FaultSweepOptions& options,
+                                 std::vector<FaultSweepRecord>* per_set_out,
+                                 ExecutorStats* executor_out) {
   FTR_EXPECTS(index.num_nodes() == table.num_nodes());
-  FaultSweepSummary summary;
+  SweepPartial partial;
+  ExecutorStats executor;
   const unsigned workers = resolve_threads(options.threads);
-  summary.threads_used = workers;
   const std::size_t batch_size = std::max<std::size_t>(1, options.batch_size);
   const std::size_t batch_items = batch_size * workers;
 
   std::vector<std::vector<Node>> batch(batch_items);
   std::vector<FaultSweepRecord> records(batch_items);
-  SweepReduceState st;
 
   const auto t0 = std::chrono::steady_clock::now();
   ProgressEmitter progress(options, t0);
@@ -199,7 +228,7 @@ FaultSweepSummary sweep_stream_impl(const RoutingTable& table,
     std::size_t filled = 0;
     while (filled < batch_items && source.next(batch[filled])) ++filled;
     if (filled == 0) break;
-    const std::uint64_t base = summary.total_sets;
+    const std::uint64_t base = base_index + partial.sets;
     ExecutorStats batch_stats;
     parallel_for_chunks(
         filled, workers, batch_size,
@@ -213,58 +242,76 @@ FaultSweepSummary sweep_stream_impl(const RoutingTable& table,
           }
         },
         &batch_stats);
-    summary.executor.accumulate(batch_stats);
+    executor.accumulate(batch_stats);
     for (std::size_t i = 0; i < filled; ++i) {
-      absorb_record(summary, st, base + i, records[i], &batch[i]);
+      absorb_sweep_record(partial, base + i, records[i], &batch[i]);
       if (per_set_out != nullptr) per_set_out->push_back(records[i]);
     }
-    summary.total_sets += filled;
-    progress.maybe_emit(summary);
+    progress.maybe_emit(partial, executor);
     if (filled < batch_items) break;  // the stream ended mid-batch
   }
-  const auto t1 = std::chrono::steady_clock::now();
-  finalize_summary(summary, st,
-                   std::chrono::duration<double>(t1 - t0).count());
+  if (executor_out != nullptr) executor_out->accumulate(executor);
+  return partial;
+}
+
+// Fills the telemetry fields wrappers own on top of summarize_sweep_partial.
+FaultSweepSummary finish_summary(const SweepPartial& partial, unsigned workers,
+                                 const ExecutorStats& executor,
+                                 double seconds) {
+  FaultSweepSummary summary = summarize_sweep_partial(partial);
+  summary.threads_used = workers;
+  summary.executor = executor;
+  summary.seconds = seconds;
+  if (seconds > 0.0 && summary.total_sets > 0) {
+    summary.fault_sets_per_sec =
+        static_cast<double>(summary.total_sets) / seconds;
+  }
   return summary;
 }
 
 }  // namespace
 
-FaultSweepSummary sweep_fault_source(const RoutingTable& table,
-                                     const SrgIndex& index,
-                                     FaultSetSource& source,
-                                     const FaultSweepOptions& options) {
-  return sweep_stream_impl(table, index, source, options, nullptr);
+SweepPartial sweep_fault_source_partial(const RoutingTable& table,
+                                        const SrgIndex& index,
+                                        FaultSetSource& source,
+                                        std::uint64_t base_index,
+                                        const FaultSweepOptions& options,
+                                        ExecutorStats* executor) {
+  return stream_partial_impl(table, index, source, base_index, options,
+                             nullptr, executor);
 }
 
-FaultSweepSummary sweep_exhaustive_gray(const RoutingTable& table,
-                                        const SrgIndex& index, std::size_t f,
-                                        const FaultSweepOptions& options) {
+SweepPartial sweep_exhaustive_gray_range(const RoutingTable& table,
+                                         const SrgIndex& index, std::size_t f,
+                                         std::uint64_t begin_rank,
+                                         std::uint64_t end_rank,
+                                         const FaultSweepOptions& options,
+                                         ExecutorStats* executor_out) {
   FTR_EXPECTS(index.num_nodes() == table.num_nodes());
   const std::size_t n = index.num_nodes();
   FTR_EXPECTS(f <= n);
   const std::uint64_t total = binomial(n, f);
   FTR_EXPECTS_MSG(total != ~std::uint64_t{0},
                   "C(" << n << "," << f << ") saturated; not enumerable");
+  FTR_EXPECTS(begin_rank <= end_rank && end_rank <= total);
 
-  FaultSweepSummary summary;
+  SweepPartial partial;
+  ExecutorStats executor;
   const unsigned workers = resolve_threads(options.threads);
-  summary.threads_used = workers;
   const std::size_t batch_size = std::max<std::size_t>(1, options.batch_size);
+  const std::uint64_t range = end_rank - begin_rank;
   const std::uint64_t batch_items =
       static_cast<std::uint64_t>(batch_size) * workers;
 
   std::vector<FaultSweepRecord> records(
-      static_cast<std::size_t>(std::min<std::uint64_t>(batch_items, total)));
-  SweepReduceState st;
+      static_cast<std::size_t>(std::min<std::uint64_t>(batch_items, range)));
 
   const auto t0 = std::chrono::steady_clock::now();
   ProgressEmitter progress(options, t0);
-  while (summary.total_sets < total) {
-    const std::uint64_t base = summary.total_sets;
-    const auto filled =
-        static_cast<std::size_t>(std::min<std::uint64_t>(batch_items,
-                                                         total - base));
+  while (partial.sets < range) {
+    const std::uint64_t base = begin_rank + partial.sets;
+    const auto filled = static_cast<std::size_t>(
+        std::min<std::uint64_t>(batch_items, end_rank - base));
     ExecutorStats batch_stats;
     // Packed evaluates 64 Gray-adjacent sets per bit-parallel pass, but
     // cannot materialize per-set surviving graphs — delivery sampling
@@ -318,25 +365,54 @@ FaultSweepSummary sweep_exhaustive_gray(const RoutingTable& table,
           }
         },
         &batch_stats);
-    summary.executor.accumulate(batch_stats);
+    executor.accumulate(batch_stats);
     for (std::size_t i = 0; i < filled; ++i) {
-      absorb_record(summary, st, base + i, records[i], nullptr);
+      absorb_sweep_record(partial, base + i, records[i], nullptr);
     }
-    summary.total_sets += filled;
-    progress.maybe_emit(summary);
+    progress.maybe_emit(partial, executor);
   }
-  const auto t1 = std::chrono::steady_clock::now();
 
-  if (total > 0) {
+  if (range > 0) {
     // The worst set was never stored (constant memory); unrank it from the
     // winning gray rank instead.
-    const auto worst =
-        gray_subset_at_rank(n, f, static_cast<std::uint64_t>(summary.worst_index));
-    summary.worst_faults.assign(worst.begin(), worst.end());
+    const auto worst = gray_subset_at_rank(n, f, partial.worst_index);
+    partial.worst_faults.assign(worst.begin(), worst.end());
   }
-  finalize_summary(summary, st,
-                   std::chrono::duration<double>(t1 - t0).count());
-  return summary;
+  if (executor_out != nullptr) executor_out->accumulate(executor);
+  return partial;
+}
+
+// --- summary wrappers --------------------------------------------------------
+
+FaultSweepSummary sweep_fault_source(const RoutingTable& table,
+                                     const SrgIndex& index,
+                                     FaultSetSource& source,
+                                     const FaultSweepOptions& options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ExecutorStats executor;
+  const SweepPartial partial =
+      stream_partial_impl(table, index, source, 0, options, nullptr, &executor);
+  const auto t1 = std::chrono::steady_clock::now();
+  return finish_summary(partial, resolve_threads(options.threads), executor,
+                        std::chrono::duration<double>(t1 - t0).count());
+}
+
+FaultSweepSummary sweep_exhaustive_gray(const RoutingTable& table,
+                                        const SrgIndex& index, std::size_t f,
+                                        const FaultSweepOptions& options) {
+  FTR_EXPECTS(index.num_nodes() == table.num_nodes());
+  const std::size_t n = index.num_nodes();
+  FTR_EXPECTS(f <= n);
+  const std::uint64_t total = binomial(n, f);
+  FTR_EXPECTS_MSG(total != ~std::uint64_t{0},
+                  "C(" << n << "," << f << ") saturated; not enumerable");
+  const auto t0 = std::chrono::steady_clock::now();
+  ExecutorStats executor;
+  const SweepPartial partial = sweep_exhaustive_gray_range(
+      table, index, f, 0, total, options, &executor);
+  const auto t1 = std::chrono::steady_clock::now();
+  return finish_summary(partial, resolve_threads(options.threads), executor,
+                        std::chrono::duration<double>(t1 - t0).count());
 }
 
 FaultSweepSummary sweep_fault_sets(
@@ -346,8 +422,15 @@ FaultSweepSummary sweep_fault_sets(
   ExplicitListSource source(fault_sets);
   std::vector<FaultSweepRecord> per_set;
   per_set.reserve(fault_sets.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  ExecutorStats executor;
+  const SweepPartial partial = stream_partial_impl(table, index, source, 0,
+                                                   options, &per_set,
+                                                   &executor);
+  const auto t1 = std::chrono::steady_clock::now();
   FaultSweepSummary summary =
-      sweep_stream_impl(table, index, source, options, &per_set);
+      finish_summary(partial, resolve_threads(options.threads), executor,
+                     std::chrono::duration<double>(t1 - t0).count());
   summary.per_set = std::move(per_set);
   return summary;
 }

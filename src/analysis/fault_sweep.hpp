@@ -83,7 +83,17 @@ class SampledStreamSource final : public FaultSetSource {
  public:
   SampledStreamSource(std::size_t n, std::size_t f, std::uint64_t count,
                       std::uint64_t seed)
-      : n_(n), f_(f), count_(count), seed_(seed) {}
+      : SampledStreamSource(n, f, count, seed, 0) {}
+
+  /// Sub-range constructor: yields sets `start .. start + count - 1` of the
+  /// same stream (set i is always Rng::stream(seed, i)). A distributed
+  /// sweep hands each worker a disjoint [start, start + count) window and
+  /// the union reproduces the single-process stream set-for-set.
+  SampledStreamSource(std::size_t n, std::size_t f, std::uint64_t count,
+                      std::uint64_t seed, std::uint64_t start)
+      : n_(n), f_(f), count_(count), seed_(seed), pos_(start),
+        end_(start + count) {}
+
   std::optional<std::uint64_t> size() const override { return count_; }
   bool next(std::vector<Node>& out) override;
 
@@ -92,7 +102,8 @@ class SampledStreamSource final : public FaultSetSource {
   std::size_t f_;
   std::uint64_t count_;
   std::uint64_t seed_;
-  std::uint64_t pos_ = 0;
+  std::uint64_t pos_;
+  std::uint64_t end_;
 };
 
 /// Every f-subset of {0..n-1} in revolving-door (Gray) order — the
@@ -207,6 +218,83 @@ struct FaultSweepSummary {
   /// Work-stealing executor counters accumulated over all batches.
   ExecutorStats executor;
 };
+
+/// A mergeable fragment of a sweep: everything FaultSweepSummary aggregates,
+/// folded over one contiguous index range of the input stream. This is the
+/// single merge authority — the in-process reduce, the streaming batches,
+/// and the distributed coordinator all fold records with absorb_sweep_record
+/// and combine ranges with merge_sweep_partials, so the two paths cannot
+/// drift.
+///
+/// Every field is exact (integer hop totals, not means), which makes the
+/// merge strictly associative: any partition of the stream into contiguous
+/// ranges — threads, batches, worker processes — folds to bit-identical
+/// aggregates. worst_index is the GLOBAL input index of the worst witness.
+struct SweepPartial {
+  std::uint64_t sets = 0;
+  std::vector<std::uint64_t> diameter_histogram;
+  std::uint64_t disconnected = 0;
+
+  bool have_worst = false;
+  std::uint32_t worst_diameter = 0;
+  std::uint64_t worst_index = 0;
+  /// Contents of the worst set. May be left empty by producers that can
+  /// reconstruct it from worst_index afterwards (the Gray sweep unranks it).
+  std::vector<Node> worst_faults;
+
+  std::uint64_t pairs_sampled = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t route_hops_total = 0;  // exact; the mean is derived once
+  std::uint32_t max_route_hops = 0;
+  std::uint64_t max_edge_hops = 0;
+};
+
+/// Folds one per-set record at its global input index. The worst-witness
+/// rule is "first index attaining the maximum wins": a record replaces the
+/// incumbent only on a strictly greater diameter, so calling this in
+/// ascending index order reproduces the serial scan exactly. `faults` may
+/// be null when the caller reconstructs the worst set from worst_index.
+void absorb_sweep_record(SweepPartial& partial, std::uint64_t index,
+                         const FaultSweepRecord& rec,
+                         const std::vector<Node>* faults);
+
+/// Merges `next` into `into`. PRECONDITION: `next` covers input indices
+/// strictly after everything already folded into `into` — the worst-witness
+/// tie-break ("earlier index wins on equal diameter") is encoded as
+/// "strictly greater replaces", which is only correct for index-ordered
+/// merging. Under that discipline the operation is associative, so any
+/// contiguous partition of a sweep folds to the same result.
+void merge_sweep_partials(SweepPartial& into, const SweepPartial& next);
+
+/// Expands a fully merged partial into the deterministic fields of a
+/// summary (total_sets, histogram, worst witness, delivery aggregates; the
+/// mean is computed here, once, from the exact totals). Telemetry fields
+/// (threads_used, seconds, rate, executor) are the caller's to fill.
+FaultSweepSummary summarize_sweep_partial(const SweepPartial& partial);
+
+/// Streams `source` through the sweep engine and returns the partial
+/// instead of a summary. `base_index` is the global input index of the
+/// source's first set — worst_index and the per-set delivery RNG streams
+/// (Rng::stream(options.seed, global index)) are keyed globally, so a
+/// worker evaluating sets [base, base + k) produces exactly the fragment
+/// the full sweep would. Executor telemetry lands in *executor when given.
+SweepPartial sweep_fault_source_partial(const RoutingTable& table,
+                                        const SrgIndex& index,
+                                        FaultSetSource& source,
+                                        std::uint64_t base_index,
+                                        const FaultSweepOptions& options = {},
+                                        ExecutorStats* executor = nullptr);
+
+/// Exhaustive Gray sweep restricted to revolving-door ranks
+/// [begin_rank, end_rank). The partial's worst_faults is unranked from the
+/// winning global rank (never empty when the range is non-empty). Merging
+/// adjacent ranges in order is bit-identical to one sweep of the union.
+SweepPartial sweep_exhaustive_gray_range(const RoutingTable& table,
+                                         const SrgIndex& index, std::size_t f,
+                                         std::uint64_t begin_rank,
+                                         std::uint64_t end_rank,
+                                         const FaultSweepOptions& options = {},
+                                         ExecutorStats* executor = nullptr);
 
 /// Streams `source` through the sweep at constant memory. The deterministic
 /// fields of the summary are a pure function of (table, the source's sets,

@@ -16,27 +16,30 @@ std::shared_ptr<const MappedFile> MappedFile::open(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   FTR_EXPECTS_MSG(fd >= 0, "cannot open '" << path << "' for mapping: "
                                            << std::strerror(errno));
-  struct stat st {};
-  if (::fstat(fd, &st) != 0) {
-    const int err = errno;
+  try {
+    auto map = from_fd(fd, path);
+    ::close(fd);  // the mapping outlives the descriptor
+    return map;
+  } catch (...) {
     ::close(fd);
-    FTR_EXPECTS_MSG(false, "cannot stat '" << path
-                                           << "': " << std::strerror(err));
+    throw;
   }
+}
+
+std::shared_ptr<const MappedFile> MappedFile::from_fd(int fd,
+                                                      const std::string& name) {
+  struct stat st {};
+  FTR_EXPECTS_MSG(::fstat(fd, &st) == 0,
+                  "cannot stat '" << name << "': " << std::strerror(errno));
   const auto size = static_cast<std::size_t>(st.st_size);
   const std::byte* data = nullptr;
   if (size > 0) {
     void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-    if (mapped == MAP_FAILED) {
-      const int err = errno;
-      ::close(fd);
-      FTR_EXPECTS_MSG(false, "cannot mmap '" << path
-                                             << "': " << std::strerror(err));
-    }
+    FTR_EXPECTS_MSG(mapped != MAP_FAILED,
+                    "cannot mmap '" << name << "': " << std::strerror(errno));
     data = static_cast<const std::byte*>(mapped);
   }
-  ::close(fd);  // the mapping outlives the descriptor
-  return std::shared_ptr<const MappedFile>(new MappedFile(data, size, path));
+  return std::shared_ptr<const MappedFile>(new MappedFile(data, size, name));
 }
 
 MappedFile::~MappedFile() {

@@ -17,6 +17,13 @@ class MappedFile {
   /// empty region (data() == nullptr, size() == 0).
   static std::shared_ptr<const MappedFile> open(const std::string& path);
 
+  /// Maps an already-open descriptor read-only (e.g. an unlinked temp file
+  /// inherited by a forked worker — no pathname exists). Does NOT consume
+  /// or close `fd`; the mapping outlives it either way. `name` labels
+  /// error messages and path().
+  static std::shared_ptr<const MappedFile> from_fd(int fd,
+                                                   const std::string& name);
+
   MappedFile(const MappedFile&) = delete;
   MappedFile& operator=(const MappedFile&) = delete;
   ~MappedFile();

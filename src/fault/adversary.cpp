@@ -12,28 +12,20 @@
 
 namespace ftr {
 
-namespace {
-
-// Per-chunk partial search state. Chunks cover disjoint, ordered slices of
-// the task space (subset ranks, sample indices, restart indices), so
-// merging partials in chunk order with the serial tie-break rule ("first
-// set reaching the max wins") reproduces a serial scan exactly.
-struct SearchPartial {
-  std::uint32_t d = 0;
-  std::vector<Node> faults;
-  std::uint64_t evaluations = 0;
-  bool any = false;      // a candidate has been recorded
-  bool stopped = false;  // this chunk hit its early-stop condition
-};
-
-void absorb(AdversaryResult& acc, bool& have_candidate, SearchPartial&& p) {
-  acc.evaluations += p.evaluations;
-  if (p.any && (!have_candidate || p.d > acc.worst_diameter)) {
-    acc.worst_diameter = p.d;
-    acc.worst_faults = std::move(p.faults);
-    have_candidate = true;
+void merge_adversary_partials(AdvPartial& into, const AdvPartial& next) {
+  // Once a slice has stopped, everything after it in task order is work the
+  // serial scan never did: discard it whole, evaluations included.
+  if (into.stopped) return;
+  into.evaluations += next.evaluations;
+  if (next.any && (!into.any || next.d > into.d)) {
+    into.d = next.d;
+    into.faults = next.faults;
+    into.any = true;
   }
+  into.stopped = next.stopped;
 }
+
+namespace {
 
 // Lock-free "minimum chunk that stopped": later chunks use it to skip work
 // that the ordered merge would discard anyway.
@@ -44,24 +36,27 @@ void note_stop(std::atomic<std::size_t>& first_stop, std::size_t chunk) {
   }
 }
 
-// The rank-chunked exhaustive scaffolding shared by the lexicographic and
-// gray ground-truth scans: chunk the rank space, run `scan(partial, begin,
-// end, aborted)` per chunk (the scan sets partial.stopped when it
+// The rank-chunked scaffolding shared by every slice scan: chunk the global
+// window [begin, end), run `scan(partial, chunk_begin, chunk_end, aborted)`
+// per chunk with GLOBAL indices (the scan sets partial.stopped when it
 // early-stops), skip or mid-chunk-abort chunks past the first stopped one,
-// and merge partials in rank order with the serial early-stop semantics
-// (everything after the first stopped chunk is discarded, un-counted).
+// and fold the chunk partials in rank order via merge_adversary_partials —
+// the same merge the distributed coordinator applies across worker slices,
+// so inner chunking and outer unit boundaries are interchangeable.
 template <typename ChunkScan>
-AdversaryResult chunked_rank_scan(std::size_t count, unsigned threads,
-                                  const ChunkScan& scan) {
+AdvPartial chunked_rank_scan(std::uint64_t begin, std::uint64_t end,
+                             unsigned threads, ExecutorStats* executor,
+                             const ChunkScan& scan) {
+  const auto count = static_cast<std::size_t>(end - begin);
   const std::size_t grain = sweep_grain(count, threads);
   const std::size_t chunks = num_chunks(count, grain);
-  std::vector<SearchPartial> partials(chunks);
+  std::vector<AdvPartial> partials(chunks);
   std::atomic<std::size_t> first_stop{chunks};
 
-  AdversaryResult result;
+  ExecutorStats stats;
   parallel_for_chunks(
       count, threads, grain,
-      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+      [&](std::size_t chunk, std::size_t c_begin, std::size_t c_end) {
         // A chunk past an already-stopped one will be discarded by the
         // ordered merge, so skipping — or, via `aborted`, bailing out
         // mid-scan once a LOWER chunk stops — is a pure optimization. The
@@ -73,23 +68,39 @@ AdversaryResult chunked_rank_scan(std::size_t count, unsigned threads,
           return chunk > first_stop.load(std::memory_order_relaxed);
         };
         if (aborted()) return;
-        SearchPartial& p = partials[chunk];
-        scan(p, begin, end, aborted);
+        AdvPartial& p = partials[chunk];
+        scan(p, begin + c_begin, begin + c_end, aborted);
         if (p.stopped) note_stop(first_stop, chunk);
       },
-      &result.executor);
+      &stats);
+  if (executor != nullptr) executor->accumulate(stats);
 
-  result.exhaustive = true;
-  bool have = false;
-  for (auto& p : partials) {
-    const bool stopped = p.stopped;
-    absorb(result, have, std::move(p));
-    if (stopped) {
-      result.exhaustive = false;  // aborted early, like the serial scan
-      break;
-    }
+  AdvPartial acc;
+  for (const auto& p : partials) {
+    merge_adversary_partials(acc, p);
+    if (acc.stopped) break;
   }
+  return acc;
+}
+
+// Expands a fully merged partial into the result type of the full-space
+// searchers.
+AdversaryResult result_from_partial(AdvPartial&& p, bool exhaustive_scan,
+                                    const ExecutorStats& executor) {
+  AdversaryResult result;
+  result.worst_diameter = p.any ? p.d : 0;
+  result.worst_faults = std::move(p.faults);
+  result.evaluations = p.evaluations;
+  result.exhaustive = exhaustive_scan && !p.stopped;
+  result.executor = executor;
   return result;
+}
+
+std::uint64_t checked_total(std::size_t n, std::size_t f) {
+  const std::uint64_t total = binomial(n, f);
+  FTR_EXPECTS_MSG(total != ~std::uint64_t{0},
+                  "C(" << n << "," << f << ") saturated; not enumerable");
+  return total;
 }
 
 }  // namespace
@@ -118,23 +129,24 @@ AdversaryResult exhaustive_worst_faults(std::size_t n, std::size_t f,
   return result;
 }
 
-AdversaryResult exhaustive_worst_faults(std::size_t n, std::size_t f,
-                                        const FaultEvaluatorFactory& make_eval,
-                                        const SearchExecution& exec,
-                                        std::uint32_t stop_above) {
+AdvPartial exhaustive_worst_faults_slice(std::size_t n, std::size_t f,
+                                         const FaultEvaluatorFactory& make_eval,
+                                         std::uint64_t begin_rank,
+                                         std::uint64_t end_rank,
+                                         const SearchExecution& exec,
+                                         std::uint32_t stop_above,
+                                         ExecutorStats* executor) {
   FTR_EXPECTS(f <= n);
-  const std::uint64_t total = binomial(n, f);
-  FTR_EXPECTS_MSG(total != ~std::uint64_t{0},
-                  "C(" << n << "," << f << ") saturated; not enumerable");
-  const auto count = static_cast<std::size_t>(total);
+  const std::uint64_t total = checked_total(n, f);
+  FTR_EXPECTS(begin_rank <= end_rank && end_rank <= total);
   return chunked_rank_scan(
-      count, resolve_threads(exec.threads),
-      [&](SearchPartial& p, std::size_t begin, std::size_t end,
+      begin_rank, end_rank, resolve_threads(exec.threads), executor,
+      [&](AdvPartial& p, std::uint64_t begin, std::uint64_t end,
           const auto& aborted) {
         const FaultEvaluator eval = make_eval();
-        SubsetEnumerator e(n, f, begin);
+        SubsetEnumerator e(n, f, static_cast<std::size_t>(begin));
         std::vector<Node> faults(f);
-        for (std::size_t r = begin; r < end && e.valid(); ++r, e.advance()) {
+        for (std::uint64_t r = begin; r < end && e.valid(); ++r, e.advance()) {
           // A lower chunk stopped: this partial is merge-dead, drop it now
           // (one relaxed load per rank, dwarfed by the evaluation).
           if (aborted()) return;
@@ -157,16 +169,29 @@ AdversaryResult exhaustive_worst_faults(std::size_t n, std::size_t f,
       });
 }
 
-AdversaryResult exhaustive_worst_faults_gray(const SrgIndex& index,
-                                             std::size_t f,
-                                             const SearchExecution& exec,
-                                             std::uint32_t stop_above) {
+AdversaryResult exhaustive_worst_faults(std::size_t n, std::size_t f,
+                                        const FaultEvaluatorFactory& make_eval,
+                                        const SearchExecution& exec,
+                                        std::uint32_t stop_above) {
+  FTR_EXPECTS(f <= n);
+  const std::uint64_t total = checked_total(n, f);
+  ExecutorStats executor;
+  AdvPartial p = exhaustive_worst_faults_slice(n, f, make_eval, 0, total, exec,
+                                               stop_above, &executor);
+  return result_from_partial(std::move(p), /*exhaustive_scan=*/true, executor);
+}
+
+AdvPartial exhaustive_worst_faults_gray_slice(const SrgIndex& index,
+                                              std::size_t f,
+                                              std::uint64_t begin_rank,
+                                              std::uint64_t end_rank,
+                                              const SearchExecution& exec,
+                                              std::uint32_t stop_above,
+                                              ExecutorStats* executor) {
   const std::size_t n = index.num_nodes();
   FTR_EXPECTS(f <= n);
-  const std::uint64_t total = binomial(n, f);
-  FTR_EXPECTS_MSG(total != ~std::uint64_t{0},
-                  "C(" << n << "," << f << ") saturated; not enumerable");
-  const auto count = static_cast<std::size_t>(total);
+  const std::uint64_t total = checked_total(n, f);
+  FTR_EXPECTS(begin_rank <= end_rank && end_rank <= total);
   const bool packed = exec.kernel == SrgKernel::kAuto ||
                       exec.kernel == SrgKernel::kPacked;
   if (packed) {
@@ -178,17 +203,18 @@ AdversaryResult exhaustive_worst_faults_gray(const SrgIndex& index,
     // block instead of per rank — a pure optimization either way, since the
     // ordered merge discards aborted partials.
     return chunked_rank_scan(
-        count, resolve_threads(exec.threads),
-        [&](SearchPartial& p, std::size_t begin, std::size_t end,
+        begin_rank, end_rank, resolve_threads(exec.threads), executor,
+        [&](AdvPartial& p, std::uint64_t begin, std::uint64_t end,
             const auto& aborted) {
           SrgScratch scratch(index);
           GraySubsetEnumerator e(n, f, begin);
           SrgScratch::Result res[64];
           std::uint64_t best_rank = begin;
-          std::size_t r = begin;
+          std::uint64_t r = begin;
           while (r < end) {
             if (aborted()) return;
-            const std::size_t cnt = std::min<std::size_t>(64, end - r);
+            const auto cnt = static_cast<std::size_t>(
+                std::min<std::uint64_t>(64, end - r));
             scratch.evaluate_gray_block(e, cnt, res);
             for (std::size_t i = 0; i < cnt; ++i) {
               const std::uint32_t d = res[i].diameter;
@@ -214,15 +240,15 @@ AdversaryResult exhaustive_worst_faults_gray(const SrgIndex& index,
         });
   }
   return chunked_rank_scan(
-      count, resolve_threads(exec.threads),
-      [&](SearchPartial& p, std::size_t begin, std::size_t end,
+      begin_rank, end_rank, resolve_threads(exec.threads), executor,
+      [&](AdvPartial& p, std::uint64_t begin, std::uint64_t end,
           const auto& aborted) {
         SrgScratch scratch(index);
         scratch.set_kernel(exec.kernel);
         GraySubsetEnumerator e(n, f, begin);
         std::vector<Node> faults(e.current().begin(), e.current().end());
         scratch.begin_incremental(faults);
-        for (std::size_t r = begin; r < end; ++r) {
+        for (std::uint64_t r = begin; r < end; ++r) {
           // A lower chunk stopped: this partial is merge-dead, drop it now.
           if (aborted()) return;
           const std::uint32_t d = scratch.evaluate_incremental().diameter;
@@ -244,6 +270,17 @@ AdversaryResult exhaustive_worst_faults_gray(const SrgIndex& index,
           }
         }
       });
+}
+
+AdversaryResult exhaustive_worst_faults_gray(const SrgIndex& index,
+                                             std::size_t f,
+                                             const SearchExecution& exec,
+                                             std::uint32_t stop_above) {
+  const std::uint64_t total = checked_total(index.num_nodes(), f);
+  ExecutorStats executor;
+  AdvPartial p = exhaustive_worst_faults_gray_slice(index, f, 0, total, exec,
+                                                    stop_above, &executor);
+  return result_from_partial(std::move(p), /*exhaustive_scan=*/true, executor);
 }
 
 AdversaryResult sampled_worst_faults(std::size_t n, std::size_t f,
@@ -334,25 +371,24 @@ AdversaryResult hillclimb_worst_faults(
   return result;
 }
 
-AdversaryResult sampled_worst_faults(std::size_t n, std::size_t f,
-                                     std::size_t samples,
-                                     const FaultEvaluatorFactory& make_eval,
-                                     std::uint64_t seed,
-                                     const SearchExecution& exec) {
+AdvPartial sampled_worst_faults_slice(std::size_t n, std::size_t f,
+                                      std::uint64_t begin_index,
+                                      std::uint64_t end_index,
+                                      const FaultEvaluatorFactory& make_eval,
+                                      std::uint64_t seed,
+                                      const SearchExecution& exec,
+                                      ExecutorStats* executor) {
   FTR_EXPECTS(f <= n);
-  const unsigned threads = resolve_threads(exec.threads);
-  const std::size_t grain = sweep_grain(samples, threads);
-  const std::size_t chunks = num_chunks(samples, grain);
-  std::vector<SearchPartial> partials(chunks);
-
-  AdversaryResult result;
-  parallel_for_chunks(
-      samples, threads, grain,
-      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-        SearchPartial& p = partials[chunk];
+  FTR_EXPECTS(begin_index <= end_index);
+  return chunked_rank_scan(
+      begin_index, end_index, resolve_threads(exec.threads), executor,
+      [&](AdvPartial& p, std::uint64_t begin, std::uint64_t end,
+          const auto& aborted) {
+        (void)aborted;  // sampling never early-stops
         const FaultEvaluator eval = make_eval();
-        for (std::size_t i = begin; i < end; ++i) {
-          // Sample i is a pure function of (seed, i): thread-count-proof.
+        for (std::uint64_t i = begin; i < end; ++i) {
+          // Sample i is a pure function of (seed, i): thread-count-proof
+          // AND partition-proof.
           Rng rng = Rng::stream(seed, i);
           const auto sample = rng.sample(n, f);
           std::vector<Node> faults(sample.begin(), sample.end());
@@ -364,45 +400,48 @@ AdversaryResult sampled_worst_faults(std::size_t n, std::size_t f,
             p.faults = std::move(faults);
           }
         }
-      },
-      &result.executor);
-
-  bool have = false;
-  for (auto& p : partials) absorb(result, have, std::move(p));
-  return result;
+      });
 }
 
-AdversaryResult hillclimb_worst_faults(std::size_t n, std::size_t f,
-                                       const FaultEvaluatorFactory& make_eval,
-                                       std::uint64_t seed,
-                                       const SearchExecution& exec,
-                                       std::size_t restarts,
-                                       std::size_t max_steps,
-                                       const std::vector<std::vector<Node>>& seeds) {
-  FTR_EXPECTS(f <= n);
-  AdversaryResult result;
-  if (f == 0) {
-    result.worst_diameter = make_eval()({});
-    result.evaluations = 1;
-    return result;
-  }
-  const std::size_t total = std::max(seeds.size(), restarts);
-  std::vector<SearchPartial> partials(total);
-  std::atomic<std::size_t> first_stop{total};
+AdversaryResult sampled_worst_faults(std::size_t n, std::size_t f,
+                                     std::size_t samples,
+                                     const FaultEvaluatorFactory& make_eval,
+                                     std::uint64_t seed,
+                                     const SearchExecution& exec) {
+  ExecutorStats executor;
+  AdvPartial p = sampled_worst_faults_slice(n, f, 0, samples, make_eval, seed,
+                                            exec, &executor);
+  return result_from_partial(std::move(p), /*exhaustive_scan=*/false,
+                             executor);
+}
 
+AdvPartial hillclimb_worst_faults_slice(
+    std::size_t n, std::size_t f, const FaultEvaluatorFactory& make_eval,
+    std::uint64_t seed, const SearchExecution& exec,
+    std::uint64_t begin_restart, std::uint64_t end_restart,
+    std::size_t max_steps, const std::vector<std::vector<Node>>& seeds,
+    ExecutorStats* executor) {
+  FTR_EXPECTS(f <= n && f > 0);
+  FTR_EXPECTS(begin_restart <= end_restart);
+  const auto count = static_cast<std::size_t>(end_restart - begin_restart);
+  std::vector<AdvPartial> partials(count);
+  std::atomic<std::size_t> first_stop{count};
+
+  ExecutorStats stats;
   // One restart per chunk: climbs dominate the cost and balance poorly, so
   // the finest grain gives the scheduler the most room.
   parallel_for_chunks(
-      total, resolve_threads(exec.threads), 1,
-      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-        (void)end;
+      count, resolve_threads(exec.threads), 1,
+      [&](std::size_t chunk, std::size_t c_begin, std::size_t c_end) {
+        (void)c_end;
         if (chunk > first_stop.load(std::memory_order_relaxed)) return;
-        SearchPartial& p = partials[chunk];
+        AdvPartial& p = partials[chunk];
         const FaultEvaluator eval = make_eval();
-        Rng rng = Rng::stream(seed, begin);
+        const std::uint64_t restart = begin_restart + c_begin;
+        Rng rng = Rng::stream(seed, restart);
         std::vector<Node> start;
-        if (begin < seeds.size()) {
-          start = seeds[begin];
+        if (restart < seeds.size()) {
+          start = seeds[static_cast<std::size_t>(restart)];
         } else {
           const auto sample = rng.sample(n, f);
           start.assign(sample.begin(), sample.end());
@@ -418,16 +457,39 @@ AdversaryResult hillclimb_worst_faults(std::size_t n, std::size_t f,
           note_stop(first_stop, chunk);
         }
       },
-      &result.executor);
+      &stats);
+  if (executor != nullptr) executor->accumulate(stats);
 
-  bool have = false;
-  for (auto& p : partials) {
-    const bool stopped = p.stopped;
-    absorb(result, have, std::move(p));
+  AdvPartial acc;
+  for (const auto& p : partials) {
+    merge_adversary_partials(acc, p);
     // Serial scan breaks after absorbing a disconnecting restart.
-    if (stopped) break;
+    if (acc.stopped) break;
   }
-  return result;
+  return acc;
+}
+
+AdversaryResult hillclimb_worst_faults(std::size_t n, std::size_t f,
+                                       const FaultEvaluatorFactory& make_eval,
+                                       std::uint64_t seed,
+                                       const SearchExecution& exec,
+                                       std::size_t restarts,
+                                       std::size_t max_steps,
+                                       const std::vector<std::vector<Node>>& seeds) {
+  FTR_EXPECTS(f <= n);
+  if (f == 0) {
+    AdversaryResult result;
+    result.worst_diameter = make_eval()({});
+    result.evaluations = 1;
+    return result;
+  }
+  const std::size_t total = std::max(seeds.size(), restarts);
+  ExecutorStats executor;
+  AdvPartial p = hillclimb_worst_faults_slice(n, f, make_eval, seed, exec, 0,
+                                              total, max_steps, seeds,
+                                              &executor);
+  return result_from_partial(std::move(p), /*exhaustive_scan=*/false,
+                             executor);
 }
 
 }  // namespace ftr

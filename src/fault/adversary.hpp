@@ -62,6 +62,31 @@ struct AdversaryResult {
   ExecutorStats executor;
 };
 
+/// A mergeable fragment of an adversary search over one ordered slice of
+/// the task space (subset ranks, sample indices, restart indices). This is
+/// the merge authority shared by the in-process chunked scans and the
+/// distributed coordinator: both fold slices with merge_adversary_partials,
+/// so the two paths cannot drift.
+struct AdvPartial {
+  std::uint32_t d = 0;          // worst diameter seen in this slice
+  std::vector<Node> faults;     // its witness
+  std::uint64_t evaluations = 0;
+  bool any = false;             // a candidate has been recorded
+  bool stopped = false;         // this slice hit its early-stop condition
+};
+
+/// Folds `next` into `into` with the serial scan's semantics. PRECONDITION:
+/// `next` covers task indices strictly after everything already folded into
+/// `into`. If `into` has stopped, `next` is discarded entirely — its
+/// evaluations are NOT counted, reproducing the serial early break (work
+/// past the stop point never happened). Otherwise evaluations add, a
+/// strictly greater diameter replaces the witness (equal keeps the earlier
+/// slice's, the serial tie-break), and next's stop propagates. Under the
+/// index-order discipline this is associative: any contiguous partition of
+/// the task space — threads, chunks, worker processes — folds to the same
+/// result.
+void merge_adversary_partials(AdvPartial& into, const AdvPartial& next);
+
 /// Ground truth: evaluates every f-subset of {0..n-1}. `stop_above`, if
 /// nonzero, aborts early once a fault set exceeding that diameter is found
 /// (useful to falsify a claimed bound quickly).
@@ -130,5 +155,55 @@ AdversaryResult hillclimb_worst_faults(std::size_t n, std::size_t f,
                                        std::size_t restarts = 8,
                                        std::size_t max_steps = 64,
                                        const std::vector<std::vector<Node>>& seeds = {});
+
+// --- slice forms -------------------------------------------------------------
+//
+// Each searcher's slice form runs one contiguous window of its task space
+// (still fanned across exec.threads internally) and returns the AdvPartial
+// for that window; folding adjacent windows in order with
+// merge_adversary_partials is bit-identical to the full-space search. These
+// are what distributed workers execute — indices are GLOBAL (a worker
+// handed ranks [begin, end) evaluates exactly what the local scan would
+// there), so the coordinator's unit boundaries can never change the result.
+// Executor telemetry accumulates into *executor when given.
+
+/// Lexicographic exhaustive scan over subset ranks [begin_rank, end_rank).
+AdvPartial exhaustive_worst_faults_slice(std::size_t n, std::size_t f,
+                                         const FaultEvaluatorFactory& make_eval,
+                                         std::uint64_t begin_rank,
+                                         std::uint64_t end_rank,
+                                         const SearchExecution& exec,
+                                         std::uint32_t stop_above = 0,
+                                         ExecutorStats* executor = nullptr);
+
+/// Revolving-door exhaustive scan over gray ranks [begin_rank, end_rank).
+AdvPartial exhaustive_worst_faults_gray_slice(const SrgIndex& index,
+                                              std::size_t f,
+                                              std::uint64_t begin_rank,
+                                              std::uint64_t end_rank,
+                                              const SearchExecution& exec = {},
+                                              std::uint32_t stop_above = 0,
+                                              ExecutorStats* executor = nullptr);
+
+/// Random sampling over sample indices [begin_index, end_index); sample i
+/// is always Rng::stream(seed, i).
+AdvPartial sampled_worst_faults_slice(std::size_t n, std::size_t f,
+                                      std::uint64_t begin_index,
+                                      std::uint64_t end_index,
+                                      const FaultEvaluatorFactory& make_eval,
+                                      std::uint64_t seed,
+                                      const SearchExecution& exec,
+                                      ExecutorStats* executor = nullptr);
+
+/// Hill-climbing over restart indices [begin_restart, end_restart); restart
+/// i climbs with Rng::stream(seed, i) and starts from seeds[i] when
+/// i < seeds.size().
+AdvPartial hillclimb_worst_faults_slice(
+    std::size_t n, std::size_t f, const FaultEvaluatorFactory& make_eval,
+    std::uint64_t seed, const SearchExecution& exec,
+    std::uint64_t begin_restart, std::uint64_t end_restart,
+    std::size_t max_steps,
+    const std::vector<std::vector<Node>>& seeds = {},
+    ExecutorStats* executor = nullptr);
 
 }  // namespace ftr

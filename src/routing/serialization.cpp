@@ -12,6 +12,7 @@
 #include "common/contracts.hpp"
 #include "common/mapped_file.hpp"
 #include "common/parse.hpp"
+#include "common/pipe_io.hpp"
 #include "fault/fault_gen.hpp"
 
 namespace ftr {
@@ -37,6 +38,12 @@ std::string routing_table_to_string(const RoutingTable& table) {
   std::ostringstream os;
   save_routing_table(table, os);
   return os.str();
+}
+
+void save_routing_table_file(const RoutingTable& table,
+                             const std::string& path) {
+  const std::string text = routing_table_to_string(table);
+  write_file_exact(path, text.data(), text.size());
 }
 
 namespace {
@@ -857,13 +864,19 @@ void save_table_snapshot(const TableSnapshot& snapshot, std::ostream& os) {
   FTR_EXPECTS_MSG(os.good(), "snapshot write failed");
 }
 
+std::string table_snapshot_to_string(const TableSnapshot& snapshot) {
+  std::ostringstream os(std::ios::binary);
+  save_table_snapshot(snapshot, os);
+  return std::move(os).str();
+}
+
 void save_table_snapshot_file(const TableSnapshot& snapshot,
                               const std::string& path) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  FTR_EXPECTS_MSG(os, "cannot open snapshot '" << path << "' for writing");
-  save_table_snapshot(snapshot, os);
-  os.flush();
-  FTR_EXPECTS_MSG(os.good(), "snapshot write to '" << path << "' failed");
+  // Serialize in memory, then one full-write with loud failure: a partial
+  // snapshot on disk would fail its checksums at load time, but failing at
+  // WRITE time (and unlinking the stub) is the honest contract.
+  const std::string bytes = table_snapshot_to_string(snapshot);
+  write_file_exact(path, bytes.data(), bytes.size());
 }
 
 const char* snapshot_load_mode_name(SnapshotLoadMode mode) {
@@ -879,46 +892,24 @@ std::optional<SnapshotLoadMode> parse_snapshot_load_mode(
 
 namespace {
 
+// EINTR-safe whole-file read (pipe_io): a signal landing mid-read can no
+// longer truncate the buffer into a checksum failure.
 std::vector<unsigned char> read_whole_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  FTR_EXPECTS_MSG(is, "cannot open snapshot '" << path << "' for reading");
-  is.seekg(0, std::ios::end);
-  const std::streamoff end = is.tellg();
-  FTR_EXPECTS_MSG(end >= 0, "cannot size snapshot '" << path << "'");
-  std::vector<unsigned char> buf(static_cast<std::size_t>(end));
-  is.seekg(0, std::ios::beg);
-  if (!buf.empty()) {
-    is.read(reinterpret_cast<char*>(buf.data()),
-            static_cast<std::streamsize>(buf.size()));
-  }
-  FTR_EXPECTS_MSG(is.gcount() == end,
-                  "short read from snapshot '" << path << "'");
-  return buf;
+  return read_file_exact(path);
 }
 
 }  // namespace
 
-TableSnapshot load_table_snapshot_file(const std::string& path,
-                                       SnapshotLoadMode mode) {
-  expect_little_endian_host();
+namespace {
 
-  // Backing store: a private mapping on the zero-copy path (also the owner
-  // handle every aliased array holds), a heap buffer on the bulk path (it
-  // dies with this frame — every array copies out of it).
-  std::shared_ptr<const MappedFile> map;
-  std::vector<unsigned char> buf;
-  const unsigned char* base = nullptr;
-  std::uint64_t size = 0;
-  if (mode == SnapshotLoadMode::kMmap) {
-    map = MappedFile::open(path);
-    base = reinterpret_cast<const unsigned char*>(map->data());
-    size = map->size();
-  } else {
-    buf = read_whole_file(path);
-    base = buf.data();
-    size = buf.size();
-  }
-
+// The shared back half of both load paths: validate the container at
+// `base`/`size`, then build the structures. `map` is the shared-ownership
+// handle on the mmap path (aliased arrays keep it alive) and null on the
+// bulk path (every array copies out of the caller's buffer).
+TableSnapshot parse_snapshot(const std::string& path,
+                             const unsigned char* base, std::uint64_t size,
+                             std::shared_ptr<const MappedFile> map,
+                             SnapshotLoadMode mode) {
   const std::vector<RawSection> secs =
       validate_container(path, base, size, /*verify_payload_checksums=*/true);
   FTR_EXPECTS_MSG(secs.size() == kNumSections,
@@ -998,6 +989,42 @@ TableSnapshot load_table_snapshot_file(const std::string& path,
   return snap;
 }
 
+}  // namespace
+
+TableSnapshot load_table_snapshot_file(const std::string& path,
+                                       SnapshotLoadMode mode) {
+  expect_little_endian_host();
+  if (mode == SnapshotLoadMode::kMmap) {
+    auto map = MappedFile::open(path);
+    const auto* base = reinterpret_cast<const unsigned char*>(map->data());
+    const std::uint64_t size = map->size();
+    return parse_snapshot(path, base, size, std::move(map), mode);
+  }
+  const std::vector<unsigned char> buf = read_whole_file(path);
+  return parse_snapshot(path, buf.data(), buf.size(), nullptr, mode);
+}
+
+TableSnapshot load_table_snapshot_fd(int fd, SnapshotLoadMode mode,
+                                     const std::string& name) {
+  expect_little_endian_host();
+  if (mode == SnapshotLoadMode::kMmap) {
+    auto map = MappedFile::from_fd(fd, name);
+    const auto* base = reinterpret_cast<const unsigned char*>(map->data());
+    const std::uint64_t size = map->size();
+    return parse_snapshot(name, base, size, std::move(map), mode);
+  }
+  // pread only: forked workers share ONE file description, so the shared
+  // seek offset must never move.
+  std::vector<unsigned char> buf(static_cast<std::size_t>(fd_size(fd)));
+  if (!buf.empty()) {
+    const IoStatus st = pread_exact(fd, buf.data(), buf.size(), 0);
+    FTR_EXPECTS_MSG(st == IoStatus::kOk,
+                    "short read from snapshot '" << name << "' ("
+                                                 << io_status_name(st) << ")");
+  }
+  return parse_snapshot(name, buf.data(), buf.size(), nullptr, mode);
+}
+
 bool is_snapshot_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) return false;
@@ -1005,6 +1032,10 @@ bool is_snapshot_file(const std::string& path) {
   is.read(magic, sizeof(magic));
   return is.gcount() == sizeof(magic) &&
          std::memcmp(magic, kSnapMagic, sizeof(magic)) == 0;
+}
+
+std::uint64_t ftr_checksum64(const void* data, std::uint64_t n) {
+  return checksum_bytes(static_cast<const unsigned char*>(data), n);
 }
 
 SnapshotInfo read_snapshot_directory(const std::string& path) {

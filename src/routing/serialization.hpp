@@ -55,8 +55,20 @@
 
 namespace ftr {
 
+/// The container's checksum — FNV-1a folded over 64-bit little-endian
+/// words (zero-padded tail, length mixed in last) — exported so the
+/// distributed wire format frames messages with the same hash the snapshot
+/// sections use.
+std::uint64_t ftr_checksum64(const void* data, std::uint64_t n);
+
 /// Writes the table to a stream in the v1 text format.
 void save_routing_table(const RoutingTable& table, std::ostream& os);
+
+/// Full-write file form (pipe_io::write_file_exact underneath): a partial
+/// write — disk full, signal mid-write — throws and unlinks instead of
+/// leaving a silently truncated table behind.
+void save_routing_table_file(const RoutingTable& table,
+                             const std::string& path);
 
 /// Serializes to a string (convenience over save_routing_table).
 std::string routing_table_to_string(const RoutingTable& table);
@@ -95,6 +107,10 @@ void save_table_snapshot(const TableSnapshot& snapshot, std::ostream& os);
 void save_table_snapshot_file(const TableSnapshot& snapshot,
                               const std::string& path);
 
+/// Serializes the container to a byte string — the fd-passed payload a
+/// sweep coordinator writes into an unlinked temp file for forked workers.
+std::string table_snapshot_to_string(const TableSnapshot& snapshot);
+
 enum class SnapshotLoadMode : std::uint8_t {
   /// Validate checksums, then copy every section into owning vectors — the
   /// portable oracle; the file can be deleted afterwards.
@@ -118,6 +134,15 @@ std::optional<SnapshotLoadMode> parse_snapshot_load_mode(
 /// structures; only storage ownership differs.
 TableSnapshot load_table_snapshot_file(
     const std::string& path, SnapshotLoadMode mode = SnapshotLoadMode::kMmap);
+
+/// Loads a snapshot from an already-open descriptor (e.g. an unlinked temp
+/// file inherited by a forked worker — no pathname exists). Never consumes,
+/// closes, or seeks `fd`: both modes read positionally (mmap / pread), so
+/// any number of forked processes can load from ONE shared file description
+/// without offset races. `name` labels error messages.
+TableSnapshot load_table_snapshot_fd(
+    int fd, SnapshotLoadMode mode = SnapshotLoadMode::kMmap,
+    const std::string& name = "<snapshot fd>");
 
 /// True if the file starts with the snapshot magic — the sniff the CLI uses
 /// to accept a snapshot anywhere a graph/table file is read.

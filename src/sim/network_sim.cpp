@@ -111,6 +111,8 @@ DeliveryStats measure_delivery_on(const RoutingTable& table,
     }
   }
 
+  stats.route_hops_total = total_route_hops;
+  stats.edge_hops_total = total_edge_hops;
   if (stats.delivered > 0) {
     stats.avg_route_hops = static_cast<double>(total_route_hops) /
                            static_cast<double>(stats.delivered);

@@ -24,6 +24,12 @@ struct DeliveryStats {
   std::uint32_t max_route_hops = 0;
   double avg_edge_hops = 0.0;       // mean total underlying edges traversed
   std::uint64_t max_edge_hops = 0;
+  /// Exact integer totals behind the means. Aggregating sweeps fold THESE,
+  /// never avg * delivered: integer sums are associative, so any partition
+  /// of a sweep (batches, threads, remote workers) merges to bit-identical
+  /// aggregates, which a float fold cannot promise.
+  std::uint64_t route_hops_total = 0;
+  std::uint64_t edge_hops_total = 0;
 };
 
 /// Samples ordered pairs of non-faulty nodes and routes a message from

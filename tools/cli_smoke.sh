@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # End-to-end CLI smoke: gen | build | check | sweep --stdin | serve --stdin
 # piped on a small topology, asserting stdout is byte-identical across
-# --threads 1 and --threads 4 for every verb that fans out work, and
-# across every --kernel choice on the exhaustive sweep. This is the
+# --threads 1 and --threads 4 for every verb that fans out work, across
+# every --kernel choice on the exhaustive sweep, and across --workers
+# process counts on the distributed sweep/check. This is the
 # executable form of the repo's determinism contract — if a thread count
 # or kernel choice ever leaks into stdout, this script (and the CI job
 # running it) fails on the cmp.
@@ -115,6 +116,37 @@ cmp "${WORK}/check.1.out" "${WORK}/check.snap.out"
   --stdin --threads 2 --batch 3 < "${WORK}/faults.txt" \
   > "${WORK}/sweep.snap.out" 2> /dev/null
 cmp "${WORK}/sweep.1.out" "${WORK}/sweep.snap.out"
+
+# Distributed sweeps: forked snapshot-fed workers must print the same
+# stdout bytes as the in-process path (--workers 0) for every worker
+# count and unit size — on the exhaustive sweep, the stdin stream, and
+# the tolerance check. The snapshot form exercises the mmap-the-file
+# worker feed; the graph+table form exercises the fd-passed payload.
+echo "== distributed sweep/check vs in-process"
+"${CLI}" sweep "${WORK}/graph.ftg" "${WORK}/table.ftt" \
+  --faults 2 --exhaustive --delivery-pairs 3 --seed 7 \
+  > "${WORK}/dsweep.0.out" 2> /dev/null
+for w in 1 4; do
+  "${CLI}" sweep "${WORK}/graph.ftg" "${WORK}/table.ftt" \
+    --faults 2 --exhaustive --delivery-pairs 3 --seed 7 \
+    --workers "${w}" --worker-batch 9 \
+    > "${WORK}/dsweep.${w}.out" 2> /dev/null
+  cmp "${WORK}/dsweep.0.out" "${WORK}/dsweep.${w}.out"
+done
+"${CLI}" sweep "${WORK}/table.snap" "${WORK}/table.snap" \
+  --faults 2 --exhaustive --delivery-pairs 3 --seed 7 --workers 2 \
+  > "${WORK}/dsweep.snap.out" 2> /dev/null
+cmp "${WORK}/dsweep.0.out" "${WORK}/dsweep.snap.out"
+"${CLI}" sweep "${WORK}/graph.ftg" "${WORK}/table.ftt" \
+  --stdin --workers 2 --worker-batch 2 < "${WORK}/faults.txt" \
+  > "${WORK}/dsweep.stdin.out" 2> /dev/null
+cmp "${WORK}/sweep.1.out" "${WORK}/dsweep.stdin.out"
+for w in 1 4; do
+  "${CLI}" check "${WORK}/graph.ftg" "${WORK}/table.ftt" \
+    --faults 2 --claimed 6 --seed 7 --workers "${w}" \
+    > "${WORK}/dcheck.${w}.out" 2> /dev/null
+  cmp "${WORK}/check.1.out" "${WORK}/dcheck.${w}.out"
+done
 
 # Planner-built snapshots (no routes file) must serve like seed-built
 # manifests: same planner seed, same table, same bytes.

@@ -56,8 +56,11 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "analysis/stretch.hpp"
 #include "core/ftroute.hpp"
+#include "dist/coordinator.hpp"
 #include "graph/graph_io.hpp"
 #include "routing/serialization.hpp"
 
@@ -73,13 +76,18 @@ int usage() {
       "  ftroute build [--seed S] [--certify] [--threads T] [--kernel K]\n"
       "                                                 (graph on stdin, table to stdout)\n"
       "  ftroute check <graph> <table> --faults F [--claimed D] [--seed S] [--threads T]\n"
-      "                [--kernel K]\n"
+      "                [--kernel K] [--workers W] [--worker-batch R] [--worker-timeout S]\n"
       "  ftroute sweep <graph> <table> (--faults F [--sets N] | --faults F --exhaustive |\n"
       "                --stdin) [--seed S] [--threads T] [--delivery-pairs P]\n"
-      "                [--progress-every N] [--batch B] [--kernel K]\n"
+      "                [--progress-every N] [--batch B] [--kernel K] [--workers W]\n"
+      "                [--worker-batch R] [--worker-timeout S]\n"
       "       --stdin reads one fault set per line (whitespace-separated node ids,\n"
       "       '#' comments); --exhaustive sweeps all C(n,F) sets (revolving-door\n"
       "       incremental evaluation); both stream at constant memory\n"
+      "       --workers W forks W snapshot-fed worker processes (each running\n"
+      "       --threads threads); 0 = in-process. Stdout is bit-identical for any\n"
+      "       worker count and --worker-batch unit size; --worker-timeout (seconds,\n"
+      "       default 300, 0 = off) bounds each unit before a hung worker is killed\n"
       "  ftroute serve --tables MANIFEST (--requests FILE | --stdin)\n"
       "                [--max-resident-bytes B] [--threads T] [--batch B]\n"
       "                [--progress-every N] [--kernel K]\n"
@@ -297,6 +305,49 @@ int cmd_build(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Shared --workers plumbing for check/sweep. The pool's knobs never affect
+// stdout (the bit-identity contract); they only shape scheduling.
+DistPoolOptions flag_dist_options(const std::vector<std::string>& args,
+                                  unsigned workers, unsigned threads,
+                                  SrgKernel kernel) {
+  DistPoolOptions popts;
+  popts.workers = workers;
+  popts.unit_items = flag_value(args, "--worker-batch", 0);
+  popts.worker_threads = threads;
+  popts.kernel = kernel;
+  popts.unit_timeout_sec =
+      static_cast<double>(flag_value(args, "--worker-timeout", 300));
+  return popts;
+}
+
+// When the table came from a snapshot file, workers mmap that same file —
+// zero bytes shipped; otherwise the coordinator stages the snapshot into an
+// unlinked temp file the forked workers inherit by fd.
+std::string dist_snapshot_path(const std::vector<std::string>& args) {
+  return (args.at(0) == args.at(1) && is_snapshot_file(args.at(0)))
+             ? args.at(0)
+             : std::string();
+}
+
+void print_dist_stats(const DistStats& s) {
+  std::cerr << "distributed: " << s.workers_spawned << " worker(s); units "
+            << s.units_dispatched << " dispatched, " << s.units_completed
+            << " completed, " << s.units_retried << " retried, "
+            << s.units_inline << " inline; " << s.bytes_tx << " bytes tx, "
+            << s.bytes_rx << " bytes rx; " << s.workers_exited << " exited, "
+            << s.workers_killed << " killed\n";
+  for (std::size_t i = 0; i < s.per_worker.size(); ++i) {
+    const auto& w = s.per_worker[i];
+    if (w.units == 0) continue;
+    const auto rate = w.busy_seconds > 0.0
+                          ? static_cast<std::uint64_t>(
+                                static_cast<double>(w.items) / w.busy_seconds)
+                          : 0;
+    std::cerr << "  worker " << i << ": " << w.units << " unit(s), " << w.items
+              << " item(s), " << rate << " items/sec\n";
+  }
+}
+
 int cmd_check(const std::vector<std::string>& args) {
   auto [g, table] = load_graph_table_args(args.at(0), args.at(1));
   table.validate(g);
@@ -306,7 +357,20 @@ int cmd_check(const std::vector<std::string>& args) {
   ToleranceCheckOptions opts;
   opts.threads = flag_value_u32(args, "--threads", 1);
   opts.kernel = flag_kernel(args);
-  const auto report = check_tolerance(table, f, claimed, rng, opts);
+  const auto workers = flag_value_u32(args, "--workers", 0);
+  ToleranceReport report;
+  if (workers > 0) {
+    const std::string snap_path = dist_snapshot_path(args);
+    const TableSnapshot snap =
+        make_table_snapshot(std::move(g), std::move(table));
+    DistSweepPool pool(snap, snap_path,
+                       flag_dist_options(args, workers, opts.threads,
+                                         opts.kernel));
+    report = check_tolerance_distributed(pool, f, claimed, rng, opts);
+    print_dist_stats(pool.stats());
+  } else {
+    report = check_tolerance(table, f, claimed, rng, opts);
+  }
   std::cout << report.summary() << '\n';
   if (!report.worst_faults.empty()) {
     std::cout << "worst fault set:";
@@ -357,16 +421,50 @@ int cmd_sweep(const std::vector<std::string>& args) {
     };
   }
 
-  const SrgIndex index(table);
+  const auto workers = flag_value_u32(args, "--workers", 0);
   FaultSweepSummary summary;
-  if (exhaustive) {
+  if (workers > 0) {
+    // Multi-process fan-out: the partition into units and their merge use
+    // the same global-index discipline as the in-process engine, so stdout
+    // below is bit-identical to --workers 0 for any W and unit size.
+    const std::size_t n = g.num_nodes();
+    const std::string snap_path = dist_snapshot_path(args);
+    const TableSnapshot snap =
+        make_table_snapshot(std::move(g), std::move(table));
+    DistSweepPool pool(snap, snap_path,
+                       flag_dist_options(args, workers, opts.threads,
+                                         opts.kernel));
+    const auto t0 = std::chrono::steady_clock::now();
+    SweepPartial partial;
+    if (exhaustive) {
+      partial = pool.sweep_exhaustive(f, opts);
+    } else if (from_stdin) {
+      IstreamFaultSetSource source(std::cin, n);
+      partial = pool.sweep_source(source, opts);
+    } else {
+      partial = pool.sweep_sampled(f, sets, opts);
+    }
+    summary = summarize_sweep_partial(partial);
+    summary.threads_used = opts.threads;
+    summary.seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    summary.fault_sets_per_sec =
+        summary.seconds > 0.0
+            ? static_cast<double>(summary.total_sets) / summary.seconds
+            : 0.0;
+    print_dist_stats(pool.stats());
+  } else if (exhaustive) {
+    const SrgIndex index(table);
     summary = sweep_exhaustive_gray(table, index, f, opts);
   } else if (from_stdin) {
+    const SrgIndex index(table);
     IstreamFaultSetSource source(std::cin, g.num_nodes());
     summary = sweep_fault_source(table, index, source, opts);
   } else {
     // Set i is a pure function of (seed, i): the stream is reproducible and
     // never materialized, whatever --sets is.
+    const SrgIndex index(table);
     SampledStreamSource source(g.num_nodes(), f, sets, seed);
     summary = sweep_fault_source(table, index, source, opts);
   }
