@@ -6,21 +6,26 @@
 //     kept as the differential oracle);
 //   * bitset — word-packed frontier/visited bitmaps with a direction-
 //     optimizing top-down/bottom-up switch;
-//   * packed — 64 Gray-adjacent fault sets evaluated per pass, one uint64
-//     lane-set per route/pair/node (route liveness, arc counts, and
-//     reachability as AND/OR/popcount).
-// The headline acceptance metric lives in BENCH_srg_kernels.json:
-// bench_srg_kernels_exhaustive/kernel:2 (packed) must show >= 5x the
-// items_per_second of /kernel:0 (scalar) on the exhaustive f=2 kernel/torus
-// sweep. All kernels produce bit-identical sweeps (tests/test_srg_kernels
-// pins that); only throughput may differ. Single-threaded and CPU-time
-// based, so the ratios are meaningful on the 1-core CI runner.
+//   * packed — Gray-adjacent fault sets evaluated lane-parallel in
+//     width-parameterized blocks (64/128/256/512 lanes = 1/2/4/8 words per
+//     route/pair/node; route liveness, arc counts, and reachability as
+//     AND/OR/popcount word loops with runtime AVX2/AVX-512 dispatch).
+// The headline acceptance metrics live in BENCH_srg_kernels.json:
+// bench_srg_kernels_exhaustive/kernel:2/lanes:64 (packed, one-word blocks)
+// must show >= 5x the items_per_second of /kernel:0/lanes:0 (scalar) on the
+// exhaustive f=2 kernel/torus sweep, and the widest supported lane count
+// must beat lanes:64. All kernels and widths produce bit-identical sweeps
+// (tests/test_srg_kernels pins that); only throughput may differ.
+// Single-threaded and CPU-time based, so the ratios are meaningful on the
+// 1-core CI runner.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <iostream>
+#include <string>
 
 #include "bench_util.hpp"
+#include "common/cpu_features.hpp"
 #include "core/ftroute.hpp"
 
 namespace {
@@ -35,13 +40,24 @@ SrgKernel kernel_from_range(std::int64_t r) {
   }
 }
 
+// "scalar" / "bitset" / "packed512"; lanes only matters for packed, where
+// 0 (auto) is annotated with the width it resolved to on this host.
+std::string kernel_lanes_label(SrgKernel kernel, unsigned lanes) {
+  if (kernel != SrgKernel::kPacked) return srg_kernel_name(kernel);
+  return std::string(srg_kernel_name(kernel)) +
+         std::to_string(resolve_lane_width(lanes));
+}
+
 // Wall-clock overview across kernels and fault budgets, plus the cross-
 // kernel checksum that makes the speedups honest: every kernel must report
 // the same worst diameter, histogram mass, and disconnect count.
 void table_kernel_throughput() {
   std::cout << "-- Exhaustive Gray sweep throughput by kernel --\n";
+  const unsigned auto_width = resolve_lane_width(0);
   Table table({"graph", "f", "sets", "scalar sets/s", "bitset sets/s",
-               "packed sets/s", "bitset/scalar", "packed/scalar"});
+               "packed64 sets/s",
+               "packed" + std::to_string(auto_width) + " sets/s",
+               "bitset/scalar", "packed/scalar"});
   using clock = std::chrono::steady_clock;
   struct Entry {
     std::string graph;
@@ -63,12 +79,20 @@ void table_kernel_throughput() {
     const SrgIndex index(e.rt);
     for (std::size_t f : {2u, 3u}) {
       const auto count = binomial(e.g.num_nodes(), f);
-      double rate[3] = {0, 0, 0};
-      std::uint32_t worst[3] = {0, 0, 0};
-      std::uint64_t disconnected[3] = {0, 0, 0};
-      for (int k = 0; k < 3; ++k) {
+      // scalar, bitset, packed at 64 lanes, packed at the auto width.
+      constexpr int kConfigs = 4;
+      const SrgKernel kernels[kConfigs] = {SrgKernel::kScalar,
+                                           SrgKernel::kBitset,
+                                           SrgKernel::kPacked,
+                                           SrgKernel::kPacked};
+      const unsigned widths[kConfigs] = {0, 0, 64, 0};
+      double rate[kConfigs] = {};
+      std::uint32_t worst[kConfigs] = {};
+      std::uint64_t disconnected[kConfigs] = {};
+      for (int k = 0; k < kConfigs; ++k) {
         FaultSweepOptions opts;
-        opts.kernel = kernel_from_range(k);
+        opts.kernel = kernels[k];
+        opts.lanes = widths[k];
         const auto t0 = clock::now();
         const auto summary = sweep_exhaustive_gray(e.rt, index, f, opts);
         const auto t1 = clock::now();
@@ -78,16 +102,15 @@ void table_kernel_throughput() {
                            : 0.0;
         worst[k] = summary.worst_diameter;
         disconnected[k] = summary.disconnected;
+        FTR_ASSERT_MSG(worst[k] == worst[0] &&
+                           disconnected[k] == disconnected[0],
+                       "kernels disagree on the exhaustive sweep");
       }
-      FTR_ASSERT_MSG(worst[0] == worst[1] && worst[1] == worst[2] &&
-                         disconnected[0] == disconnected[1] &&
-                         disconnected[1] == disconnected[2],
-                     "kernels disagree on the exhaustive sweep");
       table.add_row({e.graph, Table::cell(f), Table::cell(count),
                      Table::cell(rate[0], 0), Table::cell(rate[1], 0),
-                     Table::cell(rate[2], 0),
+                     Table::cell(rate[2], 0), Table::cell(rate[3], 0),
                      Table::cell(rate[1] / rate[0], 1),
-                     Table::cell(rate[2] / rate[0], 1)});
+                     Table::cell(rate[3] / rate[0], 1)});
     }
   }
   table.print(std::cout);
@@ -97,8 +120,10 @@ void table_kernel_throughput() {
 }
 
 // THE acceptance benchmark: exhaustive f=2 sweep of the kernel/torus table,
-// one registered case per kernel. items_per_second is fault-sets/sec;
-// /kernel:2 (packed) vs /kernel:0 (scalar) is the >= 5x claim.
+// one registered case per kernel, plus one per packed lane width (lanes:0
+// is the auto pick). items_per_second is fault-sets/sec;
+// /kernel:2/lanes:64 vs /kernel:0/lanes:0 (scalar) is the >= 5x claim, and
+// the wider-lane cases vs lanes:64 are the width-scaling record.
 void bench_srg_kernels_exhaustive(benchmark::State& state) {
   const auto gg = torus_graph(6, 6);
   const auto kr = build_kernel_routing(gg.graph, 3);
@@ -106,18 +131,23 @@ void bench_srg_kernels_exhaustive(benchmark::State& state) {
   const auto count = binomial(gg.graph.num_nodes(), 2);
   FaultSweepOptions opts;
   opts.kernel = kernel_from_range(state.range(0));
+  opts.lanes = static_cast<unsigned>(state.range(1));
   for (auto _ : state) {
     benchmark::DoNotOptimize(sweep_exhaustive_gray(kr.table, index, 2, opts));
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations() * count));
-  state.SetLabel(srg_kernel_name(opts.kernel));
+  state.SetLabel(kernel_lanes_label(opts.kernel, opts.lanes));
 }
 BENCHMARK(bench_srg_kernels_exhaustive)
-    ->ArgName("kernel")
-    ->Arg(0)
-    ->Arg(1)
-    ->Arg(2);
+    ->ArgNames({"kernel", "lanes"})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({2, 64})
+    ->Args({2, 128})
+    ->Args({2, 256})
+    ->Args({2, 512})
+    ->Args({2, 0});
 
 // The f=3 budget (7140 sets): deeper Gray blocks amortize the packed
 // kernel's per-block setup better, so this is its best case on 36 nodes.
@@ -128,18 +158,23 @@ void bench_srg_kernels_exhaustive_f3(benchmark::State& state) {
   const auto count = binomial(gg.graph.num_nodes(), 3);
   FaultSweepOptions opts;
   opts.kernel = kernel_from_range(state.range(0));
+  opts.lanes = static_cast<unsigned>(state.range(1));
   for (auto _ : state) {
     benchmark::DoNotOptimize(sweep_exhaustive_gray(kr.table, index, 3, opts));
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations() * count));
-  state.SetLabel(srg_kernel_name(opts.kernel));
+  state.SetLabel(kernel_lanes_label(opts.kernel, opts.lanes));
 }
 BENCHMARK(bench_srg_kernels_exhaustive_f3)
-    ->ArgName("kernel")
-    ->Arg(0)
-    ->Arg(1)
-    ->Arg(2);
+    ->ArgNames({"kernel", "lanes"})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({2, 64})
+    ->Args({2, 128})
+    ->Args({2, 256})
+    ->Args({2, 512})
+    ->Args({2, 0});
 
 // Streamed (non-Gray) sweeps cannot use the packed kernel; what they get
 // from the refactor is the bitset BFS. Scalar vs bitset on the sampled
@@ -185,7 +220,8 @@ BENCHMARK(bench_srg_kernels_single_set)->ArgName("kernel")->Arg(0)->Arg(1);
 
 int main(int argc, char** argv) {
   ftr::bench::banner("E24", "SRG evaluation kernels",
-                     "bitset BFS + 64-sets-per-word packed Gray evaluation");
+                     "bitset BFS + wide-lane packed Gray evaluation "
+                     "(64-512 sets/block, runtime SIMD dispatch)");
   table_kernel_throughput();
   return ftr::bench::run_registered_benchmarks(argc, argv);
 }

@@ -313,9 +313,9 @@ SweepPartial sweep_exhaustive_gray_range(const RoutingTable& table,
     const auto filled = static_cast<std::size_t>(
         std::min<std::uint64_t>(batch_items, end_rank - base));
     ExecutorStats batch_stats;
-    // Packed evaluates 64 Gray-adjacent sets per bit-parallel pass, but
-    // cannot materialize per-set surviving graphs — delivery sampling
-    // degrades it to the incremental (bitset) path.
+    // Packed evaluates up to lane_width() Gray-adjacent sets per
+    // bit-parallel pass, but cannot materialize per-set surviving graphs —
+    // delivery sampling degrades it to the incremental (bitset) path.
     const bool packed = (options.kernel == SrgKernel::kAuto ||
                          options.kernel == SrgKernel::kPacked) &&
                         options.delivery_pairs == 0;
@@ -327,10 +327,12 @@ SweepPartial sweep_exhaustive_gray_range(const RoutingTable& table,
           scratch.set_kernel(options.kernel);
           GraySubsetEnumerator e(n, f, base + begin);
           if (packed) {
-            SrgScratch::Result res[64];
+            scratch.set_lane_width(options.lanes);
+            const std::size_t lanes = scratch.lane_width();
+            SrgScratch::Result res[512];
             std::size_t r = begin;
             while (r < end) {
-              const std::size_t cnt = std::min<std::size_t>(64, end - r);
+              const std::size_t cnt = std::min<std::size_t>(lanes, end - r);
               scratch.evaluate_gray_block(e, cnt, res);
               for (std::size_t i = 0; i < cnt; ++i) {
                 records[r + i] = {res[i].diameter, res[i].survivors,

@@ -173,6 +173,11 @@ struct FaultSweepOptions {
   /// streamed sources — and for exhaustive sweeps that must materialize
   /// per-set graphs (delivery_pairs > 0) — kPacked degrades to bitset.
   SrgKernel kernel = SrgKernel::kAuto;
+  /// Packed-kernel lane width: 0 = auto (FTROUTE_FORCE_LANE_WIDTH, then
+  /// the widest the CPU supports), or 64/128/256/512 to force one. A pure
+  /// throughput knob — results never depend on it (lanes are consumed in
+  /// rank order whatever the block width).
+  unsigned lanes = 0;
 };
 
 struct FaultSweepRecord {

@@ -1,0 +1,61 @@
+#include "common/cpu_features.hpp"
+
+#include <cstdlib>
+
+#include "common/contracts.hpp"
+
+namespace ftr {
+
+namespace {
+
+CpuFeatures probe_cpu_features() {
+  CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.avx512f = __builtin_cpu_supports("avx512f") != 0;
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = probe_cpu_features();
+  return features;
+}
+
+bool is_valid_lane_width(unsigned lanes) {
+  return lanes == 64 || lanes == 128 || lanes == 256 || lanes == 512;
+}
+
+unsigned resolve_lane_width(unsigned requested) {
+  FTR_EXPECTS_MSG(requested == 0 || is_valid_lane_width(requested),
+                  "lane width " << requested
+                                << " is not one of 64/128/256/512");
+  if (requested != 0) return requested;
+  // Env override applies to AUTO only: an explicit width in code or on
+  // the CLI always wins, so tests that force widths stay deterministic
+  // even under a CI-wide override.
+  if (const char* env = std::getenv("FTROUTE_FORCE_LANE_WIDTH")) {
+    const auto parsed = parse_lane_width(env);
+    FTR_EXPECTS_MSG(parsed.has_value() && *parsed != 0,
+                    "FTROUTE_FORCE_LANE_WIDTH='"
+                        << env << "' — expected 64, 128, 256, or 512");
+    return *parsed;
+  }
+  const CpuFeatures& cpu = cpu_features();
+  if (cpu.avx512f) return 512;
+  if (cpu.avx2) return 256;
+  return 128;
+}
+
+std::optional<unsigned> parse_lane_width(std::string_view name) {
+  if (name == "auto") return 0u;
+  if (name == "64") return 64u;
+  if (name == "128") return 128u;
+  if (name == "256") return 256u;
+  if (name == "512") return 512u;
+  return std::nullopt;
+}
+
+}  // namespace ftr

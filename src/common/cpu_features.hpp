@@ -1,0 +1,47 @@
+// Runtime CPU feature detection and packed-lane-width resolution.
+//
+// The packed SRG kernel evaluates 64 Gray-adjacent fault sets per
+// machine word and widens to 128/256/512 sets per block by striding 2,
+// 4, or 8 words per entity (see fault/srg_packed.hpp). Which width pays
+// off depends on the vector ISA the host actually has, so the choice is
+// made at RUNTIME, once, from cpuid — never from compile flags — and
+// every width produces bit-identical results, so the resolution below
+// is a pure throughput knob.
+//
+// Resolution rule (resolve_lane_width):
+//   * an explicit request (64/128/256/512) is honored verbatim;
+//   * 0 ("auto") consults FTROUTE_FORCE_LANE_WIDTH first — the CI hook
+//     that pins deterministic widths on heterogeneous runners — then
+//     picks the widest profitable width for the probed ISA: 512 with
+//     AVX-512F, 256 with AVX2, else 128 (two-word blocks still win on
+//     plain x86-64/NEON-less builds because the word loops unroll).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace ftr {
+
+/// One-time cpuid probe, cached for the process lifetime. On non-x86
+/// builds every flag is false and auto resolution falls back to 128.
+struct CpuFeatures {
+  bool avx2 = false;
+  bool avx512f = false;
+};
+
+const CpuFeatures& cpu_features();
+
+/// True iff `lanes` is a width the packed kernel implements.
+bool is_valid_lane_width(unsigned lanes);
+
+/// Applies the resolution rule above. `requested` must be 0 (auto) or a
+/// valid width. Always returns a valid width. A malformed
+/// FTROUTE_FORCE_LANE_WIDTH value fails loudly (contract violation)
+/// rather than silently running a width CI did not ask for.
+unsigned resolve_lane_width(unsigned requested);
+
+/// "auto" -> 0, "64"/"128"/"256"/"512" -> that width; nullopt on
+/// anything else. The CLI-facing inverse of resolve_lane_width's input.
+std::optional<unsigned> parse_lane_width(std::string_view name);
+
+}  // namespace ftr

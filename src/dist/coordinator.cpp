@@ -515,6 +515,7 @@ UnitSpec DistSweepPool::base_sweep_unit(
   u.delivery_pairs = sweep_options.delivery_pairs;
   u.batch_size = options_.batch_size;
   u.kernel = sweep_options.kernel;
+  u.lanes = sweep_options.lanes;
   u.threads = options_.worker_threads;
   return u;
 }
@@ -524,6 +525,7 @@ UnitSpec DistSweepPool::base_adv_unit(UnitKind kind, std::uint32_t f) const {
   u.kind = kind;
   u.f = f;
   u.kernel = options_.kernel;
+  u.lanes = options_.lanes;
   u.threads = options_.worker_threads;
   return u;
 }

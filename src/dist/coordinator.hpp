@@ -53,6 +53,9 @@ struct DistPoolOptions {
   /// Threads INSIDE each worker process (the process x thread hierarchy).
   unsigned worker_threads = 1;
   SrgKernel kernel = SrgKernel::kAuto;
+  /// Packed lane width inside each worker (0 = auto, or 64/128/256/512).
+  /// Unit boundaries are width-invariant, so stdout never depends on it.
+  unsigned lanes = 0;
   /// Sweep engine batch size inside each worker.
   std::size_t batch_size = 1024;
   /// Per-unit wall-clock budget; a worker that blows it is SIGKILLed and

@@ -208,6 +208,7 @@ std::vector<unsigned char> encode_unit(const UnitSpec& unit) {
   w.u64(unit.max_steps);
   w.u32(unit.stop_above);
   w.u32(static_cast<std::uint32_t>(unit.kernel));
+  w.u32(unit.lanes);
   w.u32(unit.threads);
   w.u32(static_cast<std::uint32_t>(unit.sets.size()));
   for (const auto& s : unit.sets) w.nodes(s);
@@ -230,6 +231,7 @@ UnitSpec decode_unit(const std::vector<unsigned char>& payload) {
   u.max_steps = r.u64();
   u.stop_above = r.u32();
   u.kernel = static_cast<SrgKernel>(r.u32());
+  u.lanes = r.u32();
   u.threads = r.u32();
   const std::uint32_t nsets = r.u32();
   u.sets.reserve(nsets);

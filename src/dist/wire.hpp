@@ -71,6 +71,9 @@ struct UnitSpec {
   std::uint64_t max_steps = 0;       // kAdvClimb step budget
   std::uint32_t stop_above = 0;      // kAdvGray/kAdvLex early-stop threshold
   SrgKernel kernel = SrgKernel::kAuto;
+  std::uint32_t lanes = 0;    // packed lane width (0 = auto); pure
+                              // throughput knob, never affects results —
+                              // units stay width-invariant
   std::uint32_t threads = 1;  // threads INSIDE the worker process
   std::vector<std::vector<Node>> sets;         // kSweepExplicit literal sets
   std::vector<std::vector<Node>> climb_seeds;  // kAdvClimb informed starts

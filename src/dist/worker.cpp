@@ -61,6 +61,7 @@ SweepPartial execute_sweep_unit(const TableSnapshot& snapshot,
   opts.seed = unit.seed;
   opts.batch_size = static_cast<std::size_t>(unit.batch_size);
   opts.kernel = unit.kernel;
+  opts.lanes = unit.lanes;
   switch (unit.kind) {
     case UnitKind::kSweepGray:
       return sweep_exhaustive_gray_range(snapshot.table, *snapshot.index,
@@ -86,7 +87,7 @@ SweepPartial execute_sweep_unit(const TableSnapshot& snapshot,
 AdvPartial execute_adv_unit(const TableSnapshot& snapshot,
                             const UnitSpec& unit) {
   const std::size_t n = snapshot.table.num_nodes();
-  const SearchExecution exec{unit.threads, unit.kernel};
+  const SearchExecution exec{unit.threads, unit.kernel, unit.lanes};
   switch (unit.kind) {
     case UnitKind::kAdvGray:
       return exhaustive_worst_faults_gray_slice(*snapshot.index, unit.f,

@@ -195,26 +195,29 @@ AdvPartial exhaustive_worst_faults_gray_slice(const SrgIndex& index,
   const bool packed = exec.kernel == SrgKernel::kAuto ||
                       exec.kernel == SrgKernel::kPacked;
   if (packed) {
-    // 64 Gray-adjacent sets per bit-parallel pass. The lanes of each block
-    // are consumed in rank order, so the running best, the evaluation
-    // count, and the early-stop point are exactly the serial scan's; the
-    // witness is unranked from the winning rank at chunk end (sorted
-    // ascending, like the enumerator's current()). aborted() is polled per
-    // block instead of per rank — a pure optimization either way, since the
-    // ordered merge discards aborted partials.
+    // Up to lane_width() Gray-adjacent sets per bit-parallel pass. The
+    // lanes of each block are consumed in rank order, so the running best,
+    // the evaluation count, and the early-stop point are exactly the serial
+    // scan's — whatever the block width; the witness is unranked from the
+    // winning rank at chunk end (sorted ascending, like the enumerator's
+    // current()). aborted() is polled per block instead of per rank — a
+    // pure optimization either way, since the ordered merge discards
+    // aborted partials.
     return chunked_rank_scan(
         begin_rank, end_rank, resolve_threads(exec.threads), executor,
         [&](AdvPartial& p, std::uint64_t begin, std::uint64_t end,
             const auto& aborted) {
           SrgScratch scratch(index);
+          scratch.set_lane_width(exec.lanes);
+          const std::uint64_t lanes = scratch.lane_width();
           GraySubsetEnumerator e(n, f, begin);
-          SrgScratch::Result res[64];
+          SrgScratch::Result res[512];
           std::uint64_t best_rank = begin;
           std::uint64_t r = begin;
           while (r < end) {
             if (aborted()) return;
             const auto cnt = static_cast<std::size_t>(
-                std::min<std::uint64_t>(64, end - r));
+                std::min<std::uint64_t>(lanes, end - r));
             scratch.evaluate_gray_block(e, cnt, res);
             for (std::size_t i = 0; i < cnt; ++i) {
               const std::uint32_t d = res[i].diameter;

@@ -46,9 +46,13 @@ struct SearchExecution {
   unsigned threads = 1;
   /// Evaluation kernel for the searchers that own their scratches
   /// (exhaustive_worst_faults_gray). Results never depend on it; kAuto runs
-  /// the Gray scan packed (64 sets per bit-parallel pass). Factory-form
-  /// searchers bake the kernel into their evaluators instead.
+  /// the Gray scan packed (up to `lanes` sets per bit-parallel pass).
+  /// Factory-form searchers bake the kernel into their evaluators instead.
   SrgKernel kernel = SrgKernel::kAuto;
+  /// Packed lane width: 0 = auto, or 64/128/256/512 to force one. Pure
+  /// throughput knob — evaluation counts and early-stop witnesses are
+  /// width-invariant (lanes are consumed in rank order).
+  unsigned lanes = 0;
 };
 
 struct AdversaryResult {

@@ -1,0 +1,140 @@
+// LaneBlock<W>: W little-endian words of packed evaluation lanes — the
+// value type of the width-parameterized packed SRG kernel. Lane l lives
+// in bit (l % 64) of word (l / 64), so W ∈ {1, 2, 4, 8} gives
+// 64/128/256/512 Gray-adjacent fault sets per block.
+//
+// TEXTUAL FRAGMENT, not a standalone header: srg_packed_impl.hpp
+// includes this file inside the ANONYMOUS namespace of each per-ISA
+// translation unit (portable / -mavx2 / -mavx512f), so every TU gets
+// its own internal-linkage copy compiled with its own ISA flags and
+// the linker can never ODR-merge AVX codegen into the portable path.
+// For the same reason the fragment must not call any std:: function
+// templates — only builtins and raw loops.
+//
+// The bulk ops (AND/OR/ANDNOT combines, broadcast, store) are plain
+// word loops: with W known at compile time they unroll and
+// auto-vectorize to whatever the enclosing TU's -m flags allow. The one
+// op compilers reliably fumble — the any-lane test, which wants a
+// single vptest/ktest instead of an OR-reduce — gets explicit AVX2 and
+// AVX-512 paths, active exactly when the enclosing TU is compiled with
+// those flags.
+#if !defined(FTR_LANE_BLOCK_FRAGMENT)
+#error "lane_block.hpp is a fragment; include it via srg_packed_impl.hpp"
+#endif
+
+template <unsigned W>
+struct LaneBlock {
+  static_assert(W == 1 || W == 2 || W == 4 || W == 8,
+                "packed lane blocks come in 1/2/4/8 words");
+
+  std::uint64_t w[W];
+
+  static inline LaneBlock zero() {
+    LaneBlock b;
+    for (unsigned i = 0; i < W; ++i) b.w[i] = 0;
+    return b;
+  }
+
+  static inline LaneBlock ones() {
+    LaneBlock b;
+    for (unsigned i = 0; i < W; ++i) b.w[i] = ~std::uint64_t{0};
+    return b;
+  }
+
+  /// The mask with lanes [0, count) set; count must be in 1..64*W.
+  static inline LaneBlock first_lanes(std::size_t count) {
+    LaneBlock b;
+    for (unsigned i = 0; i < W; ++i) {
+      const std::size_t base = std::size_t{64} * i;
+      if (count >= base + 64) {
+        b.w[i] = ~std::uint64_t{0};
+      } else if (count > base) {
+        b.w[i] = (std::uint64_t{1} << (count - base)) - 1;
+      } else {
+        b.w[i] = 0;
+      }
+    }
+    return b;
+  }
+
+  static inline LaneBlock load(const std::uint64_t* p) {
+    LaneBlock b;
+    for (unsigned i = 0; i < W; ++i) b.w[i] = p[i];
+    return b;
+  }
+
+  inline void store(std::uint64_t* p) const {
+    for (unsigned i = 0; i < W; ++i) p[i] = w[i];
+  }
+
+  /// True iff any lane bit is set. This is the packed kernel's branch
+  /// workhorse (skip dead arcs, detect first touch, early-exit scans).
+  inline bool any() const {
+#if defined(__AVX512F__)
+    if constexpr (W == 8) {
+      const __m512i v = _mm512_loadu_si512(static_cast<const void*>(w));
+      return _mm512_test_epi64_mask(v, v) != 0;
+    }
+#endif
+#if defined(__AVX2__)
+    if constexpr (W == 4) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+      return _mm256_testz_si256(v, v) == 0;
+    }
+    if constexpr (W == 8) {
+      const __m256i lo =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+      const __m256i hi =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w + 4));
+      const __m256i both = _mm256_or_si256(lo, hi);
+      return _mm256_testz_si256(both, both) == 0;
+    }
+#endif
+    std::uint64_t acc = 0;
+    for (unsigned i = 0; i < W; ++i) acc |= w[i];
+    return acc != 0;
+  }
+
+  inline bool none() const { return !any(); }
+
+  friend inline LaneBlock operator&(LaneBlock a, LaneBlock b) {
+    LaneBlock r;
+    for (unsigned i = 0; i < W; ++i) r.w[i] = a.w[i] & b.w[i];
+    return r;
+  }
+
+  friend inline LaneBlock operator|(LaneBlock a, LaneBlock b) {
+    LaneBlock r;
+    for (unsigned i = 0; i < W; ++i) r.w[i] = a.w[i] | b.w[i];
+    return r;
+  }
+
+  /// a & ~b — one vpandn on vector ISAs; the kernel's hot combine.
+  friend inline LaneBlock andnot(LaneBlock a, LaneBlock b) {
+    LaneBlock r;
+    for (unsigned i = 0; i < W; ++i) r.w[i] = a.w[i] & ~b.w[i];
+    return r;
+  }
+
+  friend inline bool operator==(LaneBlock a, LaneBlock b) {
+    std::uint64_t diff = 0;
+    for (unsigned i = 0; i < W; ++i) diff |= a.w[i] ^ b.w[i];
+    return diff == 0;
+  }
+
+  /// Calls fn(lane) for every set lane, ascending. Scalar by design:
+  /// the consumers (eccentricity stamps, per-lane counters) are
+  /// irreducibly per-lane.
+  template <typename Fn>
+  inline void for_each_lane(Fn&& fn) const {
+    for (unsigned i = 0; i < W; ++i) {
+      std::uint64_t m = w[i];
+      while (m != 0) {
+        fn(std::size_t{64} * i +
+           static_cast<std::size_t>(__builtin_ctzll(m)));
+        m &= m - 1;
+      }
+    }
+  }
+};

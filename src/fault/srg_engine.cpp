@@ -5,6 +5,7 @@
 #include <bit>
 
 #include "common/contracts.hpp"
+#include "common/cpu_features.hpp"
 #include "graph/bfs.hpp"
 
 namespace ftr {
@@ -592,32 +593,64 @@ Digraph SrgScratch::incremental_surviving_graph() const {
   return r;
 }
 
-// --- packed 64-way Gray mode -------------------------------------------------
+// --- packed wide-lane Gray mode ----------------------------------------------
+//
+// The W-word block body itself lives in fault/srg_packed_impl.hpp,
+// instantiated per ISA (portable/-mavx2/-mavx512f) and dispatched at
+// runtime — this file only resolves the width, sizes the W-strided
+// scratch, walks the enumerator (phase a), and translates the kernel's
+// per-lane outputs back into Results.
+
+void SrgScratch::set_lane_width(unsigned lanes) {
+  FTR_EXPECTS_MSG(lanes == 0 || is_valid_lane_width(lanes),
+                  "lane width " << lanes << " is not auto/64/128/256/512");
+  if (lanes == pk_requested_lanes_ && pk_lanes_ != 0) return;
+  pk_requested_lanes_ = lanes;
+  pk_lanes_ = 0;  // re-resolve (and re-size the packed state) on next use
+}
+
+unsigned SrgScratch::lane_width() {
+  if (pk_lanes_ == 0) {
+    pk_lanes_ = resolve_lane_width(pk_requested_lanes_);
+    pk_fn_ = packed::select_block_fn(pk_lanes_ / kLaneBits);
+    FTR_ASSERT(pk_fn_ != nullptr);
+  }
+  return pk_lanes_;
+}
 
 void SrgScratch::ensure_packed_state() {
-  if (!lane_node_mask_.empty()) return;
+  const unsigned words = lane_width() / kLaneBits;
+  if (pk_words_ == words && !lane_node_mask_.empty()) return;
   const SrgIndex& ix = *index_;
-  lane_node_mask_.assign(ix.n_, 0);
-  route_kill_mask_.assign(ix.route_src_.size(), 0);
-  pair_dead_mask_.assign(ix.num_pairs_, 0);
+  const std::size_t w = words;
+  lane_node_mask_.assign(ix.n_ * w, 0);
+  route_kill_mask_.assign(ix.route_src_.size() * w, 0);
+  pair_dead_mask_.assign(ix.num_pairs_ * w, 0);
   pair_dirty_.assign(ix.num_pairs_, 0);
-  pk_visited_.assign(ix.n_, 0);
-  pk_new_.assign(ix.n_, 0);
-  pk_next_mask_.assign(ix.n_, 0);
-  pk_frontier_.reserve(ix.n_);
-  pk_next_.reserve(ix.n_);
+  pk_visited_.assign(ix.n_ * w, 0);
+  pk_new_.assign(ix.n_ * w, 0);
+  pk_next_mask_.assign(ix.n_ * w, 0);
+  // The dispatched kernel fills these through raw pointers, so they are
+  // sized (not just reserved) to their capacity contracts.
+  pk_dirty_routes_.assign(ix.route_src_.size(), 0);
+  pk_dirty_pairs_.assign(ix.num_pairs_, 0);
+  pk_frontier_.assign(ix.n_, 0);
+  pk_next_.assign(ix.n_, 0);
+  pk_dead_pairs_.assign(kLaneBits * w, 0);
+  pk_diam_.assign(kLaneBits * w, 0);
+  pk_ecc_.assign(kLaneBits * w, 0);
+  pk_disconnected_.assign(w, 0);
+  pk_words_ = words;
 }
 
 void SrgScratch::evaluate_gray_block(GraySubsetEnumerator& e,
                                      std::size_t count, Result* out) {
-  FTR_EXPECTS(count >= 1 && count <= kLaneBits);
-  FTR_EXPECTS_MSG(e.valid(), "enumerator exhausted before the block");
   ensure_packed_state();
+  const unsigned W = pk_words_;
+  FTR_EXPECTS(count >= 1 && count <= std::size_t{kLaneBits} * W);
+  FTR_EXPECTS_MSG(e.valid(), "enumerator exhausted before the block");
   const SrgIndex& ix = *index_;
   const std::size_t n = ix.n_;
-  const std::uint64_t full_mask =
-      count == kLaneBits ? ~std::uint64_t{0}
-                         : (std::uint64_t{1} << count) - 1;
 
   // (a) Lane membership: walk the count-1 revolving-door transitions once,
   // accumulating per-node masks of the lanes in which the node is faulty.
@@ -637,136 +670,60 @@ void SrgScratch::evaluate_gray_block(GraySubsetEnumerator& e,
         }
       }
     }
-    const std::uint64_t bit = std::uint64_t{1} << lane;
+    const std::size_t word = lane / kLaneBits;
+    const std::uint64_t bit = std::uint64_t{1} << (lane % kLaneBits);
     for (Node v : pk_members_) {
       FTR_EXPECTS_MSG(v < n, "fault " << v << " out of range");
-      if (lane_node_mask_[v] == 0) lane_touched_.push_back(v);
-      lane_node_mask_[v] |= bit;
+      std::uint64_t* block = lane_node_mask_.data() + std::size_t{v} * W;
+      std::uint64_t seen = 0;
+      for (unsigned i = 0; i < W; ++i) seen |= block[i];
+      if (seen == 0) lane_touched_.push_back(v);
+      block[word] |= bit;
     }
   }
 
-  // (b) Route kill masks via the inverted index: a route is dead in every
-  // lane where some node on it is faulty.
-  pk_dirty_routes_.clear();
-  for (Node v : lane_touched_) {
-    const std::uint64_t m = lane_node_mask_[v];
-    for (std::uint32_t i = ix.node_route_off_[v]; i < ix.node_route_off_[v + 1];
-         ++i) {
-      const std::uint32_t r = ix.node_route_ids_[i];
-      if (route_kill_mask_[r] == 0) pk_dirty_routes_.push_back(r);
-      route_kill_mask_[r] |= m;
-    }
-  }
-
-  // (c) Pair dead masks: a pair is dead in the lanes where ALL of its
-  // routes are killed — an AND over its contiguous route range. Untouched
-  // pairs keep mask 0 (live in every lane).
-  pk_dirty_pairs_.clear();
-  std::array<std::uint32_t, kLaneBits> dead_pairs{};
-  for (std::uint32_t r : pk_dirty_routes_) {
-    const std::uint32_t pid = ix.route_pair_[r];
-    if (pair_dirty_[pid] != 0) continue;
-    pair_dirty_[pid] = 1;
-    pk_dirty_pairs_.push_back(pid);
-    std::uint64_t dead = ~std::uint64_t{0};
-    for (std::uint32_t rr = ix.pair_route_off_[pid];
-         rr < ix.pair_route_off_[pid + 1] && dead != 0; ++rr) {
-      dead &= route_kill_mask_[rr];
-    }
-    pair_dead_mask_[pid] = dead;
-    std::uint64_t m = dead & full_mask;
-    while (m != 0) {
-      ++dead_pairs[static_cast<std::size_t>(std::countr_zero(m))];
-      m &= m - 1;
-    }
-  }
-
-  // (d) Lane-parallel BFS: one uint64_t of lanes per node. A lane drops out
-  // of `active` once some source fails to reach every survivor in it (its
-  // diameter is then kUnreachable, matching the scalar early return).
+  // (b)-(d) + sparse cleanup: the runtime-dispatched W-word block body.
+  packed::PackedCtx ctx;
+  ctx.n = n;
+  ctx.num_pairs = ix.num_pairs_;
+  ctx.node_route_off = ix.node_route_off_.data();
+  ctx.node_route_ids = ix.node_route_ids_.data();
+  ctx.route_pair = ix.route_pair_.data();
+  ctx.pair_route_off = ix.pair_route_off_.data();
+  ctx.pair_dst = ix.pair_dst_.data();
+  ctx.src_pair_off = ix.src_pair_off_.data();
+  ctx.src_pair_ids = ix.src_pair_ids_.data();
+  ctx.lane_node_mask = lane_node_mask_.data();
+  ctx.route_kill_mask = route_kill_mask_.data();
+  ctx.pair_dead_mask = pair_dead_mask_.data();
+  ctx.pair_dirty = pair_dirty_.data();
+  ctx.visited = pk_visited_.data();
+  ctx.new_mask = pk_new_.data();
+  ctx.next_mask = pk_next_mask_.data();
+  ctx.lane_touched = lane_touched_.data();
+  ctx.lane_touched_count = lane_touched_.size();
+  ctx.dirty_routes = pk_dirty_routes_.data();
+  ctx.dirty_pairs = pk_dirty_pairs_.data();
+  ctx.frontier = pk_frontier_.data();
+  ctx.next = pk_next_.data();
+  ctx.dead_pairs = pk_dead_pairs_.data();
+  ctx.diam = pk_diam_.data();
+  ctx.ecc = pk_ecc_.data();
+  ctx.disconnected = pk_disconnected_.data();
   const auto survivors = static_cast<std::uint32_t>(n - f);
-  std::array<std::uint32_t, kLaneBits> ecc{};
-  std::array<std::uint32_t, kLaneBits> diam{};
-  std::uint64_t disconnected = 0;
-  if (survivors >= 2) {
-    for (Node s = 0; s < n; ++s) {
-      const std::uint64_t active =
-          full_mask & ~lane_node_mask_[s] & ~disconnected;
-      if (active == 0) continue;
-      std::fill(pk_visited_.begin(), pk_visited_.end(), 0);
-      ecc.fill(0);
-      pk_visited_[s] = active;
-      pk_new_[s] = active;
-      pk_frontier_.clear();
-      pk_frontier_.push_back(s);
-      std::uint32_t level = 0;
-      while (!pk_frontier_.empty()) {
-        ++level;
-        pk_next_.clear();
-        for (Node u : pk_frontier_) {
-          const std::uint64_t fm = pk_new_[u];
-          for (std::uint32_t k = ix.src_pair_off_[u];
-               k < ix.src_pair_off_[u + 1]; ++k) {
-            const std::uint32_t pid = ix.src_pair_ids_[k];
-            const Node v = ix.pair_dst_[pid];
-            const std::uint64_t m =
-                fm & ~pair_dead_mask_[pid] & ~pk_visited_[v];
-            if (m == 0) continue;
-            if (pk_next_mask_[v] == 0) pk_next_.push_back(v);
-            pk_next_mask_[v] |= m;
-          }
-        }
-        for (Node u : pk_frontier_) pk_new_[u] = 0;
-        std::uint64_t grew = 0;
-        for (Node v : pk_next_) {
-          const std::uint64_t m = pk_next_mask_[v];
-          pk_next_mask_[v] = 0;
-          pk_new_[v] = m;
-          pk_visited_[v] |= m;
-          grew |= m;
-        }
-        pk_frontier_.swap(pk_next_);
-        while (grew != 0) {
-          ecc[static_cast<std::size_t>(std::countr_zero(grew))] = level;
-          grew &= grew - 1;
-        }
-      }
-      // A lane reached every survivor iff every node is visited-or-faulty.
-      std::uint64_t ok = active;
-      for (Node v = 0; v < n && ok != 0; ++v) {
-        ok &= pk_visited_[v] | lane_node_mask_[v];
-      }
-      disconnected |= active & ~ok;
-      std::uint64_t fin = active & ok;
-      while (fin != 0) {
-        const auto j = static_cast<std::size_t>(std::countr_zero(fin));
-        fin &= fin - 1;
-        diam[j] = std::max(diam[j], ecc[j]);
-      }
-      if (disconnected == full_mask) break;
-    }
-  }
+  pk_fn_(ctx, count, survivors);
+  lane_touched_.clear();
 
   for (std::size_t lane = 0; lane < count; ++lane) {
     out[lane].survivors = survivors;
-    out[lane].arcs = static_cast<std::uint32_t>(ix.num_pairs_) -
-                     dead_pairs[lane];
-    out[lane].diameter =
-        survivors <= 1 ? 0
-        : (disconnected >> lane) & 1 ? kUnreachable
-                                     : diam[lane];
+    out[lane].arcs =
+        static_cast<std::uint32_t>(ix.num_pairs_) - pk_dead_pairs_[lane];
+    const bool disconnected =
+        ((pk_disconnected_[lane / kLaneBits] >> (lane % kLaneBits)) & 1) != 0;
+    out[lane].diameter = survivors <= 1 ? 0
+                         : disconnected ? kUnreachable
+                                        : pk_diam_[lane];
   }
-
-  // Sparse cleanup: only the lanes' footprint was written.
-  for (Node v : lane_touched_) lane_node_mask_[v] = 0;
-  lane_touched_.clear();
-  for (std::uint32_t r : pk_dirty_routes_) route_kill_mask_[r] = 0;
-  pk_dirty_routes_.clear();
-  for (std::uint32_t pid : pk_dirty_pairs_) {
-    pair_dead_mask_[pid] = 0;
-    pair_dirty_[pid] = 0;
-  }
-  pk_dirty_pairs_.clear();
 }
 
 std::uint32_t SrgScratch::componentwise_diameter(

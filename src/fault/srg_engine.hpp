@@ -60,12 +60,18 @@
 //    each BFS, exactly the regime where bottom-up's "scan unvisited nodes,
 //    test predecessor rows" wins. On the incremental path the adjacency
 //    bitmaps are maintained O(delta) by strike()/unstrike().
-//  * kPacked — evaluate_gray_block(): 64 adjacent revolving-door fault sets
-//    evaluated against one uint64_t lane-set at a time. Per-route kill
-//    masks, per-pair dead masks, and a lane-parallel BFS turn route
-//    liveness, arc counts, and reachability into AND/OR/popcount over
-//    words. Packed applies ONLY to Gray-adjacent streams (the exhaustive
-//    sweeps); for single-set evaluation it degrades to kBitset.
+//  * kPacked — evaluate_gray_block(): up to lane_width() adjacent
+//    revolving-door fault sets evaluated against one W-word lane block at a
+//    time (W in {1,2,4,8} words -> 64/128/256/512 lanes; set_lane_width()
+//    forces one, auto picks the widest the CPU profits from — see
+//    common/cpu_features.hpp). Per-route kill masks, per-pair dead masks,
+//    and a lane-parallel BFS turn route liveness, arc counts, and
+//    reachability into AND/OR/popcount over lane blocks; the block body is
+//    dispatched at runtime to a portable, AVX2, or AVX-512 instantiation
+//    (fault/srg_packed.hpp). Packed applies ONLY to Gray-adjacent streams
+//    (the exhaustive sweeps); for single-set evaluation it degrades to
+//    kBitset. Lanes are consumed in rank order, so neither the width nor
+//    the chosen instantiation is observable in any result.
 //  * kAuto (default) — bitset for single sets; consumers that enumerate in
 //    Gray order (sweep_exhaustive_gray, exhaustive_worst_faults_gray) pick
 //    packed when no per-set materialization is needed.
@@ -84,6 +90,7 @@
 
 #include "common/combinatorics.hpp"
 #include "common/flat_array.hpp"
+#include "fault/srg_packed.hpp"
 #include "graph/digraph.hpp"
 #include "graph/graph.hpp"
 #include "routing/multi_route_table.hpp"
@@ -174,6 +181,18 @@ class SrgScratch {
   void set_kernel(SrgKernel kernel) { kernel_ = kernel; }
   SrgKernel kernel() const { return kernel_; }
 
+  /// Requests a packed lane width: 0 (the default) resolves at first use
+  /// via ftr::resolve_lane_width() — FTROUTE_FORCE_LANE_WIDTH, then the
+  /// widest width the CPU supports; 64/128/256/512 force that width.
+  /// Only evaluate_gray_block() throughput is affected — results are
+  /// bit-identical at every width. Changing the width mid-stream is legal
+  /// between blocks (the packed state is re-sized lazily).
+  void set_lane_width(unsigned lanes);
+
+  /// The resolved lanes-per-block (64/128/256/512) the next
+  /// evaluate_gray_block() call will use; resolves kAuto on first call.
+  unsigned lane_width();
+
   struct Result {
     std::uint32_t diameter = 0;  // kUnreachable if some pair cannot route
     std::uint32_t survivors = 0;
@@ -247,13 +266,13 @@ class SrgScratch {
   /// (delivery simulation) see bit-identical graphs on both paths.
   Digraph incremental_surviving_graph() const;
 
-  // --- packed 64-way Gray mode ---------------------------------------------
+  // --- packed wide-lane Gray mode ------------------------------------------
 
-  /// Evaluates `count` (1..64) CONSECUTIVE revolving-door fault sets in one
-  /// bit-parallel pass: out[i] is exactly what evaluate() would return on
-  /// the i-th set. The enumerator must be positioned on the first set of
-  /// the block over this index's node universe; the call advances it by
-  /// count - 1 steps (so the caller advances once more between blocks).
+  /// Evaluates `count` (1..lane_width()) CONSECUTIVE revolving-door fault
+  /// sets in one bit-parallel pass: out[i] is exactly what evaluate() would
+  /// return on the i-th set. The enumerator must be positioned on the first
+  /// set of the block over this index's node universe; the call advances it
+  /// by count - 1 steps (so the caller advances once more between blocks).
   /// Independent of both the epoch-stamped and the incremental state —
   /// interleaving is safe. Runs the packed kernel regardless of
   /// set_kernel(); callers gate on it.
@@ -340,7 +359,15 @@ class SrgScratch {
   std::vector<std::uint64_t> frontier_bits_;  // words_
   std::vector<std::uint64_t> next_bits_;      // words_
 
-  // Packed-kernel state (lazy; one uint64_t of lanes per node/route/pair).
+  // Packed-kernel state (lazy; pk_words_ uint64_t of lanes per node/route/
+  // pair — entity i owns words [i*W, (i+1)*W)). The mask arrays are all-
+  // zero between blocks (the kernel's sparse cleanup restores that), so a
+  // width change only needs a re-size. pk_fn_ is the runtime-dispatched
+  // block body (portable/AVX2/AVX-512) for the resolved width.
+  unsigned pk_requested_lanes_ = 0;  // set_lane_width() request; 0 = auto
+  unsigned pk_lanes_ = 0;            // resolved lanes per block; 0 = not yet
+  unsigned pk_words_ = 0;            // pk_lanes_ / 64, once sized
+  packed::PackedBlockFn pk_fn_ = nullptr;
   std::vector<std::uint64_t> lane_node_mask_;  // node -> lanes where faulty
   std::vector<Node> lane_touched_;
   std::vector<std::uint64_t> route_kill_mask_;  // route -> lanes killed
@@ -354,6 +381,10 @@ class SrgScratch {
   std::vector<Node> pk_frontier_;
   std::vector<Node> pk_next_;
   std::vector<Node> pk_members_;  // current fault set during the lane walk
+  std::vector<std::uint32_t> pk_dead_pairs_;    // per-lane outputs (64*W)
+  std::vector<std::uint32_t> pk_diam_;          // 64*W
+  std::vector<std::uint32_t> pk_ecc_;           // 64*W BFS scratch
+  std::vector<std::uint64_t> pk_disconnected_;  // W words
 
   // Incremental-mode state: exact counts plus a per-source live-arc
   // adjacency. inc_slot_ records each live pair's position in its source

@@ -1,0 +1,93 @@
+// Width-parameterized packed SRG block kernel: dispatch surface.
+//
+// The packed kernel evaluates up to 64*W Gray-adjacent fault sets per
+// call, W words (LaneBlock<W>) per node/route/pair. Its body is a
+// single width template (srg_packed_impl.hpp) compiled THREE times into
+// separate translation units with different ISA flags:
+//
+//   srg_packed_portable.cpp  — baseline flags; the word loops
+//                              auto-vectorize to whatever the build's
+//                              global -m flags allow.
+//   srg_packed_avx2.cpp      — compiled with -mavx2 when the toolchain
+//                              has it; explicit 256-bit paths light up.
+//   srg_packed_avx512.cpp    — likewise with -mavx512f.
+//
+// Each TU keeps its instantiations in an anonymous namespace (so the
+// linker can never ODR-merge portable and AVX codegen) and exports only
+// the three lookup functions below, which return a plain function
+// pointer — or nullptr when the TU was compiled without its ISA.
+// select_block_fn() is the runtime chooser: strongest ISA the cpuid
+// probe reports, falling back to portable. Callers (SrgScratch) hold
+// the chosen pointer; every implementation is bit-identical, so the
+// choice never affects results.
+//
+// PackedCtx is deliberately a POD of raw pointers/sizes: it is the only
+// type that crosses the ISA TU boundary, so it must not drag any
+// inline-code dependencies (vectors, FlatArray, contracts) into the
+// AVX-compiled units.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ftr::packed {
+
+/// Everything one block evaluation reads and writes. Index arrays are
+/// the immutable SrgIndex views; scratch arrays are W-strided (entity i
+/// occupies words [i*W, (i+1)*W)) and must arrive zero outside the
+/// footprint the kernel is about to write — the kernel sparsely re-zeros
+/// everything it touched before returning, preserving that invariant.
+struct PackedCtx {
+  // Immutable index views.
+  std::size_t n = 0;          // nodes
+  std::size_t num_pairs = 0;  // ordered pairs with >= 1 route
+  const std::uint32_t* node_route_off = nullptr;  // n + 1
+  const std::uint32_t* node_route_ids = nullptr;
+  const std::uint32_t* route_pair = nullptr;      // route -> pair id
+  const std::uint32_t* pair_route_off = nullptr;  // pair -> route range
+  const std::uint32_t* pair_dst = nullptr;        // pair -> target node
+  const std::uint32_t* src_pair_off = nullptr;    // node -> pair range
+  const std::uint32_t* src_pair_ids = nullptr;
+
+  // W-strided lane masks (scratch).
+  std::uint64_t* lane_node_mask = nullptr;   // n*W; prefilled by caller
+  std::uint64_t* route_kill_mask = nullptr;  // routes*W
+  std::uint64_t* pair_dead_mask = nullptr;   // pairs*W
+  std::uint8_t* pair_dirty = nullptr;        // pairs
+  std::uint64_t* visited = nullptr;          // n*W
+  std::uint64_t* new_mask = nullptr;         // n*W
+  std::uint64_t* next_mask = nullptr;        // n*W
+
+  // Worklists (capacities guaranteed by the caller).
+  const std::uint32_t* lane_touched = nullptr;  // nodes with faulty lanes
+  std::size_t lane_touched_count = 0;
+  std::uint32_t* dirty_routes = nullptr;  // capacity: num routes
+  std::uint32_t* dirty_pairs = nullptr;   // capacity: num_pairs
+  std::uint32_t* frontier = nullptr;      // capacity: n
+  std::uint32_t* next = nullptr;          // capacity: n
+
+  // Per-lane outputs, zeroed by the kernel. dead_pairs[l] counts pairs
+  // with no live route in lane l; diam[l] is the max finite
+  // eccentricity; disconnected has lane l set when some survivor pair
+  // is unreachable there. ecc is per-source BFS scratch.
+  std::uint32_t* dead_pairs = nullptr;    // 64*W
+  std::uint32_t* diam = nullptr;          // 64*W
+  std::uint32_t* ecc = nullptr;           // 64*W (scratch)
+  std::uint64_t* disconnected = nullptr;  // W
+};
+
+/// Runs one block: `count` lanes (1..64*W), `survivors` = n - f.
+using PackedBlockFn = void (*)(const PackedCtx& ctx, std::size_t count,
+                               std::uint32_t survivors);
+
+/// Per-TU lookups: the TU's implementation for W = `words` (1/2/4/8),
+/// or nullptr when that TU was compiled without its ISA.
+PackedBlockFn packed_block_fn_portable(unsigned words);
+PackedBlockFn packed_block_fn_avx2(unsigned words);
+PackedBlockFn packed_block_fn_avx512(unsigned words);
+
+/// Strongest implementation the running CPU supports for W = `words`.
+/// Never nullptr for valid `words`.
+PackedBlockFn select_block_fn(unsigned words);
+
+}  // namespace ftr::packed

@@ -1,0 +1,26 @@
+// AVX-512F instantiation of the packed block kernel, compiled with
+// -mavx512f when the toolchain has it. See srg_packed_avx2.cpp for the
+// flag/cpuid division of labor.
+#if defined(__AVX512F__)
+
+#include "fault/srg_packed_impl.hpp"
+
+namespace ftr::packed {
+
+PackedBlockFn packed_block_fn_avx512(unsigned words) {
+  return block_fn_for(words);
+}
+
+}  // namespace ftr::packed
+
+#else
+
+#include "fault/srg_packed.hpp"
+
+namespace ftr::packed {
+
+PackedBlockFn packed_block_fn_avx512(unsigned /*words*/) { return nullptr; }
+
+}  // namespace ftr::packed
+
+#endif

@@ -34,7 +34,7 @@ ToleranceReport check_tolerance_with(std::size_t n,
   ToleranceReport report;
   report.claimed_bound = claimed_bound;
   report.faults = f;
-  const SearchExecution exec{options.threads, options.kernel};
+  const SearchExecution exec{options.threads, options.kernel, options.lanes};
 
   if (binomial(n, f) <= options.exhaustive_budget) {
     const AdversaryResult r = exhaustive_worst_faults(n, f, make_eval, exec);
@@ -114,7 +114,8 @@ ToleranceReport check_tolerance_index(const std::shared_ptr<const SrgIndex>& ind
     report.claimed_bound = claimed_bound;
     report.faults = f;
     const AdversaryResult r = exhaustive_worst_faults_gray(
-        *index, f, SearchExecution{options.threads, options.kernel});
+        *index, f,
+        SearchExecution{options.threads, options.kernel, options.lanes});
     report.worst_diameter = r.worst_diameter;
     report.worst_faults = r.worst_faults;
     report.fault_sets_checked = r.evaluations;

@@ -54,6 +54,9 @@ struct ToleranceCheckOptions {
   /// for any value; kAuto runs the f <= 3 exhaustive fast path packed and
   /// the sampled/hill-climbing evaluators on the bitset kernel.
   SrgKernel kernel = SrgKernel::kAuto;
+  /// Packed lane width for the exhaustive Gray fast path: 0 = auto, or
+  /// 64/128/256/512. The report is identical for any value.
+  unsigned lanes = 0;
 };
 
 /// Worst-case check for exactly f faults (the paper's bounds are monotone

@@ -339,7 +339,12 @@ constexpr std::uint32_t kSnapVersion = 1;
 constexpr std::uint32_t kSnapEndianTag = 0x01020304u;
 constexpr std::uint64_t kHeaderBytes = 48;
 constexpr std::uint64_t kDirEntryBytes = 32;
+// The load-side alignment CONTRACT is 16 bytes (what mmap'd views assume for
+// their element types); the writer over-aligns to 64 so sections start on
+// cache-line/SIMD-register boundaries. Offsets are self-describing, so files
+// written at the old 16-byte alignment still load.
 constexpr std::uint64_t kSectionAlign = 16;
+constexpr std::uint64_t kSectionWriteAlign = 64;
 constexpr std::uint32_t kMaxSections = 64;
 
 // Fixed-width scalar block; everything not naturally an array rides here.
@@ -823,7 +828,7 @@ void save_table_snapshot(const TableSnapshot& snapshot, std::ostream& os) {
   std::vector<std::uint64_t> offsets(sections.size());
   std::uint64_t cursor = kHeaderBytes + dir_bytes;
   for (std::size_t i = 0; i < sections.size(); ++i) {
-    cursor = align_up(cursor, kSectionAlign);
+    cursor = align_up(cursor, kSectionWriteAlign);
     offsets[i] = cursor;
     cursor += sections[i].length;
   }
@@ -851,7 +856,7 @@ void save_table_snapshot(const TableSnapshot& snapshot, std::ostream& os) {
   os.write(reinterpret_cast<const char*>(header), sizeof(header));
   os.write(reinterpret_cast<const char*>(dir.data()),
            static_cast<std::streamsize>(dir.size()));
-  static constexpr char kPad[kSectionAlign] = {};
+  static constexpr char kPad[kSectionWriteAlign] = {};
   std::uint64_t written = kHeaderBytes + dir_bytes;
   for (std::size_t i = 0; i < sections.size(); ++i) {
     os.write(kPad, static_cast<std::streamsize>(offsets[i] - written));

@@ -207,7 +207,7 @@ bool ExplicitRequestSource::next(ServeRequest& out) {
 std::string execute_request(const ServeRequest& request,
                             const ServedTable& table,
                             std::optional<SrgScratch>& scratch,
-                            SrgKernel kernel) {
+                            SrgKernel kernel, unsigned lanes) {
   const std::size_t n = table.graph.num_nodes();
   std::ostringstream os;
   os << request_kind_name(request.kind) << ' ' << table.name;
@@ -241,6 +241,7 @@ std::string execute_request(const ServeRequest& request,
       ToleranceCheckOptions opts;
       opts.threads = 1;
       opts.kernel = kernel;
+      opts.lanes = lanes;
       // Pre-seed the hill-climber from the entry's cached route-load
       // ranking — the same top-f set check_tolerance would otherwise
       // re-rank the whole table to derive, once per request.
@@ -275,6 +276,7 @@ std::string execute_request(const ServeRequest& request,
       opts.seed = request.seed;
       opts.delivery_pairs = request.pairs;
       opts.kernel = kernel;
+      opts.lanes = lanes;
       FaultSweepSummary summary;
       if (request.exhaustive) {
         summary =
@@ -466,8 +468,8 @@ ServeSummary serve_requests(TableRegistry& registry, RequestSource& source,
             const std::size_t i = order[k];
             const ServedTable& entry = *table_of[i];
             try {
-              responses[i] =
-                  execute_request(window[i], entry, scratch, options.kernel);
+              responses[i] = execute_request(window[i], entry, scratch,
+                                             options.kernel, options.lanes);
             } catch (const std::exception& e) {
               // A request-level failure (bad ids, missing claims) is itself
               // a deterministic function of (request, table): answer it

@@ -139,6 +139,9 @@ struct ServeOptions {
   /// Evaluation kernel for every request kernel in this serving run (see
   /// fault/srg_engine.hpp). Responses never depend on it.
   SrgKernel kernel = SrgKernel::kAuto;
+  /// Packed lane width for exhaustive-sweep/check requests: 0 = auto, or
+  /// 64/128/256/512. Responses never depend on it.
+  unsigned lanes = 0;
 };
 
 struct ServeSummary {
@@ -178,6 +181,7 @@ ServeSummary serve_requests(TableRegistry& registry, RequestSource& source,
 std::string execute_request(const ServeRequest& request,
                             const ServedTable& table,
                             std::optional<SrgScratch>& scratch,
-                            SrgKernel kernel = SrgKernel::kAuto);
+                            SrgKernel kernel = SrgKernel::kAuto,
+                            unsigned lanes = 0);
 
 }  // namespace ftr

@@ -1,0 +1,135 @@
+#include "common/cpu_features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/contracts.hpp"
+
+namespace ftr {
+namespace {
+
+// setenv/unsetenv scope guard: every test leaves FTROUTE_FORCE_LANE_WIDTH
+// exactly as it found it, so test order can never leak a width.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, /*overwrite=*/1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+constexpr const char* kEnv = "FTROUTE_FORCE_LANE_WIDTH";
+
+TEST(CpuFeatures, ProbeIsStableAndMonotone) {
+  const CpuFeatures& a = cpu_features();
+  const CpuFeatures& b = cpu_features();
+  EXPECT_EQ(&a, &b);  // cached, one probe per process
+  // AVX-512F machines always have AVX2; a probe claiming otherwise is
+  // reading the wrong cpuid leaf.
+  if (a.avx512f) {
+    EXPECT_TRUE(a.avx2);
+  }
+}
+
+TEST(CpuFeatures, ValidLaneWidths) {
+  EXPECT_TRUE(is_valid_lane_width(64));
+  EXPECT_TRUE(is_valid_lane_width(128));
+  EXPECT_TRUE(is_valid_lane_width(256));
+  EXPECT_TRUE(is_valid_lane_width(512));
+  EXPECT_FALSE(is_valid_lane_width(0));
+  EXPECT_FALSE(is_valid_lane_width(1));
+  EXPECT_FALSE(is_valid_lane_width(32));
+  EXPECT_FALSE(is_valid_lane_width(96));
+  EXPECT_FALSE(is_valid_lane_width(1024));
+}
+
+TEST(CpuFeatures, ParseLaneWidth) {
+  EXPECT_EQ(parse_lane_width("auto"), 0u);
+  EXPECT_EQ(parse_lane_width("64"), 64u);
+  EXPECT_EQ(parse_lane_width("128"), 128u);
+  EXPECT_EQ(parse_lane_width("256"), 256u);
+  EXPECT_EQ(parse_lane_width("512"), 512u);
+  EXPECT_FALSE(parse_lane_width("").has_value());
+  EXPECT_FALSE(parse_lane_width("Auto").has_value());
+  EXPECT_FALSE(parse_lane_width("0").has_value());
+  EXPECT_FALSE(parse_lane_width("96").has_value());
+  EXPECT_FALSE(parse_lane_width("64 ").has_value());
+  EXPECT_FALSE(parse_lane_width("sixty-four").has_value());
+}
+
+TEST(CpuFeatures, ExplicitRequestHonoredVerbatim) {
+  ScopedEnv clear(kEnv, nullptr);
+  EXPECT_EQ(resolve_lane_width(64), 64u);
+  EXPECT_EQ(resolve_lane_width(128), 128u);
+  EXPECT_EQ(resolve_lane_width(256), 256u);
+  EXPECT_EQ(resolve_lane_width(512), 512u);
+}
+
+TEST(CpuFeatures, AutoResolvesFromProbe) {
+  ScopedEnv clear(kEnv, nullptr);
+  const unsigned w = resolve_lane_width(0);
+  EXPECT_TRUE(is_valid_lane_width(w));
+  const CpuFeatures& cpu = cpu_features();
+  if (cpu.avx512f) {
+    EXPECT_EQ(w, 512u);
+  } else if (cpu.avx2) {
+    EXPECT_EQ(w, 256u);
+  } else {
+    EXPECT_EQ(w, 128u);
+  }
+}
+
+TEST(CpuFeatures, EnvOverrideAppliesToAutoOnly) {
+  ScopedEnv force(kEnv, "64");
+  EXPECT_EQ(resolve_lane_width(0), 64u);
+  // An explicit width beats the env hook.
+  EXPECT_EQ(resolve_lane_width(256), 256u);
+}
+
+TEST(CpuFeatures, EnvOverrideEveryWidth) {
+  for (const char* v : {"64", "128", "256", "512"}) {
+    ScopedEnv force(kEnv, v);
+    EXPECT_EQ(resolve_lane_width(0), parse_lane_width(v));
+  }
+}
+
+TEST(CpuFeatures, MalformedEnvFailsLoudly) {
+  for (const char* v : {"", "auto", "0", "96", "63", "fast", "64x"}) {
+    ScopedEnv force(kEnv, v);
+    EXPECT_THROW(resolve_lane_width(0), ContractViolation) << "value: " << v;
+  }
+}
+
+TEST(CpuFeatures, InvalidExplicitRequestFailsLoudly) {
+  ScopedEnv clear(kEnv, nullptr);
+  EXPECT_THROW(resolve_lane_width(1), ContractViolation);
+  EXPECT_THROW(resolve_lane_width(32), ContractViolation);
+  EXPECT_THROW(resolve_lane_width(1024), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ftr

@@ -1,11 +1,13 @@
 // Differential suite for the SRG evaluation kernels (fault/srg_engine.hpp):
-// scalar (the oracle), bitset (word-packed BFS), and packed (64 Gray-
-// adjacent fault sets per uint64 lane-set). The contract under test is
-// bit-identity: every consumer — exhaustive Gray sweeps, streamed sweeps,
-// the adversary's Gray scan, tolerance checks, componentwise recovery —
-// must produce byte-for-byte equal results for every kernel, every thread
-// count in {1, 2, 8}, and every source kind, including evaluation counts,
-// early-stop behavior, and the reported witnesses.
+// scalar (the oracle), bitset (word-packed BFS), and packed (Gray-adjacent
+// fault sets evaluated lane-parallel in width-parameterized blocks of
+// 64/128/256/512 lanes). The contract under test is bit-identity: every
+// consumer — exhaustive Gray sweeps, streamed sweeps, the adversary's Gray
+// scan, tolerance checks, componentwise recovery — must produce
+// byte-for-byte equal results for every kernel, every packed lane width
+// (explicit and auto-resolved), every thread count in {1, 2, 8}, and every
+// source kind, including evaluation counts, early-stop behavior, and the
+// reported witnesses.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -16,6 +18,7 @@
 #include "analysis/fault_sweep.hpp"
 #include "analysis/neighborhood.hpp"
 #include "common/combinatorics.hpp"
+#include "common/cpu_features.hpp"
 #include "common/rng.hpp"
 #include "fault/adversary.hpp"
 #include "fault/fault_gen.hpp"
@@ -35,6 +38,19 @@ namespace {
 constexpr unsigned kThreadCounts[] = {1, 2, 8};
 constexpr SrgKernel kAllKernels[] = {SrgKernel::kScalar, SrgKernel::kBitset,
                                      SrgKernel::kPacked, SrgKernel::kAuto};
+constexpr unsigned kExplicitWidths[] = {64, 128, 256, 512};
+// 0 = auto (env hook, then widest probed ISA) — the default every caller
+// gets; the explicit widths pin each LaneBlock<W> instantiation.
+constexpr unsigned kAllWidths[] = {0, 64, 128, 256, 512};
+
+// Scalar/bitset kernels never consult the lane width; looping widths over
+// them would re-run byte-identical code.
+std::vector<unsigned> widths_for(SrgKernel kernel) {
+  if (kernel == SrgKernel::kPacked || kernel == SrgKernel::kAuto) {
+    return {std::begin(kAllWidths), std::end(kAllWidths)};
+  }
+  return {0};
+}
 
 struct NamedTable {
   std::string name;
@@ -115,20 +131,25 @@ TEST(SrgKernels, ExhaustiveGrayAllKernelsIdentical) {
 
     for (const SrgKernel kernel : kAllKernels) {
       for (unsigned threads : kThreadCounts) {
-        FaultSweepOptions opts;
-        opts.threads = threads;
-        opts.kernel = kernel;
-        SCOPED_TRACE(entry.name + " kernel=" + srg_kernel_name(kernel) +
-                     " threads=" + std::to_string(threads));
-        expect_same_summary(
-            base, sweep_exhaustive_gray(entry.table, index, entry.f, opts));
+        for (unsigned lanes : widths_for(kernel)) {
+          FaultSweepOptions opts;
+          opts.threads = threads;
+          opts.kernel = kernel;
+          opts.lanes = lanes;
+          SCOPED_TRACE(entry.name + " kernel=" + srg_kernel_name(kernel) +
+                       " threads=" + std::to_string(threads) + " lanes=" +
+                       std::to_string(lanes));
+          expect_same_summary(
+              base, sweep_exhaustive_gray(entry.table, index, entry.f, opts));
+        }
       }
     }
   }
 }
 
 // Odd batch sizes shift every chunk boundary, so packed blocks straddle
-// batches and end in partial (< 64 lane) tails everywhere.
+// batches and end in partial (< lane_width) tails everywhere — at every
+// width, including batches smaller than one block.
 TEST(SrgKernels, ExhaustiveGrayBatchSizeInvariant) {
   const auto gg = torus_graph(5, 5);
   const auto kr = build_kernel_routing(gg.graph, 3);
@@ -138,14 +159,18 @@ TEST(SrgKernels, ExhaustiveGrayBatchSizeInvariant) {
   const auto base = sweep_exhaustive_gray(kr.table, index, 2, base_opts);
   for (const std::size_t batch : {1u, 7u, 64u, 301u}) {
     for (const SrgKernel kernel : {SrgKernel::kBitset, SrgKernel::kPacked}) {
-      FaultSweepOptions opts;
-      opts.threads = 2;
-      opts.batch_size = batch;
-      opts.kernel = kernel;
-      SCOPED_TRACE("batch=" + std::to_string(batch) + " kernel=" +
-                   srg_kernel_name(kernel));
-      expect_same_summary(base,
-                          sweep_exhaustive_gray(kr.table, index, 2, opts));
+      for (unsigned lanes : widths_for(kernel)) {
+        FaultSweepOptions opts;
+        opts.threads = 2;
+        opts.batch_size = batch;
+        opts.kernel = kernel;
+        opts.lanes = lanes;
+        SCOPED_TRACE("batch=" + std::to_string(batch) + " kernel=" +
+                     srg_kernel_name(kernel) + " lanes=" +
+                     std::to_string(lanes));
+        expect_same_summary(base,
+                            sweep_exhaustive_gray(kr.table, index, 2, opts));
+      }
     }
   }
 }
@@ -153,7 +178,8 @@ TEST(SrgKernels, ExhaustiveGrayBatchSizeInvariant) {
 // Delivery measurement needs per-set materialized graphs, which the packed
 // kernel cannot provide: requesting kPacked with delivery_pairs > 0 must
 // quietly ride the bitset path and still match the scalar oracle exactly
-// (including the randomized per-pair delivery statistics).
+// (including the randomized per-pair delivery statistics) — at EVERY lane
+// width, since the degrade decision must fire before the width matters.
 TEST(SrgKernels, ExhaustiveGrayDeliveryFallsBackFromPacked) {
   const auto gg = torus_graph(5, 5);
   const auto kr = build_kernel_routing(gg.graph, 3);
@@ -165,11 +191,16 @@ TEST(SrgKernels, ExhaustiveGrayDeliveryFallsBackFromPacked) {
   const auto base = sweep_exhaustive_gray(kr.table, index, 2, base_opts);
   EXPECT_GT(base.pairs_sampled, 0u);
   for (const SrgKernel kernel : {SrgKernel::kPacked, SrgKernel::kAuto}) {
-    FaultSweepOptions opts = base_opts;
-    opts.kernel = kernel;
-    opts.threads = 2;
-    SCOPED_TRACE(srg_kernel_name(kernel));
-    expect_same_summary(base, sweep_exhaustive_gray(kr.table, index, 2, opts));
+    for (unsigned lanes : kAllWidths) {
+      FaultSweepOptions opts = base_opts;
+      opts.kernel = kernel;
+      opts.lanes = lanes;
+      opts.threads = 2;
+      SCOPED_TRACE(std::string(srg_kernel_name(kernel)) + " lanes=" +
+                   std::to_string(lanes));
+      expect_same_summary(base,
+                          sweep_exhaustive_gray(kr.table, index, 2, opts));
+    }
   }
 }
 
@@ -266,22 +297,27 @@ TEST(SrgKernels, AdversaryGrayScanIdenticalAcrossKernels) {
     EXPECT_TRUE(base.exhaustive);
     for (const SrgKernel kernel : kAllKernels) {
       for (unsigned threads : kThreadCounts) {
-        const auto got = exhaustive_worst_faults_gray(
-            index, entry.f, SearchExecution{threads, kernel});
-        SCOPED_TRACE(entry.name + " kernel=" + srg_kernel_name(kernel) +
-                     " threads=" + std::to_string(threads));
-        EXPECT_EQ(base.worst_diameter, got.worst_diameter);
-        EXPECT_EQ(base.worst_faults, got.worst_faults);
-        EXPECT_EQ(base.evaluations, got.evaluations);
-        EXPECT_EQ(base.exhaustive, got.exhaustive);
+        for (unsigned lanes : widths_for(kernel)) {
+          const auto got = exhaustive_worst_faults_gray(
+              index, entry.f, SearchExecution{threads, kernel, lanes});
+          SCOPED_TRACE(entry.name + " kernel=" + srg_kernel_name(kernel) +
+                       " threads=" + std::to_string(threads) + " lanes=" +
+                       std::to_string(lanes));
+          EXPECT_EQ(base.worst_diameter, got.worst_diameter);
+          EXPECT_EQ(base.worst_faults, got.worst_faults);
+          EXPECT_EQ(base.evaluations, got.evaluations);
+          EXPECT_EQ(base.exhaustive, got.exhaustive);
+        }
       }
     }
   }
 }
 
-// Early stop must abort after the SAME evaluation for every kernel: the
-// packed scan consumes its 64 lanes in rank order and counts each set
-// before testing the threshold, exactly like the one-at-a-time loops.
+// Early stop must abort after the SAME evaluation for every kernel AND
+// every lane width: the packed scan consumes its lanes in rank order and
+// counts each set before testing the threshold, exactly like the
+// one-at-a-time loops — a 512-lane block may hold the witness in lane 3 and
+// must not charge the other 509 lanes it already computed.
 TEST(SrgKernels, AdversaryGrayEarlyStopIdenticalAcrossKernels) {
   // Cycle with edge routes only: two adjacent faults leave a long path
   // (finite d up to 9), two non-adjacent ones split the ring (kUnreachable)
@@ -296,13 +332,17 @@ TEST(SrgKernels, AdversaryGrayEarlyStopIdenticalAcrossKernels) {
   ASSERT_LT(base.evaluations, binomial(12, 2));  // the stop actually fired
   for (const SrgKernel kernel : kAllKernels) {
     for (unsigned threads : kThreadCounts) {
-      const auto got = exhaustive_worst_faults_gray(
-          index, 2, SearchExecution{threads, kernel}, /*stop_above=*/6);
-      SCOPED_TRACE(std::string(srg_kernel_name(kernel)) + " threads=" +
-                   std::to_string(threads));
-      EXPECT_EQ(base.worst_diameter, got.worst_diameter);
-      EXPECT_EQ(base.worst_faults, got.worst_faults);
-      EXPECT_EQ(base.evaluations, got.evaluations);
+      for (unsigned lanes : widths_for(kernel)) {
+        const auto got = exhaustive_worst_faults_gray(
+            index, 2, SearchExecution{threads, kernel, lanes},
+            /*stop_above=*/6);
+        SCOPED_TRACE(std::string(srg_kernel_name(kernel)) + " threads=" +
+                     std::to_string(threads) + " lanes=" +
+                     std::to_string(lanes));
+        EXPECT_EQ(base.worst_diameter, got.worst_diameter);
+        EXPECT_EQ(base.worst_faults, got.worst_faults);
+        EXPECT_EQ(base.evaluations, got.evaluations);
+      }
     }
   }
 }
@@ -320,16 +360,20 @@ TEST(SrgKernels, ToleranceCheckIdenticalAcrossKernels) {
     EXPECT_TRUE(base.exhaustive);
     for (const SrgKernel kernel : kAllKernels) {
       for (unsigned threads : kThreadCounts) {
-        ToleranceCheckOptions opts;
-        opts.threads = threads;
-        opts.kernel = kernel;
-        Rng rng(7);
-        const auto got = check_tolerance(kr.table, 2, 10, rng, opts);
-        SCOPED_TRACE(std::string(srg_kernel_name(kernel)) + " threads=" +
-                     std::to_string(threads));
-        EXPECT_EQ(base.summary(), got.summary());
-        EXPECT_EQ(base.worst_faults, got.worst_faults);
-        EXPECT_EQ(base.fault_sets_checked, got.fault_sets_checked);
+        for (unsigned lanes : widths_for(kernel)) {
+          ToleranceCheckOptions opts;
+          opts.threads = threads;
+          opts.kernel = kernel;
+          opts.lanes = lanes;
+          Rng rng(7);
+          const auto got = check_tolerance(kr.table, 2, 10, rng, opts);
+          SCOPED_TRACE(std::string(srg_kernel_name(kernel)) + " threads=" +
+                       std::to_string(threads) + " lanes=" +
+                       std::to_string(lanes));
+          EXPECT_EQ(base.summary(), got.summary());
+          EXPECT_EQ(base.worst_faults, got.worst_faults);
+          EXPECT_EQ(base.fault_sets_checked, got.fault_sets_checked);
+        }
       }
     }
   }
@@ -409,66 +453,132 @@ TEST(SrgKernels, ComponentwiseSweepIdenticalAcrossKernels) {
   }
 }
 
-// Direct block-kernel contract: evaluate_gray_block's 64 lanes must agree
-// lane-for-lane with per-set evaluate() at the matching gray ranks, for
-// partial tail blocks and for every block size, on a table where many sets
-// disconnect (the ring) — the disconnect bit and the early lane-drop are
-// the subtle parts.
-TEST(SrgKernels, PackedBlockMatchesPerSetEvaluate) {
+// set_lane_width / lane_width round-trip: explicit widths are honored,
+// 0 re-resolves to the auto width, and re-setting re-sizes the scratch.
+TEST(SrgKernels, ScratchLaneWidthRoundTrip) {
   const auto gg = cycle_graph(10);
   RoutingTable t(10, RoutingMode::kBidirectional);
   install_edge_routes(t, gg.graph);
   const SrgIndex index(t);
-  SrgScratch packed(index), rebuild(index);
+  SrgScratch scratch(index);
+  for (unsigned lanes : kExplicitWidths) {
+    scratch.set_lane_width(lanes);
+    EXPECT_EQ(scratch.lane_width(), lanes);
+  }
+  scratch.set_lane_width(0);
+  EXPECT_TRUE(is_valid_lane_width(scratch.lane_width()));
+}
 
-  for (const std::size_t block : {1u, 7u, 33u, 64u}) {
-    GraySubsetEnumerator e(10, 2);
-    const std::uint64_t total = e.count();
-    std::uint64_t rank = 0;
-    SrgScratch::Result out[64];
-    while (rank < total) {
-      const std::size_t cnt =
-          static_cast<std::size_t>(std::min<std::uint64_t>(block, total - rank));
-      packed.evaluate_gray_block(e, cnt, out);
-      for (std::size_t i = 0; i < cnt; ++i) {
-        const auto set64 = gray_subset_at_rank(10, 2, rank + i);
-        const std::vector<Node> faults(set64.begin(), set64.end());
-        const auto expect = rebuild.evaluate(faults);
-        SCOPED_TRACE("block=" + std::to_string(block) + " rank=" +
-                     std::to_string(rank + i));
-        EXPECT_EQ(expect.diameter, out[i].diameter);
-        EXPECT_EQ(expect.survivors, out[i].survivors);
-        EXPECT_EQ(expect.arcs, out[i].arcs);
-      }
-      rank += cnt;
-      if (rank < total) {
-        ASSERT_TRUE(e.advance());
+// Direct block-kernel contract: evaluate_gray_block's lanes must agree
+// lane-for-lane with per-set evaluate() at the matching gray ranks, at
+// every width, for partial tail blocks (count < lane_width, including
+// non-word-multiple counts that leave a partially-filled word) and full
+// blocks, on a table where many sets disconnect (the ring) — the
+// disconnect bit and the early lane-drop are the subtle parts.
+TEST(SrgKernels, PackedBlockMatchesPerSetEvaluate) {
+  const auto gg = cycle_graph(12);
+  RoutingTable t(12, RoutingMode::kBidirectional);
+  install_edge_routes(t, gg.graph);
+  const SrgIndex index(t);
+  SrgScratch rebuild(index);
+
+  constexpr std::size_t kBlockSizes[] = {1,   7,   33,  64,  65,  127,
+                                         128, 129, 255, 256, 311, 512};
+  for (const unsigned width : kExplicitWidths) {
+    SrgScratch packed(index);
+    packed.set_lane_width(width);
+    for (const std::size_t block : kBlockSizes) {
+      if (block > width) continue;
+      GraySubsetEnumerator e(12, 2);  // C(12,2) = 66 sets
+      const std::uint64_t total = e.count();
+      std::uint64_t rank = 0;
+      SrgScratch::Result out[512];
+      while (rank < total) {
+        const std::size_t cnt = static_cast<std::size_t>(
+            std::min<std::uint64_t>(block, total - rank));
+        packed.evaluate_gray_block(e, cnt, out);
+        for (std::size_t i = 0; i < cnt; ++i) {
+          const auto set64 = gray_subset_at_rank(12, 2, rank + i);
+          const std::vector<Node> faults(set64.begin(), set64.end());
+          const auto expect = rebuild.evaluate(faults);
+          SCOPED_TRACE("width=" + std::to_string(width) + " block=" +
+                       std::to_string(block) + " rank=" +
+                       std::to_string(rank + i));
+          EXPECT_EQ(expect.diameter, out[i].diameter);
+          EXPECT_EQ(expect.survivors, out[i].survivors);
+          EXPECT_EQ(expect.arcs, out[i].arcs);
+        }
+        rank += cnt;
+        if (rank < total) {
+          ASSERT_TRUE(e.advance());
+        }
       }
     }
   }
 }
 
+// A single block wider than one word whose count fills several words plus a
+// partial tail: the lanes past `count` must stay dead through every phase
+// (a stray live lane would corrupt the worklists the NEXT block inherits).
+TEST(SrgKernels, PackedBlockTailLanesStayDead) {
+  const auto gg = torus_graph(4, 4);
+  const auto kr = build_kernel_routing(gg.graph, 3);
+  const SrgIndex index(kr.table);
+  SrgScratch rebuild(index);
+  const std::uint64_t total = GraySubsetEnumerator(16, 2).count();  // 120
+
+  for (const unsigned width : {256u, 512u}) {
+    SrgScratch packed(index);
+    packed.set_lane_width(width);
+    // 120 sets in one 256/512-lane block: 1 full word + a 56-lane tail.
+    GraySubsetEnumerator e(16, 2);
+    SrgScratch::Result out[512];
+    packed.evaluate_gray_block(e, static_cast<std::size_t>(total), out);
+    // The same scratch must then evaluate a fresh enumeration cleanly (the
+    // sparse cleanup has to have erased all tail-lane state).
+    GraySubsetEnumerator e2(16, 2);
+    SrgScratch::Result out2[512];
+    packed.evaluate_gray_block(e2, 64, out2);
+    for (std::size_t i = 0; i < 64; ++i) {
+      SCOPED_TRACE("width=" + std::to_string(width) + " rank=" +
+                   std::to_string(i));
+      EXPECT_EQ(out[i].diameter, out2[i].diameter);
+      EXPECT_EQ(out[i].survivors, out2[i].survivors);
+      EXPECT_EQ(out[i].arcs, out2[i].arcs);
+      const auto set64 = gray_subset_at_rank(16, 2, i);
+      const std::vector<Node> faults(set64.begin(), set64.end());
+      EXPECT_EQ(rebuild.evaluate(faults).diameter, out[i].diameter);
+    }
+  }
+}
+
 // Survivor counts of 1 and 0 pin diameter to 0 by definition; the packed
-// kernel must get that from its lane masks, not from a BFS.
+// kernel must get that from its lane masks, not from a BFS — at every
+// width.
 TEST(SrgKernels, PackedBlockFewSurvivors) {
   RoutingTable t(3, RoutingMode::kBidirectional);
   t.set_route({0, 1});
   t.set_route({1, 2});
   t.set_route({0, 1, 2});
   const SrgIndex index(t);
-  SrgScratch packed(index), rebuild(index);
+  SrgScratch rebuild(index);
 
-  GraySubsetEnumerator e(3, 2);  // 3 sets, every one leaves 1 survivor
-  SrgScratch::Result out[64];
-  packed.evaluate_gray_block(e, 3, out);
-  for (std::size_t i = 0; i < 3; ++i) {
-    const auto set64 = gray_subset_at_rank(3, 2, i);
-    const std::vector<Node> faults(set64.begin(), set64.end());
-    const auto expect = rebuild.evaluate(faults);
-    EXPECT_EQ(expect.diameter, out[i].diameter);
-    EXPECT_EQ(out[i].diameter, 0u);
-    EXPECT_EQ(expect.survivors, out[i].survivors);
-    EXPECT_EQ(expect.arcs, out[i].arcs);
+  for (const unsigned width : kExplicitWidths) {
+    SrgScratch packed(index);
+    packed.set_lane_width(width);
+    GraySubsetEnumerator e(3, 2);  // 3 sets, every one leaves 1 survivor
+    SrgScratch::Result out[512];
+    packed.evaluate_gray_block(e, 3, out);
+    for (std::size_t i = 0; i < 3; ++i) {
+      const auto set64 = gray_subset_at_rank(3, 2, i);
+      const std::vector<Node> faults(set64.begin(), set64.end());
+      const auto expect = rebuild.evaluate(faults);
+      SCOPED_TRACE("width=" + std::to_string(width));
+      EXPECT_EQ(expect.diameter, out[i].diameter);
+      EXPECT_EQ(out[i].diameter, 0u);
+      EXPECT_EQ(expect.survivors, out[i].survivors);
+      EXPECT_EQ(expect.arcs, out[i].arcs);
+    }
   }
 }
 

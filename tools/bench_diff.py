@@ -18,6 +18,7 @@ the cross-kernel ratios inside one fresh file being the stable signal.
 """
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
@@ -55,6 +56,20 @@ def pct(old, new):
     return f"{100.0 * (new - old) / old:+.1f}%"
 
 
+def lanes_of(name):
+    """Packed lane width from a 'lanes:N' benchmark-name arg ('-' if none).
+
+    The SRG kernel benchmarks carry the packed block width as a second
+    benchmark arg (kernel:2/lanes:256); surfacing it as its own column keeps
+    the width scaling readable next to the per-name deltas. lanes:0 is the
+    runtime auto pick.
+    """
+    m = re.search(r"(?:^|/)lanes:(\d+)", name)
+    if m is None:
+        return "-"
+    return "auto" if m.group(1) == "0" else m.group(1)
+
+
 def diff_file(name, baseline, fresh):
     base = load_benchmarks(baseline)
     new = load_benchmarks(fresh)
@@ -63,17 +78,18 @@ def diff_file(name, baseline, fresh):
         print(f"== {name}: no benchmark entries")
         return
 
-    rows = [("benchmark", "base time", "fresh time", "d_time",
+    rows = [("benchmark", "lanes", "base time", "fresh time", "d_time",
              "base rate", "fresh rate", "d_rate")]
     for n in names:
         b, f = base.get(n), new.get(n)
         if b is None:
-            rows.append((n, "-", fmt_time(f), "new", "-", fmt_rate(f), "new"))
+            rows.append((n, lanes_of(n), "-", fmt_time(f), "new", "-",
+                         fmt_rate(f), "new"))
         elif f is None:
-            rows.append((n, fmt_time(b), "-", "gone", fmt_rate(b), "-",
-                         "gone"))
+            rows.append((n, lanes_of(n), fmt_time(b), "-", "gone",
+                         fmt_rate(b), "-", "gone"))
         else:
-            rows.append((n, fmt_time(b), fmt_time(f),
+            rows.append((n, lanes_of(n), fmt_time(b), fmt_time(f),
                          pct(b.get("real_time"), f.get("real_time")),
                          fmt_rate(b), fmt_rate(f),
                          pct(b.get("items_per_second"),

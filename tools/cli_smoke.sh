@@ -2,8 +2,9 @@
 # End-to-end CLI smoke: gen | build | check | sweep --stdin | serve --stdin
 # piped on a small topology, asserting stdout is byte-identical across
 # --threads 1 and --threads 4 for every verb that fans out work, across
-# every --kernel choice on the exhaustive sweep, and across --workers
-# process counts on the distributed sweep/check. This is the
+# every --kernel choice and every packed --lanes width on the exhaustive
+# sweep, and across --workers process counts on the distributed
+# sweep/check. This is the
 # executable form of the repo's determinism contract — if a thread count
 # or kernel choice ever leaks into stdout, this script (and the CI job
 # running it) fails on the cmp.
@@ -76,6 +77,30 @@ for k in scalar bitset packed; do
   cmp "${WORK}/xsweep.auto.out" "${WORK}/xsweep.${k}.out"
   cmp "${WORK}/xcheck.auto.out" "${WORK}/xcheck.${k}.out"
 done
+
+# Packed lane widths: the width is a pure throughput knob — the exhaustive
+# sweep and the check must print the same bytes at every --lanes value,
+# and the distributed path (width inside forked workers) must match too.
+echo "== comparing stdout across --lanes widths"
+for l in auto 64 128 256 512; do
+  "${CLI}" sweep "${WORK}/graph.ftg" "${WORK}/table.ftt" \
+    --faults 2 --exhaustive --threads 2 --kernel packed --lanes "${l}" \
+    > "${WORK}/lsweep.${l}.out" 2> /dev/null
+  "${CLI}" check "${WORK}/graph.ftg" "${WORK}/table.ftt" \
+    --faults 2 --claimed 6 --seed 7 --kernel packed --lanes "${l}" \
+    > "${WORK}/lcheck.${l}.out" 2> /dev/null
+done
+for l in 64 128 256 512; do
+  cmp "${WORK}/lsweep.auto.out" "${WORK}/lsweep.${l}.out"
+  cmp "${WORK}/lcheck.auto.out" "${WORK}/lcheck.${l}.out"
+done
+cmp "${WORK}/xsweep.auto.out" "${WORK}/lsweep.auto.out"
+cmp "${WORK}/xcheck.auto.out" "${WORK}/lcheck.auto.out"
+"${CLI}" sweep "${WORK}/graph.ftg" "${WORK}/table.ftt" \
+  --faults 2 --exhaustive --threads 2 --kernel packed --lanes 64 \
+  --workers 4 --worker-batch 9 \
+  > "${WORK}/lsweep.dist.out" 2> /dev/null
+cmp "${WORK}/lsweep.auto.out" "${WORK}/lsweep.dist.out"
 
 # The serve output must answer every request (no dropped/erroring lines).
 if [[ "$(wc -l < "${WORK}/serve.1.out")" -ne 5 ]]; then

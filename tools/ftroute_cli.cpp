@@ -41,9 +41,11 @@
 // (timings and progress go to stderr).
 //
 // --kernel K picks the SRG evaluation kernel: auto (default), scalar,
-// bitset, or packed (64 Gray-adjacent fault sets per word — exhaustive
-// sweeps only; degrades to bitset elsewhere). Stdout is bit-identical
-// across kernels; only throughput changes.
+// bitset, or packed (Gray-adjacent fault sets evaluated lane-parallel —
+// exhaustive sweeps only; degrades to bitset elsewhere). --lanes picks the
+// packed block width: auto (default; FTROUTE_FORCE_LANE_WIDTH, then the
+// widest the CPU supports) or 64/128/256/512 sets per block. Stdout is
+// bit-identical across kernels and lane widths; only throughput changes.
 //
 // Families for `gen`: cycle n | torus r c | grid r c | hypercube d | ccc d |
 //   wbf d | butterfly d | debruijn d | se d | petersen | dodecahedron |
@@ -59,6 +61,7 @@
 #include <chrono>
 
 #include "analysis/stretch.hpp"
+#include "common/cpu_features.hpp"
 #include "core/ftroute.hpp"
 #include "dist/coordinator.hpp"
 #include "graph/graph_io.hpp"
@@ -73,14 +76,15 @@ int usage() {
       "usage:\n"
       "  ftroute gen <family> <args...>                 (graph to stdout)\n"
       "  ftroute profile                                (graph on stdin)\n"
-      "  ftroute build [--seed S] [--certify] [--threads T] [--kernel K]\n"
+      "  ftroute build [--seed S] [--certify] [--threads T] [--kernel K] [--lanes L]\n"
       "                                                 (graph on stdin, table to stdout)\n"
       "  ftroute check <graph> <table> --faults F [--claimed D] [--seed S] [--threads T]\n"
-      "                [--kernel K] [--workers W] [--worker-batch R] [--worker-timeout S]\n"
+      "                [--kernel K] [--lanes L] [--workers W] [--worker-batch R]\n"
+      "                [--worker-timeout S]\n"
       "  ftroute sweep <graph> <table> (--faults F [--sets N] | --faults F --exhaustive |\n"
       "                --stdin) [--seed S] [--threads T] [--delivery-pairs P]\n"
-      "                [--progress-every N] [--batch B] [--kernel K] [--workers W]\n"
-      "                [--worker-batch R] [--worker-timeout S]\n"
+      "                [--progress-every N] [--batch B] [--kernel K] [--lanes L]\n"
+      "                [--workers W] [--worker-batch R] [--worker-timeout S]\n"
       "       --stdin reads one fault set per line (whitespace-separated node ids,\n"
       "       '#' comments); --exhaustive sweeps all C(n,F) sets (revolving-door\n"
       "       incremental evaluation); both stream at constant memory\n"
@@ -90,9 +94,12 @@ int usage() {
       "       default 300, 0 = off) bounds each unit before a hung worker is killed\n"
       "  ftroute serve --tables MANIFEST (--requests FILE | --stdin)\n"
       "                [--max-resident-bytes B] [--threads T] [--batch B]\n"
-      "                [--progress-every N] [--kernel K]\n"
+      "                [--progress-every N] [--kernel K] [--lanes L]\n"
       "       --kernel K: auto | scalar | bitset | packed (stdout is identical\n"
       "       across kernels; packed applies to exhaustive Gray sweeps)\n"
+      "       --lanes L: auto | 64 | 128 | 256 | 512 packed fault sets per block\n"
+      "       (auto honors FTROUTE_FORCE_LANE_WIDTH, then picks the widest the\n"
+      "       CPU supports; stdout is identical across widths)\n"
       "       manifest lines: table <name> graph=<file> [routes=<file>] [seed=S]\n"
       "                       table <name> snapshot=<file> [snapshot_load=bulk|mmap]\n"
       "       request lines:  check|sweep|delivery|certify <table> [key=value...]\n"
@@ -244,6 +251,18 @@ SrgKernel flag_kernel(const std::vector<std::string>& args) {
   return *parsed;
 }
 
+// --lanes picks the packed kernel's block width (see common/cpu_features.hpp
+// for the auto-resolution rule). Stdout is bit-identical across widths.
+unsigned flag_lanes(const std::vector<std::string>& args) {
+  const std::string l = flag_string(args, "--lanes", "auto");
+  const auto parsed = parse_lane_width(l);
+  if (!parsed.has_value()) {
+    throw std::runtime_error("bad value '" + l +
+                             "' for --lanes (auto|64|128|256|512)");
+  }
+  return *parsed;
+}
+
 // The <graph>/<table> file arguments accept either the text formats or a
 // binary snapshot (sniffed by magic). A snapshot passed as both arguments
 // is loaded once.
@@ -286,6 +305,7 @@ int cmd_build(const std::vector<std::string>& args) {
     ToleranceCheckOptions opts;
     opts.threads = flag_value_u32(args, "--threads", 1);
     opts.kernel = flag_kernel(args);
+    opts.lanes = flag_lanes(args);
     const auto certified = build_certified_routing(g, std::nullopt, rng, opts);
     const auto& planned = certified.routing;
     std::cerr << "built " << construction_name(planned.plan.construction)
@@ -309,12 +329,13 @@ int cmd_build(const std::vector<std::string>& args) {
 // stdout (the bit-identity contract); they only shape scheduling.
 DistPoolOptions flag_dist_options(const std::vector<std::string>& args,
                                   unsigned workers, unsigned threads,
-                                  SrgKernel kernel) {
+                                  SrgKernel kernel, unsigned lanes) {
   DistPoolOptions popts;
   popts.workers = workers;
   popts.unit_items = flag_value(args, "--worker-batch", 0);
   popts.worker_threads = threads;
   popts.kernel = kernel;
+  popts.lanes = lanes;
   popts.unit_timeout_sec =
       static_cast<double>(flag_value(args, "--worker-timeout", 300));
   return popts;
@@ -357,6 +378,7 @@ int cmd_check(const std::vector<std::string>& args) {
   ToleranceCheckOptions opts;
   opts.threads = flag_value_u32(args, "--threads", 1);
   opts.kernel = flag_kernel(args);
+  opts.lanes = flag_lanes(args);
   const auto workers = flag_value_u32(args, "--workers", 0);
   ToleranceReport report;
   if (workers > 0) {
@@ -365,7 +387,7 @@ int cmd_check(const std::vector<std::string>& args) {
         make_table_snapshot(std::move(g), std::move(table));
     DistSweepPool pool(snap, snap_path,
                        flag_dist_options(args, workers, opts.threads,
-                                         opts.kernel));
+                                         opts.kernel, opts.lanes));
     report = check_tolerance_distributed(pool, f, claimed, rng, opts);
     print_dist_stats(pool.stats());
   } else {
@@ -396,6 +418,7 @@ int cmd_sweep(const std::vector<std::string>& args) {
   FaultSweepOptions opts;
   opts.threads = flag_value_u32(args, "--threads", 1);
   opts.kernel = flag_kernel(args);
+  opts.lanes = flag_lanes(args);
   opts.delivery_pairs =
       static_cast<std::size_t>(flag_value(args, "--delivery-pairs", 0));
   opts.seed = seed;
@@ -433,7 +456,7 @@ int cmd_sweep(const std::vector<std::string>& args) {
         make_table_snapshot(std::move(g), std::move(table));
     DistSweepPool pool(snap, snap_path,
                        flag_dist_options(args, workers, opts.threads,
-                                         opts.kernel));
+                                         opts.kernel, opts.lanes));
     const auto t0 = std::chrono::steady_clock::now();
     SweepPartial partial;
     if (exhaustive) {
@@ -543,6 +566,7 @@ int cmd_serve(const std::vector<std::string>& args) {
   ServeOptions sopts;
   sopts.threads = flag_value_u32(args, "--threads", 1);
   sopts.kernel = flag_kernel(args);
+  sopts.lanes = flag_lanes(args);
   sopts.batch_size = static_cast<std::size_t>(flag_value(args, "--batch", 64));
   sopts.progress_every = flag_value(args, "--progress-every", 0);
   if (sopts.progress_every > 0) {
