@@ -149,7 +149,7 @@ void bench_fault_sweep_engine_threads(benchmark::State& state) {
   Rng rng(4);
   const auto sets = random_fault_sets(gg.graph.num_nodes(), 3, 256, rng);
   FaultSweepOptions opts;
-  opts.threads = static_cast<unsigned>(state.range(0));
+  opts.exec.threads = static_cast<unsigned>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(sweep_fault_sets(kr.table, index, sets, opts));
   }
@@ -171,7 +171,7 @@ void bench_certified_check_parallel(benchmark::State& state) {
   const auto gg = torus_graph(7, 7);
   const auto kr = build_kernel_routing(gg.graph, 3);
   ToleranceCheckOptions opts = bench::standard_options();
-  opts.threads = static_cast<unsigned>(state.range(0));
+  opts.exec.threads = static_cast<unsigned>(state.range(0));
   for (auto _ : state) {
     Rng rng(1401);
     benchmark::DoNotOptimize(check_tolerance(kr.table, 3, 6, rng, opts));

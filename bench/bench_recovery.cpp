@@ -158,7 +158,7 @@ void table_batched_throughput() {
                    "engine and one-shot paths disagree");
 
     FaultSweepOptions opts;
-    opts.threads = 4;
+    opts.exec.threads = 4;
     const auto t4 = clock::now();
     const auto summary = sweep_fault_sets(e.rt, *engine.index(), sets, opts);
     const auto t5 = clock::now();
@@ -227,7 +227,7 @@ void bench_surviving_diameter_sweep(benchmark::State& state) {
   Rng rng(9);
   const auto sets = random_fault_sets(gg.graph.num_nodes(), 3, 256, rng);
   FaultSweepOptions opts;
-  opts.threads = static_cast<unsigned>(state.range(0));
+  opts.exec.threads = static_cast<unsigned>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(sweep_fault_sets(kr.table, index, sets, opts));
   }
@@ -255,7 +255,7 @@ void bench_componentwise_sweep(benchmark::State& state) {
   const auto threads = static_cast<unsigned>(state.range(0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        componentwise_sweep(gg.graph, index, sets, threads));
+        componentwise_sweep(gg.graph, index, sets, ExecPolicy{.threads = threads}));
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations() * sets.size()));

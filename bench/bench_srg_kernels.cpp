@@ -91,8 +91,8 @@ void table_kernel_throughput() {
       std::uint64_t disconnected[kConfigs] = {};
       for (int k = 0; k < kConfigs; ++k) {
         FaultSweepOptions opts;
-        opts.kernel = kernels[k];
-        opts.lanes = widths[k];
+        opts.exec.kernel = kernels[k];
+        opts.exec.lanes = widths[k];
         const auto t0 = clock::now();
         const auto summary = sweep_exhaustive_gray(e.rt, index, f, opts);
         const auto t1 = clock::now();
@@ -130,14 +130,14 @@ void bench_srg_kernels_exhaustive(benchmark::State& state) {
   const SrgIndex index(kr.table);
   const auto count = binomial(gg.graph.num_nodes(), 2);
   FaultSweepOptions opts;
-  opts.kernel = kernel_from_range(state.range(0));
-  opts.lanes = static_cast<unsigned>(state.range(1));
+  opts.exec.kernel = kernel_from_range(state.range(0));
+  opts.exec.lanes = static_cast<unsigned>(state.range(1));
   for (auto _ : state) {
     benchmark::DoNotOptimize(sweep_exhaustive_gray(kr.table, index, 2, opts));
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations() * count));
-  state.SetLabel(kernel_lanes_label(opts.kernel, opts.lanes));
+  state.SetLabel(kernel_lanes_label(opts.exec.kernel, opts.exec.lanes));
 }
 BENCHMARK(bench_srg_kernels_exhaustive)
     ->ArgNames({"kernel", "lanes"})
@@ -157,14 +157,14 @@ void bench_srg_kernels_exhaustive_f3(benchmark::State& state) {
   const SrgIndex index(kr.table);
   const auto count = binomial(gg.graph.num_nodes(), 3);
   FaultSweepOptions opts;
-  opts.kernel = kernel_from_range(state.range(0));
-  opts.lanes = static_cast<unsigned>(state.range(1));
+  opts.exec.kernel = kernel_from_range(state.range(0));
+  opts.exec.lanes = static_cast<unsigned>(state.range(1));
   for (auto _ : state) {
     benchmark::DoNotOptimize(sweep_exhaustive_gray(kr.table, index, 3, opts));
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations() * count));
-  state.SetLabel(kernel_lanes_label(opts.kernel, opts.lanes));
+  state.SetLabel(kernel_lanes_label(opts.exec.kernel, opts.exec.lanes));
 }
 BENCHMARK(bench_srg_kernels_exhaustive_f3)
     ->ArgNames({"kernel", "lanes"})
@@ -185,7 +185,7 @@ void bench_srg_kernels_stream(benchmark::State& state) {
   const SrgIndex index(kr.table);
   constexpr std::uint64_t kSets = 512;
   FaultSweepOptions opts;
-  opts.kernel = kernel_from_range(state.range(0));
+  opts.exec.kernel = kernel_from_range(state.range(0));
   for (auto _ : state) {
     SampledStreamSource source(gg.graph.num_nodes(), 3, kSets, 7);
     benchmark::DoNotOptimize(
@@ -193,7 +193,7 @@ void bench_srg_kernels_stream(benchmark::State& state) {
   }
   state.SetItemsProcessed(
       static_cast<std::int64_t>(state.iterations() * kSets));
-  state.SetLabel(srg_kernel_name(opts.kernel));
+  state.SetLabel(srg_kernel_name(opts.exec.kernel));
 }
 BENCHMARK(bench_srg_kernels_stream)->ArgName("kernel")->Arg(0)->Arg(1);
 

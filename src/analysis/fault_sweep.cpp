@@ -181,10 +181,10 @@ struct ProgressEmitter {
 
   explicit ProgressEmitter(const FaultSweepOptions& opts,
                            std::chrono::steady_clock::time_point start)
-      : options(opts), t0(start), next_at(opts.progress_every) {}
+      : options(opts), t0(start), next_at(opts.exec.progress_every) {}
 
   void maybe_emit(const SweepPartial& partial, const ExecutorStats& executor) {
-    if (options.progress_every == 0 || !options.on_progress) return;
+    if (options.exec.progress_every == 0 || !options.on_progress) return;
     if (partial.sets < next_at) return;
     FaultSweepProgress p;
     p.sets_done = partial.sets;
@@ -195,7 +195,7 @@ struct ProgressEmitter {
                     .count();
     p.executor = executor;
     options.on_progress(p);
-    while (next_at <= partial.sets) next_at += options.progress_every;
+    while (next_at <= partial.sets) next_at += options.exec.progress_every;
   }
 };
 
@@ -215,8 +215,9 @@ SweepPartial stream_partial_impl(const RoutingTable& table,
   FTR_EXPECTS(index.num_nodes() == table.num_nodes());
   SweepPartial partial;
   ExecutorStats executor;
-  const unsigned workers = resolve_threads(options.threads);
-  const std::size_t batch_size = std::max<std::size_t>(1, options.batch_size);
+  const unsigned workers = options.exec.resolved_threads();
+  const std::size_t batch_size =
+      std::max<std::size_t>(1, options.exec.batch_size);
   const std::size_t batch_items = batch_size * workers;
 
   std::vector<std::vector<Node>> batch(batch_items);
@@ -231,11 +232,11 @@ SweepPartial stream_partial_impl(const RoutingTable& table,
     const std::uint64_t base = base_index + partial.sets;
     ExecutorStats batch_stats;
     parallel_for_chunks(
-        filled, workers, batch_size,
+        options.exec.executor, filled, workers, batch_size,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
           (void)chunk;
           SrgScratch scratch(index);
-          scratch.set_kernel(options.kernel);
+          scratch.set_kernel(options.exec.kernel);
           for (std::size_t i = begin; i < end; ++i) {
             records[i] =
                 evaluate_one(table, scratch, batch[i], options, base + i);
@@ -297,8 +298,9 @@ SweepPartial sweep_exhaustive_gray_range(const RoutingTable& table,
 
   SweepPartial partial;
   ExecutorStats executor;
-  const unsigned workers = resolve_threads(options.threads);
-  const std::size_t batch_size = std::max<std::size_t>(1, options.batch_size);
+  const unsigned workers = options.exec.resolved_threads();
+  const std::size_t batch_size =
+      std::max<std::size_t>(1, options.exec.batch_size);
   const std::uint64_t range = end_rank - begin_rank;
   const std::uint64_t batch_items =
       static_cast<std::uint64_t>(batch_size) * workers;
@@ -316,18 +318,20 @@ SweepPartial sweep_exhaustive_gray_range(const RoutingTable& table,
     // Packed evaluates up to lane_width() Gray-adjacent sets per
     // bit-parallel pass, but cannot materialize per-set surviving graphs —
     // delivery sampling degrades it to the incremental (bitset) path.
-    const bool packed = (options.kernel == SrgKernel::kAuto ||
-                         options.kernel == SrgKernel::kPacked) &&
-                        options.delivery_pairs == 0;
+    // resolved_kernel is the canonical statement of this rule.
+    const bool packed =
+        options.exec.resolved_kernel(/*gray_adjacent=*/true,
+                                     options.delivery_pairs > 0) ==
+        SrgKernel::kPacked;
     parallel_for_chunks(
-        filled, workers, batch_size,
+        options.exec.executor, filled, workers, batch_size,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
           (void)chunk;
           SrgScratch scratch(index);
-          scratch.set_kernel(options.kernel);
+          scratch.set_kernel(options.exec.kernel);
           GraySubsetEnumerator e(n, f, base + begin);
           if (packed) {
-            scratch.set_lane_width(options.lanes);
+            scratch.set_lane_width(options.exec.lanes);
             const std::size_t lanes = scratch.lane_width();
             SrgScratch::Result res[512];
             std::size_t r = begin;
@@ -395,7 +399,7 @@ FaultSweepSummary sweep_fault_source(const RoutingTable& table,
   const SweepPartial partial =
       stream_partial_impl(table, index, source, 0, options, nullptr, &executor);
   const auto t1 = std::chrono::steady_clock::now();
-  return finish_summary(partial, resolve_threads(options.threads), executor,
+  return finish_summary(partial, options.exec.resolved_threads(), executor,
                         std::chrono::duration<double>(t1 - t0).count());
 }
 
@@ -413,7 +417,7 @@ FaultSweepSummary sweep_exhaustive_gray(const RoutingTable& table,
   const SweepPartial partial = sweep_exhaustive_gray_range(
       table, index, f, 0, total, options, &executor);
   const auto t1 = std::chrono::steady_clock::now();
-  return finish_summary(partial, resolve_threads(options.threads), executor,
+  return finish_summary(partial, options.exec.resolved_threads(), executor,
                         std::chrono::duration<double>(t1 - t0).count());
 }
 
@@ -431,7 +435,7 @@ FaultSweepSummary sweep_fault_sets(
                                                    &executor);
   const auto t1 = std::chrono::steady_clock::now();
   FaultSweepSummary summary =
-      finish_summary(partial, resolve_threads(options.threads), executor,
+      finish_summary(partial, options.exec.resolved_threads(), executor,
                      std::chrono::duration<double>(t1 - t0).count());
   summary.per_set = std::move(per_set);
   return summary;

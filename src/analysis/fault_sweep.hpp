@@ -152,32 +152,19 @@ struct FaultSweepProgress {
 };
 
 struct FaultSweepOptions {
-  /// Worker threads (0 = all hardware threads). Results never depend on it.
-  unsigned threads = 1;
+  /// How the sweep executes — threads, kernel, lanes, batch size, executor,
+  /// progress cadence (see common/exec_policy.hpp for the resolution
+  /// rules). Results never depend on any of it. exec.progress_every
+  /// schedules on_progress below: invoked roughly every that many sets
+  /// (0 = never), between batches, on the calling thread — it never races
+  /// the workers.
+  ExecPolicy exec;
   /// Ordered survivor pairs to sample per fault set for delivery stats;
   /// 0 skips delivery measurement entirely.
   std::size_t delivery_pairs = 0;
   /// Root seed for the per-set delivery sampling streams.
   std::uint64_t seed = 0;
-  /// Sets per worker per batch in the streaming engine. Results never
-  /// depend on it; only memory (one batch in flight) and scheduling do.
-  std::size_t batch_size = 1024;
-  /// Invoke on_progress roughly every this many sets (0 = never). Progress
-  /// is reported between batches, so the callback runs on the calling
-  /// thread and never races the workers.
-  std::uint64_t progress_every = 0;
   std::function<void(const FaultSweepProgress&)> on_progress;
-  /// Evaluation kernel (see fault/srg_engine.hpp). Results never depend on
-  /// it. kAuto runs streamed sets on the bitset kernel and exhaustive Gray
-  /// sweeps on the packed one; packed requires Gray adjacency, so for
-  /// streamed sources — and for exhaustive sweeps that must materialize
-  /// per-set graphs (delivery_pairs > 0) — kPacked degrades to bitset.
-  SrgKernel kernel = SrgKernel::kAuto;
-  /// Packed-kernel lane width: 0 = auto (FTROUTE_FORCE_LANE_WIDTH, then
-  /// the widest the CPU supports), or 64/128/256/512 to force one. A pure
-  /// throughput knob — results never depend on it (lanes are consumed in
-  /// rank order whatever the block width).
-  unsigned lanes = 0;
 };
 
 struct FaultSweepRecord {

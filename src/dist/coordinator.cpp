@@ -513,10 +513,14 @@ UnitSpec DistSweepPool::base_sweep_unit(
   u.kind = kind;
   u.seed = sweep_options.seed;
   u.delivery_pairs = sweep_options.delivery_pairs;
-  u.batch_size = options_.batch_size;
-  u.kernel = sweep_options.kernel;
-  u.lanes = sweep_options.lanes;
-  u.threads = options_.worker_threads;
+  // kernel/lanes follow the sweep request; threads/batch/executor are the
+  // pool's per-worker knobs. Progress is coordinator-side only — workers
+  // never emit it.
+  u.exec = sweep_options.exec;
+  u.exec.threads = options_.exec.threads;
+  u.exec.batch_size = options_.exec.batch_size;
+  u.exec.executor = options_.exec.executor;
+  u.exec.progress_every = 0;
   return u;
 }
 
@@ -524,9 +528,8 @@ UnitSpec DistSweepPool::base_adv_unit(UnitKind kind, std::uint32_t f) const {
   UnitSpec u;
   u.kind = kind;
   u.f = f;
-  u.kernel = options_.kernel;
-  u.lanes = options_.lanes;
-  u.threads = options_.worker_threads;
+  u.exec = options_.exec;
+  u.exec.progress_every = 0;
   return u;
 }
 

@@ -50,14 +50,11 @@ struct DistPoolOptions {
   /// sets) per unit; 0 = auto (~8 units per worker over the task space,
   /// clamped to [1, 65536]; streams of unknown length use 4096).
   std::uint64_t unit_items = 0;
-  /// Threads INSIDE each worker process (the process x thread hierarchy).
-  unsigned worker_threads = 1;
-  SrgKernel kernel = SrgKernel::kAuto;
-  /// Packed lane width inside each worker (0 = auto, or 64/128/256/512).
-  /// Unit boundaries are width-invariant, so stdout never depends on it.
-  unsigned lanes = 0;
-  /// Sweep engine batch size inside each worker.
-  std::size_t batch_size = 1024;
+  /// How units execute INSIDE each worker process (the process x thread
+  /// hierarchy): exec.threads is the per-worker thread count, and
+  /// kernel/lanes/batch/executor ride along unchanged. Unit boundaries are
+  /// invariant under every knob, so stdout never depends on any of them.
+  ExecPolicy exec;
   /// Per-unit wall-clock budget; a worker that blows it is SIGKILLed and
   /// its unit runs inline. 0 disables the watchdog.
   double unit_timeout_sec = 300.0;

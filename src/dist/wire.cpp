@@ -31,6 +31,8 @@ class ByteWriter {
     const auto* b = static_cast<const unsigned char*>(p);
     out_.insert(out_.end(), b, b + n);
   }
+  /// Appends the versioned ExecPolicy blob (the ONE policy encoding).
+  void exec_policy(const ExecPolicy& p) { encode_exec_policy(p, out_); }
   std::vector<unsigned char> take() { return std::move(out_); }
 
  private:
@@ -76,6 +78,9 @@ class ByteReader {
     pos_ += len;
     return s;
   }
+  /// Decodes the versioned ExecPolicy blob in place (strict: truncation,
+  /// future versions, and out-of-range enum bytes throw).
+  ExecPolicy exec_policy() { return decode_exec_policy(p_, n_, pos_); }
   void expect_end() const {
     FTR_EXPECTS_MSG(pos_ == n_, "wire payload has " << (n_ - pos_)
                                                     << " trailing byte(s)");
@@ -204,12 +209,9 @@ std::vector<unsigned char> encode_unit(const UnitSpec& unit) {
   w.u64(unit.end);
   w.u64(unit.seed);
   w.u64(unit.delivery_pairs);
-  w.u64(unit.batch_size);
   w.u64(unit.max_steps);
   w.u32(unit.stop_above);
-  w.u32(static_cast<std::uint32_t>(unit.kernel));
-  w.u32(unit.lanes);
-  w.u32(unit.threads);
+  w.exec_policy(unit.exec);
   w.u32(static_cast<std::uint32_t>(unit.sets.size()));
   for (const auto& s : unit.sets) w.nodes(s);
   w.u32(static_cast<std::uint32_t>(unit.climb_seeds.size()));
@@ -227,12 +229,9 @@ UnitSpec decode_unit(const std::vector<unsigned char>& payload) {
   u.end = r.u64();
   u.seed = r.u64();
   u.delivery_pairs = r.u64();
-  u.batch_size = r.u64();
   u.max_steps = r.u64();
   u.stop_above = r.u32();
-  u.kernel = static_cast<SrgKernel>(r.u32());
-  u.lanes = r.u32();
-  u.threads = r.u32();
+  u.exec = r.exec_policy();
   const std::uint32_t nsets = r.u32();
   u.sets.reserve(nsets);
   for (std::uint32_t i = 0; i < nsets; ++i) u.sets.push_back(r.nodes());

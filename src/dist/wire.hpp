@@ -67,14 +67,13 @@ struct UnitSpec {
   std::uint64_t end = 0;    // sample indices, restart indices, set indices
   std::uint64_t seed = 0;   // stream root (sampling, delivery, climbing)
   std::uint64_t delivery_pairs = 0;  // sweep units only
-  std::uint64_t batch_size = 1024;   // sweep engine batch inside the worker
   std::uint64_t max_steps = 0;       // kAdvClimb step budget
   std::uint32_t stop_above = 0;      // kAdvGray/kAdvLex early-stop threshold
-  SrgKernel kernel = SrgKernel::kAuto;
-  std::uint32_t lanes = 0;    // packed lane width (0 = auto); pure
-                              // throughput knob, never affects results —
-                              // units stay width-invariant
-  std::uint32_t threads = 1;  // threads INSIDE the worker process
+  /// How the unit executes INSIDE the worker process: threads, kernel,
+  /// lanes, batch size, executor. Carried over the wire via the versioned
+  /// encode_exec_policy blob (common/exec_policy.hpp) — pure throughput
+  /// knobs; units stay result-invariant across all of them.
+  ExecPolicy exec;
   std::vector<std::vector<Node>> sets;         // kSweepExplicit literal sets
   std::vector<std::vector<Node>> climb_seeds;  // kAdvClimb informed starts
                                                // (GLOBAL restart indexing)

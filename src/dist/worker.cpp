@@ -56,12 +56,9 @@ WorkerFailSpec parse_worker_fail_spec(const char* spec) {
 SweepPartial execute_sweep_unit(const TableSnapshot& snapshot,
                                 const UnitSpec& unit) {
   FaultSweepOptions opts;
-  opts.threads = unit.threads;
+  opts.exec = unit.exec;
   opts.delivery_pairs = static_cast<std::size_t>(unit.delivery_pairs);
   opts.seed = unit.seed;
-  opts.batch_size = static_cast<std::size_t>(unit.batch_size);
-  opts.kernel = unit.kernel;
-  opts.lanes = unit.lanes;
   switch (unit.kind) {
     case UnitKind::kSweepGray:
       return sweep_exhaustive_gray_range(snapshot.table, *snapshot.index,
@@ -87,7 +84,7 @@ SweepPartial execute_sweep_unit(const TableSnapshot& snapshot,
 AdvPartial execute_adv_unit(const TableSnapshot& snapshot,
                             const UnitSpec& unit) {
   const std::size_t n = snapshot.table.num_nodes();
-  const SearchExecution exec{unit.threads, unit.kernel, unit.lanes};
+  const SearchExecution exec{unit.exec};
   switch (unit.kind) {
     case UnitKind::kAdvGray:
       return exhaustive_worst_faults_gray_slice(*snapshot.index, unit.f,
@@ -95,15 +92,15 @@ AdvPartial execute_adv_unit(const TableSnapshot& snapshot,
                                                 unit.stop_above);
     case UnitKind::kAdvLex:
       return exhaustive_worst_faults_slice(
-          n, unit.f, snapshot_evaluator_factory(snapshot, unit.kernel),
+          n, unit.f, snapshot_evaluator_factory(snapshot, unit.exec.kernel),
           unit.begin, unit.end, exec, unit.stop_above);
     case UnitKind::kAdvSampled:
       return sampled_worst_faults_slice(
           n, unit.f, unit.begin, unit.end,
-          snapshot_evaluator_factory(snapshot, unit.kernel), unit.seed, exec);
+          snapshot_evaluator_factory(snapshot, unit.exec.kernel), unit.seed, exec);
     case UnitKind::kAdvClimb:
       return hillclimb_worst_faults_slice(
-          n, unit.f, snapshot_evaluator_factory(snapshot, unit.kernel),
+          n, unit.f, snapshot_evaluator_factory(snapshot, unit.exec.kernel),
           unit.seed, exec, unit.begin, unit.end,
           static_cast<std::size_t>(unit.max_steps), unit.climb_seeds);
     default:

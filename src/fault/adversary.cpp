@@ -45,8 +45,9 @@ void note_stop(std::atomic<std::size_t>& first_stop, std::size_t chunk) {
 // so inner chunking and outer unit boundaries are interchangeable.
 template <typename ChunkScan>
 AdvPartial chunked_rank_scan(std::uint64_t begin, std::uint64_t end,
-                             unsigned threads, ExecutorStats* executor,
+                             const ExecPolicy& policy, ExecutorStats* executor,
                              const ChunkScan& scan) {
+  const unsigned threads = policy.resolved_threads();
   const auto count = static_cast<std::size_t>(end - begin);
   const std::size_t grain = sweep_grain(count, threads);
   const std::size_t chunks = num_chunks(count, grain);
@@ -55,7 +56,7 @@ AdvPartial chunked_rank_scan(std::uint64_t begin, std::uint64_t end,
 
   ExecutorStats stats;
   parallel_for_chunks(
-      count, threads, grain,
+      policy.executor, count, threads, grain,
       [&](std::size_t chunk, std::size_t c_begin, std::size_t c_end) {
         // A chunk past an already-stopped one will be discarded by the
         // ordered merge, so skipping — or, via `aborted`, bailing out
@@ -140,7 +141,7 @@ AdvPartial exhaustive_worst_faults_slice(std::size_t n, std::size_t f,
   const std::uint64_t total = checked_total(n, f);
   FTR_EXPECTS(begin_rank <= end_rank && end_rank <= total);
   return chunked_rank_scan(
-      begin_rank, end_rank, resolve_threads(exec.threads), executor,
+      begin_rank, end_rank, exec.exec, executor,
       [&](AdvPartial& p, std::uint64_t begin, std::uint64_t end,
           const auto& aborted) {
         const FaultEvaluator eval = make_eval();
@@ -192,8 +193,8 @@ AdvPartial exhaustive_worst_faults_gray_slice(const SrgIndex& index,
   FTR_EXPECTS(f <= n);
   const std::uint64_t total = checked_total(n, f);
   FTR_EXPECTS(begin_rank <= end_rank && end_rank <= total);
-  const bool packed = exec.kernel == SrgKernel::kAuto ||
-                      exec.kernel == SrgKernel::kPacked;
+  const bool packed =
+      exec.exec.resolved_kernel(/*gray_adjacent=*/true) == SrgKernel::kPacked;
   if (packed) {
     // Up to lane_width() Gray-adjacent sets per bit-parallel pass. The
     // lanes of each block are consumed in rank order, so the running best,
@@ -204,11 +205,11 @@ AdvPartial exhaustive_worst_faults_gray_slice(const SrgIndex& index,
     // pure optimization either way, since the ordered merge discards
     // aborted partials.
     return chunked_rank_scan(
-        begin_rank, end_rank, resolve_threads(exec.threads), executor,
+        begin_rank, end_rank, exec.exec, executor,
         [&](AdvPartial& p, std::uint64_t begin, std::uint64_t end,
             const auto& aborted) {
           SrgScratch scratch(index);
-          scratch.set_lane_width(exec.lanes);
+          scratch.set_lane_width(exec.exec.lanes);
           const std::uint64_t lanes = scratch.lane_width();
           GraySubsetEnumerator e(n, f, begin);
           SrgScratch::Result res[512];
@@ -243,11 +244,11 @@ AdvPartial exhaustive_worst_faults_gray_slice(const SrgIndex& index,
         });
   }
   return chunked_rank_scan(
-      begin_rank, end_rank, resolve_threads(exec.threads), executor,
+      begin_rank, end_rank, exec.exec, executor,
       [&](AdvPartial& p, std::uint64_t begin, std::uint64_t end,
           const auto& aborted) {
         SrgScratch scratch(index);
-        scratch.set_kernel(exec.kernel);
+        scratch.set_kernel(exec.exec.kernel);
         GraySubsetEnumerator e(n, f, begin);
         std::vector<Node> faults(e.current().begin(), e.current().end());
         scratch.begin_incremental(faults);
@@ -384,7 +385,7 @@ AdvPartial sampled_worst_faults_slice(std::size_t n, std::size_t f,
   FTR_EXPECTS(f <= n);
   FTR_EXPECTS(begin_index <= end_index);
   return chunked_rank_scan(
-      begin_index, end_index, resolve_threads(exec.threads), executor,
+      begin_index, end_index, exec.exec, executor,
       [&](AdvPartial& p, std::uint64_t begin, std::uint64_t end,
           const auto& aborted) {
         (void)aborted;  // sampling never early-stops
@@ -434,7 +435,7 @@ AdvPartial hillclimb_worst_faults_slice(
   // One restart per chunk: climbs dominate the cost and balance poorly, so
   // the finest grain gives the scheduler the most room.
   parallel_for_chunks(
-      count, resolve_threads(exec.threads), 1,
+      exec.exec.executor, count, exec.exec.resolved_threads(), 1,
       [&](std::size_t chunk, std::size_t c_begin, std::size_t c_end) {
         (void)c_end;
         if (chunk > first_stop.load(std::memory_order_relaxed)) return;

@@ -39,20 +39,15 @@ using FaultEvaluator = std::function<std::uint32_t(const std::vector<Node>&)>;
 /// (an SrgScratch over a shared SrgIndex is the canonical instance).
 using FaultEvaluatorFactory = std::function<FaultEvaluator()>;
 
-/// Execution knobs for the factory-form searchers.
+/// Execution knobs for the factory-form searchers: a plain composition of
+/// the repo-wide ExecPolicy (see common/exec_policy.hpp for the resolution
+/// rules). threads fans chunks across workers; kernel/lanes drive the
+/// searchers that own their scratches (exhaustive_worst_faults_gray —
+/// factory-form searchers bake the kernel into their evaluators instead);
+/// batch_size/progress_every are unused by the searchers. Results never
+/// depend on any of it.
 struct SearchExecution {
-  /// Worker threads to fan chunks across; 0 = all hardware threads. Results
-  /// never depend on this value.
-  unsigned threads = 1;
-  /// Evaluation kernel for the searchers that own their scratches
-  /// (exhaustive_worst_faults_gray). Results never depend on it; kAuto runs
-  /// the Gray scan packed (up to `lanes` sets per bit-parallel pass).
-  /// Factory-form searchers bake the kernel into their evaluators instead.
-  SrgKernel kernel = SrgKernel::kAuto;
-  /// Packed lane width: 0 = auto, or 64/128/256/512 to force one. Pure
-  /// throughput knob — evaluation counts and early-stop witnesses are
-  /// width-invariant (lanes are consumed in rank order).
-  unsigned lanes = 0;
+  ExecPolicy exec;
 };
 
 struct AdversaryResult {

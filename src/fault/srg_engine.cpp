@@ -16,28 +16,6 @@ constexpr std::size_t kLaneBits = 64;
 std::size_t bit_words(std::size_t n) { return (n + kLaneBits - 1) / kLaneBits; }
 }  // namespace
 
-const char* srg_kernel_name(SrgKernel kernel) {
-  switch (kernel) {
-    case SrgKernel::kAuto:
-      return "auto";
-    case SrgKernel::kScalar:
-      return "scalar";
-    case SrgKernel::kBitset:
-      return "bitset";
-    case SrgKernel::kPacked:
-      return "packed";
-  }
-  return "auto";
-}
-
-std::optional<SrgKernel> parse_srg_kernel(std::string_view name) {
-  if (name == "auto") return SrgKernel::kAuto;
-  if (name == "scalar") return SrgKernel::kScalar;
-  if (name == "bitset") return SrgKernel::kBitset;
-  if (name == "packed") return SrgKernel::kPacked;
-  return std::nullopt;
-}
-
 SrgIndex::SrgIndex(const RoutingTable& table) : n_(table.num_nodes()) {
   route_nodes_.reserve(table.arena_size());
   route_off_.reserve(table.num_routes() + 1);

@@ -89,6 +89,7 @@
 #include <vector>
 
 #include "common/combinatorics.hpp"
+#include "common/exec_policy.hpp"
 #include "common/flat_array.hpp"
 #include "fault/srg_packed.hpp"
 #include "graph/digraph.hpp"
@@ -98,15 +99,9 @@
 
 namespace ftr {
 
-/// BFS kernel selection for SRG evaluation. Every kernel returns
-/// bit-identical results; only throughput differs. See the header comment.
-enum class SrgKernel : std::uint8_t { kAuto, kScalar, kBitset, kPacked };
-
-/// "auto" / "scalar" / "bitset" / "packed".
-const char* srg_kernel_name(SrgKernel kernel);
-
-/// Inverse of srg_kernel_name; nullopt on unknown names.
-std::optional<SrgKernel> parse_srg_kernel(std::string_view name);
+// SrgKernel (the selection knob, its name/parse helpers, and the kAuto
+// resolution rule) lives in common/exec_policy.hpp with the rest of the
+// execution policy; this header provides the kernels themselves.
 
 /// Immutable preprocessing of one routing table: flattened routes plus the
 /// node -> routes inverted index. Thread-safe to share by const reference

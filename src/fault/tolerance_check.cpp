@@ -34,7 +34,7 @@ ToleranceReport check_tolerance_with(std::size_t n,
   ToleranceReport report;
   report.claimed_bound = claimed_bound;
   report.faults = f;
-  const SearchExecution exec{options.threads, options.kernel, options.lanes};
+  const SearchExecution exec{options.exec};
 
   if (binomial(n, f) <= options.exhaustive_budget) {
     const AdversaryResult r = exhaustive_worst_faults(n, f, make_eval, exec);
@@ -72,7 +72,7 @@ ToleranceReport check_tolerance_with(std::size_t n, const FaultEvaluator& eval,
                                      const ToleranceCheckOptions& options) {
   // A lone evaluator may own scratch, so never share it across workers.
   ToleranceCheckOptions serial = options;
-  serial.threads = 1;
+  serial.exec.threads = 1;
   const FaultEvaluatorFactory make_eval = [&eval]() { return eval; };
   return check_tolerance_with(n, make_eval, f, claimed_bound, rng(), serial);
 }
@@ -113,9 +113,8 @@ ToleranceReport check_tolerance_index(const std::shared_ptr<const SrgIndex>& ind
     ToleranceReport report;
     report.claimed_bound = claimed_bound;
     report.faults = f;
-    const AdversaryResult r = exhaustive_worst_faults_gray(
-        *index, f,
-        SearchExecution{options.threads, options.kernel, options.lanes});
+    const AdversaryResult r =
+        exhaustive_worst_faults_gray(*index, f, SearchExecution{options.exec});
     report.worst_diameter = r.worst_diameter;
     report.worst_faults = r.worst_faults;
     report.fault_sets_checked = r.evaluations;
@@ -123,7 +122,8 @@ ToleranceReport check_tolerance_index(const std::shared_ptr<const SrgIndex>& ind
     report.holds = report.worst_diameter <= claimed_bound;
     return report;
   }
-  return check_tolerance_with(n, engine_evaluator_factory(index, options.kernel),
+  return check_tolerance_with(n,
+                              engine_evaluator_factory(index, options.exec.kernel),
                               f, claimed_bound, seed, options);
 }
 

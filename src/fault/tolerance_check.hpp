@@ -47,16 +47,12 @@ struct ToleranceCheckOptions {
   std::size_t hillclimb_steps = 24;
   /// Extra seed sets (e.g. concentrator-targeted) for the hill-climber.
   std::vector<std::vector<Node>> seeds;
-  /// Worker threads for the fault sweep (0 = all hardware threads). The
-  /// report is identical for any value; only wall clock changes.
-  unsigned threads = 1;
-  /// Evaluation kernel (see fault/srg_engine.hpp). The report is identical
-  /// for any value; kAuto runs the f <= 3 exhaustive fast path packed and
-  /// the sampled/hill-climbing evaluators on the bitset kernel.
-  SrgKernel kernel = SrgKernel::kAuto;
-  /// Packed lane width for the exhaustive Gray fast path: 0 = auto, or
-  /// 64/128/256/512. The report is identical for any value.
-  unsigned lanes = 0;
+  /// How the check executes (see common/exec_policy.hpp): threads fan the
+  /// fault sweep across workers, kernel/lanes drive the evaluators (kAuto
+  /// runs the f <= 3 exhaustive fast path packed and the sampled /
+  /// hill-climbing evaluators on the bitset kernel), executor picks the
+  /// chunk scheduler. The report is identical for any value of any of it.
+  ExecPolicy exec;
 };
 
 /// Worst-case check for exactly f faults (the paper's bounds are monotone

@@ -207,7 +207,7 @@ bool ExplicitRequestSource::next(ServeRequest& out) {
 std::string execute_request(const ServeRequest& request,
                             const ServedTable& table,
                             std::optional<SrgScratch>& scratch,
-                            SrgKernel kernel, unsigned lanes) {
+                            const ExecPolicy& policy) {
   const std::size_t n = table.graph.num_nodes();
   std::ostringstream os;
   os << request_kind_name(request.kind) << ' ' << table.name;
@@ -239,9 +239,10 @@ std::string execute_request(const ServeRequest& request,
       // (check_tolerance is thread-count-invariant anyway; this also keeps
       // workers from spawning nested pools.)
       ToleranceCheckOptions opts;
-      opts.threads = 1;
-      opts.kernel = kernel;
-      opts.lanes = lanes;
+      opts.exec.threads = 1;
+      opts.exec.kernel = policy.kernel;
+      opts.exec.lanes = policy.lanes;
+      opts.exec.executor = policy.executor;
       // Pre-seed the hill-climber from the entry's cached route-load
       // ranking — the same top-f set check_tolerance would otherwise
       // re-rank the whole table to derive, once per request.
@@ -272,11 +273,12 @@ std::string execute_request(const ServeRequest& request,
                                   << kMaxSweepSetsPerRequest
                                   << " (run it via `ftroute sweep` instead)");
       FaultSweepOptions opts;
-      opts.threads = 1;
+      opts.exec.threads = 1;
+      opts.exec.kernel = policy.kernel;
+      opts.exec.lanes = policy.lanes;
+      opts.exec.executor = policy.executor;
       opts.seed = request.seed;
       opts.delivery_pairs = request.pairs;
-      opts.kernel = kernel;
-      opts.lanes = lanes;
       FaultSweepSummary summary;
       if (request.exhaustive) {
         summary =
@@ -314,7 +316,7 @@ std::string execute_request(const ServeRequest& request,
       if (!scratch.has_value() || &scratch->index() != table.index.get()) {
         scratch.emplace(*table.index);
       }
-      scratch->set_kernel(kernel);
+      scratch->set_kernel(policy.kernel);
       const auto res = scratch->evaluate(request.fault_list);
       Rng rng(request.seed);
       const auto delivery = measure_delivery_on(
@@ -344,11 +346,11 @@ struct ServeProgressEmitter {
 
   ServeProgressEmitter(const ServeOptions& opts,
                        std::chrono::steady_clock::time_point start)
-      : options(opts), t0(start), next_at(opts.progress_every) {}
+      : options(opts), t0(start), next_at(opts.exec.progress_every) {}
 
   void maybe_emit(std::uint64_t requests_done, const TableRegistry& registry,
                   const ExecutorStats& executor) {
-    if (options.progress_every == 0 || !options.on_progress) return;
+    if (options.exec.progress_every == 0 || !options.on_progress) return;
     if (requests_done < next_at) return;
     ServeProgress p;
     p.requests_done = requests_done;
@@ -358,7 +360,7 @@ struct ServeProgressEmitter {
     p.registry = registry.stats();
     p.executor = executor;
     options.on_progress(p);
-    while (next_at <= requests_done) next_at += options.progress_every;
+    while (next_at <= requests_done) next_at += options.exec.progress_every;
   }
 };
 
@@ -367,14 +369,14 @@ struct ServeProgressEmitter {
 ServeSummary serve_requests(TableRegistry& registry, RequestSource& source,
                             std::ostream& out, const ServeOptions& options) {
   ServeSummary summary;
-  const unsigned workers = resolve_threads(options.threads);
+  const unsigned workers = options.exec.resolved_threads();
   summary.threads_used = workers;
   // Clamped like resolve_threads' 256 cap: a typo'd huge --batch must not
   // overflow batch_size * workers to a zero window_cap (which would break
   // the fill loop immediately and silently drop every request).
   constexpr std::size_t kMaxBatchSize = std::size_t{1} << 20;
   const std::size_t batch_size = std::min<std::size_t>(
-      std::max<std::size_t>(1, options.batch_size), kMaxBatchSize);
+      std::max<std::size_t>(1, options.exec.batch_size), kMaxBatchSize);
   const std::size_t window_cap = batch_size * workers;
 
   std::vector<ServeRequest> window;
@@ -458,7 +460,7 @@ ServeSummary serve_requests(TableRegistry& registry, RequestSource& source,
 
     ExecutorStats window_stats;
     parallel_for_chunks(
-        order.size(), workers, batch_size,
+        options.exec.executor, order.size(), workers, batch_size,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
           (void)chunk;
           // The worker's scratch slot; execute_request fills it lazily on
@@ -468,8 +470,8 @@ ServeSummary serve_requests(TableRegistry& registry, RequestSource& source,
             const std::size_t i = order[k];
             const ServedTable& entry = *table_of[i];
             try {
-              responses[i] = execute_request(window[i], entry, scratch,
-                                             options.kernel, options.lanes);
+              responses[i] =
+                  execute_request(window[i], entry, scratch, options.exec);
             } catch (const std::exception& e) {
               // A request-level failure (bad ids, missing claims) is itself
               // a deterministic function of (request, table): answer it

@@ -127,21 +127,14 @@ struct ServeProgress {
 };
 
 struct ServeOptions {
-  /// Worker threads (0 = all hardware threads). Output never depends on it.
-  unsigned threads = 1;
-  /// Requests per worker per window (clamped to 2^20 so batch * workers
-  /// cannot overflow). Output never depends on it; only memory (one window
-  /// in flight) and registry churn do.
-  std::size_t batch_size = 64;
-  /// Invoke on_progress roughly every this many requests (0 = never).
-  std::uint64_t progress_every = 0;
+  /// How the router executes (see common/exec_policy.hpp): threads fan the
+  /// request windows across workers, batch_size is requests per worker per
+  /// window (clamped to 2^20 so batch * workers cannot overflow; the serve
+  /// default is 64, not the policy's 1024), kernel/lanes drive every
+  /// request's evaluation, progress_every schedules on_progress below.
+  /// Responses never depend on any of it.
+  ExecPolicy exec{.batch_size = 64};
   std::function<void(const ServeProgress&)> on_progress;
-  /// Evaluation kernel for every request kernel in this serving run (see
-  /// fault/srg_engine.hpp). Responses never depend on it.
-  SrgKernel kernel = SrgKernel::kAuto;
-  /// Packed lane width for exhaustive-sweep/check requests: 0 = auto, or
-  /// 64/128/256/512. Responses never depend on it.
-  unsigned lanes = 0;
 };
 
 struct ServeSummary {
@@ -176,12 +169,12 @@ ServeSummary serve_requests(TableRegistry& registry, RequestSource& source,
 /// table.index lazily, and ONLY for the request kinds that evaluate
 /// through a scratch (delivery) — check/sweep/certify run on their own
 /// internal scratches, so a stream without deliveries never constructs
-/// one. Pure function of (request, table contents). Throws on invalid
-/// requests (the router turns that into an error response).
+/// one. Pure function of (request, table contents) — the policy's
+/// kernel/lanes shape only throughput. Throws on invalid requests (the
+/// router turns that into an error response).
 std::string execute_request(const ServeRequest& request,
                             const ServedTable& table,
                             std::optional<SrgScratch>& scratch,
-                            SrgKernel kernel = SrgKernel::kAuto,
-                            unsigned lanes = 0);
+                            const ExecPolicy& policy = {});
 
 }  // namespace ftr

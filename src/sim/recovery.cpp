@@ -55,19 +55,21 @@ ComponentwiseDiameter componentwise_surviving_diameter(
 
 std::vector<ComponentwiseDiameter> componentwise_sweep(
     const Graph& g, const SrgIndex& index,
-    const std::vector<std::vector<Node>>& fault_sets, unsigned threads,
-    ExecutorStats* stats, SrgKernel kernel) {
+    const std::vector<std::vector<Node>>& fault_sets, const ExecPolicy& policy,
+    ExecutorStats* stats) {
   FTR_EXPECTS(g.num_nodes() == index.num_nodes());
+  const unsigned threads = policy.resolved_threads();
   std::vector<ComponentwiseDiameter> out(fault_sets.size());
   parallel_for_chunks(
-      fault_sets.size(), threads, sweep_grain(fault_sets.size(), threads),
+      policy.executor, fault_sets.size(), threads,
+      sweep_grain(fault_sets.size(), threads),
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         (void)chunk;
         // One scratch per chunk: its O(n + routes) setup amortizes over the
         // chunk's fault sets, and results land at their own indices, so the
         // merge is the identity whatever the thread count.
         SrgScratch scratch(index);
-        scratch.set_kernel(kernel);
+        scratch.set_kernel(policy.kernel);
         for (std::size_t i = begin; i < end; ++i) {
           out[i] = componentwise_surviving_diameter(g, scratch, fault_sets[i]);
         }

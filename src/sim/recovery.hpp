@@ -50,14 +50,15 @@ ComponentwiseDiameter componentwise_surviving_diameter(
     const Graph& g, SrgScratch& scratch, const std::vector<Node>& faults);
 
 /// The open-problem-3 metric for many fault sets against one shared table
-/// preprocessing, fanned across `threads` workers (0 = all hardware
-/// threads). The result is positionally aligned with `fault_sets` and
-/// bit-identical for any thread count. `stats`, when non-null, receives the
-/// executor's work-stealing telemetry (scheduling-dependent — probes only).
+/// preprocessing, fanned across policy.threads workers (the usual ExecPolicy
+/// composition — see common/exec_policy.hpp). The result is positionally
+/// aligned with `fault_sets` and bit-identical for any policy. `stats`,
+/// when non-null, receives the executor's work-stealing telemetry
+/// (scheduling-dependent — probes only).
 std::vector<ComponentwiseDiameter> componentwise_sweep(
     const Graph& g, const SrgIndex& index,
-    const std::vector<std::vector<Node>>& fault_sets, unsigned threads = 1,
-    ExecutorStats* stats = nullptr, SrgKernel kernel = SrgKernel::kAuto);
+    const std::vector<std::vector<Node>>& fault_sets,
+    const ExecPolicy& policy = {}, ExecutorStats* stats = nullptr);
 
 struct RecoveryOutcome {
   bool survivors_connected = false;

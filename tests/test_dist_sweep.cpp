@@ -81,11 +81,13 @@ TEST(DistWire, UnitAndResultPayloadsRoundtrip) {
   u.end = 19;
   u.seed = 0xdeadbeefcafe;
   u.delivery_pairs = 5;
-  u.batch_size = 77;
   u.max_steps = 13;
   u.stop_above = 4;
-  u.kernel = SrgKernel::kBitset;
-  u.threads = 2;
+  u.exec.batch_size = 77;
+  u.exec.kernel = SrgKernel::kBitset;
+  u.exec.threads = 2;
+  u.exec.lanes = 128;
+  u.exec.executor = ExecutorKind::kCursor;
   u.sets = {{1, 2, 3}, {4, 5}};
   u.climb_seeds = {{9, 8, 7}};
   const UnitSpec d = decode_unit(encode_unit(u));
@@ -96,11 +98,13 @@ TEST(DistWire, UnitAndResultPayloadsRoundtrip) {
   EXPECT_EQ(d.end, u.end);
   EXPECT_EQ(d.seed, u.seed);
   EXPECT_EQ(d.delivery_pairs, u.delivery_pairs);
-  EXPECT_EQ(d.batch_size, u.batch_size);
   EXPECT_EQ(d.max_steps, u.max_steps);
   EXPECT_EQ(d.stop_above, u.stop_above);
-  EXPECT_EQ(d.kernel, u.kernel);
-  EXPECT_EQ(d.threads, u.threads);
+  EXPECT_EQ(d.exec.batch_size, u.exec.batch_size);
+  EXPECT_EQ(d.exec.kernel, u.exec.kernel);
+  EXPECT_EQ(d.exec.threads, u.exec.threads);
+  EXPECT_EQ(d.exec.lanes, u.exec.lanes);
+  EXPECT_EQ(d.exec.executor, u.exec.executor);
   EXPECT_EQ(d.sets, u.sets);
   EXPECT_EQ(d.climb_seeds, u.climb_seeds);
 

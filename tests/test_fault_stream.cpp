@@ -214,8 +214,8 @@ TEST(FaultStream, StreamingMatchesMaterializedAcrossThreadsAndBatches) {
     for (std::size_t batch : {std::size_t{1}, std::size_t{7},
                               std::size_t{1024}}) {
       FaultSweepOptions opts = base_opts;
-      opts.threads = threads;
-      opts.batch_size = batch;
+      opts.exec.threads = threads;
+      opts.exec.batch_size = batch;
       ExplicitListSource source(sets);
       const auto streamed = sweep_fault_source(kr.table, index, source, opts);
       SCOPED_TRACE("threads=" + std::to_string(threads) +
@@ -243,8 +243,8 @@ TEST(FaultStream, IstreamFeedMatchesMaterialized) {
   }
 
   FaultSweepOptions opts;
-  opts.threads = 2;
-  opts.batch_size = 16;
+  opts.exec.threads = 2;
+  opts.exec.batch_size = 16;
   const auto materialized = sweep_fault_sets(kr.table, index, sets, opts);
   std::istringstream in(text);
   IstreamFaultSetSource source(in, 25);
@@ -274,8 +274,8 @@ TEST(FaultStream, ProgressFiresBetweenBatches) {
 
   std::vector<std::uint64_t> reported;
   FaultSweepOptions opts;
-  opts.batch_size = 8;
-  opts.progress_every = 10;
+  opts.exec.batch_size = 8;
+  opts.exec.progress_every = 10;
   opts.on_progress = [&](const FaultSweepProgress& p) {
     reported.push_back(p.sets_done);
   };
@@ -305,7 +305,7 @@ TEST(FaultStream, GrayIncrementalSweepBitIdenticalToFullRebuild) {
       // keep it to f = 1 so the full product stays fast.
       base_opts.delivery_pairs = (f == 1) ? 4 : 0;
       base_opts.seed = 99;
-      base_opts.batch_size = 64;  // force several batches at f >= 2
+      base_opts.exec.batch_size = 64;  // force several batches at f >= 2
 
       ExhaustiveGraySource ref_source(n, f);
       const auto rebuild =
@@ -314,7 +314,7 @@ TEST(FaultStream, GrayIncrementalSweepBitIdenticalToFullRebuild) {
 
       for (unsigned threads : kThreadCounts) {
         FaultSweepOptions opts = base_opts;
-        opts.threads = threads;
+        opts.exec.threads = threads;
         const auto gray = sweep_exhaustive_gray(entry.table, index, f, opts);
         SCOPED_TRACE(entry.name + " f=" + std::to_string(f) +
                      " threads=" + std::to_string(threads));
@@ -356,7 +356,7 @@ TEST(AdversaryGray, MatchesLexicographicGroundTruth) {
   bool have_base = false;
   for (unsigned threads : kThreadCounts) {
     const auto gray =
-        exhaustive_worst_faults_gray(*index, 2, SearchExecution{threads});
+        exhaustive_worst_faults_gray(*index, 2, SearchExecution{{.threads = threads}});
     // Same ground truth (the max over all sets) and the same coverage...
     EXPECT_EQ(gray.worst_diameter, serial.worst_diameter);
     EXPECT_EQ(gray.evaluations, serial.evaluations);
@@ -389,7 +389,7 @@ TEST(AdversaryGray, EarlyStopIsThreadInvariant) {
   bool have_base = false;
   for (unsigned threads : kThreadCounts) {
     const auto r = exhaustive_worst_faults_gray(*index, 3,
-                                                SearchExecution{threads},
+                                                SearchExecution{{.threads = threads}},
                                                 /*stop_above=*/2);
     if (!have_base) {
       base = r;

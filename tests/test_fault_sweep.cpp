@@ -93,7 +93,7 @@ TEST(FaultSweep, MatchesOneShotAndThreadInvariant) {
         random_fault_sets(entry.g.num_nodes(), entry.t, 40, rng);
 
     FaultSweepOptions opts;
-    opts.threads = 1;
+    opts.exec.threads = 1;
     opts.delivery_pairs = 6;
     opts.seed = 1234;
     const auto base = sweep_fault_sets(entry.table, sets, opts);
@@ -107,7 +107,7 @@ TEST(FaultSweep, MatchesOneShotAndThreadInvariant) {
 
     for (unsigned threads : kThreadCounts) {
       FaultSweepOptions par = opts;
-      par.threads = threads;
+      par.exec.threads = threads;
       const auto swept = sweep_fault_sets(entry.table, sets, par);
       SCOPED_TRACE(entry.name + " threads=" + std::to_string(threads));
       expect_same_summary(base, swept);
@@ -121,7 +121,7 @@ TEST(FaultSweep, HistogramAccountsForEverySet) {
   Rng rng(7);
   const auto sets = random_fault_sets(25, 6, 60, rng);
   FaultSweepOptions opts;
-  opts.threads = 2;
+  opts.exec.threads = 2;
   const auto summary = sweep_fault_sets(kr.table, sets, opts);
   std::uint64_t total = summary.disconnected;
   for (const auto count : summary.diameter_histogram) total += count;
@@ -145,7 +145,7 @@ TEST(ToleranceCheck, ReportThreadInvariant) {
       bool have_base = false;
       for (unsigned threads : kThreadCounts) {
         ToleranceCheckOptions topts = opts;
-        topts.threads = threads;
+        topts.exec.threads = threads;
         Rng rng(31);
         const auto report =
             check_tolerance(entry.table, entry.t, 6, rng, topts);
@@ -185,7 +185,7 @@ TEST(Adversary, ParallelExhaustiveEqualsSerial) {
   };
   for (unsigned threads : kThreadCounts) {
     const auto par =
-        exhaustive_worst_faults(25, 2, factory, SearchExecution{threads});
+        exhaustive_worst_faults(25, 2, factory, SearchExecution{{.threads = threads}});
     EXPECT_EQ(par.worst_diameter, serial.worst_diameter);
     EXPECT_EQ(par.worst_faults, serial.worst_faults);
     EXPECT_EQ(par.evaluations, serial.evaluations);
@@ -207,7 +207,7 @@ TEST(Adversary, ParallelEarlyStopEqualsSerial) {
   const FaultEvaluatorFactory factory = [&eval]() { return eval; };
   for (unsigned threads : kThreadCounts) {
     const auto par = exhaustive_worst_faults(12, 2, factory,
-                                             SearchExecution{threads}, 9);
+                                             SearchExecution{{.threads = threads}}, 9);
     EXPECT_EQ(par.worst_diameter, serial.worst_diameter);
     EXPECT_EQ(par.worst_faults, serial.worst_faults);
     EXPECT_EQ(par.evaluations, serial.evaluations);
@@ -226,18 +226,18 @@ TEST(Adversary, SampledAndHillclimbThreadInvariant) {
     };
   };
   const auto sampled_base =
-      sampled_worst_faults(25, 3, 50, factory, 77, SearchExecution{1});
+      sampled_worst_faults(25, 3, 50, factory, 77, SearchExecution{{.threads = 1}});
   const auto climbed_base = hillclimb_worst_faults(
-      25, 3, factory, 77, SearchExecution{1}, 4, 8, {{0, 1, 2}});
+      25, 3, factory, 77, SearchExecution{{.threads = 1}}, 4, 8, {{0, 1, 2}});
   EXPECT_EQ(sampled_base.evaluations, 50u);
   for (unsigned threads : kThreadCounts) {
     const auto s =
-        sampled_worst_faults(25, 3, 50, factory, 77, SearchExecution{threads});
+        sampled_worst_faults(25, 3, 50, factory, 77, SearchExecution{{.threads = threads}});
     EXPECT_EQ(s.worst_diameter, sampled_base.worst_diameter);
     EXPECT_EQ(s.worst_faults, sampled_base.worst_faults);
     EXPECT_EQ(s.evaluations, sampled_base.evaluations);
     const auto h = hillclimb_worst_faults(25, 3, factory, 77,
-                                          SearchExecution{threads}, 4, 8,
+                                          SearchExecution{{.threads = threads}}, 4, 8,
                                           {{0, 1, 2}});
     EXPECT_EQ(h.worst_diameter, climbed_base.worst_diameter);
     EXPECT_EQ(h.worst_faults, climbed_base.worst_faults);
@@ -257,7 +257,7 @@ TEST(Recovery, ComponentwiseSweepMatchesSerial) {
                                                       faults));
   }
   for (unsigned threads : kThreadCounts) {
-    const auto swept = componentwise_sweep(gg.graph, index, sets, threads);
+    const auto swept = componentwise_sweep(gg.graph, index, sets, ExecPolicy{.threads = threads});
     ASSERT_EQ(swept.size(), serial.size());
     for (std::size_t i = 0; i < serial.size(); ++i) {
       EXPECT_EQ(swept[i].worst, serial[i].worst) << "set " << i;
@@ -274,7 +274,7 @@ TEST(Planner, CertifiedRoutingThreadInvariant) {
   for (unsigned threads : kThreadCounts) {
     Rng rng(42);
     ToleranceCheckOptions opts;
-    opts.threads = threads;
+    opts.exec.threads = threads;
     const auto certified =
         build_certified_routing(gg.graph, gg.known_connectivity, rng, opts);
     // The certificate is the measured evidence for the plan's claim.

@@ -152,7 +152,7 @@ TEST(Serve, DifferentialAgainstSingleTablePaths) {
   std::vector<std::string> expected;
   {
     ToleranceCheckOptions opts;
-    opts.threads = 1;
+    opts.exec.threads = 1;
     Rng rng(5);
     const auto report = check_tolerance(ker.table, 2, 6, rng, opts);
     expected.push_back("#0 check ker " + report.summary() +
@@ -196,7 +196,7 @@ TEST(Serve, DifferentialAgainstSingleTablePaths) {
   }
   {
     ToleranceCheckOptions opts;
-    opts.threads = 1;
+    opts.exec.threads = 1;
     Rng rng(13);
     const auto report = check_tolerance(cir.table, 2, 6, rng, opts);
     expected.push_back("#3 certify cir " + report.summary() +
@@ -241,8 +241,8 @@ TEST(Serve, OutputInvariantAcrossThreadsBatchesAndBudgets) {
       TableRegistry registry;
       define_construction_tables(registry);
       ServeOptions opts;
-      opts.threads = threads;
-      opts.batch_size = batch;
+      opts.exec.threads = threads;
+      opts.exec.batch_size = batch;
       SCOPED_TRACE("threads=" + std::to_string(threads) +
                    " batch=" + std::to_string(batch));
       EXPECT_EQ(serve_to_string(registry, requests, opts), base);
@@ -255,8 +255,8 @@ TEST(Serve, OutputInvariantAcrossThreadsBatchesAndBudgets) {
     TableRegistry registry;
     define_construction_tables(registry);
     ServeOptions opts;
-    opts.threads = 8;
-    opts.batch_size = std::numeric_limits<std::size_t>::max() / 2;
+    opts.exec.threads = 8;
+    opts.exec.batch_size = std::numeric_limits<std::size_t>::max() / 2;
     ServeSummary summary;
     EXPECT_EQ(serve_to_string(registry, requests, opts, &summary), base);
     EXPECT_EQ(summary.requests, requests.size());
@@ -270,8 +270,8 @@ TEST(Serve, OutputInvariantAcrossThreadsBatchesAndBudgets) {
     TableRegistry registry(ropts);
     define_construction_tables(registry);
     ServeOptions opts;
-    opts.threads = 2;
-    opts.batch_size = 2;
+    opts.exec.threads = 2;
+    opts.exec.batch_size = 2;
     ServeSummary summary;
     EXPECT_EQ(serve_to_string(registry, requests, opts, &summary), base);
     EXPECT_GT(summary.registry.evictions, 0u);
@@ -285,8 +285,8 @@ TEST(Serve, WarmRegistryBuildsEachTableOnce) {
   define_construction_tables(registry);
 
   ServeOptions opts;
-  opts.threads = 2;
-  opts.batch_size = 2;  // several windows -> several acquires per table
+  opts.exec.threads = 2;
+  opts.exec.batch_size = 2;  // several windows -> several acquires per table
   ServeSummary summary;
   serve_to_string(registry, requests, opts, &summary);
 
@@ -314,7 +314,7 @@ TEST(Serve, ErrorResponsesAreDeterministicAndCounted) {
     TableRegistry registry;
     define_construction_tables(registry);
     ServeOptions opts;
-    opts.threads = threads;
+    opts.exec.threads = threads;
     ServeSummary summary;
     const auto text = serve_to_string(registry, requests, opts, &summary);
     EXPECT_EQ(summary.errors, 2u);
@@ -450,8 +450,8 @@ TEST(Serve, MalformedLineMidStreamIsAnsweredNotFatal) {
       TableRegistry registry;
       define_construction_tables(registry);
       ServeOptions opts;
-      opts.threads = threads;
-      opts.batch_size = batch;
+      opts.exec.threads = threads;
+      opts.exec.batch_size = batch;
       std::istringstream in(feed);
       IstreamRequestSource source(in);
       std::ostringstream out;

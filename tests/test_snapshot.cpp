@@ -433,7 +433,7 @@ TEST(Snapshot, ServeOutputBitIdenticalToBuildOnMiss) {
     IstreamRequestSource source(in);
     std::ostringstream out;
     ServeOptions options;
-    options.threads = threads;
+    options.exec.threads = threads;
     const auto summary = serve_requests(registry, source, out, options);
     EXPECT_EQ(summary.errors, 0u);
     return out.str();

@@ -122,8 +122,8 @@ TEST(SrgKernels, ExhaustiveGrayAllKernelsIdentical) {
   for (const auto& entry : construction_tables()) {
     const SrgIndex index(entry.table);
     FaultSweepOptions base_opts;
-    base_opts.threads = 1;
-    base_opts.kernel = SrgKernel::kScalar;
+    base_opts.exec.threads = 1;
+    base_opts.exec.kernel = SrgKernel::kScalar;
     const auto base =
         sweep_exhaustive_gray(entry.table, index, entry.f, base_opts);
     ASSERT_EQ(base.total_sets,
@@ -133,9 +133,9 @@ TEST(SrgKernels, ExhaustiveGrayAllKernelsIdentical) {
       for (unsigned threads : kThreadCounts) {
         for (unsigned lanes : widths_for(kernel)) {
           FaultSweepOptions opts;
-          opts.threads = threads;
-          opts.kernel = kernel;
-          opts.lanes = lanes;
+          opts.exec.threads = threads;
+          opts.exec.kernel = kernel;
+          opts.exec.lanes = lanes;
           SCOPED_TRACE(entry.name + " kernel=" + srg_kernel_name(kernel) +
                        " threads=" + std::to_string(threads) + " lanes=" +
                        std::to_string(lanes));
@@ -155,16 +155,16 @@ TEST(SrgKernels, ExhaustiveGrayBatchSizeInvariant) {
   const auto kr = build_kernel_routing(gg.graph, 3);
   const SrgIndex index(kr.table);
   FaultSweepOptions base_opts;
-  base_opts.kernel = SrgKernel::kScalar;
+  base_opts.exec.kernel = SrgKernel::kScalar;
   const auto base = sweep_exhaustive_gray(kr.table, index, 2, base_opts);
   for (const std::size_t batch : {1u, 7u, 64u, 301u}) {
     for (const SrgKernel kernel : {SrgKernel::kBitset, SrgKernel::kPacked}) {
       for (unsigned lanes : widths_for(kernel)) {
         FaultSweepOptions opts;
-        opts.threads = 2;
-        opts.batch_size = batch;
-        opts.kernel = kernel;
-        opts.lanes = lanes;
+        opts.exec.threads = 2;
+        opts.exec.batch_size = batch;
+        opts.exec.kernel = kernel;
+        opts.exec.lanes = lanes;
         SCOPED_TRACE("batch=" + std::to_string(batch) + " kernel=" +
                      srg_kernel_name(kernel) + " lanes=" +
                      std::to_string(lanes));
@@ -185,7 +185,7 @@ TEST(SrgKernels, ExhaustiveGrayDeliveryFallsBackFromPacked) {
   const auto kr = build_kernel_routing(gg.graph, 3);
   const SrgIndex index(kr.table);
   FaultSweepOptions base_opts;
-  base_opts.kernel = SrgKernel::kScalar;
+  base_opts.exec.kernel = SrgKernel::kScalar;
   base_opts.delivery_pairs = 4;
   base_opts.seed = 99;
   const auto base = sweep_exhaustive_gray(kr.table, index, 2, base_opts);
@@ -193,9 +193,9 @@ TEST(SrgKernels, ExhaustiveGrayDeliveryFallsBackFromPacked) {
   for (const SrgKernel kernel : {SrgKernel::kPacked, SrgKernel::kAuto}) {
     for (unsigned lanes : kAllWidths) {
       FaultSweepOptions opts = base_opts;
-      opts.kernel = kernel;
-      opts.lanes = lanes;
-      opts.threads = 2;
+      opts.exec.kernel = kernel;
+      opts.exec.lanes = lanes;
+      opts.exec.threads = 2;
       SCOPED_TRACE(std::string(srg_kernel_name(kernel)) + " lanes=" +
                    std::to_string(lanes));
       expect_same_summary(base,
@@ -211,12 +211,12 @@ TEST(SrgKernels, ExhaustiveGraySourceMatchesFastPath) {
   const auto kr = build_kernel_routing(gg.graph, 3);
   const SrgIndex index(kr.table);
   FaultSweepOptions base_opts;
-  base_opts.kernel = SrgKernel::kScalar;
+  base_opts.exec.kernel = SrgKernel::kScalar;
   const auto base = sweep_exhaustive_gray(kr.table, index, 2, base_opts);
   for (const SrgKernel kernel : kAllKernels) {
     FaultSweepOptions opts;
-    opts.kernel = kernel;
-    opts.threads = 2;
+    opts.exec.kernel = kernel;
+    opts.exec.threads = 2;
     ExhaustiveGraySource source(gg.graph.num_nodes(), 2);
     SCOPED_TRACE(srg_kernel_name(kernel));
     expect_same_summary(base,
@@ -228,8 +228,8 @@ TEST(SrgKernels, SampledStreamAllKernelsIdentical) {
   for (const auto& entry : construction_tables()) {
     const SrgIndex index(entry.table);
     FaultSweepOptions base_opts;
-    base_opts.threads = 1;
-    base_opts.kernel = SrgKernel::kScalar;
+    base_opts.exec.threads = 1;
+    base_opts.exec.kernel = SrgKernel::kScalar;
     base_opts.delivery_pairs = 4;  // delivery rides every kernel here
     base_opts.seed = 4242;
     SampledStreamSource base_source(entry.g.num_nodes(), entry.f + 1, 60,
@@ -240,8 +240,8 @@ TEST(SrgKernels, SampledStreamAllKernelsIdentical) {
     for (const SrgKernel kernel : kAllKernels) {
       for (unsigned threads : kThreadCounts) {
         FaultSweepOptions opts = base_opts;
-        opts.threads = threads;
-        opts.kernel = kernel;
+        opts.exec.threads = threads;
+        opts.exec.kernel = kernel;
         SampledStreamSource source(entry.g.num_nodes(), entry.f + 1, 60,
                                    4242);
         SCOPED_TRACE(entry.name + " kernel=" + srg_kernel_name(kernel) +
@@ -267,7 +267,7 @@ TEST(SrgKernels, StdinSourceAllKernelsIdentical) {
       "12 18 24\n";
 
   FaultSweepOptions base_opts;
-  base_opts.kernel = SrgKernel::kScalar;
+  base_opts.exec.kernel = SrgKernel::kScalar;
   std::istringstream base_in(feed);
   IstreamFaultSetSource base_source(base_in, gg.graph.num_nodes());
   const auto base =
@@ -277,8 +277,8 @@ TEST(SrgKernels, StdinSourceAllKernelsIdentical) {
   for (const SrgKernel kernel : kAllKernels) {
     for (unsigned threads : kThreadCounts) {
       FaultSweepOptions opts;
-      opts.threads = threads;
-      opts.kernel = kernel;
+      opts.exec.threads = threads;
+      opts.exec.kernel = kernel;
       std::istringstream in(feed);
       IstreamFaultSetSource source(in, gg.graph.num_nodes());
       SCOPED_TRACE(std::string(srg_kernel_name(kernel)) + " threads=" +
@@ -293,13 +293,13 @@ TEST(SrgKernels, AdversaryGrayScanIdenticalAcrossKernels) {
   for (const auto& entry : construction_tables()) {
     const SrgIndex index(entry.table);
     const auto base = exhaustive_worst_faults_gray(
-        index, entry.f, SearchExecution{1, SrgKernel::kScalar});
+        index, entry.f, SearchExecution{{.threads = 1, .kernel = SrgKernel::kScalar}});
     EXPECT_TRUE(base.exhaustive);
     for (const SrgKernel kernel : kAllKernels) {
       for (unsigned threads : kThreadCounts) {
         for (unsigned lanes : widths_for(kernel)) {
           const auto got = exhaustive_worst_faults_gray(
-              index, entry.f, SearchExecution{threads, kernel, lanes});
+              index, entry.f, SearchExecution{{.threads = threads, .kernel = kernel, .lanes = lanes}});
           SCOPED_TRACE(entry.name + " kernel=" + srg_kernel_name(kernel) +
                        " threads=" + std::to_string(threads) + " lanes=" +
                        std::to_string(lanes));
@@ -327,14 +327,14 @@ TEST(SrgKernels, AdversaryGrayEarlyStopIdenticalAcrossKernels) {
   install_edge_routes(t, gg.graph);
   const SrgIndex index(t);
   const auto base = exhaustive_worst_faults_gray(
-      index, 2, SearchExecution{1, SrgKernel::kScalar}, /*stop_above=*/6);
+      index, 2, SearchExecution{{.threads = 1, .kernel = SrgKernel::kScalar}}, /*stop_above=*/6);
   ASSERT_GT(base.worst_diameter, 6u);
   ASSERT_LT(base.evaluations, binomial(12, 2));  // the stop actually fired
   for (const SrgKernel kernel : kAllKernels) {
     for (unsigned threads : kThreadCounts) {
       for (unsigned lanes : widths_for(kernel)) {
         const auto got = exhaustive_worst_faults_gray(
-            index, 2, SearchExecution{threads, kernel, lanes},
+            index, 2, SearchExecution{{.threads = threads, .kernel = kernel, .lanes = lanes}},
             /*stop_above=*/6);
         SCOPED_TRACE(std::string(srg_kernel_name(kernel)) + " threads=" +
                      std::to_string(threads) + " lanes=" +
@@ -354,7 +354,7 @@ TEST(SrgKernels, ToleranceCheckIdenticalAcrossKernels) {
   // Gray fast path (f = 2 fits the exhaustive budget)...
   {
     ToleranceCheckOptions base_opts;
-    base_opts.kernel = SrgKernel::kScalar;
+    base_opts.exec.kernel = SrgKernel::kScalar;
     Rng base_rng(7);
     const auto base = check_tolerance(kr.table, 2, 10, base_rng, base_opts);
     EXPECT_TRUE(base.exhaustive);
@@ -362,9 +362,9 @@ TEST(SrgKernels, ToleranceCheckIdenticalAcrossKernels) {
       for (unsigned threads : kThreadCounts) {
         for (unsigned lanes : widths_for(kernel)) {
           ToleranceCheckOptions opts;
-          opts.threads = threads;
-          opts.kernel = kernel;
-          opts.lanes = lanes;
+          opts.exec.threads = threads;
+          opts.exec.kernel = kernel;
+          opts.exec.lanes = lanes;
           Rng rng(7);
           const auto got = check_tolerance(kr.table, 2, 10, rng, opts);
           SCOPED_TRACE(std::string(srg_kernel_name(kernel)) + " threads=" +
@@ -382,7 +382,7 @@ TEST(SrgKernels, ToleranceCheckIdenticalAcrossKernels) {
   // which bakes the kernel into the factory-minted evaluators.
   {
     ToleranceCheckOptions base_opts;
-    base_opts.kernel = SrgKernel::kScalar;
+    base_opts.exec.kernel = SrgKernel::kScalar;
     base_opts.exhaustive_budget = 50;
     base_opts.samples = 40;
     Rng base_rng(7);
@@ -391,8 +391,8 @@ TEST(SrgKernels, ToleranceCheckIdenticalAcrossKernels) {
     for (const SrgKernel kernel : kAllKernels) {
       for (unsigned threads : kThreadCounts) {
         ToleranceCheckOptions opts = base_opts;
-        opts.threads = threads;
-        opts.kernel = kernel;
+        opts.exec.threads = threads;
+        opts.exec.kernel = kernel;
         Rng rng(7);
         const auto got = check_tolerance(kr.table, 2, 10, rng, opts);
         SCOPED_TRACE(std::string(srg_kernel_name(kernel)) + " threads=" +
@@ -436,11 +436,11 @@ TEST(SrgKernels, ComponentwiseSweepIdenticalAcrossKernels) {
   Rng rng(515);
   const auto sets = random_fault_sets(gg.graph.num_nodes(), 5, 12, rng);
   const auto base =
-      componentwise_sweep(gg.graph, index, sets, 1, nullptr, SrgKernel::kScalar);
+      componentwise_sweep(gg.graph, index, sets, ExecPolicy{.threads = 1, .kernel = SrgKernel::kScalar});
   for (const SrgKernel kernel : kAllKernels) {
     for (unsigned threads : kThreadCounts) {
       const auto got =
-          componentwise_sweep(gg.graph, index, sets, threads, nullptr, kernel);
+          componentwise_sweep(gg.graph, index, sets, ExecPolicy{.threads = threads, .kernel = kernel});
       ASSERT_EQ(base.size(), got.size());
       for (std::size_t i = 0; i < base.size(); ++i) {
         SCOPED_TRACE(std::string(srg_kernel_name(kernel)) + " threads=" +

@@ -4,10 +4,17 @@
 # --threads 1 and --threads 4 for every verb that fans out work, across
 # every --kernel choice and every packed --lanes width on the exhaustive
 # sweep, and across --workers process counts on the distributed
-# sweep/check. This is the
+# sweep/check, and across --executor steal|cursor on every evaluating
+# verb. This is the
 # executable form of the repo's determinism contract — if a thread count
 # or kernel choice ever leaks into stdout, this script (and the CI job
 # running it) fails on the cmp.
+#
+# It also pins absolute behavior, not just self-consistency: key verb
+# outputs are cmp'd byte-for-byte against tests/golden/cli/*.golden (the
+# outputs captured before the CLI/exec-policy refactor), every verb's
+# --help must list every flag its parser accepts, and unknown flags /
+# missing values must be rejected uniformly (exit 2, usage on stderr).
 #
 # Usage: tools/cli_smoke.sh [build-dir]   (default: ./build)
 set -euo pipefail
@@ -172,6 +179,114 @@ for w in 1 4; do
     > "${WORK}/dcheck.${w}.out" 2> /dev/null
   cmp "${WORK}/check.1.out" "${WORK}/dcheck.${w}.out"
 done
+
+# Golden stdout: byte-exact outputs pinned before the CLI/exec-policy
+# refactor. Any drift in what these verbs print is a behavior change and
+# must be a conscious golden update, never an accident of plumbing.
+echo "== golden stdout cmp"
+GOLD="$(cd "$(dirname "$0")/.." && pwd)/tests/golden/cli"
+"${CLI}" stretch "${WORK}/graph.ftg" "${WORK}/table.ftt" \
+  > "${WORK}/stretch.out" 2> /dev/null
+cmp "${GOLD}/check.golden" "${WORK}/check.1.out"
+cmp "${GOLD}/sweep_stdin.golden" "${WORK}/sweep.1.out"
+cmp "${GOLD}/serve.golden" "${WORK}/serve.1.out"
+cmp "${GOLD}/sweep_exhaustive.golden" "${WORK}/xsweep.auto.out"
+cmp "${GOLD}/sweep_exhaustive_delivery.golden" "${WORK}/dsweep.0.out"
+cmp "${GOLD}/stretch.golden" "${WORK}/stretch.out"
+
+# The chunk scheduler (--executor steal|cursor) is pure scheduling: every
+# evaluating verb must print the same bytes under either, including
+# through forked dist workers (the policy rides the UnitSpec wire blob).
+echo "== comparing stdout across --executor kinds"
+for e in steal cursor; do
+  "${CLI}" sweep "${WORK}/graph.ftg" "${WORK}/table.ftt" \
+    --stdin --threads 4 --batch 3 --executor "${e}" < "${WORK}/faults.txt" \
+    > "${WORK}/esweep.${e}.out" 2> /dev/null
+  "${CLI}" check "${WORK}/graph.ftg" "${WORK}/table.ftt" \
+    --faults 2 --claimed 6 --seed 7 --threads 4 --executor "${e}" \
+    > "${WORK}/echeck.${e}.out" 2> /dev/null
+  "${CLI}" serve --tables "${WORK}/tables.txt" --stdin \
+    --threads 4 --batch 2 --executor "${e}" < "${WORK}/requests.txt" \
+    > "${WORK}/eserve.${e}.out" 2> /dev/null
+done
+cmp "${WORK}/sweep.1.out" "${WORK}/esweep.steal.out"
+cmp "${WORK}/sweep.1.out" "${WORK}/esweep.cursor.out"
+cmp "${WORK}/check.1.out" "${WORK}/echeck.steal.out"
+cmp "${WORK}/check.1.out" "${WORK}/echeck.cursor.out"
+cmp "${WORK}/serve.1.out" "${WORK}/eserve.steal.out"
+cmp "${WORK}/serve.1.out" "${WORK}/eserve.cursor.out"
+"${CLI}" sweep "${WORK}/graph.ftg" "${WORK}/table.ftt" \
+  --faults 2 --exhaustive --delivery-pairs 3 --seed 7 \
+  --workers 2 --executor cursor \
+  > "${WORK}/edsweep.out" 2> /dev/null
+cmp "${WORK}/dsweep.0.out" "${WORK}/edsweep.out"
+"${CLI}" check "${WORK}/graph.ftg" "${WORK}/table.ftt" \
+  --faults 2 --claimed 6 --seed 7 --workers 2 --executor cursor \
+  > "${WORK}/edcheck.out" 2> /dev/null
+cmp "${WORK}/check.1.out" "${WORK}/edcheck.out"
+
+# Per-verb --help: exit 0 and list every flag the verb's parser accepts
+# (usage is generated from the same registry the parser consults, so a
+# missing flag here means the registry and this list drifted).
+echo "== per-verb --help lists every registered flag"
+help_has() {
+  local verb="$1"; shift
+  "${CLI}" "${verb}" --help > "${WORK}/help.${verb}.out"
+  local f
+  for f in "$@"; do
+    if ! grep -q -- "${f}" "${WORK}/help.${verb}.out"; then
+      echo "error: ${verb} --help does not mention ${f}" >&2
+      cat "${WORK}/help.${verb}.out" >&2
+      exit 1
+    fi
+  done
+}
+help_has gen
+help_has profile
+help_has build --seed --certify --threads --kernel --lanes --executor
+help_has check --faults --claimed --seed --workers --worker-batch \
+  --worker-timeout --threads --kernel --lanes --executor
+help_has sweep --faults --sets --seed --exhaustive --stdin \
+  --delivery-pairs --workers --worker-batch --worker-timeout --threads \
+  --kernel --lanes --batch --executor --progress-every
+help_has serve --tables --requests --stdin --max-resident-bytes \
+  --threads --kernel --lanes --batch --executor --progress-every
+help_has stretch
+help_has snapshot --graph --routes --seed --out
+
+# Uniform strictness: every verb rejects unknown flags and missing flag
+# values with exit 2 and its usage on stderr.
+echo "== unknown flags / missing values rejected uniformly"
+expect_usage_error() {
+  local verb="$1"; shift
+  local rc=0
+  "${CLI}" "${verb}" "$@" > /dev/null 2> "${WORK}/neg.err" < /dev/null \
+    || rc=$?
+  if [[ "${rc}" -ne 2 ]]; then
+    echo "error: ftroute ${verb} $* exited ${rc}, want 2" >&2
+    cat "${WORK}/neg.err" >&2
+    exit 1
+  fi
+  if ! grep -q "usage: ftroute ${verb}" "${WORK}/neg.err"; then
+    echo "error: ftroute ${verb} $* did not print its usage" >&2
+    cat "${WORK}/neg.err" >&2
+    exit 1
+  fi
+}
+for v in gen profile build check sweep serve stretch snapshot; do
+  expect_usage_error "${v}" --definitely-not-a-flag
+done
+expect_usage_error build --seed
+expect_usage_error check --faults
+expect_usage_error sweep --sets
+expect_usage_error sweep --threads
+expect_usage_error serve --tables
+expect_usage_error snapshot --graph
+expect_usage_error check --kernel frob
+expect_usage_error sweep --lanes 96
+expect_usage_error sweep --executor greedy
+expect_usage_error sweep "${WORK}/graph.ftg" "${WORK}/table.ftt" \
+  --stdin --exhaustive
 
 # Planner-built snapshots (no routes file) must serve like seed-built
 # manifests: same planner seed, same table, same bytes.

@@ -1,697 +1,26 @@
-// ftroute CLI: run the library on graphs from files (or generate them).
+// ftroute CLI entry point. The verbs live in src/cli/ (one module each,
+// sharing the strict flag framework in src/cli/cli_support.hpp); this file
+// only adapts argv and dispatches.
 //
 //   ftroute gen <family> <args...>           > graph.ftg
 //   ftroute profile        < graph.ftg
-//   ftroute build [--seed S] [--certify] [--threads T] [--kernel K]
-//                                                       < graph.ftg > table.ftt
-//   ftroute check <graph.ftg> <table.ftt> --faults F [--claimed D] [--seed S]
-//                 [--threads T] [--kernel K]
-//   ftroute sweep <graph.ftg> <table.ftt> (--faults F [--sets N] |
-//                 --faults F --exhaustive | --stdin) [--seed S] [--threads T]
-//                 [--delivery-pairs P] [--progress-every N] [--batch B]
-//                 [--kernel K]
-//   ftroute serve --tables MANIFEST (--requests FILE | --stdin)
-//                 [--max-resident-bytes B] [--threads T] [--batch B]
-//                 [--progress-every N] [--kernel K]
-//   ftroute stretch <graph.ftg> <table.ftt>
-//   ftroute snapshot --graph graph.ftg (--routes table.ftt | [--seed S])
-//                    --out table.snap
+//   ftroute build          < graph.ftg > table.ftt
+//   ftroute check <graph> <table> --faults F ...
+//   ftroute sweep <graph> <table> ...
+//   ftroute serve --tables MANIFEST ...
+//   ftroute stretch <graph> <table>
+//   ftroute snapshot --graph FILE --out FILE ...
 //
-// `snapshot` writes the versioned, checksummed binary snapshot (graph +
-// routing table + SRG preprocessing + plan + route-load ranking) that the
-// serving registry loads cold at memory speed (manifest `snapshot=<file>`,
-// optionally `snapshot_load=bulk|mmap`). Every <graph>/<table> file
-// argument of check/sweep/stretch also accepts a snapshot file — sniffed
-// by magic, no flag needed.
-//
-// `sweep` is fully streaming: fault sets are pulled from a source (counter-
-// seeded random stream, the exhaustive revolving-door enumeration, or a
-// line-delimited stdin feed) and aggregated batch by batch, so 10^7-set
-// sweeps run at constant resident memory. --progress-every N emits running
-// aggregates to stderr every N sets.
-//
-// `serve` runs the multi-table request router: the manifest defines named
-// tables (built on miss, LRU-evicted past --max-resident-bytes), and each
-// request line (`check|sweep|delivery|certify <table> key=value...`) is
-// answered with one response line in request order. See
-// src/serve/request_router.hpp for the grammar.
-//
-// --threads fans the fault sweep / request batches across T workers (0 =
-// all cores); every command's stdout is bit-identical for any thread count
-// (timings and progress go to stderr).
-//
-// --kernel K picks the SRG evaluation kernel: auto (default), scalar,
-// bitset, or packed (Gray-adjacent fault sets evaluated lane-parallel —
-// exhaustive sweeps only; degrades to bitset elsewhere). --lanes picks the
-// packed block width: auto (default; FTROUTE_FORCE_LANE_WIDTH, then the
-// widest the CPU supports) or 64/128/256/512 sets per block. Stdout is
-// bit-identical across kernels and lane widths; only throughput changes.
-//
-// Families for `gen`: cycle n | torus r c | grid r c | hypercube d | ccc d |
-//   wbf d | butterfly d | debruijn d | se d | petersen | dodecahedron |
-//   desargues | gp n k | gnp n p seed | rr n d seed
-#include <algorithm>
-#include <cstdlib>
-#include <fstream>
-#include <iostream>
-#include <limits>
+// Run `ftroute <verb> --help` for the verb's flags; the execution-policy
+// flags (--threads/--kernel/--lanes/--batch/--executor/--progress-every)
+// are shared across verbs and documented in src/common/exec_policy.hpp.
+// Every verb's stdout is bit-identical across all execution knobs.
 #include <string>
 #include <vector>
 
-#include <chrono>
-
-#include "analysis/stretch.hpp"
-#include "common/cpu_features.hpp"
-#include "core/ftroute.hpp"
-#include "dist/coordinator.hpp"
-#include "graph/graph_io.hpp"
-#include "routing/serialization.hpp"
-
-namespace {
-
-using namespace ftr;
-
-int usage() {
-  std::cerr <<
-      "usage:\n"
-      "  ftroute gen <family> <args...>                 (graph to stdout)\n"
-      "  ftroute profile                                (graph on stdin)\n"
-      "  ftroute build [--seed S] [--certify] [--threads T] [--kernel K] [--lanes L]\n"
-      "                                                 (graph on stdin, table to stdout)\n"
-      "  ftroute check <graph> <table> --faults F [--claimed D] [--seed S] [--threads T]\n"
-      "                [--kernel K] [--lanes L] [--workers W] [--worker-batch R]\n"
-      "                [--worker-timeout S]\n"
-      "  ftroute sweep <graph> <table> (--faults F [--sets N] | --faults F --exhaustive |\n"
-      "                --stdin) [--seed S] [--threads T] [--delivery-pairs P]\n"
-      "                [--progress-every N] [--batch B] [--kernel K] [--lanes L]\n"
-      "                [--workers W] [--worker-batch R] [--worker-timeout S]\n"
-      "       --stdin reads one fault set per line (whitespace-separated node ids,\n"
-      "       '#' comments); --exhaustive sweeps all C(n,F) sets (revolving-door\n"
-      "       incremental evaluation); both stream at constant memory\n"
-      "       --workers W forks W snapshot-fed worker processes (each running\n"
-      "       --threads threads); 0 = in-process. Stdout is bit-identical for any\n"
-      "       worker count and --worker-batch unit size; --worker-timeout (seconds,\n"
-      "       default 300, 0 = off) bounds each unit before a hung worker is killed\n"
-      "  ftroute serve --tables MANIFEST (--requests FILE | --stdin)\n"
-      "                [--max-resident-bytes B] [--threads T] [--batch B]\n"
-      "                [--progress-every N] [--kernel K] [--lanes L]\n"
-      "       --kernel K: auto | scalar | bitset | packed (stdout is identical\n"
-      "       across kernels; packed applies to exhaustive Gray sweeps)\n"
-      "       --lanes L: auto | 64 | 128 | 256 | 512 packed fault sets per block\n"
-      "       (auto honors FTROUTE_FORCE_LANE_WIDTH, then picks the widest the\n"
-      "       CPU supports; stdout is identical across widths)\n"
-      "       manifest lines: table <name> graph=<file> [routes=<file>] [seed=S]\n"
-      "                       table <name> snapshot=<file> [snapshot_load=bulk|mmap]\n"
-      "       request lines:  check|sweep|delivery|certify <table> [key=value...]\n"
-      "       one response line per request, in request order\n"
-      "  ftroute stretch <graph> <table>\n"
-      "  ftroute snapshot --graph FILE (--routes FILE | [--seed S]) --out FILE\n"
-      "       writes the binary table snapshot (graph+table+SRG index+plan);\n"
-      "       <graph>/<table> args of check/sweep/stretch accept snapshots too\n";
-  return 2;
-}
-
-GeneratedGraph generate(const std::vector<std::string>& args) {
-  const auto& family = args.at(0);
-  auto num = [&](std::size_t i) {
-    // Strict like the flag parsing below: stoull would wrap "gen cycle -1"
-    // into an 18-quintillion-node request instead of an error.
-    const auto v = parse_u64(args.at(i));
-    if (!v.has_value()) {
-      throw std::runtime_error("bad " + family + " argument '" + args.at(i) +
-                               "'");
-    }
-    return static_cast<std::size_t>(*v);
-  };
-  if (family == "cycle") return cycle_graph(num(1));
-  if (family == "torus") return torus_graph(num(1), num(2));
-  if (family == "grid") return grid_graph(num(1), num(2));
-  if (family == "hypercube") return hypercube(num(1));
-  if (family == "ccc") return cube_connected_cycles(num(1));
-  if (family == "wbf") return wrapped_butterfly(num(1));
-  if (family == "butterfly") return butterfly(num(1));
-  if (family == "debruijn") return de_bruijn(num(1));
-  if (family == "se") return shuffle_exchange(num(1));
-  if (family == "petersen") return petersen_graph();
-  if (family == "dodecahedron") return dodecahedron();
-  if (family == "desargues") return desargues_graph();
-  if (family == "gp") return generalized_petersen(num(1), num(2));
-  if (family == "gnp") {
-    Rng rng(num(3));
-    return gnp(num(1), std::stod(args.at(2)), rng);
-  }
-  if (family == "rr") {
-    Rng rng(num(3));
-    return random_regular(num(1), num(2), rng);
-  }
-  throw std::runtime_error("unknown family: " + family);
-}
-
-int cmd_gen(const std::vector<std::string>& args) {
-  const auto gg = generate(args);
-  std::cout << "# " << gg.name << '\n';
-  save_graph(gg.graph, std::cout);
-  return 0;
-}
-
-int cmd_profile() {
-  const Graph g = load_graph(std::cin);
-  Rng rng(1);
-  const auto profile = profile_graph(g, std::nullopt, rng);
-  Table t({"metric", "value"});
-  t.add_row({"nodes", Table::cell(profile.n)});
-  t.add_row({"edges", Table::cell(profile.m)});
-  t.add_row({"min/max degree", Table::cell(profile.min_degree) + "/" +
-                                   Table::cell(profile.max_degree)});
-  t.add_row({"connectivity (t+1)", Table::cell(profile.connectivity)});
-  t.add_row({"girth", profile.girth == kUnreachable
-                          ? "none"
-                          : Table::cell(profile.girth)});
-  t.add_row({"diameter", Table::cell(profile.diameter)});
-  t.add_row({"neighborhood set K", Table::cell(profile.neighborhood_set_size)});
-  t.add_row({"two-trees", Table::cell(profile.two_trees.has_value())});
-  t.print(std::cout);
-  if (profile.kernel_applicable) {
-    const auto plan = plan_routing(profile);
-    std::cout << "\nplan: " << construction_name(plan.construction) << " -> (d <= "
-              << plan.guaranteed_diameter << ", f <= " << plan.tolerated_faults
-              << ")\n  " << plan.rationale << '\n';
-  } else {
-    std::cout << "\nplan: none (graph complete, trivial, or disconnected)\n";
-  }
-  return 0;
-}
-
-std::uint64_t flag_value(const std::vector<std::string>& args,
-                         const std::string& name, std::uint64_t fallback) {
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] != name) continue;
-    if (i + 1 >= args.size()) {
-      throw std::runtime_error("missing value for " + name);
-    }
-    // Strict parse (shared with the request/manifest readers): stoull
-    // would wrap "--max-resident-bytes -1" to 2^64-1 (an accidentally
-    // unlimited budget) and truncate "12frog" to 12.
-    const auto v = parse_u64(args[i + 1]);
-    if (!v.has_value()) {
-      throw std::runtime_error("bad value '" + args[i + 1] + "' for " + name);
-    }
-    return *v;
-  }
-  return fallback;
-}
-
-// 32-bit flags (--threads, --faults, --claimed) are range-checked before
-// narrowing: '--threads 4294967296' must be rejected, not silently wrap to
-// 0 ("all cores").
-std::uint32_t flag_value_u32(const std::vector<std::string>& args,
-                             const std::string& name, std::uint32_t fallback) {
-  const std::uint64_t v = flag_value(args, name, fallback);
-  if (v > std::numeric_limits<std::uint32_t>::max()) {
-    throw std::runtime_error("value too large for " + name);
-  }
-  return static_cast<std::uint32_t>(v);
-}
-
-bool has_flag(const std::vector<std::string>& args, const std::string& name) {
-  return std::find(args.begin(), args.end(), name) != args.end();
-}
-
-// Stderr rendering of the work-stealing probe, shared by the sweep/serve
-// progress lines and their closing summaries (telemetry only — it never
-// touches stdout, which stays bit-identical across --threads/--batch).
-std::string executor_stats_str(const ExecutorStats& e) {
-  return "local=" + std::to_string(e.chunks_local) +
-         " stolen=" + std::to_string(e.chunks_stolen) +
-         " steals=" + std::to_string(e.steals) +
-         " steal_attempts=" + std::to_string(e.steal_attempts);
-}
-
-std::string flag_string(const std::vector<std::string>& args,
-                        const std::string& name, const std::string& fallback) {
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    if (args[i] != name) continue;
-    if (i + 1 >= args.size()) {
-      throw std::runtime_error("missing value for " + name);
-    }
-    return args[i + 1];
-  }
-  return fallback;
-}
-
-// --kernel picks the SRG evaluation kernel (see fault/srg_engine.hpp).
-// Stdout is bit-identical across kernels; only throughput changes.
-SrgKernel flag_kernel(const std::vector<std::string>& args) {
-  const std::string k = flag_string(args, "--kernel", "auto");
-  const auto parsed = parse_srg_kernel(k);
-  if (!parsed.has_value()) {
-    throw std::runtime_error("bad value '" + k +
-                             "' for --kernel (auto|scalar|bitset|packed)");
-  }
-  return *parsed;
-}
-
-// --lanes picks the packed kernel's block width (see common/cpu_features.hpp
-// for the auto-resolution rule). Stdout is bit-identical across widths.
-unsigned flag_lanes(const std::vector<std::string>& args) {
-  const std::string l = flag_string(args, "--lanes", "auto");
-  const auto parsed = parse_lane_width(l);
-  if (!parsed.has_value()) {
-    throw std::runtime_error("bad value '" + l +
-                             "' for --lanes (auto|64|128|256|512)");
-  }
-  return *parsed;
-}
-
-// The <graph>/<table> file arguments accept either the text formats or a
-// binary snapshot (sniffed by magic). A snapshot passed as both arguments
-// is loaded once.
-Graph load_graph_arg(const std::string& path) {
-  if (is_snapshot_file(path)) {
-    return std::move(load_table_snapshot_file(path).graph);
-  }
-  std::ifstream f(path);
-  if (!f) throw std::runtime_error("cannot open graph file '" + path + "'");
-  return load_graph(f);
-}
-
-RoutingTable load_table_arg(const std::string& path) {
-  if (is_snapshot_file(path)) {
-    return std::move(load_table_snapshot_file(path).table);
-  }
-  std::ifstream f(path);
-  if (!f) throw std::runtime_error("cannot open table file '" + path + "'");
-  return load_routing_table(f);
-}
-
-struct GraphTableArgs {
-  Graph graph;
-  RoutingTable table;
-};
-
-GraphTableArgs load_graph_table_args(const std::string& graph_path,
-                                     const std::string& table_path) {
-  if (graph_path == table_path && is_snapshot_file(graph_path)) {
-    TableSnapshot snap = load_table_snapshot_file(graph_path);
-    return {std::move(snap.graph), std::move(snap.table)};
-  }
-  return {load_graph_arg(graph_path), load_table_arg(table_path)};
-}
-
-int cmd_build(const std::vector<std::string>& args) {
-  const Graph g = load_graph(std::cin);
-  Rng rng(flag_value(args, "--seed", 42));
-  if (has_flag(args, "--certify")) {
-    ToleranceCheckOptions opts;
-    opts.threads = flag_value_u32(args, "--threads", 1);
-    opts.kernel = flag_kernel(args);
-    opts.lanes = flag_lanes(args);
-    const auto certified = build_certified_routing(g, std::nullopt, rng, opts);
-    const auto& planned = certified.routing;
-    std::cerr << "built " << construction_name(planned.plan.construction)
-              << " routing: (d <= " << planned.plan.guaranteed_diameter
-              << ", f <= " << planned.plan.tolerated_faults << "), "
-              << planned.table.num_routes() << " directed routes\n"
-              << "certificate: " << certified.certificate.summary() << '\n';
-    save_routing_table(planned.table, std::cout);
-    return certified.certificate.holds ? 0 : 1;
-  }
-  const auto planned = build_planned_routing(g, std::nullopt, rng);
-  std::cerr << "built " << construction_name(planned.plan.construction)
-            << " routing: (d <= " << planned.plan.guaranteed_diameter
-            << ", f <= " << planned.plan.tolerated_faults << "), "
-            << planned.table.num_routes() << " directed routes\n";
-  save_routing_table(planned.table, std::cout);
-  return 0;
-}
-
-// Shared --workers plumbing for check/sweep. The pool's knobs never affect
-// stdout (the bit-identity contract); they only shape scheduling.
-DistPoolOptions flag_dist_options(const std::vector<std::string>& args,
-                                  unsigned workers, unsigned threads,
-                                  SrgKernel kernel, unsigned lanes) {
-  DistPoolOptions popts;
-  popts.workers = workers;
-  popts.unit_items = flag_value(args, "--worker-batch", 0);
-  popts.worker_threads = threads;
-  popts.kernel = kernel;
-  popts.lanes = lanes;
-  popts.unit_timeout_sec =
-      static_cast<double>(flag_value(args, "--worker-timeout", 300));
-  return popts;
-}
-
-// When the table came from a snapshot file, workers mmap that same file —
-// zero bytes shipped; otherwise the coordinator stages the snapshot into an
-// unlinked temp file the forked workers inherit by fd.
-std::string dist_snapshot_path(const std::vector<std::string>& args) {
-  return (args.at(0) == args.at(1) && is_snapshot_file(args.at(0)))
-             ? args.at(0)
-             : std::string();
-}
-
-void print_dist_stats(const DistStats& s) {
-  std::cerr << "distributed: " << s.workers_spawned << " worker(s); units "
-            << s.units_dispatched << " dispatched, " << s.units_completed
-            << " completed, " << s.units_retried << " retried, "
-            << s.units_inline << " inline; " << s.bytes_tx << " bytes tx, "
-            << s.bytes_rx << " bytes rx; " << s.workers_exited << " exited, "
-            << s.workers_killed << " killed\n";
-  for (std::size_t i = 0; i < s.per_worker.size(); ++i) {
-    const auto& w = s.per_worker[i];
-    if (w.units == 0) continue;
-    const auto rate = w.busy_seconds > 0.0
-                          ? static_cast<std::uint64_t>(
-                                static_cast<double>(w.items) / w.busy_seconds)
-                          : 0;
-    std::cerr << "  worker " << i << ": " << w.units << " unit(s), " << w.items
-              << " item(s), " << rate << " items/sec\n";
-  }
-}
-
-int cmd_check(const std::vector<std::string>& args) {
-  auto [g, table] = load_graph_table_args(args.at(0), args.at(1));
-  table.validate(g);
-  const auto f = flag_value_u32(args, "--faults", 1);
-  const auto claimed = flag_value_u32(args, "--claimed", 6);
-  Rng rng(flag_value(args, "--seed", 7));
-  ToleranceCheckOptions opts;
-  opts.threads = flag_value_u32(args, "--threads", 1);
-  opts.kernel = flag_kernel(args);
-  opts.lanes = flag_lanes(args);
-  const auto workers = flag_value_u32(args, "--workers", 0);
-  ToleranceReport report;
-  if (workers > 0) {
-    const std::string snap_path = dist_snapshot_path(args);
-    const TableSnapshot snap =
-        make_table_snapshot(std::move(g), std::move(table));
-    DistSweepPool pool(snap, snap_path,
-                       flag_dist_options(args, workers, opts.threads,
-                                         opts.kernel, opts.lanes));
-    report = check_tolerance_distributed(pool, f, claimed, rng, opts);
-    print_dist_stats(pool.stats());
-  } else {
-    report = check_tolerance(table, f, claimed, rng, opts);
-  }
-  std::cout << report.summary() << '\n';
-  if (!report.worst_faults.empty()) {
-    std::cout << "worst fault set:";
-    for (Node v : report.worst_faults) std::cout << ' ' << v;
-    std::cout << '\n';
-  }
-  return report.holds ? 0 : 1;
-}
-
-int cmd_sweep(const std::vector<std::string>& args) {
-  auto [g, table] = load_graph_table_args(args.at(0), args.at(1));
-  table.validate(g);
-  const auto f = static_cast<std::size_t>(flag_value(args, "--faults", 1));
-  const auto sets = static_cast<std::uint64_t>(flag_value(args, "--sets", 1000));
-  const std::uint64_t seed = flag_value(args, "--seed", 7);
-  const bool from_stdin = has_flag(args, "--stdin");
-  const bool exhaustive = has_flag(args, "--exhaustive");
-  if (from_stdin && exhaustive) {
-    std::cerr << "--stdin and --exhaustive are mutually exclusive\n";
-    return 2;
-  }
-
-  FaultSweepOptions opts;
-  opts.threads = flag_value_u32(args, "--threads", 1);
-  opts.kernel = flag_kernel(args);
-  opts.lanes = flag_lanes(args);
-  opts.delivery_pairs =
-      static_cast<std::size_t>(flag_value(args, "--delivery-pairs", 0));
-  opts.seed = seed;
-  opts.batch_size = static_cast<std::size_t>(flag_value(args, "--batch", 1024));
-  opts.progress_every = flag_value(args, "--progress-every", 0);
-  if (opts.progress_every > 0) {
-    // Progress is telemetry: stderr only, so stdout keeps the bit-identical
-    // contract across threads/batches/progress settings.
-    opts.on_progress = [](const FaultSweepProgress& p) {
-      std::cerr << "  ... " << p.sets_done << " sets, worst=";
-      if (p.worst_diameter == kUnreachable) {
-        std::cerr << "disconnected";
-      } else {
-        std::cerr << p.worst_diameter;
-      }
-      std::cerr << ", disconnected=" << p.disconnected << ", "
-                << static_cast<std::uint64_t>(
-                       p.seconds > 0.0
-                           ? static_cast<double>(p.sets_done) / p.seconds
-                           : 0.0)
-                << " sets/sec; executor " << executor_stats_str(p.executor)
-                << '\n';
-    };
-  }
-
-  const auto workers = flag_value_u32(args, "--workers", 0);
-  FaultSweepSummary summary;
-  if (workers > 0) {
-    // Multi-process fan-out: the partition into units and their merge use
-    // the same global-index discipline as the in-process engine, so stdout
-    // below is bit-identical to --workers 0 for any W and unit size.
-    const std::size_t n = g.num_nodes();
-    const std::string snap_path = dist_snapshot_path(args);
-    const TableSnapshot snap =
-        make_table_snapshot(std::move(g), std::move(table));
-    DistSweepPool pool(snap, snap_path,
-                       flag_dist_options(args, workers, opts.threads,
-                                         opts.kernel, opts.lanes));
-    const auto t0 = std::chrono::steady_clock::now();
-    SweepPartial partial;
-    if (exhaustive) {
-      partial = pool.sweep_exhaustive(f, opts);
-    } else if (from_stdin) {
-      IstreamFaultSetSource source(std::cin, n);
-      partial = pool.sweep_source(source, opts);
-    } else {
-      partial = pool.sweep_sampled(f, sets, opts);
-    }
-    summary = summarize_sweep_partial(partial);
-    summary.threads_used = opts.threads;
-    summary.seconds = std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count();
-    summary.fault_sets_per_sec =
-        summary.seconds > 0.0
-            ? static_cast<double>(summary.total_sets) / summary.seconds
-            : 0.0;
-    print_dist_stats(pool.stats());
-  } else if (exhaustive) {
-    const SrgIndex index(table);
-    summary = sweep_exhaustive_gray(table, index, f, opts);
-  } else if (from_stdin) {
-    const SrgIndex index(table);
-    IstreamFaultSetSource source(std::cin, g.num_nodes());
-    summary = sweep_fault_source(table, index, source, opts);
-  } else {
-    // Set i is a pure function of (seed, i): the stream is reproducible and
-    // never materialized, whatever --sets is.
-    const SrgIndex index(table);
-    SampledStreamSource source(g.num_nodes(), f, sets, seed);
-    summary = sweep_fault_source(table, index, source, opts);
-  }
-
-  Table t({"metric", "value"});
-  t.add_row({"fault sets", Table::cell(summary.total_sets)});
-  if (!from_stdin) t.add_row({"faults per set", Table::cell(f)});
-  t.add_row({"disconnected sets", Table::cell(summary.disconnected)});
-  t.add_row({"worst diameter", summary.worst_diameter == kUnreachable
-                                   ? "disconnected"
-                                   : Table::cell(summary.worst_diameter)});
-  if (opts.delivery_pairs > 0) {
-    t.add_row({"pairs sampled", Table::cell(summary.pairs_sampled)});
-    t.add_row({"delivered", Table::cell(summary.delivered)});
-    t.add_row({"avg route hops", Table::cell(summary.avg_route_hops, 3)});
-    t.add_row({"max route hops", Table::cell(summary.max_route_hops)});
-    t.add_row({"max edge hops", Table::cell(summary.max_edge_hops)});
-  }
-  t.print(std::cout);
-
-  std::cout << "\ndiameter histogram:\n";
-  for (std::uint32_t d = 0; d < summary.diameter_histogram.size(); ++d) {
-    if (summary.diameter_histogram[d] == 0) continue;
-    std::cout << "  d=" << d << ": " << summary.diameter_histogram[d] << '\n';
-  }
-  if (summary.disconnected > 0) {
-    std::cout << "  disconnected: " << summary.disconnected << '\n';
-  }
-  if (summary.total_sets > 0) {
-    std::cout << "worst fault set (#" << summary.worst_index << "):";
-    for (Node v : summary.worst_faults) std::cout << ' ' << v;
-    std::cout << '\n';
-  }
-
-  // Timing and executor telemetry are scheduling-dependent, so they go to
-  // stderr: stdout stays bit-identical for any --threads value.
-  std::cerr << "swept " << summary.total_sets << " fault sets on "
-            << summary.threads_used << " thread(s): "
-            << static_cast<std::uint64_t>(summary.fault_sets_per_sec)
-            << " fault-sets/sec\n"
-            << "executor: " << executor_stats_str(summary.executor) << '\n';
-  return 0;
-}
-
-int cmd_serve(const std::vector<std::string>& args) {
-  const std::string tables_path = flag_string(args, "--tables", "");
-  if (tables_path.empty()) {
-    std::cerr << "serve needs --tables MANIFEST\n";
-    return 2;
-  }
-  const std::string requests_path = flag_string(args, "--requests", "");
-  const bool from_stdin = has_flag(args, "--stdin");
-  if (requests_path.empty() == !from_stdin) {
-    std::cerr << "serve needs exactly one of --requests FILE or --stdin\n";
-    return 2;
-  }
-
-  TableRegistryOptions ropts;
-  ropts.max_resident_bytes =
-      static_cast<std::size_t>(flag_value(args, "--max-resident-bytes", 0));
-  TableRegistry registry(ropts);
-  {
-    std::ifstream mf(tables_path);
-    if (!mf) {
-      std::cerr << "cannot open tables manifest " << tables_path << '\n';
-      return 2;
-    }
-    const auto defined = load_table_manifest(mf, registry);
-    std::cerr << "registry: " << defined << " table(s) defined";
-    if (ropts.max_resident_bytes > 0) {
-      std::cerr << ", budget " << ropts.max_resident_bytes << " bytes";
-    }
-    std::cerr << '\n';
-  }
-
-  ServeOptions sopts;
-  sopts.threads = flag_value_u32(args, "--threads", 1);
-  sopts.kernel = flag_kernel(args);
-  sopts.lanes = flag_lanes(args);
-  sopts.batch_size = static_cast<std::size_t>(flag_value(args, "--batch", 64));
-  sopts.progress_every = flag_value(args, "--progress-every", 0);
-  if (sopts.progress_every > 0) {
-    // Progress is telemetry: stderr only, so stdout keeps the bit-identical
-    // contract across threads/batches/progress settings.
-    sopts.on_progress = [](const ServeProgress& p) {
-      std::cerr << "  ... " << p.requests_done << " requests, "
-                << static_cast<std::uint64_t>(
-                       p.seconds > 0.0
-                           ? static_cast<double>(p.requests_done) / p.seconds
-                           : 0.0)
-                << " req/sec; registry hits=" << p.registry.hits
-                << " builds=" << p.registry.builds
-                << " snapshot_loads=" << p.registry.snapshot_loads
-                << " evictions=" << p.registry.evictions
-                << " resident_bytes=" << p.registry.resident_bytes
-                << "; executor " << executor_stats_str(p.executor) << '\n';
-    };
-  }
-
-  ServeSummary summary;
-  if (from_stdin) {
-    IstreamRequestSource source(std::cin);
-    summary = serve_requests(registry, source, std::cout, sopts);
-  } else {
-    std::ifstream rf(requests_path);
-    if (!rf) {
-      std::cerr << "cannot open requests file " << requests_path << '\n';
-      return 2;
-    }
-    IstreamRequestSource source(rf);
-    summary = serve_requests(registry, source, std::cout, sopts);
-  }
-
-  // Timing and registry churn are scheduling/budget-dependent, so they go
-  // to stderr: stdout stays bit-identical for any --threads/--batch value.
-  std::cerr << "served " << summary.requests << " request(s) ("
-            << summary.checks << " check, " << summary.sweeps << " sweep, "
-            << summary.deliveries << " delivery, " << summary.certifies
-            << " certify, " << summary.errors << " error) on "
-            << summary.threads_used << " thread(s): "
-            << static_cast<std::uint64_t>(summary.requests_per_sec)
-            << " req/sec\n"
-            << "registry: hits=" << summary.registry.hits
-            << " misses=" << summary.registry.misses
-            << " builds=" << summary.registry.builds
-            << " snapshot_loads=" << summary.registry.snapshot_loads
-            << " evictions=" << summary.registry.evictions
-            << " resident=" << summary.registry.resident_tables << " table(s), "
-            << summary.registry.resident_bytes << " bytes\n"
-            << "executor: " << executor_stats_str(summary.executor) << '\n';
-  return summary.errors == 0 ? 0 : 1;
-}
-
-int cmd_stretch(const std::vector<std::string>& args) {
-  auto [g, table] = load_graph_table_args(args.at(0), args.at(1));
-  const auto s = measure_stretch(g, table);
-  Table t({"metric", "value"});
-  t.add_row({"routes", Table::cell(s.routes)});
-  t.add_row({"avg stretch", Table::cell(s.avg_stretch, 3)});
-  t.add_row({"max stretch", Table::cell(s.max_stretch, 3)});
-  t.add_row({"shortest routes", Table::cell(s.shortest_routes)});
-  t.add_row({"max route hops", Table::cell(s.max_route_hops)});
-  t.add_row({"max detour (hops)", Table::cell(s.max_detour)});
-  t.print(std::cout);
-  return 0;
-}
-
-int cmd_snapshot(const std::vector<std::string>& args) {
-  const std::string graph_path = flag_string(args, "--graph", "");
-  const std::string out_path = flag_string(args, "--out", "");
-  const std::string routes_path = flag_string(args, "--routes", "");
-  if (graph_path.empty() || out_path.empty()) {
-    std::cerr << "snapshot needs --graph FILE and --out FILE\n";
-    return 2;
-  }
-  if (!routes_path.empty() && has_flag(args, "--seed")) {
-    std::cerr << "--routes and --seed are mutually exclusive\n";
-    return 2;
-  }
-  Graph g = load_graph_arg(graph_path);
-  RoutingTable table;
-  Plan plan;
-  if (!routes_path.empty()) {
-    table = load_table_arg(routes_path);
-  } else {
-    Rng rng(flag_value(args, "--seed", 42));
-    auto planned = build_planned_routing(g, std::nullopt, rng);
-    table = std::move(planned.table);
-    plan = std::move(planned.plan);
-  }
-  // Validate once at snapshot time — the whole point is that loads never
-  // pay this again (they only re-check checksums and structural bounds).
-  table.validate(g);
-  const TableSnapshot snap =
-      make_table_snapshot(std::move(g), std::move(table), std::move(plan));
-  save_table_snapshot_file(snap, out_path);
-  const auto info = read_snapshot_directory(out_path);
-  std::cerr << "snapshot " << out_path << ": " << snap.table.num_nodes()
-            << " nodes, " << snap.table.num_routes() << " directed routes, "
-            << snap.index->num_pairs() << " pairs, "
-            << info.sections.size() << " sections, " << info.file_size
-            << " bytes\n";
-  return 0;
-}
-
-}  // namespace
+#include "cli/cli.hpp"
 
 int main(int argc, char** argv) {
-  std::vector<std::string> args(argv + 1, argv + argc);
-  if (args.empty()) return usage();
-  const std::string cmd = args.front();
-  args.erase(args.begin());
-  try {
-    if (cmd == "gen") return cmd_gen(args);
-    if (cmd == "profile") return cmd_profile();
-    if (cmd == "build") return cmd_build(args);
-    if (cmd == "check") return cmd_check(args);
-    if (cmd == "sweep") return cmd_sweep(args);
-    if (cmd == "serve") return cmd_serve(args);
-    if (cmd == "stretch") return cmd_stretch(args);
-    if (cmd == "snapshot") return cmd_snapshot(args);
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    return 1;
-  }
-  return usage();
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return ftr::cli::run_cli(args);
 }
